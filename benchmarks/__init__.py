@@ -1,0 +1,11 @@
+"""Benchmark suite regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each ``bench_*`` file corresponds to one paper artifact (see DESIGN.md's
+experiment index); ``-s`` shows the paper-style result tables.  Shape
+assertions run regardless of ``-s``, so a passing suite means every
+reproduced qualitative claim held.
+"""

@@ -1,0 +1,78 @@
+"""Ablation — Theorem-1 weighted routing vs uniform coin-flip routing.
+
+Theorem 1 routes fresh keys to subtable ``i`` with probability
+proportional to ``n_i / C(m_i, 2)`` to equalize expected conflicts.  The
+effect is visible right after an upsize: the doubled subtable is half
+empty, and weighted routing refills it about twice as fast, restoring
+balance.  We upsize one subtable of a warm table, stream more inserts
+under each policy, and compare how quickly the per-subtable filled
+factors re-converge.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, shape_check
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+
+from benchmarks.common import once
+
+WARM_KEYS = 12_000
+REFILL_KEYS = 6_000
+
+
+def _imbalance(table: DyCuckooTable) -> float:
+    """Spread of per-subtable filled factors (max - min)."""
+    fills = table.subtable_load_factors
+    return max(fills) - min(fills)
+
+
+def _run_policy(routing: str) -> tuple[float, float, int]:
+    rng = np.random.default_rng(19)
+    warm = np.unique(rng.integers(1, 1 << 61, int(WARM_KEYS * 1.3)
+                                  ).astype(np.uint64))[:WARM_KEYS]
+    refill = np.unique(rng.integers(1 << 61, 1 << 62, int(REFILL_KEYS * 1.3)
+                                    ).astype(np.uint64))[:REFILL_KEYS]
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=512, bucket_capacity=16, routing=routing,
+        auto_resize=False))
+    table.insert(warm, warm)
+    table.upsize()  # the doubled subtable is now half as full
+    after_upsize = _imbalance(table)
+    table.insert(refill, refill)
+    after_refill = _imbalance(table)
+    return after_upsize, after_refill, table.stats.evictions
+
+
+def _run_all():
+    return {routing: _run_policy(routing)
+            for routing in ("weighted", "uniform")}
+
+
+def test_ablation_distribution_policy(benchmark):
+    results = once(benchmark, _run_all)
+
+    rows = [[routing, up, refill, evictions]
+            for routing, (up, refill, evictions) in results.items()]
+    print()
+    print(format_table(
+        ["routing", "imbalance after upsize", "imbalance after refill",
+         "evictions"],
+        rows, title="Ablation: Theorem-1 weighted vs uniform routing",
+        float_fmt="{:.3f}"))
+
+    weighted = results["weighted"]
+    uniform = results["uniform"]
+    recovery_weighted = weighted[0] - weighted[1]
+    recovery_uniform = uniform[0] - uniform[1]
+    checks = [
+        (f"weighted routing re-balances faster after an upsize "
+         f"(recovered {recovery_weighted:.3f} vs {recovery_uniform:.3f} "
+         "of imbalance)", recovery_weighted > recovery_uniform),
+        ("weighted routing ends more balanced",
+         weighted[1] < uniform[1]),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

@@ -1,0 +1,95 @@
+"""Ablation — the two-layer lookup guarantee vs naive d-probe lookup.
+
+The design alternative the paper rejects (Section V-A opening): keep
+``d`` subtables but let every key live in *any* of them, so FIND must
+probe up to ``d`` buckets.  The two-layer scheme pins each key to a
+2-subtable pair, capping FIND at two probes for every ``d``.
+
+We measure actual bucket reads per FIND for both schemes at d = 2..8.
+Expected shape: naive probing grows roughly linearly with d (misses scan
+all d buckets); two-layer stays <= 2 flat.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, shape_check
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable, encode_keys
+
+from benchmarks.common import once
+
+TABLE_COUNTS = (2, 3, 4, 6, 8)
+NUM_KEYS = 8_000
+NUM_QUERIES = 4_000
+
+
+def _naive_probe_reads(table: DyCuckooTable, queries: np.ndarray) -> int:
+    """Bucket reads for a FIND that may probe all d subtables.
+
+    Simulates the rejected design over the same storage: probe
+    subtables in order until the key is found (misses probe all d).
+    """
+    codes = encode_keys(queries)
+    reads = 0
+    found = np.zeros(len(codes), dtype=bool)
+    for t in range(table.num_tables):
+        pending = np.flatnonzero(~found)
+        if len(pending) == 0:
+            break
+        st = table.subtables[t]
+        buckets = table.table_hashes[t].bucket(codes[pending], st.n_buckets)
+        reads += len(pending)
+        hit = st.contains(buckets, codes[pending])
+        found[pending[hit]] = True
+    return reads
+
+
+def _run_all():
+    rng = np.random.default_rng(17)
+    keys = np.unique(rng.integers(1, 1 << 62, int(NUM_KEYS * 1.3)
+                                  ).astype(np.uint64))[:NUM_KEYS]
+    hits = rng.choice(keys, NUM_QUERIES // 2)
+    misses = rng.integers(1 << 62, (1 << 63) - 1,
+                          NUM_QUERIES - len(hits)).astype(np.uint64)
+    queries = np.concatenate([hits, misses])
+    rng.shuffle(queries)
+
+    rows = []
+    for d in TABLE_COUNTS:
+        table = DyCuckooTable(DyCuckooConfig(
+            num_tables=d, bucket_capacity=16, initial_buckets=64))
+        table.insert(keys, keys)
+        before = table.stats.snapshot()
+        table.find(queries)
+        two_layer_reads = table.stats.delta(before)["bucket_reads"]
+        naive_reads = _naive_probe_reads(table, queries)
+        rows.append((d, two_layer_reads / len(queries),
+                     naive_reads / len(queries)))
+    return rows
+
+
+def test_ablation_two_layer_lookup(benchmark):
+    rows = once(benchmark, _run_all)
+
+    print()
+    print(format_table(
+        ["d", "two-layer reads/find", "naive d-probe reads/find"],
+        rows, title="Ablation: two-layer vs naive d-probe FIND",
+        float_fmt="{:.2f}"))
+
+    two_layer = [row[1] for row in rows]
+    naive = [row[2] for row in rows]
+    checks = [
+        ("two-layer never exceeds 2 reads per find",
+         max(two_layer) <= 2.0 + 1e-9),
+        ("two-layer flat in d",
+         max(two_layer) - min(two_layer) < 0.1),
+        ("naive probing grows with d",
+         naive[-1] > naive[0] * 1.5),
+        (f"at d=8 two-layer saves {naive[-1] / two_layer[-1]:.1f}x reads",
+         naive[-1] > 2 * two_layer[-1]),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

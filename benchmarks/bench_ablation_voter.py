@@ -1,0 +1,72 @@
+"""Ablation — voter coordination vs spin-locking (Section V-B).
+
+Runs the lane-level insert kernels (near-literal Algorithm 1) on a
+hot-key workload — the paper's retweet-counter scenario where celebrity
+keys concentrate many inserts onto few buckets.  The voter variant
+switches leaders after a failed lock; the spin variant hammers the same
+lock.  Expected shape: the voter scheme suffers fewer lock conflicts
+(and therefore less of Figure 5's atomic serialization cost).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, shape_check
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.gpusim import GTX_1080
+from repro.gpusim.atomics import effective_atomic_ns
+from repro.kernels import run_spin_insert_kernel, run_voter_insert_kernel
+from repro.workloads import hot_cold_keys
+
+from benchmarks.common import once
+
+SEEDS = range(6)
+OPS_PER_RUN = 600
+
+
+def _conflict_cost_ns(result) -> float:
+    degree = 1.0 + result.lock_conflicts / max(1, result.lock_acquisitions)
+    return (result.lock_conflicts
+            * effective_atomic_ns(degree, GTX_1080, cas=True))
+
+
+def _run_all():
+    totals = {"voter": [0, 0, 0.0], "spin": [0, 0, 0.0]}
+    for seed in SEEDS:
+        keys = hot_cold_keys(OPS_PER_RUN, num_hot=12, hot_fraction=0.5,
+                             seed=seed)
+        for label, kernel in (("voter", run_voter_insert_kernel),
+                              ("spin", run_spin_insert_kernel)):
+            table = DyCuckooTable(DyCuckooConfig(
+                initial_buckets=256, bucket_capacity=16, auto_resize=False))
+            result = kernel(table, keys, keys)
+            totals[label][0] += result.lock_conflicts
+            totals[label][1] += result.rounds
+            totals[label][2] += _conflict_cost_ns(result)
+    return totals
+
+
+def test_ablation_voter_vs_spin(benchmark):
+    totals = once(benchmark, _run_all)
+
+    rows = [[label, conflicts, rounds, cost / 1e3]
+            for label, (conflicts, rounds, cost) in totals.items()]
+    print()
+    print(format_table(
+        ["scheme", "lock conflicts", "device rounds", "conflict cost (us)"],
+        rows, title="Ablation: voter coordination vs spin-lock insert "
+                    f"(hot-key workload, {len(list(SEEDS))} seeds)"))
+
+    voter_conflicts = totals["voter"][0]
+    spin_conflicts = totals["spin"][0]
+    checks = [
+        (f"voter suffers no more lock conflicts than spinning "
+         f"({voter_conflicts} vs {spin_conflicts})",
+         voter_conflicts <= spin_conflicts),
+        ("voter's modeled conflict cost is no higher",
+         totals["voter"][2] <= totals["spin"][2] * 1.02),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

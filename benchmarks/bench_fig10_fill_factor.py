@@ -1,0 +1,90 @@
+"""Figure 10 (and the appendix figure) — static throughput vs filled factor.
+
+Sweeps the target filled factor on the RAND dataset for every approach.
+Expected shapes:
+
+* cuckoo INSERT degrades mildly at higher theta (more evictions),
+  DyCuckoo the most stable (the two-layer relocation freedom);
+* cuckoo FIND is flat in theta — except CUDPP, whose automatic function
+  count grows with theta and drags FIND down;
+* SlabHash degrades on both operations as theta rises (denser slab
+  utilization means longer chains); at theta = 90% DyCuckoo leads it by
+  a wide margin (the paper reports >2x insert, >2.5x find).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, run_static, shape_check
+from repro.workloads import RAND
+
+from benchmarks.common import (COST_MODEL, SCALE, STATIC_FINDS, once,
+                               static_suite_for_slots,
+                               trim_stream_to_unique)
+
+THETAS = (0.70, 0.75, 0.80, 0.85, 0.90)
+APPROACHES = ("DyCuckoo", "MegaKV", "CUDPP", "SlabHash")
+
+#: Fixed bucketized slot budget; the key count varies with theta.
+SLOTS = 64 * 1024
+
+
+def _run_all():
+    all_keys, all_values = RAND.generate(scale=SCALE, seed=10)
+    results = {}
+    for theta in THETAS:
+        quota = int(SLOTS * theta)
+        keys, values = trim_stream_to_unique(all_keys, all_values, quota)
+        suite = static_suite_for_slots(SLOTS, quota, theta)
+        for name, table in suite.items():
+            results[(theta, name)] = run_static(
+                table, keys, values, num_finds=STATIC_FINDS,
+                cost_model=COST_MODEL)
+    return results
+
+
+def test_fig10_vary_filled_factor(benchmark):
+    results = once(benchmark, _run_all)
+
+    for metric, attr in (("insert", "insert_mops"), ("find", "find_mops")):
+        rows = []
+        for name in APPROACHES:
+            rows.append([name] + [results[(theta, name)].__getattribute__(attr)
+                                  for theta in THETAS])
+        print()
+        print(format_table(
+            ["approach"] + [f"{theta:.0%}" for theta in THETAS], rows,
+            title=f"Figure 10: static {metric} Mops vs filled factor (RAND)"))
+
+    def series(name, attr):
+        return [getattr(results[(theta, name)], attr) for theta in THETAS]
+
+    dy_find = series("DyCuckoo", "find_mops")
+    mega_find = series("MegaKV", "find_mops")
+    cudpp_find = series("CUDPP", "find_mops")
+    slab_find = series("SlabHash", "find_mops")
+    slab_insert = series("SlabHash", "insert_mops")
+    dy_insert = series("DyCuckoo", "insert_mops")
+
+    checks = [
+        ("DyCuckoo find flat across theta",
+         max(dy_find) / min(dy_find) < 1.15),
+        ("MegaKV find flat across theta",
+         max(mega_find) / min(mega_find) < 1.15),
+        ("CUDPP find degrades at high theta (more hash functions)",
+         cudpp_find[-1] < cudpp_find[0] * 0.95),
+        ("SlabHash find degrades with theta (longer chains)",
+         slab_find[-1] < slab_find[0] * 0.9),
+        ("SlabHash insert degrades with theta",
+         slab_insert[-1] < slab_insert[0] * 0.9),
+        (f"theta=90%: DyCuckoo insert leads Slab "
+         f"({dy_insert[-1] / slab_insert[-1]:.1f}x; paper reports >2x)",
+         dy_insert[-1] > 1.5 * slab_insert[-1]),
+        (f"theta=90%: DyCuckoo find leads Slab "
+         f"({dy_find[-1] / slab_find[-1]:.1f}x; paper reports >2.5x)",
+         dy_find[-1] > 1.5 * slab_find[-1]),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+    failures = [label for label, ok in checks if not ok]
+    assert not failures, failures

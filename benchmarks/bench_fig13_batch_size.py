@@ -1,0 +1,76 @@
+"""Figure 13 — dynamic throughput while varying the batch size.
+
+The paper sweeps the processing batch size from 2e5 to 1e6 (scaled here
+to 200..1000).  Expected shapes:
+
+* SlabHash trails the cuckoo schemes (its chains lengthen as the stream
+  accumulates into a fixed hash range);
+* DyCuckoo beats MegaKV, and the margin does not shrink as batches grow
+  (the paper reports it growing with batch size);
+* absolute throughput grows with batch size for everyone (fixed per-
+  batch overheads amortize).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, run_dynamic, shape_check
+from repro.workloads import ALL_DATASETS, DynamicWorkload
+
+from benchmarks.common import (COST_MODEL, SCALE, make_dycuckoo_dynamic,
+                               make_megakv_dynamic, make_slab_dynamic, once)
+
+BATCH_SIZES = (200, 600, 1000)
+APPROACHES = ("DyCuckoo", "MegaKV", "SlabHash")
+
+
+def _run_all():
+    results = {}
+    for spec in ALL_DATASETS:
+        keys, values = spec.generate(scale=SCALE, seed=13)
+        expected_live = len(np.unique(keys)) // 2
+        for batch_size in BATCH_SIZES:
+            for factory in (make_dycuckoo_dynamic, make_megakv_dynamic,
+                            lambda: make_slab_dynamic(expected_live)):
+                table = factory()
+                workload = DynamicWorkload(keys, values,
+                                           batch_size=batch_size, seed=5)
+                run = run_dynamic(table, workload, cost_model=COST_MODEL)
+                results[(spec.name, batch_size, table.NAME)] = run.mops
+    return results
+
+
+def test_fig13_vary_batch_size(benchmark):
+    results = once(benchmark, _run_all)
+    datasets = [spec.name for spec in ALL_DATASETS]
+
+    for batch_size in BATCH_SIZES:
+        rows = [[name] + [results[(ds, batch_size, name)] for ds in datasets]
+                for name in APPROACHES]
+        print()
+        print(format_table(
+            ["approach"] + datasets, rows,
+            title=f"Figure 13: dynamic Mops at batch size {batch_size} "
+                  f"(paper scale {int(batch_size / SCALE):,})"))
+
+    checks = []
+    for ds in datasets:
+        for batch_size in BATCH_SIZES:
+            dy = results[(ds, batch_size, "DyCuckoo")]
+            slab = results[(ds, batch_size, "SlabHash")]
+            mega = results[(ds, batch_size, "MegaKV")]
+            checks.append((f"{ds} batch={batch_size}: DyCuckoo beats MegaKV",
+                           dy > mega * 0.98))
+            checks.append((f"{ds} batch={batch_size}: SlabHash trails "
+                           "DyCuckoo", dy > slab * 0.98))
+    gains = sum(
+        results[(ds, BATCH_SIZES[-1], "DyCuckoo")]
+        > results[(ds, BATCH_SIZES[0], "DyCuckoo")] * 0.98
+        for ds in datasets)
+    checks.append((f"larger batches amortize overheads on most datasets "
+                   f"({gains}/{len(datasets)})", gains >= 3))
+
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+    failures = [label for label, ok in checks if not ok]
+    assert not failures, failures

@@ -1,0 +1,69 @@
+"""Figure 14 — dynamic throughput while varying the lower bound alpha.
+
+Only DyCuckoo and MegaKV participate (SlabHash cannot control its filled
+factor at all).  Expected shapes:
+
+* DyCuckoo's throughput is essentially flat in alpha (downsizing touches
+  one subtable at a time);
+* MegaKV suffers as alpha rises — more threshold crossings mean more
+  whole-table rehashes — so DyCuckoo's margin is at least as large at
+  alpha = 40% as at 20%.
+"""
+
+from repro.bench import format_table, run_dynamic, shape_check
+from repro.workloads import ALL_DATASETS, DynamicWorkload
+
+from benchmarks.common import (BATCH_SIZE, COST_MODEL, SCALE,
+                               make_dycuckoo_dynamic, make_megakv_dynamic,
+                               once)
+
+ALPHAS = (0.20, 0.30, 0.40)
+
+
+def _run_all():
+    results = {}
+    for spec in ALL_DATASETS:
+        keys, values = spec.generate(scale=SCALE, seed=14)
+        for alpha in ALPHAS:
+            for factory, kwargs in (
+                    (make_dycuckoo_dynamic, {"alpha": alpha}),
+                    (make_megakv_dynamic, {"alpha": alpha})):
+                table = factory(**kwargs)
+                workload = DynamicWorkload(keys, values,
+                                           batch_size=BATCH_SIZE, seed=6)
+                run = run_dynamic(table, workload, cost_model=COST_MODEL)
+                results[(spec.name, alpha, table.NAME)] = run.mops
+    return results
+
+
+def test_fig14_vary_alpha(benchmark):
+    results = once(benchmark, _run_all)
+    datasets = [spec.name for spec in ALL_DATASETS]
+
+    for alpha in ALPHAS:
+        rows = [[name] + [results[(ds, alpha, name)] for ds in datasets]
+                for name in ("DyCuckoo", "MegaKV")]
+        print()
+        print(format_table(["approach"] + datasets, rows,
+                           title=f"Figure 14: dynamic Mops at alpha = "
+                                 f"{alpha:.0%}"))
+
+    checks = []
+    for ds in datasets:
+        dy = [results[(ds, alpha, "DyCuckoo")] for alpha in ALPHAS]
+        mega = [results[(ds, alpha, "MegaKV")] for alpha in ALPHAS]
+        checks.append((f"{ds}: DyCuckoo roughly flat in alpha",
+                       max(dy) / min(dy) < 1.15))
+        checks.append((f"{ds}: DyCuckoo leads MegaKV at every alpha",
+                       all(d > m * 0.98 for d, m in zip(dy, mega))))
+        margin_low = dy[0] / mega[0]
+        margin_high = dy[-1] / mega[-1]
+        checks.append((f"{ds}: margin at alpha=40% >= margin at 20% "
+                       f"({margin_low:.2f} -> {margin_high:.2f})",
+                       margin_high >= margin_low * 0.95))
+
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+    failures = [label for label, ok in checks if not ok]
+    assert not failures, failures

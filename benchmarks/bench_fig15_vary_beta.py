@@ -1,0 +1,59 @@
+"""Figure 15 — dynamic throughput while varying the upper bound beta.
+
+The paper's finding: beta barely moves the needle for either approach —
+a higher beta slows inserts (denser tables) but triggers fewer resizes,
+and the two effects cancel.  DyCuckoo keeps its lead throughout.
+"""
+
+from repro.bench import format_table, run_dynamic, shape_check
+from repro.workloads import ALL_DATASETS, DynamicWorkload
+
+from benchmarks.common import (BATCH_SIZE, COST_MODEL, SCALE,
+                               make_dycuckoo_dynamic, make_megakv_dynamic,
+                               once)
+
+BETAS = (0.70, 0.80, 0.90)
+
+
+def _run_all():
+    results = {}
+    for spec in ALL_DATASETS:
+        keys, values = spec.generate(scale=SCALE, seed=15)
+        for beta in BETAS:
+            for factory in (make_dycuckoo_dynamic, make_megakv_dynamic):
+                table = factory(beta=beta)
+                workload = DynamicWorkload(keys, values,
+                                           batch_size=BATCH_SIZE, seed=7)
+                run = run_dynamic(table, workload, cost_model=COST_MODEL)
+                results[(spec.name, beta, table.NAME)] = run.mops
+    return results
+
+
+def test_fig15_vary_beta(benchmark):
+    results = once(benchmark, _run_all)
+    datasets = [spec.name for spec in ALL_DATASETS]
+
+    for beta in BETAS:
+        rows = [[name] + [results[(ds, beta, name)] for ds in datasets]
+                for name in ("DyCuckoo", "MegaKV")]
+        print()
+        print(format_table(["approach"] + datasets, rows,
+                           title=f"Figure 15: dynamic Mops at beta = "
+                                 f"{beta:.0%}"))
+
+    checks = []
+    for ds in datasets:
+        dy = [results[(ds, beta, "DyCuckoo")] for beta in BETAS]
+        mega = [results[(ds, beta, "MegaKV")] for beta in BETAS]
+        checks.append((f"{ds}: DyCuckoo stable across beta",
+                       max(dy) / min(dy) < 1.20))
+        checks.append((f"{ds}: MegaKV stable across beta",
+                       max(mega) / min(mega) < 1.35))
+        checks.append((f"{ds}: DyCuckoo leads at every beta",
+                       all(d > m * 0.98 for d, m in zip(dy, mega))))
+
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+    failures = [label for label, ok in checks if not ok]
+    assert not failures, failures

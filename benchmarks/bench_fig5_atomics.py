@@ -1,0 +1,60 @@
+"""Figure 5 — atomic-operation throughput under increasing conflicts.
+
+The paper profiles atomicCAS and atomicExch against an equivalent amount
+of sequential (coalesced) device IO while raising the number of atomics
+that land on the same address.  Expected shape: both atomics degrade
+severely as conflicts grow (CAS below Exch throughout), while the
+coalesced-IO baseline is flat.
+"""
+
+from repro.bench import format_table, shape_check
+from repro.gpusim import (atomic_throughput_mops,
+                          coalesced_io_throughput_mops)
+
+from benchmarks.common import once
+
+NUM_OPS = 1 << 18
+CONFLICT_DEGREES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _profile():
+    rows = []
+    for degree in CONFLICT_DEGREES:
+        rows.append((
+            degree,
+            atomic_throughput_mops(NUM_OPS, degree, cas=True),
+            atomic_throughput_mops(NUM_OPS, degree, cas=False),
+            coalesced_io_throughput_mops(NUM_OPS),
+        ))
+    return rows
+
+
+def test_fig5_atomic_contention(benchmark):
+    rows = once(benchmark, _profile)
+
+    print()
+    print(format_table(
+        ["conflicts/address", "atomicCAS Mops", "atomicExch Mops",
+         "coalesced IO Mops"],
+        rows, title="Figure 5: atomic throughput vs conflict degree"))
+
+    cas = [row[1] for row in rows]
+    exch = [row[2] for row in rows]
+    io = [row[3] for row in rows]
+
+    checks = [
+        ("atomicCAS throughput monotonically degrades",
+         all(a >= b for a, b in zip(cas, cas[1:]))),
+        ("atomicExch throughput monotonically degrades",
+         all(a >= b for a, b in zip(exch, exch[1:]))),
+        ("atomicExch outpaces atomicCAS at every degree",
+         all(e > c for e, c in zip(exch, cas))),
+        ("degradation is severe (>20x from degree 1 to 1024)",
+         cas[0] / cas[-1] > 20),
+        ("coalesced IO is flat and fastest",
+         len(set(io)) == 1 and io[0] > max(cas[0], exch[0])),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

@@ -1,0 +1,79 @@
+"""Figure 9 — static throughput of all approaches over all datasets.
+
+The static experiment inserts every dataset KV pair, then issues random
+FIND queries (the paper's 1M, scaled).  Expected shapes:
+
+* DyCuckoo posts the best INSERT throughput (fewer evictions than
+  MegaKV's 2-choice/8-slot geometry, coalesced unlike CUDPP, no chain
+  walks unlike SlabHash);
+* MegaKV posts the best FIND (two plain probes, no extra hash layer),
+  with DyCuckoo a close second;
+* SlabHash trails both cuckoo bucketized schemes on FIND.
+"""
+
+from repro.bench import format_table, run_static, shape_check
+from repro.workloads import ALL_DATASETS
+
+import numpy as np
+
+from benchmarks.common import (COST_MODEL, SCALE, STATIC_FINDS,
+                               largest_power_of_two_at_most, once,
+                               static_suite_for_slots,
+                               trim_stream_to_unique)
+
+THETA = 0.85
+
+
+def _run_all():
+    results = {}
+    for spec in ALL_DATASETS:
+        keys, values = spec.generate(scale=SCALE, seed=9)
+        unique_total = len(np.unique(keys))
+        slots = largest_power_of_two_at_most(int(unique_total / THETA))
+        quota = int(slots * THETA)
+        keys, values = trim_stream_to_unique(keys, values, quota)
+        suite = static_suite_for_slots(slots, quota, THETA)
+        for name, table in suite.items():
+            results[(spec.name, name)] = run_static(
+                table, keys, values, num_finds=STATIC_FINDS,
+                cost_model=COST_MODEL)
+    return results
+
+
+APPROACHES = ("DyCuckoo", "MegaKV", "CUDPP", "SlabHash")
+
+
+def test_fig9_static_throughput(benchmark):
+    results = once(benchmark, _run_all)
+    datasets = [spec.name for spec in ALL_DATASETS]
+
+    for metric, attr in (("insert", "insert_mops"), ("find", "find_mops")):
+        rows = []
+        for name in APPROACHES:
+            rows.append([name] + [getattr(results[(ds, name)], attr)
+                                  for ds in datasets])
+        print()
+        print(format_table(["approach"] + datasets, rows,
+                           title=f"Figure 9: static {metric} throughput "
+                                 f"(Mops)"))
+
+    checks = []
+    for ds in datasets:
+        dy_ins = results[(ds, "DyCuckoo")].insert_mops
+        others_ins = max(results[(ds, name)].insert_mops
+                         for name in APPROACHES if name != "DyCuckoo")
+        checks.append((f"{ds}: DyCuckoo best insert", dy_ins > others_ins))
+
+        mega_find = results[(ds, "MegaKV")].find_mops
+        dy_find = results[(ds, "DyCuckoo")].find_mops
+        slab_find = results[(ds, "SlabHash")].find_mops
+        checks.append((f"{ds}: MegaKV best find, DyCuckoo close second",
+                       mega_find > dy_find > 0.7 * mega_find))
+        checks.append((f"{ds}: bucketized cuckoo beats chaining on find",
+                       dy_find > slab_find))
+
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+    failures = [label for label, ok in checks if not ok]
+    assert not failures, failures

@@ -1,0 +1,53 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the paper's dataset summary table from the surrogate
+generators and checks each stream matches its published fingerprint
+(total pairs, unique keys, duplicate cap) at the benchmark scale.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.workloads import ALL_DATASETS
+
+from benchmarks.common import SCALE, once
+
+
+def _generate_all():
+    rows = []
+    for spec in ALL_DATASETS:
+        keys, _values = spec.generate(scale=SCALE, seed=2)
+        unique = len(np.unique(keys))
+        counts = np.unique(keys, return_counts=True)[1]
+        rows.append((spec, keys, unique, int(counts.max())))
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = once(benchmark, _generate_all)
+
+    table_rows = []
+    for spec, keys, unique, max_dup in rows:
+        table_rows.append([
+            spec.name,
+            f"{spec.total_pairs:,}",
+            f"{spec.unique_keys:,}",
+            f"{len(keys):,}",
+            f"{unique:,}",
+            max_dup,
+        ])
+    print()
+    print(format_table(
+        ["dataset", "paper KVs", "paper unique", f"KVs @ {SCALE}",
+         f"unique @ {SCALE}", "max dup"],
+        table_rows, title="Table 2: datasets (paper vs generated surrogate)"))
+
+    for spec, keys, unique, max_dup in rows:
+        assert len(keys) == round(spec.total_pairs * SCALE)
+        assert unique == min(len(keys), round(spec.unique_keys * SCALE))
+        assert max_dup <= spec.max_duplicates
+    # RAND is fully unique; COM is the skewed one.
+    by_name = {spec.name: (keys, unique, max_dup)
+               for spec, keys, unique, max_dup in rows}
+    assert by_name["RAND"][2] == 1
+    assert by_name["COM"][2] >= 8

@@ -1,0 +1,153 @@
+"""Shared configuration and factories for the benchmark suite.
+
+Everything runs at :data:`SCALE` of the paper's data sizes (the
+simulator executes on a CPU); the cost model scales its fixed overheads
+identically so relative results match the full-size system (see
+``CostModel.overhead_scale``).  Table geometries follow each design's
+native layout at equal total memory:
+
+* DyCuckoo — 4 subtables, 32-slot buckets (Figure 2),
+* MegaKV — 2 subtables, 8-slot buckets (its published geometry),
+* CUDPP — per-slot, automatic function count,
+* SlabHash — 15-pair slabs, bucket count from the target fill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (CudppHashTable, DyCuckooAdapter, MegaKVTable,
+                             SlabHashTable)
+from repro.baselines.slab import slab_buckets_for_fill
+from repro.core.config import DyCuckooConfig
+from repro.gpusim.metrics import CostModel
+
+#: Fraction of the paper's dataset sizes the benchmarks run at.
+SCALE = 0.001
+
+#: Insert batch size (the paper's default 1e6, scaled).
+BATCH_SIZE = 1_000
+
+#: FIND queries for the static experiments (the paper's 1e6, scaled).
+STATIC_FINDS = 1_000
+
+#: Cost model with overheads scaled to match the data scale.
+COST_MODEL = CostModel(overhead_scale=SCALE)
+
+
+def power_of_two_at_least(n: int) -> int:
+    """Smallest power of two >= n (and >= 8)."""
+    p = 8
+    while p < n:
+        p *= 2
+    return p
+
+
+def largest_power_of_two_at_most(n: int) -> int:
+    """Largest power of two <= n (and >= 8)."""
+    p = 8
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def trim_stream_to_unique(keys: np.ndarray, values: np.ndarray,
+                          unique_quota: int
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Prefix of the stream containing exactly ``unique_quota`` distinct keys.
+
+    The paper sizes its tables freely for the dataset; our bucket counts
+    are powers of two, so the static experiments instead trim the stream
+    to the largest configuration that fits — every approach then runs at
+    *exactly* the target filled factor, which is what the comparison is
+    about.  Trimming a prefix preserves the duplicate structure.
+    """
+    from repro.core.grouping import first_occurrence_mask
+
+    cumulative_unique = np.cumsum(first_occurrence_mask(keys))
+    if cumulative_unique[-1] < unique_quota:
+        raise ValueError(
+            f"stream has {cumulative_unique[-1]} unique keys < quota "
+            f"{unique_quota}")
+    cut = int(np.searchsorted(cumulative_unique, unique_quota)) + 1
+    return keys[:cut], values[:cut]
+
+
+def static_suite_for_slots(total_slots: int, expected_unique: int,
+                           target_fill: float = 0.85) -> dict:
+    """All four approaches with ``total_slots`` of bucketized capacity.
+
+    ``total_slots`` must be a multiple of 128 and a power of two so both
+    bucketized geometries (DyCuckoo 4x32, MegaKV 2x8) hit it exactly;
+    CUDPP and SlabHash size themselves for ``expected_unique`` at the
+    same fill.
+    """
+    return {
+        "DyCuckoo": DyCuckooAdapter(DyCuckooConfig(
+            num_tables=4, bucket_capacity=32,
+            initial_buckets=total_slots // (4 * 32), auto_resize=False)),
+        "MegaKV": MegaKVTable(initial_buckets=total_slots // (2 * 8),
+                              bucket_capacity=8, auto_resize=False),
+        "CUDPP": CudppHashTable(expected_unique, target_fill=target_fill),
+        "SlabHash": SlabHashTable(
+            n_buckets=slab_buckets_for_fill(expected_unique, target_fill)),
+    }
+
+
+def make_dycuckoo_dynamic(**overrides) -> DyCuckooAdapter:
+    """DyCuckoo starting small, growing with the workload."""
+    config = dict(num_tables=4, bucket_capacity=32, initial_buckets=8,
+                  min_buckets=8)
+    config.update(overrides)
+    return DyCuckooAdapter(DyCuckooConfig(**config))
+
+
+def make_megakv_dynamic(**overrides) -> MegaKVTable:
+    """MegaKV with the naive double/half resize strategy."""
+    config = dict(initial_buckets=32, bucket_capacity=8)
+    config.update(overrides)
+    return MegaKVTable(**config)
+
+
+def make_slab_dynamic(expected_live: int, target_fill: float = 0.85
+                      ) -> SlabHashTable:
+    """SlabHash sized for the expected live set at the target fill."""
+    return SlabHashTable(
+        n_buckets=slab_buckets_for_fill(max(1, expected_live), target_fill))
+
+
+def make_static_suite(num_keys: int, target_fill: float = 0.85) -> dict:
+    """All four approaches pre-sized for a static experiment.
+
+    Every bucketized table gets the same total slot budget
+    (``num_keys / target_fill`` rounded up to its geometry).
+    """
+    slots_needed = int(num_keys / target_fill)
+    dy_buckets = power_of_two_at_least(slots_needed // (4 * 32))
+    mega_buckets = power_of_two_at_least(slots_needed // (2 * 8))
+    return {
+        "DyCuckoo": DyCuckooAdapter(DyCuckooConfig(
+            num_tables=4, bucket_capacity=32, initial_buckets=dy_buckets,
+            auto_resize=False)),
+        "MegaKV": MegaKVTable(initial_buckets=mega_buckets,
+                              bucket_capacity=8, auto_resize=False),
+        "CUDPP": CudppHashTable(num_keys, target_fill=target_fill),
+        "SlabHash": SlabHashTable(
+            n_buckets=slab_buckets_for_fill(num_keys, target_fill)),
+    }
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The interesting measurements are the *simulated* GPU times computed
+    inside ``fn``; pytest-benchmark wall-clock numbers only document how
+    long the simulation itself takes on the host.  With the
+    ``REPRO_BENCH_JSON`` environment variable set to a directory, the
+    returned results are additionally dumped there as JSON.
+    """
+    from repro.bench.artifacts import maybe_dump
+
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    maybe_dump(getattr(benchmark, "name", fn.__module__), result)
+    return result

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Relational hash join on the (simulated) GPU using DyCuckoo.
+
+Hash joins are the canonical database consumer of GPU hash tables (the
+paper's related-work section cites a line of GPU join systems).  This
+example joins a TPC-H-like ``lineitem`` fact stream against an ``orders``
+build side:
+
+1. build: insert the orders (order key -> customer id) into DyCuckoo;
+2. probe: stream lineitem batches, looking up each row's order key;
+3. incremental maintenance: orders are cancelled and new orders arrive
+   between probe waves — a static table would need a full rebuild, the
+   dynamic table just upserts/deletes.
+
+Run:  python examples/hash_join.py
+"""
+
+import numpy as np
+
+from repro import DyCuckooConfig, DyCuckooTable
+from repro.workloads import LINE
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Build side: 100k orders with random customer ids.
+    n_orders = 100_000
+    order_keys = rng.permutation(np.arange(1, n_orders + 1,
+                                           dtype=np.uint64))
+    customer_ids = rng.integers(1, 10_000, n_orders).astype(np.uint64)
+
+    table = DyCuckooTable(DyCuckooConfig(initial_buckets=64,
+                                         bucket_capacity=32))
+    table.insert(order_keys, customer_ids)
+    print(f"build side: {len(table):,} orders at "
+          f"{table.load_factor:.1%} filled factor")
+
+    # Probe side: lineitem-like stream referencing the orders (some rows
+    # reference cancelled/unknown orders and must not match).
+    lineitem_keys, _ = LINE.generate(scale=0.002, seed=1)
+    probe_keys = (lineitem_keys % np.uint64(n_orders * 2)) + np.uint64(1)
+
+    matches = 0
+    for start in range(0, len(probe_keys), 10_000):
+        batch = probe_keys[start:start + 10_000]
+        _customer, found = table.find(batch)
+        matches += int(found.sum())
+    print(f"probe wave 1: {len(probe_keys):,} lineitem rows, "
+          f"{matches:,} matched ({matches / len(probe_keys):.0%})")
+
+    # Incremental maintenance between waves: 30% of orders cancel, 20%
+    # new orders arrive.  No rebuild — the table resizes itself.
+    cancelled = rng.choice(order_keys, n_orders * 3 // 10, replace=False)
+    table.delete(cancelled)
+    new_orders = np.arange(n_orders + 1, n_orders + n_orders // 5 + 1,
+                           dtype=np.uint64)
+    table.insert(new_orders,
+                 rng.integers(1, 10_000, len(new_orders)).astype(np.uint64))
+    print(f"maintenance: -{len(cancelled):,} cancelled, "
+          f"+{len(new_orders):,} new; filled factor "
+          f"{table.load_factor:.1%}, {table.stats.upsizes} upsizes / "
+          f"{table.stats.downsizes} downsizes so far")
+
+    before = table.stats.snapshot()
+    matches2 = 0
+    for start in range(0, len(probe_keys), 10_000):
+        batch = probe_keys[start:start + 10_000]
+        _customer, found = table.find(batch)
+        matches2 += int(found.sum())
+    probe_delta = table.stats.delta(before)
+    print(f"probe wave 2: {matches2:,} matched "
+          f"(match-rate shifted with the order book, no rebuild needed)")
+
+    table.validate()
+    reads_per_probe = probe_delta["bucket_reads"] / len(probe_keys)
+    print(f"\naverage bucket reads per probe in wave 2: "
+          f"{reads_per_probe:.2f} (two-layer guarantee: <= 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Memory budgeting: why dynamic tables matter for coexisting structures.
+
+The paper's introduction argues that static GPU hash tables hog device
+memory and force expensive PCIe shuffling when several structures must
+share one GPU.  This example plays a grow-then-shrink session through
+DyCuckoo, MegaKV (with the naive double/half strategy) and SlabHash
+(symbolic deletion), and reports each structure's peak and final device
+memory — reproducing the paper's headline "up to 4x memory saved".
+
+Run:  python examples/memory_budget.py
+"""
+
+import numpy as np
+
+from repro.baselines import DyCuckooAdapter, MegaKVTable, SlabHashTable
+from repro.baselines.slab import slab_buckets_for_fill
+from repro.bench import format_table, run_dynamic
+from repro.core.config import DyCuckooConfig
+from repro.gpusim.metrics import CostModel
+from repro.workloads import COM, DynamicWorkload
+
+SCALE = 0.004  # 1/250 of the paper's COM dataset
+
+
+def main() -> None:
+    keys, values = COM.generate(scale=SCALE, seed=3)
+    unique = len(np.unique(keys))
+    print(f"COM surrogate: {len(keys):,} events over "
+          f"{unique:,} customers (heavy skew)\n")
+
+    cost_model = CostModel(overhead_scale=SCALE)
+    rows = []
+    for factory in (
+            lambda: DyCuckooAdapter(DyCuckooConfig(initial_buckets=8,
+                                                   bucket_capacity=16)),
+            lambda: MegaKVTable(initial_buckets=16),
+            # SlabHash sized for the default 85% fill, like every other
+            # approach (give it more buckets and it trades memory for
+            # speed — the trade the paper calls out).
+            lambda: SlabHashTable(
+                n_buckets=slab_buckets_for_fill(unique // 2, 0.85))):
+        table = factory()
+        workload = DynamicWorkload(keys, values, batch_size=4000,
+                                   ratio_r=0.2, seed=1)
+        result = run_dynamic(table, workload, cost_model=cost_model)
+        footprint = table.memory_footprint()
+        rows.append([
+            table.NAME,
+            result.mops,
+            result.peak_memory_bytes / 1e6,
+            footprint.total_bytes / 1e6,
+            f"{min(result.fill_series):.2f}-{max(result.fill_series):.2f}",
+        ])
+
+    print(format_table(
+        ["approach", "Mops", "peak MB", "final MB", "fill range"],
+        rows, title="grow-then-shrink session (COM surrogate)",
+        float_fmt="{:.2f}"))
+
+    dy_peak = rows[0][2]
+    worst_peak = max(row[2] for row in rows[1:])
+    print(f"\nDyCuckoo peak memory vs worst baseline: "
+          f"{worst_peak / dy_peak:.1f}x saved")
+    print("A second structure sharing the GPU gets that headroom back —")
+    print("no PCIe round-trips to evict the hash table.")
+
+
+if __name__ == "__main__":
+    main()

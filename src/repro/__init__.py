@@ -1,0 +1,39 @@
+"""DyCuckoo - dynamic hash tables on (simulated) GPUs.
+
+A from-scratch Python reproduction of *"Dynamic Hash Tables on GPUs"*
+(Li, Zhu, Lyu, Huang, Sun - ICDE 2021).  The package provides:
+
+* :mod:`repro.core` - the DyCuckoo two-layer dynamic cuckoo hash table,
+* :mod:`repro.gpusim` - a SIMT execution and cost model standing in for
+  the paper's GTX 1080,
+* :mod:`repro.kernels` - warp-centric kernels (voter insert, two-lookup
+  find/delete, resize) written against the simulator,
+* :mod:`repro.baselines` - MegaKV, CUDPP-style cuckoo, and SlabHash
+  reimplementations used as comparison points,
+* :mod:`repro.workloads` - surrogate dataset generators and the dynamic
+  batch protocol of the paper's evaluation,
+* :mod:`repro.bench` - the measurement harness regenerating every table
+  and figure.
+"""
+
+from repro.core import (DyCuckooConfig, DyCuckooTable, MemoryFootprint,
+                        PAPER_PARAMETERS, TableStats)
+from repro.errors import (CapacityError, InvalidConfigError, InvalidKeyError,
+                          ReproError, ResizeError, UnsupportedOperationError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DyCuckooTable",
+    "DyCuckooConfig",
+    "PAPER_PARAMETERS",
+    "MemoryFootprint",
+    "TableStats",
+    "ReproError",
+    "InvalidKeyError",
+    "InvalidConfigError",
+    "CapacityError",
+    "ResizeError",
+    "UnsupportedOperationError",
+    "__version__",
+]

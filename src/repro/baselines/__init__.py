@@ -1,0 +1,30 @@
+"""Baseline GPU hash tables the paper compares against.
+
+* :class:`repro.baselines.megakv.MegaKVTable` — two-function bucketized
+  cuckoo with whole-table double/half resizing,
+* :class:`repro.baselines.cudpp.CudppHashTable` — per-slot cuckoo with
+  automatic function count, insert/find only,
+* :class:`repro.baselines.slab.SlabHashTable` — slab-list chaining with
+  a dedicated allocator and symbolic deletion.
+
+All implement :class:`repro.baselines.base.GpuHashTable`, as does the
+:class:`repro.baselines.dycuckoo_adapter.DyCuckooAdapter` wrapper around
+the core table, so the harness treats every approach uniformly.
+"""
+
+from repro.baselines.base import GpuHashTable
+from repro.baselines.cudpp import CudppHashTable, choose_num_functions
+from repro.baselines.dycuckoo_adapter import DyCuckooAdapter
+from repro.baselines.horton import HortonTable
+from repro.baselines.megakv import MegaKVTable
+from repro.baselines.slab import SlabHashTable
+
+__all__ = [
+    "GpuHashTable",
+    "MegaKVTable",
+    "CudppHashTable",
+    "choose_num_functions",
+    "SlabHashTable",
+    "DyCuckooAdapter",
+    "HortonTable",
+]

@@ -1,0 +1,316 @@
+"""CUDPP-style cuckoo hash baseline (Alcantara et al., 2009).
+
+The CUDPP library's hash table is a *per-slot* cuckoo hash: a single
+slot array, ``d`` hash functions (chosen automatically between 2 and 5
+from the requested space usage), and insertion by 64-bit ``atomicExch``
+— a thread exchanges its packed KV into the slot and, if it receives a
+previous occupant, carries that evictee onward to its next hash
+function.  Compared to the bucketized designs this costs one *random*
+(uncoalesced) memory transaction per probe, which is why MegaKV and
+DyCuckoo dominate it in Figure 9.
+
+Matching the paper's usage:
+
+* only ``insert`` and ``find`` are supported (``delete`` raises
+  :class:`UnsupportedOperationError`);
+* the table is static — it is sized at construction for the data to be
+  inserted; a stalled insertion rebuilds with fresh hash functions
+  (CUDPP's documented recovery), not with a bigger table;
+* higher requested filled factors make CUDPP pick more hash functions,
+  which speeds insertion but slows FIND — the crossover the paper points
+  out in Figure 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GpuHashTable
+from repro.core.grouping import last_occurrence_mask, rank_within_group
+from repro.core.hashing import UniversalHash
+from repro.core.stats import MemoryFootprint, TableStats
+from repro.core.table import encode_keys
+from repro.errors import (CapacityError, InvalidConfigError,
+                          UnsupportedOperationError)
+from repro.gpusim.metrics import KernelCosts
+
+#: Empty-slot sentinel in the internal code space.
+EMPTY = np.uint64(0)
+
+
+def choose_num_functions(target_fill: float) -> int:
+    """CUDPP's automatic hash-function count for a requested fill.
+
+    Denser tables need more alternative locations to converge; sparser
+    ones get away with two.  Mirrors the space-usage heuristic of the
+    CUDPP implementation (2 to 5 functions).
+    """
+    if not 0.0 < target_fill <= 1.0:
+        raise InvalidConfigError(f"target_fill must be in (0, 1], got {target_fill}")
+    if target_fill <= 0.50:
+        return 2
+    if target_fill <= 0.65:
+        return 3
+    if target_fill <= 0.85:
+        return 4
+    return 5
+
+
+class CudppHashTable(GpuHashTable):
+    """Static per-slot cuckoo hash with automatic function count.
+
+    Parameters
+    ----------
+    expected_entries:
+        Number of keys the table is sized for.
+    target_fill:
+        Requested filled factor; determines both the slot count and
+        (via :func:`choose_num_functions`) the number of hash functions.
+    num_functions:
+        Explicit override of the automatic choice.
+    """
+
+    NAME = "CUDPP"
+    KERNEL_COSTS = KernelCosts(find_ns=0.30, insert_ns=0.34)
+    SUPPORTS_DELETE = False
+    SUPPORTS_RESIZE = False
+
+    #: CUDPP's eviction-chain budget scale (iterations per log2 n).
+    MAX_ITER_SCALE = 7
+
+    def __init__(self, expected_entries: int, target_fill: float = 0.85,
+                 num_functions: int | None = None, seed: int = 0xC0DF) -> None:
+        if expected_entries < 1:
+            raise InvalidConfigError("expected_entries must be >= 1")
+        self.num_functions = (num_functions if num_functions is not None
+                              else choose_num_functions(target_fill))
+        if not 2 <= self.num_functions <= 5:
+            raise InvalidConfigError(
+                f"num_functions must be in [2, 5], got {self.num_functions}"
+            )
+        self.n_slots = max(64, int(expected_entries / target_fill))
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.stats = TableStats()
+        self._build()
+
+    def _build(self) -> None:
+        """Allocate slots and draw fresh hash functions."""
+        self.keys = np.zeros(self.n_slots, dtype=np.uint64)
+        self.values = np.zeros(self.n_slots, dtype=np.uint64)
+        self.hashes = [UniversalHash.random(self._rng)
+                       for _ in range(self.num_functions)]
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.n_slots if self.n_slots else 0.0
+
+    def memory_footprint(self) -> MemoryFootprint:
+        return MemoryFootprint(
+            total_slots=self.n_slots,
+            live_entries=self.size,
+            slot_bytes=self.keys.nbytes + self.values.nbytes,
+        )
+
+    def validate(self) -> None:
+        live = int(np.count_nonzero(self.keys != EMPTY))
+        if live != self.size:
+            raise AssertionError(f"size {self.size} != live {live}")
+        occupied = self.keys[self.keys != EMPTY]
+        if len(occupied) != len(np.unique(occupied)):
+            raise AssertionError("duplicate key stored")
+
+    def _slot_of(self, codes: np.ndarray, func: np.ndarray) -> np.ndarray:
+        """Slot index per code under its per-key function index."""
+        slots = np.empty(len(codes), dtype=np.int64)
+        for f in range(self.num_functions):
+            sel = func == f
+            if np.any(sel):
+                slots[sel] = (self.hashes[f].raw(codes[sel])
+                              % np.uint64(self.n_slots)).astype(np.int64)
+        return slots
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def find(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Probe up to ``d`` slots per key (uncoalesced accesses)."""
+        codes = encode_keys(keys)
+        n = len(codes)
+        self.stats.finds += n
+        values = np.zeros(n, dtype=np.uint64)
+        found = np.zeros(n, dtype=bool)
+        for f in range(self.num_functions):
+            pending = np.flatnonzero(~found)
+            if len(pending) == 0:
+                break
+            if f > 0:
+                self.stats.chain_hops += len(pending)
+            slots = (self.hashes[f].raw(codes[pending])
+                     % np.uint64(self.n_slots)).astype(np.int64)
+            self.stats.random_accesses += len(pending)
+            hit = self.keys[slots] == codes[pending]
+            values[pending[hit]] = self.values[slots[hit]]
+            found[pending[hit]] = True
+        self.stats.find_hits += int(found.sum())
+        return values, found
+
+    def delete(self, keys) -> np.ndarray:
+        """CUDPP supports only insert and find."""
+        raise UnsupportedOperationError(
+            "the CUDPP cuckoo hash does not implement delete"
+        )
+
+    def insert(self, keys, values) -> None:
+        """Upsert a batch via atomicExch-style eviction chains."""
+        codes = encode_keys(keys)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != codes.shape:
+            raise InvalidConfigError("values shape must match keys shape")
+        self.stats.inserts += len(codes)
+        if len(codes) == 0:
+            return
+        keep = last_occurrence_mask(codes)
+        codes, values = codes[keep], values[keep]
+
+        updated = self._update_existing(codes, values)
+        self.stats.updates += int(updated.sum())
+        fresh = np.flatnonzero(~updated)
+        if len(fresh) == 0:
+            return
+        if self.size + len(fresh) > self.n_slots:
+            self.stats.insert_failures += len(fresh)
+            raise CapacityError(
+                "CUDPP table cannot hold more entries than slots"
+            )
+        remaining = (codes[fresh], values[fresh])
+        rebuilds = 0
+        while True:
+            leftover = self._insert_chain(*remaining)
+            if len(leftover[0]) == 0:
+                return
+            # CUDPP's recovery: rehash everything with fresh functions.
+            rebuilds += 1
+            if rebuilds > 8:
+                self.stats.insert_failures += len(leftover[0])
+                raise CapacityError(
+                    "CUDPP insertion failed repeatedly; table too dense"
+                )
+            stored = self.keys != EMPTY
+            all_codes = np.concatenate([self.keys[stored], leftover[0]])
+            all_values = np.concatenate([self.values[stored], leftover[1]])
+            self.stats.full_rehashes += 1
+            self.stats.rehashed_entries += int(stored.sum())
+            self._build()
+            remaining = (all_codes, all_values)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _update_existing(self, codes: np.ndarray, values: np.ndarray
+                         ) -> np.ndarray:
+        updated = np.zeros(len(codes), dtype=bool)
+        for f in range(self.num_functions):
+            pending = np.flatnonzero(~updated)
+            if len(pending) == 0:
+                break
+            if f > 0:
+                self.stats.chain_hops += len(pending)
+            slots = (self.hashes[f].raw(codes[pending])
+                     % np.uint64(self.n_slots)).astype(np.int64)
+            self.stats.random_accesses += len(pending)
+            hit = self.keys[slots] == codes[pending]
+            self.values[slots[hit]] = values[pending[hit]]
+            updated[pending[hit]] = True
+        return updated
+
+    def _insert_chain(self, codes: np.ndarray, values: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Round-synchronous eviction chains; returns unplaced leftovers.
+
+        Each round every pending key performs one atomicExch on its
+        current slot.  Writers to the same slot serialize: the first
+        receives the prior occupant, each later writer receives the one
+        before it, and the slot ends holding the last writer — exact
+        exchange semantics, vectorized via within-slot ranking.
+        """
+        func = np.zeros(len(codes), dtype=np.int64)
+        max_iters = self.MAX_ITER_SCALE * max(
+            1, int(np.ceil(np.log2(max(2, self.n_slots)))))
+        for _ in range(max_iters):
+            if len(codes) == 0:
+                break
+            self.stats.eviction_rounds += 1
+            slots = self._slot_of(codes, func)
+            self.stats.random_accesses += len(codes)
+            # Every insertion attempt is one 64-bit atomicExch.
+            self.stats.atomic_exchanges += len(codes)
+            ranks, unique_slots, inverse = rank_within_group(slots)
+            counts = np.bincount(inverse)
+            last_writer = ranks == (counts[inverse] - 1)
+
+            # What each writer receives from the exchange:
+            evicted_codes = np.empty(len(codes), dtype=np.uint64)
+            evicted_values = np.empty(len(codes), dtype=np.uint64)
+            first = ranks == 0
+            evicted_codes[first] = self.keys[slots[first]]
+            evicted_values[first] = self.values[slots[first]]
+            if np.any(~first):
+                order = np.lexsort((ranks, inverse))
+                ordered = np.arange(len(codes))[order]
+                # In slot order, writer at position p receives writer p-1.
+                prev = np.empty(len(codes), dtype=np.int64)
+                prev[ordered[1:]] = ordered[:-1]
+                later = np.flatnonzero(~first)
+                evicted_codes[later] = codes[prev[later]]
+                evicted_values[later] = values[prev[later]]
+
+            # The slot ends up holding the last writer.
+            lw = np.flatnonzero(last_writer)
+            self.keys[slots[lw]] = codes[lw]
+            self.values[slots[lw]] = values[lw]
+
+            carried = evicted_codes != EMPTY
+            self.size += int((~carried).sum())
+            self.stats.evictions += int(carried.sum())
+            if not np.any(carried):
+                return (np.zeros(0, dtype=np.uint64),
+                        np.zeros(0, dtype=np.uint64))
+            origin_slots = slots[carried]
+            codes = evicted_codes[carried]
+            values = evicted_values[carried]
+            func = self._next_function(codes, origin_slots)
+        return codes, values
+
+    def _next_function(self, codes: np.ndarray, origin_slots: np.ndarray
+                       ) -> np.ndarray:
+        """Which function an evictee should try next.
+
+        CUDPP recovers an evictee's current function by checking which
+        hash maps it to the slot it was displaced from; the successor is
+        the next function cyclically.  A fresh key that lost a same-slot
+        race (its "origin" never matched any of its own hashes) restarts
+        at function 0 via the unresolved default.
+        """
+        current = np.zeros(len(codes), dtype=np.int64)
+        resolved = np.zeros(len(codes), dtype=bool)
+        for f in range(self.num_functions):
+            slots = (self.hashes[f].raw(codes)
+                     % np.uint64(self.n_slots)).astype(np.int64)
+            came_from = (~resolved) & (slots == origin_slots)
+            current[came_from] = f
+            resolved |= came_from
+        next_func = (current + 1) % self.num_functions
+        # Unresolved carriers (race losers) retry their first function.
+        next_func[~resolved] = 0
+        return next_func

@@ -1,0 +1,398 @@
+"""Horton table (Breslow et al., OSDI 2016) — extension baseline.
+
+The paper's related work notes that "Horton table improves the
+efficiency of FIND over MegaKV by trading with the cost of introducing a
+KV remapping mechanism" and excludes it from the comparison.  We include
+a simplified-but-behaviour-faithful implementation so the trade-off is
+measurable (``benchmarks/bench_ext_horton.py``).
+
+Design (simplified from the original):
+
+* buckets of 8 slots with one *primary* hash function; most items live
+  in their primary bucket, so a FIND is usually **one** probe;
+* when a primary bucket overflows it converts to *type B*: its last
+  slot is sacrificed for a 21-entry, 3-bit **remap array**.  An
+  overflowing key tags into a remap entry (``tag = code mod 21``); the
+  entry's value ``v in 1..7`` names one of seven secondary hash
+  functions, and the key is stored in bucket ``R_v(key)``;
+* FIND probes the primary bucket; on a miss in a type-B bucket it reads
+  the key's remap entry — if set, one secondary probe; if clear, the
+  miss is decided after a single probe (the mechanism's whole point);
+* INSERT is correspondingly costlier: conversions, remap maintenance,
+  and the constraint that all keys sharing a tag share one secondary
+  bucket.  Our simplification: a secondary-bucket overflow with an
+  already-pinned remap entry triggers a rebuild with fresh seeds (the
+  original performs recursive remapping); rebuilds are counted.
+
+Static, insert/find only (deletion needs remap reference counting that
+the comparison never exercises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GpuHashTable
+from repro.core.grouping import last_occurrence_mask
+from repro.core.hashing import UniversalHash
+from repro.core.stats import MemoryFootprint, TableStats
+from repro.core.table import encode_keys
+from repro.errors import (CapacityError, InvalidConfigError,
+                          UnsupportedOperationError)
+from repro.gpusim.metrics import KernelCosts
+
+EMPTY = np.uint64(0)
+
+#: Slots per bucket (Horton's published geometry).
+BUCKET_CAPACITY = 8
+#: Remap entries per type-B bucket (21 x 3 bits fit one sacrificed slot).
+REMAP_ENTRIES = 21
+#: Number of secondary hash functions (3-bit remap values 1..7).
+NUM_SECONDARY = 7
+
+
+class HortonTable(GpuHashTable):
+    """Simplified Horton table: ~1-probe FIND, costlier INSERT.
+
+    Parameters
+    ----------
+    expected_entries:
+        Number of keys the table is sized for.
+    target_fill:
+        Requested filled factor (slots = entries / fill).
+    """
+
+    NAME = "Horton"
+    KERNEL_COSTS = KernelCosts(find_ns=0.22, insert_ns=0.40)
+    SUPPORTS_DELETE = False
+    SUPPORTS_RESIZE = False
+
+    def __init__(self, expected_entries: int, target_fill: float = 0.85,
+                 seed: int = 0x40FF) -> None:
+        if expected_entries < 1:
+            raise InvalidConfigError("expected_entries must be >= 1")
+        if not 0.0 < target_fill <= 0.95:
+            raise InvalidConfigError(
+                f"target_fill must be in (0, 0.95], got {target_fill}")
+        slots = max(BUCKET_CAPACITY * 8,
+                    int(expected_entries / target_fill))
+        self.n_buckets = 8
+        while self.n_buckets * BUCKET_CAPACITY < slots:
+            self.n_buckets *= 2
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.stats = TableStats()
+        self._build()
+
+    def _build(self) -> None:
+        self.keys = np.zeros((self.n_buckets, BUCKET_CAPACITY),
+                             dtype=np.uint64)
+        self.values = np.zeros((self.n_buckets, BUCKET_CAPACITY),
+                               dtype=np.uint64)
+        #: Type-B flag per bucket (remap array active, slot 7 sacrificed).
+        self.is_type_b = np.zeros(self.n_buckets, dtype=bool)
+        #: Remap arrays: 0 = empty, 1..7 = secondary function index.
+        self.remap = np.zeros((self.n_buckets, REMAP_ENTRIES),
+                              dtype=np.int8)
+        self.primary = UniversalHash.random(self._rng)
+        self.secondary = [UniversalHash.random(self._rng)
+                          for _ in range(NUM_SECONDARY)]
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def total_slots(self) -> int:
+        # Type-B buckets sacrifice one slot to the remap array.
+        return (self.n_buckets * BUCKET_CAPACITY
+                - int(self.is_type_b.sum()))
+
+    @property
+    def load_factor(self) -> float:
+        slots = self.total_slots
+        return self.size / slots if slots else 0.0
+
+    def memory_footprint(self) -> MemoryFootprint:
+        return MemoryFootprint(
+            total_slots=self.total_slots,
+            live_entries=self.size,
+            slot_bytes=self.keys.nbytes + self.values.nbytes,
+        )
+
+    def validate(self) -> None:
+        usable = self.keys.copy()
+        # Slot 7 of a type-B bucket is metadata, must read as EMPTY.
+        if bool((usable[self.is_type_b, BUCKET_CAPACITY - 1] != EMPTY).any()):
+            raise AssertionError("type-B bucket stores a key in its "
+                                 "remap slot")
+        live = int(np.count_nonzero(usable != EMPTY))
+        if live != self.size:
+            raise AssertionError(f"size {self.size} != live {live}")
+        stored = usable[usable != EMPTY]
+        if len(stored) != len(np.unique(stored)):
+            raise AssertionError("duplicate key stored")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _primary_bucket(self, codes: np.ndarray) -> np.ndarray:
+        return self.primary.bucket(codes, self.n_buckets)
+
+    def _tag(self, codes: np.ndarray) -> np.ndarray:
+        return (codes % np.uint64(REMAP_ENTRIES)).astype(np.int64)
+
+    def _secondary_bucket(self, codes: np.ndarray, v: np.ndarray
+                          ) -> np.ndarray:
+        out = np.empty(len(codes), dtype=np.int64)
+        for func_idx in range(1, NUM_SECONDARY + 1):
+            sel = v == func_idx
+            if np.any(sel):
+                out[sel] = self.secondary[func_idx - 1].bucket(
+                    codes[sel], self.n_buckets)
+        return out
+
+    def _usable_capacity(self, bucket: int) -> int:
+        return BUCKET_CAPACITY - (1 if self.is_type_b[bucket] else 0)
+
+    # ------------------------------------------------------------------
+    # Find
+    # ------------------------------------------------------------------
+
+    def find(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Primary probe; remap-directed secondary probe only if needed."""
+        codes = encode_keys(keys)
+        n = len(codes)
+        self.stats.finds += n
+        values = np.zeros(n, dtype=np.uint64)
+        found = np.zeros(n, dtype=bool)
+        if n == 0:
+            return values, found
+
+        buckets = self._primary_bucket(codes)
+        self.stats.bucket_reads += n
+        rows = self.keys[buckets]
+        match = rows == codes[:, None]
+        hit = match.any(axis=1)
+        slots = match.argmax(axis=1)
+        values[hit] = self.values[buckets[hit], slots[hit]]
+        found[hit] = True
+
+        # Misses consult the remap entry; only a set entry costs a
+        # second probe — the Horton FIND advantage.
+        miss = np.flatnonzero(~hit)
+        if len(miss):
+            remap_vals = self.remap[buckets[miss], self._tag(codes[miss])]
+            follow = np.flatnonzero((remap_vals > 0)
+                                    & self.is_type_b[buckets[miss]])
+            if len(follow):
+                idx = miss[follow]
+                sec = self._secondary_bucket(codes[idx],
+                                             remap_vals[follow].astype(np.int64))
+                self.stats.bucket_reads += len(idx)
+                self.stats.chain_hops += len(idx)
+                rows2 = self.keys[sec]
+                match2 = rows2 == codes[idx][:, None]
+                hit2 = match2.any(axis=1)
+                slots2 = match2.argmax(axis=1)
+                values[idx[hit2]] = self.values[sec[hit2], slots2[hit2]]
+                found[idx[hit2]] = True
+        self.stats.find_hits += int(found.sum())
+        return values, found
+
+    def delete(self, keys) -> np.ndarray:
+        raise UnsupportedOperationError(
+            "this Horton table implementation is insert/find only "
+            "(deletion requires remap reference counting)")
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, keys, values) -> None:
+        """Upsert; primary placement, remap-directed overflow."""
+        codes = encode_keys(keys)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != codes.shape:
+            raise InvalidConfigError("values shape must match keys shape")
+        self.stats.inserts += len(codes)
+        if len(codes) == 0:
+            return
+        keep = last_occurrence_mask(codes)
+        codes, values = codes[keep], values[keep]
+
+        updated = self._update_existing(codes, values)
+        self.stats.updates += int(updated.sum())
+        fresh = np.flatnonzero(~updated)
+        rebuilds = 0
+        pending = list(zip(codes[fresh].tolist(), values[fresh].tolist()))
+        while pending:
+            failed = []
+            for code, value in pending:
+                if not self._insert_one(int(code), int(value)):
+                    failed.append((code, value))
+            if not failed:
+                return
+            # Simplification of Horton's recursive remapping: rebuild
+            # with fresh seeds and replay everything.
+            rebuilds += 1
+            if rebuilds > 6:
+                self.stats.insert_failures += len(failed)
+                raise CapacityError(
+                    "Horton insertion failed repeatedly; table too dense")
+            occupied = self.keys != EMPTY
+            old_codes = self.keys[occupied]
+            old_values = self.values[occupied]
+            self.stats.full_rehashes += 1
+            self.stats.rehashed_entries += len(old_codes)
+            self._build()
+            pending = (list(zip(old_codes.tolist(), old_values.tolist()))
+                       + failed)
+
+    def _update_existing(self, codes: np.ndarray, values: np.ndarray
+                         ) -> np.ndarray:
+        found_values, found = self.find(decode(codes))
+        del found_values
+        # Re-locate and overwrite (scalar loop acceptable: updates are a
+        # small fraction of static-build workloads).
+        for i in np.flatnonzero(found):
+            self._overwrite(int(codes[i]), int(values[i]))
+        return found
+
+    def _overwrite(self, code: int, value: int) -> None:
+        bucket = int(self._primary_bucket(
+            np.asarray([code], dtype=np.uint64))[0])
+        row = self.keys[bucket]
+        slot = np.flatnonzero(row == np.uint64(code))
+        if len(slot):
+            self.values[bucket, int(slot[0])] = np.uint64(value)
+            return
+        remap_val = int(self.remap[bucket, code % REMAP_ENTRIES])
+        if remap_val > 0:
+            sec = int(self._secondary_bucket(
+                np.asarray([code], dtype=np.uint64),
+                np.asarray([remap_val]))[0])
+            slot = np.flatnonzero(self.keys[sec] == np.uint64(code))
+            if len(slot):
+                self.values[sec, int(slot[0])] = np.uint64(value)
+
+    #: Displacement-cascade depth bound (Horton's recursive remapping).
+    MAX_DISPLACE_DEPTH = 8
+
+    def _insert_one(self, code: int, value: int, depth: int = 0) -> bool:
+        """Place one fresh key; False means a rebuild is needed."""
+        if depth > self.MAX_DISPLACE_DEPTH:
+            return False
+        bucket = int(self._primary_bucket(
+            np.asarray([code], dtype=np.uint64))[0])
+        self.stats.bucket_reads += 1
+        cap = self._usable_capacity(bucket)
+        row = self.keys[bucket]
+        free = np.flatnonzero(row[:cap] == EMPTY)
+        if len(free):
+            self.keys[bucket, int(free[0])] = np.uint64(code)
+            self.values[bucket, int(free[0])] = np.uint64(value)
+            self.size += 1
+            self.stats.bucket_writes += 1
+            self.stats.atomic_exchanges += 1
+            return True
+
+        # Primary full: ensure type B by sacrificing one slot.  The
+        # relocated occupant must be a *primary-resident* of this bucket
+        # (a secondary item's remap entry lives in another bucket and
+        # cannot be rewritten from here); slot contents are shuffled so
+        # the remap array always occupies slot 7.
+        if not self.is_type_b[bucket]:
+            occupants = self.keys[bucket]
+            primaries = self._primary_bucket(occupants)
+            resident = np.flatnonzero(primaries == bucket)
+            if len(resident) == 0:
+                return False  # pathological: rebuild will reshuffle
+            victim_slot = int(resident[-1])
+            evicted_code = int(occupants[victim_slot])
+            evicted_value = int(self.values[bucket, victim_slot])
+            last = BUCKET_CAPACITY - 1
+            # Move the slot-7 occupant into the vacated slot (no-op when
+            # the victim *is* slot 7), then clear slot 7 for the remap.
+            if victim_slot != last:
+                self.keys[bucket, victim_slot] = self.keys[bucket, last]
+                self.values[bucket, victim_slot] = self.values[bucket, last]
+            self.keys[bucket, last] = EMPTY
+            self.values[bucket, last] = EMPTY
+            self.is_type_b[bucket] = True
+            self.size -= 1
+            self.stats.bucket_writes += 1
+            if not self._place_secondary(bucket, evicted_code,
+                                         evicted_value, depth):
+                return False
+
+        return self._place_secondary(bucket, code, value, depth)
+
+    def _place_secondary(self, primary_bucket: int, code: int,
+                         value: int, depth: int = 0) -> bool:
+        """Store a key via its remap entry; False means rebuild needed.
+
+        When every candidate secondary bucket is full, a
+        *primary-resident* occupant of one of them is displaced and
+        relocated through its own remap machinery (Horton's recursive
+        KV remapping), bounded by :data:`MAX_DISPLACE_DEPTH`.
+        """
+        tag = code % REMAP_ENTRIES
+        remap_val = int(self.remap[primary_bucket, tag])
+        candidates = ([remap_val] if remap_val > 0
+                      else list(range(1, NUM_SECONDARY + 1)))
+        for v in candidates:
+            sec = int(self._secondary_bucket(
+                np.asarray([code], dtype=np.uint64), np.asarray([v]))[0])
+            self.stats.bucket_reads += 1
+            cap = self._usable_capacity(sec)
+            free = np.flatnonzero(self.keys[sec][:cap] == EMPTY)
+            if len(free):
+                self.keys[sec, int(free[0])] = np.uint64(code)
+                self.values[sec, int(free[0])] = np.uint64(value)
+                self.size += 1
+                self.remap[primary_bucket, tag] = v
+                self.stats.bucket_writes += 2  # item + remap entry
+                self.stats.atomic_exchanges += 1
+                return True
+
+        if depth >= self.MAX_DISPLACE_DEPTH:
+            return False
+        # Displacement cascade: free a slot in a candidate bucket by
+        # relocating one of its primary residents.
+        for v in candidates:
+            sec = int(self._secondary_bucket(
+                np.asarray([code], dtype=np.uint64), np.asarray([v]))[0])
+            cap = self._usable_capacity(sec)
+            occupants = self.keys[sec][:cap]
+            primaries = self._primary_bucket(occupants)
+            resident = np.flatnonzero(primaries == sec)
+            if len(resident) == 0:
+                continue
+            slot = int(resident[-1])
+            displaced_code = int(occupants[slot])
+            displaced_value = int(self.values[sec, slot])
+            self.keys[sec, slot] = np.uint64(code)
+            self.values[sec, slot] = np.uint64(value)
+            self.remap[primary_bucket, tag] = v
+            self.stats.bucket_writes += 2
+            self.stats.evictions += 1
+            # Net live count is unchanged by the swap itself; the
+            # cascade's eventual placement adds the +1 for the new key.
+            if self._insert_one(displaced_code, displaced_value, depth + 1):
+                return True
+            # Cascade failed: undo this displacement and give up.
+            self.keys[sec, slot] = np.uint64(displaced_code)
+            self.values[sec, slot] = np.uint64(displaced_value)
+            return False
+        return False
+
+
+def decode(codes: np.ndarray) -> np.ndarray:
+    """Internal codes back to user keys (module-local helper)."""
+    return np.asarray(codes, dtype=np.uint64) - np.uint64(1)

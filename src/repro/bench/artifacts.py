@@ -1,0 +1,74 @@
+"""Benchmark artifacts: machine-readable result dumps.
+
+Benchmarks print human-readable tables; for regression tracking and
+plotting, the same results can be written as JSON.  Set the environment
+variable ``REPRO_BENCH_JSON`` to a directory and every benchmark run
+through :func:`maybe_dump` (which `benchmarks.common.once` calls) drops
+one ``<name>.json`` artifact there.
+
+The serializer handles the types benchmark results actually contain —
+numpy scalars/arrays, dataclass-like result objects, tuple-keyed dicts —
+without requiring benches to pre-convert anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+#: Environment variable naming the artifact output directory.
+ENV_VAR = "REPRO_BENCH_JSON"
+
+
+def _jsonable(value):
+    """Best-effort conversion of benchmark results to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "__dict__"):
+        return {k: _jsonable(v) for k, v in vars(value).items()
+                if not k.startswith("_")}
+    return repr(value)
+
+
+def _key(key) -> str:
+    """Dictionary keys must be strings in JSON; tuples join with '/'."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def maybe_dump(name: str, results) -> Path | None:
+    """Write ``results`` as ``<dir>/<name>.json`` if the env var is set.
+
+    Returns the written path, or ``None`` when dumping is disabled.
+    Never raises: artifact dumping must not fail a benchmark.
+    """
+    directory = os.environ.get(ENV_VAR)
+    if not directory:
+        return None
+    try:
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        out = path / f"{name}.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(_jsonable(results), handle, indent=2, sort_keys=True)
+        return out
+    except Exception:  # pragma: no cover - best-effort by design
+        return None

@@ -1,0 +1,127 @@
+"""Regression comparison between two benchmark artifact dumps.
+
+Workflow for maintainers::
+
+    REPRO_BENCH_JSON=baseline/ pytest benchmarks/ --benchmark-only
+    # ... make changes ...
+    REPRO_BENCH_JSON=current/  pytest benchmarks/ --benchmark-only
+    python -c "from repro.bench.regression import compare_dirs, format_report; \
+               print(format_report(compare_dirs('baseline', 'current')))"
+
+Numeric leaves are compared with a relative tolerance; structural
+differences (added/removed results) are reported separately.  The
+comparison is deliberately conservative: anything it cannot pair up is
+surfaced rather than ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One numeric leaf that moved beyond tolerance."""
+
+    artifact: str
+    path: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing two artifact directories."""
+
+    compared_leaves: int = 0
+    deviations: list[Deviation] = field(default_factory=list)
+    missing_in_current: list[str] = field(default_factory=list)
+    added_in_current: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (not self.deviations and not self.missing_in_current
+                and not self.added_in_current)
+
+
+def _walk(value, prefix: str = ""):
+    """Yield ``(path, leaf)`` for every scalar leaf of a JSON value."""
+    if isinstance(value, dict):
+        for key, child in value.items():
+            yield from _walk(child, f"{prefix}/{key}" if prefix else str(key))
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            yield from _walk(child, f"{prefix}[{i}]")
+    else:
+        yield prefix, value
+
+
+def compare_payloads(artifact: str, baseline, current,
+                     rel_tolerance: float, report: RegressionReport) -> None:
+    base_leaves = dict(_walk(baseline))
+    curr_leaves = dict(_walk(current))
+    for path in sorted(set(base_leaves) - set(curr_leaves)):
+        report.missing_in_current.append(f"{artifact}:{path}")
+    for path in sorted(set(curr_leaves) - set(base_leaves)):
+        report.added_in_current.append(f"{artifact}:{path}")
+    for path in sorted(set(base_leaves) & set(curr_leaves)):
+        base = base_leaves[path]
+        curr = curr_leaves[path]
+        if isinstance(base, bool) or isinstance(curr, bool) \
+                or not isinstance(base, (int, float)) \
+                or not isinstance(curr, (int, float)):
+            if base != curr:
+                report.deviations.append(
+                    Deviation(artifact, path, float("nan"), float("nan")))
+            continue
+        report.compared_leaves += 1
+        scale = max(abs(base), abs(curr), 1e-12)
+        if abs(base - curr) / scale > rel_tolerance:
+            report.deviations.append(
+                Deviation(artifact, path, float(base), float(curr)))
+
+
+def compare_dirs(baseline_dir, current_dir,
+                 rel_tolerance: float = 0.05) -> RegressionReport:
+    """Compare every ``*.json`` artifact shared by the two directories."""
+    baseline_dir = Path(baseline_dir)
+    current_dir = Path(current_dir)
+    report = RegressionReport()
+    base_files = {p.name: p for p in baseline_dir.glob("*.json")}
+    curr_files = {p.name: p for p in current_dir.glob("*.json")}
+    for name in sorted(set(base_files) - set(curr_files)):
+        report.missing_in_current.append(name)
+    for name in sorted(set(curr_files) - set(base_files)):
+        report.added_in_current.append(name)
+    for name in sorted(set(base_files) & set(curr_files)):
+        baseline = json.loads(base_files[name].read_text())
+        current = json.loads(curr_files[name].read_text())
+        compare_payloads(name, baseline, current, rel_tolerance, report)
+    return report
+
+
+def format_report(report: RegressionReport, limit: int = 40) -> str:
+    """Human-readable rendering of a :class:`RegressionReport`."""
+    lines = [f"compared {report.compared_leaves} numeric results"]
+    if report.clean:
+        lines.append("no regressions: all results within tolerance")
+        return "\n".join(lines)
+    for dev in report.deviations[:limit]:
+        lines.append(f"  CHANGED {dev.artifact}:{dev.path}  "
+                     f"{dev.baseline:.4g} -> {dev.current:.4g} "
+                     f"({dev.ratio:.2f}x)")
+    if len(report.deviations) > limit:
+        lines.append(f"  ... and {len(report.deviations) - limit} more")
+    for name in report.missing_in_current:
+        lines.append(f"  MISSING {name}")
+    for name in report.added_in_current:
+        lines.append(f"  ADDED   {name}")
+    return "\n".join(lines)

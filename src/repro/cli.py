@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the library version, the simulated device, and the paper's
+    default parameters.
+``demo``
+    Run a small end-to-end demonstration (insert/find/delete with
+    automatic resizing) and print the resulting statistics.
+``datasets``
+    Print Table 2 (paper statistics and generated surrogate statistics
+    at a chosen scale).
+``dynamic``
+    Run the dynamic-workload comparison (DyCuckoo vs MegaKV vs SlabHash)
+    on one dataset and print throughput, fill-factor tracking, and peak
+    memory — a one-command version of Figures 11/12.
+``profile``
+    Profile one insert+find+delete cycle of DyCuckoo with the kernel
+    profiler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.core.config import PAPER_PARAMETERS
+    from repro.gpusim import GTX_1080
+
+    print(f"repro {repro.__version__} — DyCuckoo reproduction (ICDE 2021)")
+    print(f"simulated device: {GTX_1080.name} "
+          f"({GTX_1080.num_sms} SMs, {GTX_1080.total_cores} cores, "
+          f"{GTX_1080.mem_bandwidth_gbps:.0f} GB/s, "
+          f"{GTX_1080.device_memory_bytes / 2**30:.0f} GB)")
+    print("paper defaults (Table 3):")
+    for name, grid in PAPER_PARAMETERS.items():
+        print(f"  {name}: default {grid['default']}, "
+              f"settings {grid['settings']}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import DyCuckooConfig, DyCuckooTable
+
+    table = DyCuckooTable(DyCuckooConfig())
+    rng = np.random.default_rng(args.seed)
+    keys = rng.permutation(np.arange(args.keys, dtype=np.uint64))
+    table.insert(keys, keys * np.uint64(2))
+    print(f"inserted {len(table):,} keys, filled factor "
+          f"{table.load_factor:.1%}")
+    _values, found = table.find(keys[: args.keys // 2])
+    print(f"find hit rate: {found.mean():.1%}")
+    table.delete(keys[: int(args.keys * 0.8)])
+    print(f"after deleting 80%: filled factor {table.load_factor:.1%} "
+          f"({table.stats.downsizes} downsizes)")
+    table.validate()
+    print("validate(): ok")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.bench import format_table
+    from repro.workloads import ALL_DATASETS
+
+    rows = []
+    for spec in ALL_DATASETS:
+        keys, _values = spec.generate(scale=args.scale, seed=args.seed)
+        unique = len(np.unique(keys))
+        rows.append([spec.name, f"{spec.total_pairs:,}",
+                     f"{spec.unique_keys:,}", f"{len(keys):,}",
+                     f"{unique:,}"])
+    print(format_table(
+        ["dataset", "paper KVs", "paper unique",
+         f"KVs @ {args.scale}", f"unique @ {args.scale}"],
+        rows, title="Table 2: datasets"))
+    return 0
+
+
+def _cmd_dynamic(args) -> int:
+    from repro.baselines import DyCuckooAdapter, MegaKVTable, SlabHashTable
+    from repro.baselines.slab import slab_buckets_for_fill
+    from repro.bench import format_series, format_table, run_dynamic
+    from repro.core.config import DyCuckooConfig
+    from repro.gpusim.metrics import CostModel
+    from repro.workloads import DynamicWorkload, dataset_by_name
+
+    spec = dataset_by_name(args.dataset)
+    keys, values = spec.generate(scale=args.scale, seed=args.seed)
+    expected_live = max(1, len(np.unique(keys)) // 2)
+    cost_model = CostModel(overhead_scale=args.scale)
+
+    runs = {}
+    for factory in (
+            lambda: DyCuckooAdapter(DyCuckooConfig(initial_buckets=8)),
+            lambda: MegaKVTable(initial_buckets=32),
+            lambda: SlabHashTable(
+                n_buckets=slab_buckets_for_fill(expected_live, 0.85))):
+        table = factory()
+        workload = DynamicWorkload(keys, values, batch_size=args.batch,
+                                   ratio_r=args.ratio, seed=args.seed)
+        runs[table.NAME] = run_dynamic(table, workload,
+                                       cost_model=cost_model)
+
+    print(format_table(
+        ["approach", "Mops", "peak MB"],
+        [[name, run.mops, run.peak_memory_bytes / 1e6]
+         for name, run in runs.items()],
+        title=f"dynamic workload on {spec.name} "
+              f"(scale {args.scale}, r={args.ratio}, batch {args.batch})"))
+    print()
+    print(format_series("filled factor per batch",
+                        {name: run.fill_series for name, run in runs.items()},
+                        lo=0.0, hi=1.0))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro import DyCuckooConfig, DyCuckooTable
+    from repro.gpusim.profile import profile_operation
+
+    table = DyCuckooTable(DyCuckooConfig())
+    rng = np.random.default_rng(args.seed)
+    keys = rng.permutation(np.arange(args.keys, dtype=np.uint64))
+    print(profile_operation(table, "insert", table.insert, keys, keys))
+    print(profile_operation(table, "find", table.find, keys))
+    print(profile_operation(table, "delete", table.delete, keys))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DyCuckoo reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and device information")
+
+    demo = sub.add_parser("demo", help="small end-to-end demonstration")
+    demo.add_argument("--keys", type=int, default=100_000)
+    demo.add_argument("--seed", type=int, default=0)
+
+    datasets = sub.add_parser("datasets", help="Table 2 dataset statistics")
+    datasets.add_argument("--scale", type=float, default=0.001)
+    datasets.add_argument("--seed", type=int, default=0)
+
+    dynamic = sub.add_parser("dynamic", help="dynamic-workload comparison")
+    dynamic.add_argument("--dataset", default="COM")
+    dynamic.add_argument("--scale", type=float, default=0.001)
+    dynamic.add_argument("--batch", type=int, default=1000)
+    dynamic.add_argument("--ratio", type=float, default=0.2)
+    dynamic.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser("profile", help="profile DyCuckoo kernels")
+    profile.add_argument("--keys", type=int, default=100_000)
+    profile.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "demo": _cmd_demo,
+    "datasets": _cmd_datasets,
+    "dynamic": _cmd_dynamic,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Core DyCuckoo data structure: the paper's primary contribution.
+
+Public surface:
+
+* :class:`repro.core.table.DyCuckooTable` — the dynamic two-layer cuckoo
+  hash table,
+* :class:`repro.core.config.DyCuckooConfig` — its configuration,
+* :data:`repro.core.config.PAPER_PARAMETERS` — the Table-3 grid,
+* :class:`repro.core.stats.TableStats` / ``MemoryFootprint`` — counters.
+"""
+
+from repro.core.analysis import (conflict_optimality_gap,
+                                 expected_conflicts, max_feasible_alpha,
+                                 optimal_distribution, post_upsize_fill,
+                                 resize_work_bound)
+from repro.core.batch_ops import (OP_DELETE, OP_FIND, OP_INSERT,
+                                  MixedBatchResult, execute_mixed)
+from repro.core.config import (DEFAULT_BUCKET_CAPACITY, DEFAULT_NUM_TABLES,
+                               PAPER_PARAMETERS, DyCuckooConfig,
+                               replace_config)
+from repro.core.persistence import load_table, save_table
+from repro.core.stats import MemoryFootprint, TableStats
+from repro.core.table import MAX_KEY, DyCuckooTable
+
+__all__ = [
+    "DyCuckooTable",
+    "DyCuckooConfig",
+    "PAPER_PARAMETERS",
+    "DEFAULT_NUM_TABLES",
+    "DEFAULT_BUCKET_CAPACITY",
+    "MemoryFootprint",
+    "TableStats",
+    "MAX_KEY",
+    "replace_config",
+    "save_table",
+    "load_table",
+    "execute_mixed",
+    "MixedBatchResult",
+    "OP_INSERT",
+    "OP_FIND",
+    "OP_DELETE",
+    "expected_conflicts",
+    "optimal_distribution",
+    "conflict_optimality_gap",
+    "post_upsize_fill",
+    "max_feasible_alpha",
+    "resize_work_bound",
+]

@@ -1,0 +1,143 @@
+"""The paper's analytical results as executable, testable formulas.
+
+Three pieces of theory underpin DyCuckoo's design; this module encodes
+them so tests and benchmarks can check the implementation *against the
+math*, not just against itself:
+
+* **Theorem 1** — expected insert conflicts for a load split
+  ``(m_1..m_d)`` over sizes ``(n_1..n_d)`` is ``sum C(m_i, 2) / n_i``.
+  :func:`expected_conflicts` evaluates the objective;
+  :func:`optimal_distribution` solves the constrained minimization
+  exactly (KKT conditions of the convex program).
+
+  *Reproduction note*: the paper states the minimum occurs when the
+  terms ``C(m_i, 2) / n_i`` are all equal (its Jensen-inequality step
+  bounds a transform of the objective, for which equal terms is the
+  equality case).  The true minimizer of the sum itself equalizes the
+  *marginal* conflict rates ``(2 m_i - 1) / (2 n_i)``, i.e. loads
+  essentially proportional to sizes (near-equal filled factors).  For
+  the balanced configurations DyCuckoo maintains, the two conditions
+  coincide to first order, which is why the paper's routing heuristic
+  works; tests verify the implementation tracks the *true* optimum.
+* **Section IV-B's fill bound** — one upsize lowers the filled factor
+  to at least ``beta * d / (d + 1)``, so a feasible lower bound must
+  satisfy ``alpha < d / (d + 1)``.  :func:`post_upsize_fill` and
+  :func:`max_feasible_alpha` encode both.
+* **Section IV-D's amortized resize cost** — a resize touches at most
+  ``m / d`` entries.  :func:`resize_work_bound` gives the bound that
+  tests compare against measured ``rehashed_entries``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+
+def pairwise(m: np.ndarray) -> np.ndarray:
+    """``C(m, 2)`` elementwise."""
+    m = np.asarray(m, dtype=np.float64)
+    return m * (m - 1.0) / 2.0
+
+
+def expected_conflicts(loads: np.ndarray, sizes: np.ndarray) -> float:
+    """Theorem 1's objective: ``sum C(m_i, 2) / n_i``."""
+    loads = np.asarray(loads, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if loads.shape != sizes.shape:
+        raise InvalidConfigError("loads and sizes must align")
+    if bool((sizes <= 0).any()):
+        raise InvalidConfigError("sizes must be positive")
+    return float((pairwise(loads) / sizes).sum())
+
+
+def optimal_distribution(total: float, sizes: np.ndarray,
+                         iterations: int = 200) -> np.ndarray:
+    """Solve Theorem 1's minimization for the load split ``m_i``.
+
+    Minimizes ``sum C(m_i, 2) / n_i`` subject to ``sum m_i = total`` and
+    ``m_i >= 0``.  The stationarity condition equalizes the derivatives
+    ``(2 m_i - 1) / (2 n_i)``, i.e. ``m_i = lam * n_i + 1/2`` with the
+    multiplier ``lam`` pinned by the budget — asymptotically the
+    proportional split (equal filled factors), see the module docstring
+    for how this relates to the paper's statement of Theorem 1.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if total < 0:
+        raise InvalidConfigError("total must be non-negative")
+    if bool((sizes <= 0).any()):
+        raise InvalidConfigError("sizes must be positive")
+    d = len(sizes)
+    # m_i = lam * n_i + 1/2 with sum m_i = total:
+    lam = (total - d / 2.0) / sizes.sum()
+    m = lam * sizes + 0.5
+    # Project negatives to zero and re-solve over the support.
+    for _ in range(iterations):
+        negative = m < 0
+        if not negative.any():
+            break
+        m[negative] = 0.0
+        support = ~negative
+        lam = (total - support.sum() / 2.0) / sizes[support].sum()
+        m[support] = lam * sizes[support] + 0.5
+    return np.maximum(m, 0.0)
+
+
+def conflict_optimality_gap(loads: np.ndarray, sizes: np.ndarray) -> float:
+    """Relative excess of a split's conflicts over the optimum.
+
+    0.0 means the split achieves Theorem 1's minimum; 0.1 means 10%
+    more expected conflicts than optimal.  Used by tests to verify the
+    weighted router keeps the structure near the optimum.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    actual = expected_conflicts(loads, sizes)
+    best = expected_conflicts(optimal_distribution(loads.sum(), sizes),
+                              sizes)
+    if best <= 0:
+        return 0.0
+    return actual / best - 1.0
+
+
+def post_upsize_fill(theta: float, num_doubled: int, num_tables: int
+                     ) -> float:
+    """Filled factor after one upsize (Section IV-B's derivation).
+
+    With ``d'`` subtables already doubled (size ``2n``) and ``d - d'``
+    at size ``n``, doubling one more changes total capacity from
+    ``(d + d') n`` to ``(d + d' + 1) n``:
+
+        theta' = theta * (d + d') / (d + d' + 1)
+    """
+    if not 0 <= num_doubled < num_tables:
+        raise InvalidConfigError(
+            f"num_doubled must be in [0, num_tables), got {num_doubled}")
+    weight = num_tables + num_doubled
+    return theta * weight / (weight + 1)
+
+
+def max_feasible_alpha(num_tables: int) -> float:
+    """The paper's bound: ``alpha`` must stay below ``d / (d + 1)``.
+
+    One upsize at ``theta = beta`` lands at least at
+    ``beta * d / (d + 1)``; a lower bound at or above ``d / (d + 1)``
+    could exceed that landing point and force immediate re-shrinking.
+    """
+    if num_tables < 1:
+        raise InvalidConfigError("num_tables must be >= 1")
+    return num_tables / (num_tables + 1.0)
+
+
+def resize_work_bound(total_entries: int, num_tables: int) -> float:
+    """Entries one resize may touch: at most ``m / d`` (Section IV-D).
+
+    The resized subtable is the smallest (upsize) or the largest at most
+    twice any other (downsize), so its share of ``m`` is bounded by
+    roughly ``m / d`` (upsize) and ``2m / (d + 1)`` (downsize); we
+    return the looser downsize bound so one function covers both.
+    """
+    if num_tables < 1:
+        raise InvalidConfigError("num_tables must be >= 1")
+    return 2.0 * total_entries / (num_tables + 1.0)

@@ -1,0 +1,67 @@
+"""Vectorized group-by helpers shared by table implementations.
+
+Batched hash-table kernels repeatedly need *rank within group*: when
+several operations in one device round target the same bucket, the k-th
+of them may claim the k-th free slot, and only the first may evict.  On a
+GPU the warp vote produces this ordering; in the vectorized simulation we
+recover it with a stable argsort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_within_group(group_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank each element among elements sharing its ``group_id``.
+
+    Returns
+    -------
+    ranks:
+        ``ranks[i]`` is the 0-based position of element ``i`` among all
+        elements with the same ``group_ids[i]``, in stable input order.
+    unique_groups:
+        Sorted unique group ids.
+    inverse:
+        Index into ``unique_groups`` for each element.
+    """
+    group_ids = np.asarray(group_ids)
+    unique_groups, inverse = np.unique(group_ids, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    inverse_sorted = inverse[order]
+    # Start offset of every group's run inside the sorted layout.
+    group_start = np.searchsorted(inverse_sorted, np.arange(len(unique_groups)))
+    ranks_sorted = np.arange(len(group_ids)) - group_start[inverse_sorted]
+    ranks = np.empty(len(group_ids), dtype=np.int64)
+    ranks[order] = ranks_sorted
+    return ranks, unique_groups, inverse
+
+
+def group_counts(group_ids: np.ndarray, num_groups: int) -> np.ndarray:
+    """Count occurrences of each id in ``[0, num_groups)``."""
+    return np.bincount(np.asarray(group_ids, dtype=np.int64),
+                       minlength=num_groups)
+
+
+def first_occurrence_mask(keys: np.ndarray) -> np.ndarray:
+    """Mask selecting the first occurrence of each distinct key, in order."""
+    keys = np.asarray(keys)
+    _, first_idx = np.unique(keys, return_index=True)
+    mask = np.zeros(len(keys), dtype=bool)
+    mask[first_idx] = True
+    return mask
+
+
+def last_occurrence_mask(keys: np.ndarray) -> np.ndarray:
+    """Mask selecting the last occurrence of each distinct key.
+
+    Batched upserts use *last-writer-wins* semantics for duplicate keys
+    inside one batch, matching the deterministic replay of the paper's
+    batched execution model.
+    """
+    keys = np.asarray(keys)
+    reversed_keys = keys[::-1]
+    _, first_idx_rev = np.unique(reversed_keys, return_index=True)
+    mask = np.zeros(len(keys), dtype=bool)
+    mask[len(keys) - 1 - first_idx_rev] = True
+    return mask

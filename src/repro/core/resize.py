@@ -1,0 +1,201 @@
+"""Subtable resizing policy (Sections IV-B and IV-D).
+
+The policy keeps the global filled factor ``theta`` inside the user range
+``[alpha, beta]`` while only ever touching one subtable:
+
+* **Upsize** — double the *smallest* subtable.  Because bucket counts are
+  powers of two and bucket indices are low hash bits, an entry in bucket
+  ``loc`` moves to ``loc`` or ``loc + old_n``: a conflict-free scatter
+  needing no locks (Figure 4).
+* **Downsize** — halve the *largest* subtable.  Buckets ``loc`` and
+  ``loc + new_n`` merge into ``loc``; entries beyond bucket capacity are
+  *residuals*, spilled into the other subtables with the downsizing
+  subtable excluded from the eviction graph.
+
+The invariant that no subtable exceeds twice the size of any other is a
+consequence of always picking the extreme subtable and is asserted by
+:meth:`repro.core.table.DyCuckooTable.validate`.
+
+A failed residual spill (possible in adversarial corner cases) rolls the
+downsize back from a snapshot, so downsizing is all-or-nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.grouping import rank_within_group
+from repro.errors import ResizeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.table import DyCuckooTable
+
+
+class ResizeController:
+    """Owns the resize policy for one :class:`DyCuckooTable`."""
+
+    def __init__(self, table: "DyCuckooTable") -> None:
+        self._table = table
+
+    # ------------------------------------------------------------------
+    # Bound enforcement
+    # ------------------------------------------------------------------
+
+    def enforce_bounds(self) -> None:
+        """Upsize/downsize until ``theta`` is inside ``[alpha, beta]``.
+
+        Downsizing stops early when every subtable is at minimum size or
+        when halving the largest would overshoot ``beta``.
+        """
+        table = self._table
+        config = table.config
+        while table.total_slots and table.load_factor > config.beta:
+            self.upsize()
+        while table.load_factor < config.alpha:
+            target = self._pick_downsize_target()
+            if target is None:
+                break
+            largest = table.subtables[target]
+            projected_slots = table.total_slots - largest.total_slots // 2
+            if projected_slots and len(table) / projected_slots > config.beta:
+                break
+            try:
+                self.downsize()
+            except ResizeError:
+                break
+
+    def upsize_for_insert_failure(self) -> None:
+        """Upsize in response to a stalled insert.
+
+        By default performs a single doubling, matching the paper.  With
+        ``anticipatory_upsize`` (our future-work extension), doublings
+        repeat until the projected filled factor reaches the midpoint of
+        ``[alpha, beta]``, avoiding the repeated upsize cascades the
+        paper observes in Figure 12.
+        """
+        table = self._table
+        self.upsize()
+        if not table.config.anticipatory_upsize:
+            return
+        midpoint = (table.config.alpha + table.config.beta) / 2.0
+        while table.load_factor > midpoint:
+            self.upsize()
+
+    # ------------------------------------------------------------------
+    # Single-subtable resizes
+    # ------------------------------------------------------------------
+
+    def _pick_upsize_target(self) -> int:
+        """Index of the smallest subtable (ties: lowest index)."""
+        sizes = [st.n_buckets for st in self._table.subtables]
+        return int(np.argmin(sizes))
+
+    def _pick_downsize_target(self) -> int | None:
+        """Index of the largest shrinkable subtable, or ``None``."""
+        table = self._table
+        best = None
+        best_size = -1
+        for idx, st in enumerate(table.subtables):
+            if st.n_buckets <= table.config.min_buckets:
+                continue
+            if st.n_buckets > best_size:
+                best = idx
+                best_size = st.n_buckets
+        return best
+
+    def upsize(self) -> int:
+        """Double the smallest subtable; returns its index.
+
+        The rehash is conflict-free: every entry either stays in its
+        bucket or moves to ``bucket + old_n`` according to one additional
+        hash bit, so distinct source buckets can never collide.  Growth
+        past ``max_total_slots`` raises :class:`CapacityError` — the
+        backstop against workloads no amount of doubling can absorb.
+        """
+        table = self._table
+        target = self._pick_upsize_target()
+        st = table.subtables[target]
+        ceiling = table.config.max_total_slots
+        if ceiling and table.total_slots + st.total_slots > ceiling:
+            from repro.errors import CapacityError
+
+            raise CapacityError(
+                f"upsizing subtable {target} would exceed max_total_slots="
+                f"{ceiling} (currently {table.total_slots} slots, "
+                f"{len(table)} live entries)")
+        codes, values, _old_buckets = st.export_entries()
+        new_n = st.n_buckets * 2
+        new_buckets = table.table_hashes[target].bucket(codes, new_n)
+        st.rebuild(new_n, codes, values, new_buckets)
+        table.stats.upsizes += 1
+        table.stats.rehashed_entries += len(codes)
+        # One coalesced read + write per touched bucket pair.
+        table.stats.bucket_reads += st.n_buckets // 2
+        table.stats.bucket_writes += st.n_buckets
+        return target
+
+    def downsize(self) -> int:
+        """Halve the largest subtable; returns its index.
+
+        Residual entries that do not fit the merged buckets are spilled
+        into their alternate subtables (the downsized subtable stays
+        excluded, per Section IV-D).  On spill failure the downsize is
+        rolled back and :class:`ResizeError` propagates.
+        """
+        table = self._table
+        target = self._pick_downsize_target()
+        if target is None:
+            raise ResizeError(
+                "no subtable can be downsized (all at min_buckets)"
+            )
+        st = table.subtables[target]
+        snapshot = _TableSnapshot(table)
+        codes, values, _old_buckets = st.export_entries()
+        new_n = st.n_buckets // 2
+        new_buckets = table.table_hashes[target].bucket(codes, new_n)
+        ranks, _unique, _inverse = rank_within_group(new_buckets)
+        keep = ranks < st.bucket_capacity
+        st.rebuild(new_n, codes[keep], values[keep], new_buckets[keep])
+        table.stats.bucket_reads += new_n * 2
+        table.stats.bucket_writes += new_n
+
+        residual_codes = codes[~keep]
+        residual_values = values[~keep]
+        table.stats.downsizes += 1
+        table.stats.rehashed_entries += len(codes)
+        table.stats.residuals += len(residual_codes)
+        if len(residual_codes):
+            current = np.full(len(residual_codes), target, dtype=np.int64)
+            alternates = table.pair_hash.alternate_table(residual_codes, current)
+            try:
+                table._insert_pending(residual_codes, residual_values,
+                                      alternates, excluded=target)
+            except ResizeError:
+                snapshot.restore(table)
+                table.stats.downsizes -= 1
+                raise
+        return target
+
+
+class _TableSnapshot:
+    """Copy-on-demand snapshot used to roll back a failed downsize.
+
+    Downsizing only happens at low filled factors, so copying the raw
+    arrays is cheap relative to how rarely the rollback path runs.
+    """
+
+    def __init__(self, table: "DyCuckooTable") -> None:
+        self._storage = [
+            (st.n_buckets, st.keys.copy(), st.values.copy(), st.size)
+            for st in table.subtables
+        ]
+
+    def restore(self, table: "DyCuckooTable") -> None:
+        for st, (n_buckets, keys, values, size) in zip(table.subtables,
+                                                       self._storage):
+            st.n_buckets = n_buckets
+            st.keys = keys
+            st.values = values
+            st.size = size

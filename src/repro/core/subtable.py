@@ -1,0 +1,262 @@
+"""Bucketized subtable storage (Figure 2 of the paper).
+
+A subtable is a dense array of buckets.  Each bucket holds
+``bucket_capacity`` key slots stored consecutively (one 128-byte cache
+line for 32 four-byte keys) plus a parallel value array, so a warp reads
+a whole bucket in a single coalesced transaction.  Keys and values live
+in *separate* arrays ("structure of arrays"), which lets find/delete
+avoid touching values entirely — exactly the layout argument of
+Section IV-A.
+
+The empty-slot sentinel is key code ``0``; the owning table encodes user
+keys as ``key + 1`` so the full ``uint64`` user domain minus one value is
+supported.
+
+All methods are vectorized over arrays of bucket indices.  The subtable
+knows nothing about hashing or the two-layer scheme: it only moves codes
+in and out of slots.  Device-cost accounting (transactions, locks) is the
+caller's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grouping import rank_within_group
+from repro.errors import InvalidConfigError
+
+#: Key code marking an empty slot.
+EMPTY = np.uint64(0)
+
+
+class Subtable:
+    """One cuckoo subtable: ``n_buckets`` buckets of fixed capacity."""
+
+    def __init__(self, n_buckets: int, bucket_capacity: int) -> None:
+        if n_buckets <= 0 or n_buckets & (n_buckets - 1):
+            raise InvalidConfigError(
+                f"n_buckets must be a positive power of two, got {n_buckets}"
+            )
+        if bucket_capacity < 1:
+            raise InvalidConfigError(
+                f"bucket_capacity must be >= 1, got {bucket_capacity}"
+            )
+        self.n_buckets = n_buckets
+        self.bucket_capacity = bucket_capacity
+        self.keys = np.zeros((n_buckets, bucket_capacity), dtype=np.uint64)
+        self.values = np.zeros((n_buckets, bucket_capacity), dtype=np.uint64)
+        #: Number of live (non-empty) slots.
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        """Total key slots allocated in this subtable."""
+        return self.n_buckets * self.bucket_capacity
+
+    @property
+    def filled_factor(self) -> float:
+        """Live entries over allocated slots."""
+        return self.size / self.total_slots if self.total_slots else 0.0
+
+    @property
+    def slot_bytes(self) -> int:
+        """Bytes of key+value storage (8 bytes each)."""
+        return self.keys.nbytes + self.values.nbytes
+
+    def export_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(codes, values, bucket_indices)`` of all live entries."""
+        occupied = self.keys != EMPTY
+        bucket_idx, _slot_idx = np.nonzero(occupied)
+        return (self.keys[occupied].copy(),
+                self.values[occupied].copy(),
+                bucket_idx.astype(np.int64))
+
+    def validate(self) -> None:
+        """Assert internal consistency (used by tests)."""
+        live = int(np.count_nonzero(self.keys != EMPTY))
+        if live != self.size:
+            raise AssertionError(
+                f"size counter {self.size} != live slots {live}"
+            )
+
+    # ------------------------------------------------------------------
+    # Read-only operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, buckets: np.ndarray, codes: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe ``codes`` in their ``buckets``.
+
+        Returns ``(found, values)``; ``values`` is meaningful only where
+        ``found`` is True.
+        """
+        buckets = np.asarray(buckets, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint64)
+        if len(buckets) == 0:
+            return (np.zeros(0, dtype=bool), np.zeros(0, dtype=np.uint64))
+        bucket_keys = self.keys[buckets]                      # (n, cap)
+        match = bucket_keys == codes[:, None]
+        found = match.any(axis=1)
+        slots = match.argmax(axis=1)
+        values = self.values[buckets, slots]
+        return found, values
+
+    def contains(self, buckets: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Membership-only variant of :meth:`lookup` (no value gather)."""
+        buckets = np.asarray(buckets, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint64)
+        if len(buckets) == 0:
+            return np.zeros(0, dtype=bool)
+        return (self.keys[buckets] == codes[:, None]).any(axis=1)
+
+    # ------------------------------------------------------------------
+    # Mutating operations
+    # ------------------------------------------------------------------
+
+    def update_existing(self, buckets: np.ndarray, codes: np.ndarray,
+                        values: np.ndarray) -> np.ndarray:
+        """Overwrite values of codes already present; return updated mask."""
+        buckets = np.asarray(buckets, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        if len(buckets) == 0:
+            return np.zeros(0, dtype=bool)
+        bucket_keys = self.keys[buckets]
+        match = bucket_keys == codes[:, None]
+        found = match.any(axis=1)
+        slots = match.argmax(axis=1)
+        self.values[buckets[found], slots[found]] = values[found]
+        return found
+
+    def erase(self, buckets: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Remove matching codes from their buckets; return erased mask."""
+        buckets = np.asarray(buckets, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint64)
+        if len(buckets) == 0:
+            return np.zeros(0, dtype=bool)
+        bucket_keys = self.keys[buckets]
+        match = bucket_keys == codes[:, None]
+        found = match.any(axis=1)
+        slots = match.argmax(axis=1)
+        self.keys[buckets[found], slots[found]] = EMPTY
+        self.size -= int(found.sum())
+        return found
+
+    def place_round(self, buckets: np.ndarray, codes: np.ndarray,
+                    values: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One synchronous placement round into this subtable.
+
+        Implements the slot-claiming step of a device round: operations
+        targeting the same bucket are ranked (the warp-vote order); the
+        k-th claims the k-th free slot.  Codes must be distinct.
+
+        Returns
+        -------
+        updated:
+            Mask of codes that already existed and had their value
+            overwritten.
+        placed:
+            Mask of codes written into a free slot.
+        full_leader:
+            Mask of codes that found their bucket completely full *and*
+            rank first for it — these are the eviction candidates.  Codes
+            in none of the three masks must retry next round (their
+            bucket was full, or became full, and another op leads it).
+        """
+        buckets = np.asarray(buckets, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        n = len(buckets)
+        if n == 0:
+            zeros = np.zeros(0, dtype=bool)
+            return zeros, zeros.copy(), zeros.copy()
+
+        updated = self.update_existing(buckets, codes, values)
+        placed = np.zeros(n, dtype=bool)
+        full_leader = np.zeros(n, dtype=bool)
+
+        rest = np.flatnonzero(~updated)
+        if len(rest) == 0:
+            return updated, placed, full_leader
+
+        rest_buckets = buckets[rest]
+        ranks, unique_buckets, inverse = rank_within_group(rest_buckets)
+        free_mask = self.keys[unique_buckets] == EMPTY        # (u, cap)
+        free_counts = free_mask.sum(axis=1)
+
+        can_place = ranks < free_counts[inverse]
+        if np.any(can_place):
+            items = rest[can_place]
+            item_rows = free_mask[inverse[can_place]]          # (m, cap)
+            # The rank-th free slot: position where the running count of
+            # free slots first reaches rank + 1.
+            running = item_rows.cumsum(axis=1)
+            target = (ranks[can_place] + 1)[:, None]
+            slots = (running == target).argmax(axis=1)
+            np_buckets = buckets[items]
+            self.keys[np_buckets, slots] = codes[items]
+            self.values[np_buckets, slots] = values[items]
+            placed[items] = True
+            self.size += len(items)
+
+        bucket_full = free_counts[inverse] == 0
+        leader = bucket_full & (ranks == 0)
+        full_leader[rest[leader]] = True
+        return updated, placed, full_leader
+
+    def swap_slot(self, buckets: np.ndarray, slots: np.ndarray,
+                  codes: np.ndarray, values: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Replace occupants at ``(bucket, slot)`` with new entries.
+
+        Used for cuckoo evictions: the displaced ``(code, value)`` pairs
+        are returned so the caller can reinsert them elsewhere.  Net live
+        count is unchanged.
+        """
+        buckets = np.asarray(buckets, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
+        old_codes = self.keys[buckets, slots].copy()
+        old_values = self.values[buckets, slots].copy()
+        self.keys[buckets, slots] = np.asarray(codes, dtype=np.uint64)
+        self.values[buckets, slots] = np.asarray(values, dtype=np.uint64)
+        return old_codes, old_values
+
+    def bucket_keys(self, buckets: np.ndarray) -> np.ndarray:
+        """Gather the ``(n, capacity)`` key matrix for ``buckets``."""
+        return self.keys[np.asarray(buckets, dtype=np.int64)]
+
+    # ------------------------------------------------------------------
+    # Bulk rebuild (resize support)
+    # ------------------------------------------------------------------
+
+    def rebuild(self, n_buckets: int, codes: np.ndarray, values: np.ndarray,
+                buckets: np.ndarray) -> None:
+        """Replace all storage, placing each entry in its assigned bucket.
+
+        Entries assigned to one bucket are packed into slots
+        ``0..count-1``.  The caller guarantees no bucket receives more
+        than ``bucket_capacity`` entries.
+        """
+        if n_buckets <= 0 or n_buckets & (n_buckets - 1):
+            raise InvalidConfigError(
+                f"n_buckets must be a positive power of two, got {n_buckets}"
+            )
+        codes = np.asarray(codes, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        buckets = np.asarray(buckets, dtype=np.int64)
+        ranks, _, _ = rank_within_group(buckets)
+        if len(ranks) and int(ranks.max()) >= self.bucket_capacity:
+            raise InvalidConfigError(
+                "rebuild received more entries than capacity for a bucket"
+            )
+        self.n_buckets = n_buckets
+        self.keys = np.zeros((n_buckets, self.bucket_capacity), dtype=np.uint64)
+        self.values = np.zeros((n_buckets, self.bucket_capacity), dtype=np.uint64)
+        self.keys[buckets, ranks] = codes
+        self.values[buckets, ranks] = values
+        self.size = len(codes)

@@ -1,0 +1,558 @@
+"""DyCuckoo: the two-layer dynamic cuckoo hash table (Sections IV and V).
+
+The table keeps ``d`` bucketized subtables.  A key is first hashed to one
+of the ``C(d, 2)`` subtable *pairs* (layer one) and then lives in exactly
+one bucket of one subtable of that pair (layer two).  Consequences:
+
+* ``find`` and ``delete`` touch at most **two** buckets, independent of
+  ``d`` (Section V-A);
+* ``insert`` may evict occupants along a cuckoo chain that can wander
+  through *any* subtable, preserving the flexibility — and the amortized
+  O(1) bound, Theorem 2 — of a ``d``-table cuckoo hash;
+* resizing doubles/halves a *single* subtable (Section IV-B), so at most
+  ``m / d`` entries move per resize and the other subtables stay online.
+
+Execution is *round-synchronous*, mirroring the device-wide bulk steps of
+the GPU kernels: each insert round, every pending operation attempts its
+current bucket; winners place or evict; losers retry next round.  All
+heavy lifting is vectorized with numpy, and every round increments the
+event counters consumed by the GPU cost model.
+
+Batched semantics follow the paper (Section V-B): each public call takes
+a whole batch of one operation type.  ``insert`` is an upsert; duplicate
+keys within one batch resolve to the *last* occurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DyCuckooConfig
+from repro.core.distribution import make_router
+from repro.core.grouping import first_occurrence_mask, last_occurrence_mask
+from repro.core.hashing import PairHash, make_table_hashes
+from repro.core.resize import ResizeController
+from repro.core.stats import MemoryFootprint, TableStats
+from repro.core.subtable import Subtable
+from repro.errors import CapacityError, InvalidKeyError, ResizeError
+from repro.gpusim.kernel import estimate_lock_conflicts
+
+#: Largest user key; ``2**64 - 1`` is unrepresentable because the
+#: internal code space reserves 0 for empty slots.
+MAX_KEY = (1 << 64) - 2
+
+
+def encode_keys(keys) -> np.ndarray:
+    """Map user keys to internal nonzero codes (``key + 1``)."""
+    codes = np.asarray(keys, dtype=np.uint64)
+    if codes.ndim != 1:
+        raise InvalidKeyError(f"keys must be one-dimensional, got shape {codes.shape}")
+    if len(codes) and bool(np.any(codes == np.uint64(MAX_KEY + 1))):
+        raise InvalidKeyError(f"keys must be <= {MAX_KEY}")
+    return codes + np.uint64(1)
+
+
+def decode_keys(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`encode_keys`."""
+    return np.asarray(codes, dtype=np.uint64) - np.uint64(1)
+
+
+class DyCuckooTable:
+    """Dynamic two-layer cuckoo hash table mapping uint64 -> uint64.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.core.config.DyCuckooConfig`; defaults match the
+        paper's defaults (d=4, 32-slot buckets, alpha=30%, beta=85%).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DyCuckooTable
+    >>> table = DyCuckooTable()
+    >>> table.insert(np.arange(100, dtype=np.uint64),
+    ...              np.arange(100, dtype=np.uint64) * 2)
+    >>> values, found = table.find(np.array([3, 999], dtype=np.uint64))
+    >>> bool(found[0]), bool(found[1]), int(values[0])
+    (True, False, 6)
+    """
+
+    def __init__(self, config: DyCuckooConfig | None = None) -> None:
+        self.config = config or DyCuckooConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.pair_hash = PairHash(self.config.num_tables, rng)
+        self.table_hashes = make_table_hashes(self.config.num_tables, rng)
+        self.subtables = [
+            Subtable(self.config.initial_buckets, self.config.bucket_capacity)
+            for _ in range(self.config.num_tables)
+        ]
+        self.stats = TableStats()
+        self._router = make_router(self.config.routing, self.config.seed ^ 0xA5A5)
+        self._resizer = ResizeController(self)
+        self._victim_counter = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(st.size for st in self.subtables)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of subtables ``d``."""
+        return self.config.num_tables
+
+    @property
+    def total_slots(self) -> int:
+        """Allocated key slots across all subtables."""
+        return sum(st.total_slots for st in self.subtables)
+
+    @property
+    def load_factor(self) -> float:
+        """Global filled factor ``theta`` (live entries / allocated slots)."""
+        slots = self.total_slots
+        return len(self) / slots if slots else 0.0
+
+    @property
+    def subtable_load_factors(self) -> list[float]:
+        """Per-subtable filled factors ``theta_i``."""
+        return [st.filled_factor for st in self.subtables]
+
+    def subtable_sizes(self) -> np.ndarray:
+        """Slot counts ``n_i`` per subtable."""
+        return np.asarray([st.total_slots for st in self.subtables],
+                          dtype=np.int64)
+
+    def subtable_loads(self) -> np.ndarray:
+        """Live entry counts ``m_i`` per subtable."""
+        return np.asarray([st.size for st in self.subtables], dtype=np.int64)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        """Current device-memory accounting (one lock word per bucket)."""
+        lock_bytes = 4 * sum(st.n_buckets for st in self.subtables)
+        return MemoryFootprint(
+            total_slots=self.total_slots,
+            live_entries=len(self),
+            slot_bytes=sum(st.slot_bytes for st in self.subtables),
+            overhead_bytes=lock_bytes,
+        )
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return all live ``(keys, values)`` (unspecified order)."""
+        exports = [st.export_entries() for st in self.subtables]
+        all_codes = (np.concatenate([e[0] for e in exports]) if exports
+                     else np.zeros(0, dtype=np.uint64))
+        all_values = (np.concatenate([e[1] for e in exports]) if exports
+                      else np.zeros(0, dtype=np.uint64))
+        return decode_keys(all_codes), all_values
+
+    def keys(self) -> np.ndarray:
+        """All live keys (unspecified order)."""
+        return self.items()[0]
+
+    def values(self) -> np.ndarray:
+        """All live values, aligned with :meth:`keys`."""
+        return self.items()[1]
+
+    def to_dict(self) -> dict[int, int]:
+        """Materialize the table as a plain Python dict."""
+        out_keys, out_values = self.items()
+        return {int(k): int(v) for k, v in zip(out_keys, out_values)}
+
+    def __contains__(self, key: int) -> bool:
+        return bool(self.contains(np.asarray([key], dtype=np.uint64))[0])
+
+    def clear(self) -> None:
+        """Remove every entry and shrink storage back to the initial size."""
+        self.subtables = [
+            Subtable(self.config.initial_buckets, self.config.bucket_capacity)
+            for _ in range(self.config.num_tables)
+        ]
+
+    def copy(self) -> "DyCuckooTable":
+        """Deep copy: same hash functions, independent storage."""
+        import copy as _copy
+
+        clone = DyCuckooTable(self.config)
+        clone.pair_hash = _copy.deepcopy(self.pair_hash)
+        clone.table_hashes = _copy.deepcopy(self.table_hashes)
+        for src, dst in zip(self.subtables, clone.subtables):
+            dst.n_buckets = src.n_buckets
+            dst.keys = src.keys.copy()
+            dst.values = src.values.copy()
+            dst.size = src.size
+        clone._victim_counter = self._victim_counter
+        return clone
+
+    @classmethod
+    def from_items(cls, keys, values,
+                   config: DyCuckooConfig | None = None) -> "DyCuckooTable":
+        """Build a table pre-sized for ``keys`` and bulk-insert them."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        base = config or DyCuckooConfig()
+        table = cls(base.sized_for(len(np.unique(keys))))
+        table.insert(keys, values)
+        return table
+
+    def merge_from(self, other: "DyCuckooTable") -> None:
+        """Upsert every entry of ``other`` into this table.
+
+        On key collisions ``other``'s value wins (merge = bulk upsert).
+        """
+        other_keys, other_values = other.items()
+        if len(other_keys):
+            self.insert(other_keys, other_values)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on bugs.
+
+        Verified invariants: per-subtable live counts, no duplicate key
+        across subtables, every entry stored in a subtable of its pair
+        and in its hashed bucket, and the 2x size discipline between
+        subtables.
+        """
+        all_codes = []
+        for idx, st in enumerate(self.subtables):
+            st.validate()
+            codes, _values, buckets = st.export_entries()
+            all_codes.append(codes)
+            if len(codes):
+                first, second = self.pair_hash.tables_for(codes)
+                in_pair = (first == idx) | (second == idx)
+                if not bool(np.all(in_pair)):
+                    raise AssertionError(
+                        f"subtable {idx} stores a key outside its pair"
+                    )
+                expected = self.table_hashes[idx].bucket(codes, st.n_buckets)
+                if not bool(np.all(expected == buckets)):
+                    raise AssertionError(
+                        f"subtable {idx} has an entry in the wrong bucket"
+                    )
+        merged = (np.concatenate(all_codes) if all_codes
+                  else np.zeros(0, dtype=np.uint64))
+        if len(merged) != len(np.unique(merged)):
+            raise AssertionError("duplicate key stored across subtables")
+        sizes = [st.n_buckets for st in self.subtables]
+        if max(sizes) > 2 * min(sizes):
+            raise AssertionError(
+                f"subtable size discipline violated: {sizes}"
+            )
+
+    # ------------------------------------------------------------------
+    # Public batched operations
+    # ------------------------------------------------------------------
+
+    def find(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Look up a batch of keys.
+
+        Returns ``(values, found)``; ``values[i]`` is meaningful only
+        where ``found[i]``.  Each lookup reads at most two buckets.
+        """
+        codes = encode_keys(keys)
+        n = len(codes)
+        self.stats.finds += n
+        values = np.zeros(n, dtype=np.uint64)
+        found = np.zeros(n, dtype=bool)
+        if n == 0:
+            return values, found
+        first, second = self.pair_hash.tables_for(codes)
+        self._probe(codes, first, np.arange(n), values, found)
+        missing = np.flatnonzero(~found)
+        if len(missing):
+            self.stats.chain_hops += len(missing)
+            self._probe(codes[missing], second[missing], missing, values, found)
+        self.stats.find_hits += int(found.sum())
+        return values, found
+
+    def contains(self, keys) -> np.ndarray:
+        """Membership test for a batch of keys."""
+        _values, found = self.find(keys)
+        return found
+
+    def get(self, key: int, default: int | None = None):
+        """Scalar convenience lookup; returns ``default`` when absent."""
+        values, found = self.find(np.asarray([key], dtype=np.uint64))
+        return int(values[0]) if bool(found[0]) else default
+
+    def insert(self, keys, values) -> None:
+        """Upsert a batch of key/value pairs.
+
+        Existing keys are updated in place; fresh keys are routed per the
+        Theorem-1 policy and inserted with cuckoo evictions.  If the
+        filled factor then exceeds ``beta`` (or an insert exhausts its
+        eviction budget), the table upsizes per Section IV-B.
+        """
+        codes = encode_keys(keys)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != codes.shape:
+            raise InvalidKeyError(
+                f"values shape {values.shape} != keys shape {codes.shape}"
+            )
+        self.stats.inserts += len(codes)
+        if len(codes) == 0:
+            return
+        keep = last_occurrence_mask(codes)
+        codes = codes[keep]
+        values = values[keep]
+
+        updated = self._update_existing(codes, values)
+        fresh = np.flatnonzero(~updated)
+        self.stats.updates += int(updated.sum())
+        if len(fresh):
+            fresh_codes = codes[fresh]
+            first, second = self.pair_hash.tables_for(fresh_codes)
+            targets = self._router.choose(fresh_codes, first, second,
+                                          self.subtable_sizes(),
+                                          self.subtable_loads())
+            self._insert_pending(fresh_codes, values[fresh], targets,
+                                 excluded=None)
+        if self.config.auto_resize:
+            self._resizer.enforce_bounds()
+
+    def delete(self, keys) -> np.ndarray:
+        """Delete a batch of keys; returns a mask of keys actually removed.
+
+        At most two bucket probes per key; deletion clears the slot
+        physically (no tombstones), so the filled factor drops and may
+        trigger a downsize.
+        """
+        all_codes = encode_keys(keys)
+        n = len(all_codes)
+        self.stats.deletes += n
+        removed = np.zeros(n, dtype=bool)
+        if n == 0:
+            return removed
+        # Duplicate keys in one delete batch: only the first occurrence
+        # can observe (and clear) the entry.
+        unique = first_occurrence_mask(all_codes)
+        unique_idx = np.flatnonzero(unique)
+        codes = all_codes[unique]
+        removed_unique = np.zeros(len(codes), dtype=bool)
+        first, second = self.pair_hash.tables_for(codes)
+        for pass_idx, targets in enumerate((first, second)):
+            pending = np.flatnonzero(~removed_unique)
+            if len(pending) == 0:
+                break
+            if pass_idx == 1:
+                self.stats.chain_hops += len(pending)
+            for t in range(self.num_tables):
+                sel = pending[targets[pending] == t]
+                if len(sel) == 0:
+                    continue
+                st = self.subtables[t]
+                buckets = self.table_hashes[t].bucket(codes[sel], st.n_buckets)
+                self.stats.bucket_reads += len(sel)
+                erased = st.erase(buckets, codes[sel])
+                self.stats.bucket_writes += int(erased.sum())
+                removed_unique[sel[erased]] = True
+        removed[unique_idx] = removed_unique
+        self.stats.delete_hits += int(removed_unique.sum())
+        if self.config.auto_resize:
+            self._resizer.enforce_bounds()
+        return removed
+
+    def upsize(self) -> None:
+        """Manually double the smallest subtable (Section IV-D)."""
+        self._resizer.upsize()
+
+    def downsize(self) -> None:
+        """Manually halve the largest subtable (Section IV-D)."""
+        self._resizer.downsize()
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _probe(self, codes: np.ndarray, targets: np.ndarray,
+               out_indices: np.ndarray, values: np.ndarray,
+               found: np.ndarray) -> None:
+        """Look up ``codes`` in per-key subtables, writing results back."""
+        for t in range(self.num_tables):
+            sel = np.flatnonzero(targets == t)
+            if len(sel) == 0:
+                continue
+            st = self.subtables[t]
+            buckets = self.table_hashes[t].bucket(codes[sel], st.n_buckets)
+            self.stats.bucket_reads += len(sel)
+            hit, vals = st.lookup(buckets, codes[sel])
+            dest = out_indices[sel[hit]]
+            values[dest] = vals[hit]
+            found[dest] = True
+
+    def _update_existing(self, codes: np.ndarray, values: np.ndarray
+                         ) -> np.ndarray:
+        """Overwrite values of keys already stored; return updated mask."""
+        n = len(codes)
+        updated = np.zeros(n, dtype=bool)
+        first, second = self.pair_hash.tables_for(codes)
+        for pass_idx, targets in enumerate((first, second)):
+            pending = np.flatnonzero(~updated)
+            if len(pending) == 0:
+                break
+            if pass_idx == 1:
+                self.stats.chain_hops += len(pending)
+            for t in range(self.num_tables):
+                sel = pending[targets[pending] == t]
+                if len(sel) == 0:
+                    continue
+                st = self.subtables[t]
+                buckets = self.table_hashes[t].bucket(codes[sel], st.n_buckets)
+                self.stats.bucket_reads += len(sel)
+                upd = st.update_existing(buckets, codes[sel], values[sel])
+                self.stats.bucket_writes += int(upd.sum())
+                updated[sel[upd]] = True
+        return updated
+
+    def _insert_pending(self, codes: np.ndarray, values: np.ndarray,
+                        targets: np.ndarray, excluded: int | None) -> None:
+        """Round-synchronous cuckoo insertion of fresh keys.
+
+        ``targets[i]`` is the subtable each key currently attempts.  When
+        ``excluded`` is set (downsize residual spill), eviction victims
+        whose alternate is the excluded subtable are never chosen and the
+        eviction budget exhaustion raises :class:`ResizeError` instead of
+        upsizing.
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        targets = np.asarray(targets, dtype=np.int64)
+        rounds_since_progress = 0
+        while len(codes):
+            if excluded is None and self.config.auto_resize:
+                # Section IV-B: keep theta under beta.  Upsizing before the
+                # round (rather than after a long eviction stall) matches
+                # the paper's insertion-failure trigger while avoiding
+                # wasted eviction churn on a table that is simply full.
+                while ((len(self) + len(codes)) / self.total_slots
+                       > self.config.beta):
+                    self._resizer.upsize()
+            self.stats.eviction_rounds += 1
+            before_pending = len(codes)
+            next_codes: list[np.ndarray] = []
+            next_values: list[np.ndarray] = []
+            next_targets: list[np.ndarray] = []
+            for t in range(self.num_tables):
+                sel = np.flatnonzero(targets == t)
+                if len(sel) == 0:
+                    continue
+                st = self.subtables[t]
+                sel_codes = codes[sel]
+                sel_values = values[sel]
+                buckets = self.table_hashes[t].bucket(sel_codes, st.n_buckets)
+                self.stats.bucket_reads += len(sel)
+                # One bucket-lock CAS per operation; collisions estimated
+                # from device occupancy (only resident warps contend).
+                self.stats.lock_acquisitions += len(sel)
+                self.stats.lock_conflicts += estimate_lock_conflicts(
+                    len(sel), st.n_buckets)
+                updated, placed, full_leader = st.place_round(
+                    buckets, sel_codes, sel_values)
+                self.stats.bucket_writes += int(placed.sum() + updated.sum())
+
+                ev = np.flatnonzero(full_leader)
+                if len(ev):
+                    ev_buckets = buckets[ev]
+                    slots, ok, victim_alts = self._choose_victims(
+                        t, ev_buckets, excluded)
+                    good = np.flatnonzero(ok)
+                    if len(good):
+                        old_codes, old_values = st.swap_slot(
+                            ev_buckets[good], slots[good],
+                            sel_codes[ev[good]], sel_values[ev[good]])
+                        self.stats.evictions += len(good)
+                        self.stats.bucket_writes += len(good)
+                        next_codes.append(old_codes)
+                        next_values.append(old_values)
+                        next_targets.append(victim_alts[good])
+                    # Eviction leaders without an eligible victim retry.
+                    full_leader[ev[~ok]] = False
+
+                retry = ~(updated | placed | full_leader)
+                if np.any(retry):
+                    next_codes.append(sel_codes[retry])
+                    next_values.append(sel_values[retry])
+                    next_targets.append(np.full(int(retry.sum()), t,
+                                                dtype=np.int64))
+            if next_codes:
+                codes = np.concatenate(next_codes)
+                values = np.concatenate(next_values)
+                targets = np.concatenate(next_targets)
+            else:
+                codes = np.zeros(0, dtype=np.uint64)
+                values = np.zeros(0, dtype=np.uint64)
+                targets = np.zeros(0, dtype=np.int64)
+
+            if len(codes) >= before_pending:
+                rounds_since_progress += 1
+            else:
+                rounds_since_progress = 0
+            if rounds_since_progress >= self.config.max_eviction_rounds:
+                if excluded is not None:
+                    raise ResizeError(
+                        "residual spill stalled while a subtable is locked "
+                        "for downsizing"
+                    )
+                if not self.config.auto_resize:
+                    self.stats.insert_failures += len(codes)
+                    raise CapacityError(
+                        f"insert failed for {len(codes)} keys after "
+                        f"{self.config.max_eviction_rounds} stalled rounds "
+                        "(auto_resize disabled)"
+                    )
+                self._resizer.upsize_for_insert_failure()
+                rounds_since_progress = 0
+
+    def _choose_victims(self, table_idx: int, buckets: np.ndarray,
+                        excluded: int | None
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pick one eviction victim per (full) bucket.
+
+        Victims rotate deterministically around the bucket so repeated
+        evictions do not thrash the same slot.  With ``excluded`` set,
+        only occupants whose alternate subtable differs from ``excluded``
+        are eligible.
+
+        Returns ``(slots, ok, alternates)`` — the chosen slot per bucket,
+        whether an eligible victim exists, and the victim's alternate
+        subtable.
+        """
+        st = self.subtables[table_idx]
+        cap = st.bucket_capacity
+        m = len(buckets)
+        bucket_keys = st.bucket_keys(buckets)                 # (m, cap), full
+        flat = bucket_keys.ravel()
+        current = np.full(len(flat), table_idx, dtype=np.int64)
+        alternates = self.pair_hash.alternate_table(flat, current).reshape(m, cap)
+        if excluded is None:
+            eligible = np.ones((m, cap), dtype=bool)
+        else:
+            eligible = alternates != excluded
+        # Theorem-1-guided choice (Section V-A: "one can pick a KV pair
+        # for re-insertion into a desired hash table based on the
+        # balancing strategy"): prefer the occupant whose alternate
+        # subtable currently has the best routing weight, so evictions
+        # drain toward the least-loaded subtables — this is where a
+        # larger d pays off for insertion.
+        from repro.core.distribution import theorem1_weights
+        weights = theorem1_weights(self.subtable_sizes(),
+                                   self.subtable_loads())
+        preference = weights[alternates]                      # (m, cap)
+        # Random tie-breaking jitter: victims must still be effectively
+        # random or dense eviction cycles persist for hundreds of
+        # rounds (random-walk cuckoo).  A multiplicative hash of
+        # (event counter, bucket, slot) provides the jitter without an
+        # RNG stream.
+        self._victim_counter += 1
+        nonce = (self._victim_counter * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mixed = (np.uint64(nonce)
+                 + buckets.astype(np.uint64)[:, None] * np.uint64(0xBF58476D1CE4E5B9)
+                 + np.arange(cap, dtype=np.uint64)[None, :] * np.uint64(0x94D049BB133111EB))
+        jitter = ((mixed >> np.uint64(40)).astype(np.float64)
+                  / float(1 << 24))                           # [0, 1)
+        score = preference * (0.5 + jitter)
+        score = np.where(eligible, score, -1.0)
+        slots = score.argmax(axis=1)
+        ok = eligible[np.arange(m), slots]
+        return slots, ok, alternates[np.arange(m), slots]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the DyCuckoo reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  The hierarchy mirrors the failure modes of the paper's
+system: keys outside the supported domain, insertion failures that even
+resizing could not absorb, and invalid resize requests.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class InvalidKeyError(ReproError, ValueError):
+    """A key is outside the supported ``uint64`` domain.
+
+    The implementation reserves one 64-bit code for the *empty slot*
+    sentinel, so the largest representable user key is ``2**64 - 2``.
+    """
+
+
+class InvalidConfigError(ReproError, ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """An insertion could not be completed even after resizing.
+
+    Raised when the eviction chain limit is exceeded and either automatic
+    resizing is disabled or resizing failed to make room (for instance
+    because the table hit ``max_total_slots``).
+    """
+
+
+class ResizeError(ReproError, RuntimeError):
+    """A resize operation could not be carried out.
+
+    Examples: downsizing a subtable that is already at minimum size, or a
+    downsize whose residual entries could not be relocated into the other
+    subtables.
+    """
+
+
+class UnsupportedOperationError(ReproError, NotImplementedError):
+    """A baseline does not implement the requested operation.
+
+    Mirrors the paper's observation that CUDPP supports only ``insert``
+    and ``find`` (no ``delete``).
+    """

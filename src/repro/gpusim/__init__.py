@@ -1,0 +1,52 @@
+"""SIMT execution and cost model — the substrate standing in for a GPU.
+
+The paper's experiments run on an NVIDIA GTX 1080; this subpackage
+provides the pieces of that machine the hash tables interact with:
+
+* :mod:`repro.gpusim.device` — device specifications (GTX 1080 preset),
+* :mod:`repro.gpusim.warp` — warp primitives (ballot/shfl/leader vote),
+* :mod:`repro.gpusim.kernel` — round-synchronous scheduling, occupancy
+  and per-round lock arbitration,
+* :mod:`repro.gpusim.memory` — coalescing analysis and transaction
+  accounting,
+* :mod:`repro.gpusim.atomics` — functional atomics plus the
+  contention-degradation model of Figure 5,
+* :mod:`repro.gpusim.metrics` — the cost model turning event counts
+  into simulated seconds and Mops.
+"""
+
+from repro.gpusim.atomics import (AtomicMemory, atomic_batch_seconds,
+                                  atomic_throughput_mops,
+                                  coalesced_io_throughput_mops)
+from repro.gpusim.device import GTX_1050, GTX_1080, V100, DeviceSpec
+from repro.gpusim.kernel import LockArbiter, Occupancy, RoundScheduler
+from repro.gpusim.memory import MemoryTracker, coalesced_transactions
+from repro.gpusim.memory_manager import DeviceMemoryManager, PCIE_BANDWIDTH
+from repro.gpusim.metrics import CostModel, KernelCosts, mops
+from repro.gpusim.profile import KernelProfile, profile_batch, profile_operation
+from repro.gpusim.warp import WarpContext
+
+__all__ = [
+    "DeviceSpec",
+    "GTX_1080",
+    "GTX_1050",
+    "V100",
+    "WarpContext",
+    "RoundScheduler",
+    "LockArbiter",
+    "Occupancy",
+    "MemoryTracker",
+    "coalesced_transactions",
+    "AtomicMemory",
+    "atomic_batch_seconds",
+    "atomic_throughput_mops",
+    "coalesced_io_throughput_mops",
+    "CostModel",
+    "KernelCosts",
+    "mops",
+    "DeviceMemoryManager",
+    "PCIE_BANDWIDTH",
+    "KernelProfile",
+    "profile_batch",
+    "profile_operation",
+]

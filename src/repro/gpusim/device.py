@@ -1,0 +1,115 @@
+"""Device specifications for the SIMT simulator.
+
+The paper evaluates on an NVIDIA GeForce GTX 1080 (Pascal, 20 SMs with
+128 SPs each, 8 GB GDDR5X).  :data:`GTX_1080` encodes that machine; the
+cost model in :mod:`repro.gpusim.metrics` reads its parameters to turn
+event counts into simulated time.  Other presets make it easy to ask
+"what if" questions the paper could not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU for simulation purposes.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, for reports.
+    num_sms:
+        Streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM.
+    warp_size:
+        Threads per warp (32 on every NVIDIA architecture to date).
+    clock_ghz:
+        Boost clock in GHz.
+    mem_bandwidth_gbps:
+        Peak device-memory bandwidth in GB/s.
+    mem_efficiency:
+        Achievable fraction of peak bandwidth for well-coalesced access
+        (hash probing reaches roughly 70-80% in practice).
+    cache_line_bytes:
+        L1/L2 transaction granularity; equals one 32x4-byte bucket.
+    max_warps_per_sm:
+        Resident warp limit per SM (occupancy ceiling).
+    kernel_launch_us:
+        Host-side launch + sync overhead per kernel invocation, in
+        microseconds.  Charged once per device-wide round.
+    atomic_base_ns:
+        Amortized cost of one uncontended global atomic.
+    atomic_conflict_ns:
+        Extra serialized cost per additional atomic landing on the *same*
+        address in the same round (the degradation of Figure 5).
+    device_memory_bytes:
+        Total device memory; memory-budget reports check against it.
+    """
+
+    name: str = "NVIDIA GeForce GTX 1080"
+    num_sms: int = 20
+    cores_per_sm: int = 128
+    warp_size: int = 32
+    clock_ghz: float = 1.733
+    mem_bandwidth_gbps: float = 320.0
+    mem_efficiency: float = 0.75
+    cache_line_bytes: int = 128
+    max_warps_per_sm: int = 64
+    kernel_launch_us: float = 5.0
+    atomic_base_ns: float = 0.6
+    atomic_conflict_ns: float = 9.0
+    device_memory_bytes: int = 8 * 1024 ** 3
+
+    def __post_init__(self) -> None:
+        if self.warp_size < 1:
+            raise InvalidConfigError(f"warp_size must be >= 1, got {self.warp_size}")
+        if self.num_sms < 1:
+            raise InvalidConfigError(f"num_sms must be >= 1, got {self.num_sms}")
+        if not 0.0 < self.mem_efficiency <= 1.0:
+            raise InvalidConfigError(
+                f"mem_efficiency must be in (0, 1], got {self.mem_efficiency}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores on the device."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Device-wide resident warp limit."""
+        return self.num_sms * self.max_warps_per_sm
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Sustained coalesced bandwidth in bytes/second."""
+        return self.mem_bandwidth_gbps * 1e9 * self.mem_efficiency
+
+
+#: The paper's evaluation machine.
+GTX_1080 = DeviceSpec()
+
+#: A smaller laptop-class part, useful for sensitivity experiments.
+GTX_1050 = DeviceSpec(
+    name="NVIDIA GeForce GTX 1050",
+    num_sms=5,
+    cores_per_sm=128,
+    clock_ghz=1.455,
+    mem_bandwidth_gbps=112.0,
+    device_memory_bytes=2 * 1024 ** 3,
+)
+
+#: A server-class part, for headroom experiments.
+V100 = DeviceSpec(
+    name="NVIDIA Tesla V100",
+    num_sms=80,
+    cores_per_sm=64,
+    clock_ghz=1.53,
+    mem_bandwidth_gbps=900.0,
+    device_memory_bytes=32 * 1024 ** 3,
+)

@@ -1,0 +1,153 @@
+"""Device memory manager: the "coexisting structures" story.
+
+The paper's introduction motivates dynamic tables with multi-structure
+GPUs: a static hash table that hogs device memory forces other resident
+structures out over PCIe.  :class:`DeviceMemoryManager` models that
+environment — named clients allocate and free against the device's
+capacity; an allocation that does not fit *spills*: some resident
+structure must round-trip over PCIe, whose cost the manager accounts.
+
+Used by the multi-tenant example and the memory-budget experiments; it
+is deliberately simple (no fragmentation model) because the quantity of
+interest is peak residency and spill traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, InvalidConfigError
+from repro.gpusim.device import DeviceSpec, GTX_1080
+
+#: Sustained host<->device PCIe 3.0 x16 bandwidth (bytes/second).
+PCIE_BANDWIDTH = 12e9
+
+
+@dataclass
+class AllocationRecord:
+    """One client's live allocation."""
+
+    client: str
+    num_bytes: int
+    #: Whether the allocation currently resides on the device (False
+    #: means it was spilled to host memory).
+    resident: bool = True
+
+
+class DeviceMemoryManager:
+    """Tracks allocations of several structures against one device.
+
+    Parameters
+    ----------
+    device:
+        The GPU being shared.
+    reserve_fraction:
+        Fraction of device memory unavailable to clients (context,
+        framework overheads).
+    """
+
+    def __init__(self, device: DeviceSpec = GTX_1080,
+                 reserve_fraction: float = 0.05) -> None:
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise InvalidConfigError(
+                f"reserve_fraction must be in [0, 1), got {reserve_fraction}")
+        self.device = device
+        self.capacity = int(device.device_memory_bytes
+                            * (1.0 - reserve_fraction))
+        self._allocations: dict[str, AllocationRecord] = {}
+        #: Bytes moved over PCIe due to spills and restores.
+        self.spill_bytes = 0
+        #: Highest device residency observed.
+        self.peak_resident_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(rec.num_bytes for rec in self._allocations.values()
+                   if rec.resident)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.resident_bytes
+
+    @property
+    def spill_seconds(self) -> float:
+        """Time spent on PCIe traffic caused by spills."""
+        return self.spill_bytes / PCIE_BANDWIDTH
+
+    def allocation_of(self, client: str) -> AllocationRecord | None:
+        return self._allocations.get(client)
+
+    def clients(self) -> list[str]:
+        return sorted(self._allocations)
+
+    # ------------------------------------------------------------------
+    # Allocation protocol
+    # ------------------------------------------------------------------
+
+    def set_allocation(self, client: str, num_bytes: int) -> None:
+        """Declare ``client``'s current footprint (grow or shrink).
+
+        If the new total does not fit, other clients' structures are
+        spilled to the host (largest first) until it does; the evicted
+        bytes are charged as PCIe traffic.  If even spilling everything
+        else cannot make room, :class:`CapacityError` is raised.
+        """
+        if num_bytes < 0:
+            raise InvalidConfigError("num_bytes must be non-negative")
+        if num_bytes > self.capacity:
+            raise CapacityError(
+                f"{client}: {num_bytes / 1e9:.2f} GB exceeds device "
+                f"capacity {self.capacity / 1e9:.2f} GB")
+        record = self._allocations.get(client)
+        if record is None:
+            record = AllocationRecord(client, 0)
+            self._allocations[client] = record
+        # A client touching its structure needs it resident.
+        if not record.resident:
+            self.spill_bytes += record.num_bytes  # restore transfer
+            record.resident = True
+        record.num_bytes = num_bytes
+
+        overflow = self.resident_bytes - self.capacity
+        if overflow > 0:
+            self._spill_others(client, overflow)
+        self.peak_resident_bytes = max(self.peak_resident_bytes,
+                                       self.resident_bytes)
+
+    def free(self, client: str) -> None:
+        """Release a client's allocation entirely."""
+        self._allocations.pop(client, None)
+
+    def _spill_others(self, protected: str, overflow: int) -> None:
+        victims = sorted(
+            (rec for name, rec in self._allocations.items()
+             if name != protected and rec.resident),
+            key=lambda rec: rec.num_bytes, reverse=True)
+        for victim in victims:
+            if overflow <= 0:
+                break
+            victim.resident = False
+            self.spill_bytes += victim.num_bytes  # eviction transfer
+            overflow -= victim.num_bytes
+        if overflow > 0:
+            raise CapacityError(
+                f"device over capacity by {overflow / 1e6:.1f} MB even "
+                "after spilling every other structure")
+
+    def report(self) -> str:
+        """Human-readable residency summary."""
+        lines = [f"device {self.device.name}: "
+                 f"{self.resident_bytes / 1e6:.1f} / "
+                 f"{self.capacity / 1e6:.1f} MB resident, "
+                 f"{self.spill_bytes / 1e6:.1f} MB spilled over PCIe "
+                 f"({self.spill_seconds * 1e3:.2f} ms)"]
+        for name in self.clients():
+            rec = self._allocations[name]
+            location = "device" if rec.resident else "host (spilled)"
+            lines.append(f"  {name}: {rec.num_bytes / 1e6:.2f} MB on "
+                         f"{location}")
+        return "\n".join(lines)

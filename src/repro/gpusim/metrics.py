@@ -1,0 +1,148 @@
+"""Cost model: event counts -> simulated GPU time -> Mops.
+
+Every table implementation in this package counts the same events while
+executing (bucket transactions, random accesses, lock atomics, device
+rounds, rehash traffic).  :class:`CostModel` converts a delta of those
+counters into simulated wall-clock time on a :class:`DeviceSpec`:
+
+* **memory time** — bytes moved over sustained coalesced bandwidth; a
+  bucket probe moves one cache line, a chain hop wastes a full line on a
+  few useful bytes (the coalescing argument of Section II-B);
+* **atomic time** — pipelined base cost per lock atomic plus a
+  serialization penalty per conflicting atomic (Figure 5's degradation);
+* **compute time** — per-op instruction cost; matters only for
+  compute-heavier schemes (e.g. DyCuckoo's extra hash layer, the reason
+  Figure 9 shows MegaKV slightly ahead on FIND);
+* **round overhead** — one device-wide synchronization per eviction
+  round plus kernel-launch costs, which is what penalizes long cuckoo
+  chains and full rehashes.
+
+Absolute numbers are calibrated to a GTX 1080 and are *not* claimed to
+match the authors' testbed; relative shapes are the reproduction target
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.gpusim.atomics import ATOMIC_BANKS, effective_atomic_ns
+from repro.gpusim.device import DeviceSpec, GTX_1080
+
+#: Cost of one device-wide eviction round.  The kernels loop *inside*
+#: one launch (no grid synchronization), so a round costs only the
+#: re-ballot/bookkeeping work; the real price of long chains is their
+#: memory traffic, which is counted separately.
+ROUND_SYNC_SECONDS = 3e-7
+
+#: Fixed overhead per full-table rehash: one cudaMalloc/cudaFree pair
+#: plus the extra kernel launches.  Kept small so the *traffic* of
+#: moving every entry — which scales with table size and is therefore
+#: scale-invariant in relative comparisons — dominates the rehash cost.
+FULL_REHASH_OVERHEAD_SECONDS = 5e-5
+
+#: Default per-operation compute cost (hashing + bookkeeping), ns.
+DEFAULT_COMPUTE_NS = 0.30
+
+#: Exposed latency per dependent chain hop (ns).  A dependent probe
+#: cannot issue until the previous one returns (~300 ns raw latency);
+#: warp over-subscription hides most but not all of it — pointer-chasing
+#: structures measurably trail array-probing ones on real GPUs, and this
+#: term is that residue.
+CHAIN_HOP_NS = 4.0
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Per-operation compute costs (ns) for one table implementation.
+
+    These express *relative* instruction-path lengths: DyCuckoo's find
+    performs one extra layer of hashing over MegaKV's; SlabHash's find
+    executes pointer-chasing control flow; CUDPP recomputes up to five
+    hash functions.
+    """
+
+    find_ns: float = DEFAULT_COMPUTE_NS
+    insert_ns: float = DEFAULT_COMPUTE_NS
+    delete_ns: float = DEFAULT_COMPUTE_NS
+
+
+@dataclass
+class CostModel:
+    """Converts :class:`repro.core.stats.TableStats` deltas to seconds.
+
+    ``overhead_scale`` multiplies the *fixed* costs (kernel launches,
+    round bookkeeping, allocation overheads).  Full-size experiments use
+    1.0; experiments run at a reduced dataset scale pass that same scale
+    so fixed costs keep the proportion to traffic they would have at
+    full size — otherwise a 1/100-scale run's launch overheads would
+    dwarf its (1/100-sized) memory traffic and distort every ratio.
+    """
+
+    device: DeviceSpec = field(default_factory=lambda: GTX_1080)
+    overhead_scale: float = 1.0
+
+    def memory_seconds(self, delta: Mapping[str, int]) -> float:
+        """Bandwidth-bound time for the recorded transactions."""
+        line = self.device.cache_line_bytes
+        coalesced = delta.get("bucket_reads", 0) + delta.get("bucket_writes", 0)
+        random = delta.get("random_accesses", 0)
+        bytes_moved = (coalesced + random) * line
+        return bytes_moved / self.device.effective_bandwidth_bytes_per_s
+
+    def atomic_seconds(self, delta: Mapping[str, int]) -> float:
+        """Lock traffic: pipelined CAS/Exch plus serialized conflicts."""
+        acquisitions = delta.get("lock_acquisitions", 0)
+        conflicts = delta.get("lock_conflicts", 0)
+        exchanges = delta.get("atomic_exchanges", 0)
+        if acquisitions + conflicts + exchanges == 0:
+            return 0.0
+        # Each successful acquisition is one CAS plus one Exch (unlock);
+        # each conflict is a failed CAS serialized behind the holder at
+        # the average conflict degree the batch exhibited.  Standalone
+        # exchanges (lock-free designs) pipeline at the Exch rate.
+        degree = 1.0 + conflicts / max(1, acquisitions)
+        per_cas_ns = effective_atomic_ns(degree, self.device, cas=True)
+        per_exch_ns = effective_atomic_ns(1.0, self.device, cas=False)
+        total_ns = ((acquisitions + conflicts) * per_cas_ns
+                    + (acquisitions + exchanges) * per_exch_ns)
+        return total_ns / ATOMIC_BANKS * 1e-9
+
+    def overhead_seconds(self, delta: Mapping[str, int],
+                         kernel_launches: int = 0) -> float:
+        """Fixed costs: launches, round bookkeeping, rehash allocation."""
+        rounds = delta.get("eviction_rounds", 0)
+        resizes = delta.get("upsizes", 0) + delta.get("downsizes", 0)
+        rehashes = delta.get("full_rehashes", 0)
+        launch_seconds = self.device.kernel_launch_us * 1e-6
+        fixed = (rounds * ROUND_SYNC_SECONDS
+                 + (resizes + kernel_launches) * launch_seconds
+                 + rehashes * FULL_REHASH_OVERHEAD_SECONDS)
+        return fixed * self.overhead_scale
+
+    def batch_seconds(self, delta: Mapping[str, int], num_ops: int,
+                      compute_ns_per_op: float = DEFAULT_COMPUTE_NS,
+                      kernel_launches: int = 1) -> float:
+        """Total simulated time for a batch of ``num_ops`` operations.
+
+        Memory and atomic traffic overlap on real hardware (warps hide
+        each other's latency), so the slower of the two binds; compute
+        and fixed overheads add on top.
+        """
+        bound = max(self.memory_seconds(delta), self.atomic_seconds(delta))
+        compute = num_ops * compute_ns_per_op * 1e-9
+        latency = delta.get("chain_hops", 0) * CHAIN_HOP_NS * 1e-9
+        return (bound + compute + latency
+                + self.overhead_seconds(delta, kernel_launches))
+
+    def mops(self, delta: Mapping[str, int], num_ops: int,
+             compute_ns_per_op: float = DEFAULT_COMPUTE_NS) -> float:
+        """Throughput in million operations per second (the paper's unit)."""
+        seconds = self.batch_seconds(delta, num_ops, compute_ns_per_op)
+        return num_ops / seconds / 1e6 if seconds > 0 else float("inf")
+
+
+def mops(num_ops: int, seconds: float) -> float:
+    """Plain Mops helper for directly measured times."""
+    return num_ops / seconds / 1e6 if seconds > 0 else float("inf")

@@ -1,0 +1,36 @@
+"""Warp-centric kernels over the SIMT simulator.
+
+These are near-literal transcriptions of the paper's device code:
+
+* :mod:`repro.kernels.insert` — Algorithm 1, the voter-coordinated
+  insert (and a naive spin-lock variant used as the ablation baseline),
+* :mod:`repro.kernels.find` — the two-lookup warp-centric FIND,
+* :mod:`repro.kernels.delete` — the lock-free warp-centric DELETE,
+* :mod:`repro.kernels.resize_kernels` — the conflict-free upsize and the
+  merge-with-residuals downsize of Section IV-D.
+
+They execute lane-by-lane against the *same storage* as the vectorized
+fast path in :mod:`repro.core.table`, which lets the test suite prove
+the two execution models agree.  The vectorized path is what benchmarks
+use at scale; these kernels are the ground truth for warp semantics and
+lock-contention behaviour.
+"""
+
+from repro.kernels.delete import run_delete_kernel
+from repro.kernels.find import run_find_kernel
+from repro.kernels.insert import (KernelRunResult, run_spin_insert_kernel,
+                                  run_voter_insert_kernel)
+from repro.kernels.megakv_insert import run_megakv_insert_kernel
+from repro.kernels.resize_kernels import (run_downsize_kernel,
+                                          run_upsize_kernel)
+
+__all__ = [
+    "run_voter_insert_kernel",
+    "run_spin_insert_kernel",
+    "run_find_kernel",
+    "run_delete_kernel",
+    "run_upsize_kernel",
+    "run_downsize_kernel",
+    "KernelRunResult",
+    "run_megakv_insert_kernel",
+]

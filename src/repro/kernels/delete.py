@@ -1,0 +1,59 @@
+"""Warp-centric DELETE kernel (Section V-B).
+
+Deletion, like FIND, needs no bucket locks: one warp inspects the two
+candidate buckets of the key; the lane that sees the key clears it.  At
+most one lane can match (keys are unique across the structure), so no
+write conflict is possible — the property the paper uses to keep DELETE
+lock-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.subtable import EMPTY
+from repro.gpusim.memory import MemoryTracker
+from repro.gpusim.warp import WarpContext
+from repro.kernels.find import _ballot_match
+from repro.kernels.insert import KernelRunResult
+
+
+def run_delete_kernel(table, keys) -> tuple[np.ndarray, KernelRunResult]:
+    """Delete a batch of keys lane-faithfully.
+
+    Returns ``(removed, result)``.  Mutates the table's storage and its
+    per-subtable live counters; semantically identical to
+    :meth:`repro.core.table.DyCuckooTable.delete` minus the automatic
+    resize (resizing is a separate kernel in the paper).
+    """
+    from repro.core.table import encode_keys
+
+    codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    n = len(codes)
+    removed = np.zeros(n, dtype=bool)
+    result = KernelRunResult()
+    tracker = MemoryTracker()
+    ctx = WarpContext(warp_id=0)
+    if n == 0:
+        return removed, result
+
+    first, second = table.pair_hash.tables_for(codes)
+    for i in range(n):
+        code = int(codes[i])
+        for target in (int(first[i]), int(second[i])):
+            st = table.subtables[target]
+            bucket = int(table.table_hashes[target].bucket(
+                np.asarray([code], dtype=np.uint64), st.n_buckets)[0])
+            tracker.bucket_access()
+            result.memory_transactions += 1
+            slot = _ballot_match(ctx, st.keys[bucket], code)
+            if slot >= 0:
+                st.keys[bucket, slot] = EMPTY
+                st.size -= 1
+                tracker.bucket_access()
+                result.memory_transactions += 1
+                removed[i] = True
+                break
+    result.completed_ops = int(removed.sum())
+    result.rounds = n
+    return removed, result

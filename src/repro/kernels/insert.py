@@ -1,0 +1,254 @@
+"""Algorithm 1: voter-coordinated parallel insertion.
+
+Each *lane* owns one insert operation.  Every device round, the warp:
+
+1. ballots over active lanes and elects a leader ``l'``,
+2. broadcasts the leader's ``(k', v')`` and target subtable ``i'``,
+3. the leader issues ``atomicCAS`` on the bucket lock; on failure the
+   warp *revotes a different leader* next round instead of spinning
+   (this is the voter scheme's whole point),
+4. on success the warp inspects the bucket in one coalesced read;
+   an existing key or empty slot takes the write, otherwise the leader
+   swaps with a victim whose evicted pair continues on the same lane,
+   retargeted at the victim's alternate subtable,
+5. the lock is released and (if the lane's op completed) the lane goes
+   inactive.
+
+:func:`run_spin_insert_kernel` is the ablation: the classic warp-centric
+approach where a warp keeps hammering the same bucket lock until it wins
+— the behaviour whose cost Figure 5 motivates against.
+
+Both kernels run against the live storage of a
+:class:`repro.core.table.DyCuckooTable` so results are directly
+comparable (and testable) against the vectorized path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.subtable import EMPTY
+from repro.errors import CapacityError
+from repro.gpusim.kernel import LockArbiter, RoundScheduler
+from repro.gpusim.memory import MemoryTracker
+from repro.gpusim.warp import WarpContext
+
+
+@dataclass
+class KernelRunResult:
+    """Aggregate statistics from one simulated kernel execution."""
+
+    rounds: int = 0
+    lock_acquisitions: int = 0
+    lock_conflicts: int = 0
+    evictions: int = 0
+    memory_transactions: int = 0
+    completed_ops: int = 0
+    #: Per-warp counts of leader elections (vote steps).
+    votes: int = 0
+
+
+class _InsertWarp:
+    """One warp's state while executing Algorithm 1."""
+
+    def __init__(self, warp_id: int, table, keys: np.ndarray,
+                 values: np.ndarray, targets: np.ndarray,
+                 arbiter: LockArbiter, tracker: MemoryTracker,
+                 result: KernelRunResult, voter: bool,
+                 max_rounds_per_op: int = 4096) -> None:
+        self.table = table
+        self.ctx = WarpContext(warp_id)
+        width = self.ctx.width
+        n = len(keys)
+        if n > width:
+            raise ValueError(f"a warp owns at most {width} ops, got {n}")
+        self.keys = np.zeros(width, dtype=np.uint64)
+        self.values = np.zeros(width, dtype=np.uint64)
+        self.targets = np.zeros(width, dtype=np.int64)
+        self.keys[:n] = keys
+        self.values[:n] = values
+        self.targets[:n] = targets
+        self.ctx.active[:n] = True
+        self.arbiter = arbiter
+        self.tracker = tracker
+        self.result = result
+        self.voter = voter
+        self._next_start_lane = 0
+        self._stalled_rounds = 0
+        self._max_stall = max_rounds_per_op
+        # Two-phase critical section: a successful lock acquisition reads
+        # the bucket in one round and performs the write (and unlock) the
+        # next, so the lock is observably held against same-round and
+        # next-round competitors — the situation the voter scheme exists
+        # to exploit.
+        self._locked: tuple[int, int, int, int] | None = None
+
+    def finished(self) -> bool:
+        return self._locked is None and not self.ctx.any_active()
+
+    def _elect(self) -> int:
+        """Leader election; the voter variant rotates past failed lanes."""
+        self.result.votes += 1
+        mask = self.ctx.ballot(self.ctx.active)
+        if mask == 0:
+            return -1
+        if not self.voter:
+            return self.ctx.ffs(mask)
+        width = self.ctx.width
+        for offset in range(width):
+            lane = (self._next_start_lane + offset) % width
+            if mask & (1 << lane):
+                return lane
+        return -1  # pragma: no cover - mask != 0 guarantees a hit
+
+    def step(self, _round_index: int) -> None:
+        """One iteration of Algorithm 1's while loop (two-phase)."""
+        if self._locked is not None:
+            self._complete_locked()
+            return
+        leader = self._elect()
+        if leader < 0:
+            return
+        # broadcast(l'): every lane receives the leader's op.
+        key = int(self.ctx.shfl(self.keys, leader))
+        value = int(self.ctx.shfl(self.values, leader))
+        target = int(self.ctx.shfl(self.targets, leader))
+
+        st = self.table.subtables[target]
+        bucket = int(self.table.table_hashes[target].bucket(
+            np.asarray([key], dtype=np.uint64), st.n_buckets)[0])
+        lock_id = self._lock_id(target, bucket)
+        if not self.arbiter.try_acquire(lock_id):
+            # Voter scheme: next election starts after the failed lane,
+            # so the warp tries a different bucket instead of spinning.
+            if self.voter:
+                self._next_start_lane = (leader + 1) % self.ctx.width
+            self._stalled_rounds += 1
+            if self._stalled_rounds > self._max_stall:
+                raise CapacityError(
+                    "insert kernel stalled: no lock progress "
+                    f"after {self._max_stall} rounds"
+                )
+            return
+        self._stalled_rounds = 0
+        # Phase one done: lock held, bucket read issued; the update lands
+        # next round while competitors observe the held lock.
+        self.result.memory_transactions += 1
+        self.tracker.bucket_access()
+        self._locked = (leader, target, bucket, lock_id)
+
+    def _complete_locked(self) -> None:
+        """Phase two: inspect the bucket, write or evict, unlock."""
+        leader, target, bucket, lock_id = self._locked
+        self._locked = None
+        key = int(self.keys[leader])
+        value = int(self.values[leader])
+        st = self.table.subtables[target]
+        bucket_keys = st.keys[bucket]
+        lane_matches = ((bucket_keys == np.uint64(key))
+                        | (bucket_keys == EMPTY))
+        # Each lane inspects one slot; with capacity > warp width the
+        # warp would loop over stripes — ballot each stripe in turn.
+        slot = -1
+        for stripe_start in range(0, st.bucket_capacity, self.ctx.width):
+            stripe = lane_matches[stripe_start:stripe_start + self.ctx.width]
+            pred = np.zeros(self.ctx.width, dtype=bool)
+            pred[:len(stripe)] = stripe
+            hit = self.ctx.ffs(self.ctx.ballot(pred))
+            if hit >= 0:
+                slot = stripe_start + hit
+                break
+        if 0 <= slot < st.bucket_capacity:
+            was_empty = bucket_keys[slot] == EMPTY
+            st.keys[bucket, slot] = np.uint64(key)
+            st.values[bucket, slot] = np.uint64(value)
+            if was_empty:
+                st.size += 1
+            self.tracker.bucket_access()
+            self.result.memory_transactions += 1
+            self.arbiter.release(lock_id)
+            self.ctx.active[leader] = False
+            self.result.completed_ops += 1
+            self._next_start_lane = (leader + 1) % self.ctx.width
+            return
+
+        # Bucket full: swap with a victim; the evicted pair continues on
+        # the leader's lane, targeted at the victim's alternate subtable.
+        victim_slot = self._choose_victim_slot(target, bucket, bucket_keys)
+        victim_key = int(st.keys[bucket, victim_slot])
+        victim_value = int(st.values[bucket, victim_slot])
+        st.keys[bucket, victim_slot] = np.uint64(key)
+        st.values[bucket, victim_slot] = np.uint64(value)
+        self.tracker.bucket_access()
+        self.result.memory_transactions += 1
+        self.result.evictions += 1
+        self.arbiter.release(lock_id)
+
+        alternate = int(self.table.pair_hash.alternate_table(
+            np.asarray([victim_key], dtype=np.uint64),
+            np.asarray([target], dtype=np.int64))[0])
+        self.keys[leader] = victim_key
+        self.values[leader] = victim_value
+        self.targets[leader] = alternate
+
+    def _choose_victim_slot(self, target: int, bucket: int,
+                            bucket_keys: np.ndarray) -> int:
+        """Rotate the victim slot deterministically (matches the core)."""
+        del bucket_keys
+        cap = self.table.subtables[target].bucket_capacity
+        slot = (self.table._victim_counter + bucket) % cap
+        self.table._victim_counter += 1
+        return slot
+
+    @staticmethod
+    def _lock_id(table_idx: int, bucket: int) -> int:
+        """Globally unique lock id for (subtable, bucket)."""
+        return (table_idx << 40) | bucket
+
+
+def _run_insert(table, keys, values, voter: bool) -> KernelRunResult:
+    keys = np.asarray(keys, dtype=np.uint64)
+    values = np.asarray(values, dtype=np.uint64)
+    from repro.core.table import encode_keys
+    codes = encode_keys(keys)
+    first, second = table.pair_hash.tables_for(codes)
+    targets = table._router.choose(codes, first, second,
+                                   table.subtable_sizes(),
+                                   table.subtable_loads())
+    arbiter = LockArbiter()
+    tracker = MemoryTracker()
+    result = KernelRunResult()
+    warps = []
+    width = 32
+    for start in range(0, len(codes), width):
+        stop = min(start + width, len(codes))
+        warps.append(_InsertWarp(
+            warp_id=len(warps), table=table, keys=codes[start:stop],
+            values=values[start:stop], targets=targets[start:stop],
+            arbiter=arbiter, tracker=tracker, result=result, voter=voter))
+    scheduler = RoundScheduler(warps)
+    result.rounds = scheduler.run()
+    result.lock_acquisitions = arbiter.acquisitions
+    result.lock_conflicts = arbiter.conflicts
+    return result
+
+
+def run_voter_insert_kernel(table, keys, values) -> KernelRunResult:
+    """Insert a batch via Algorithm 1 (voter coordination).
+
+    Mutates ``table``'s storage directly; intended for fresh keys on a
+    table with enough headroom (no resizing happens inside a kernel,
+    matching the paper where resizing is its own kernel).
+    """
+    return _run_insert(table, keys, values, voter=True)
+
+
+def run_spin_insert_kernel(table, keys, values) -> KernelRunResult:
+    """Ablation: warp-centric insert that spins on the same lock.
+
+    Identical to the voter kernel except a lock failure retries the same
+    leader (and therefore the same bucket) next round.
+    """
+    return _run_insert(table, keys, values, voter=False)

@@ -1,0 +1,133 @@
+"""Lane-level MegaKV insert kernel — the lock-free contrast to Algorithm 1.
+
+MegaKV does not lock buckets: a warp inspects its key's bucket and
+claims a slot with a single 64-bit ``atomicExch``-style write; a full
+bucket evicts an occupant to the *other* hash function's bucket.  Races
+between warps writing the same slot in the same round resolve by
+last-writer-wins (exchange semantics) with the loser retrying — no
+spinning, but also no mutual exclusion, which is why MegaKV is limited
+to KV pairs that fit one atomic transaction.
+
+Used by tests to validate the vectorized MegaKV path and by studies of
+the lock-free/lock-based design space the paper discusses in
+Section V-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.megakv import MegaKVTable
+from repro.core.subtable import EMPTY
+from repro.core.table import encode_keys
+from repro.errors import CapacityError
+from repro.gpusim.kernel import RoundScheduler
+from repro.gpusim.memory import MemoryTracker
+from repro.gpusim.warp import WarpContext
+from repro.kernels.insert import KernelRunResult
+
+
+class _MegaKVInsertWarp:
+    """One warp's state: each lane owns one insert."""
+
+    def __init__(self, warp_id: int, table: MegaKVTable, codes: np.ndarray,
+                 values: np.ndarray, tracker: MemoryTracker,
+                 result: KernelRunResult,
+                 max_stall_rounds: int = 4096) -> None:
+        self.table = table
+        self.ctx = WarpContext(warp_id)
+        width = self.ctx.width
+        n = len(codes)
+        if n > width:
+            raise ValueError(f"a warp owns at most {width} ops, got {n}")
+        self.codes = np.zeros(width, dtype=np.uint64)
+        self.values = np.zeros(width, dtype=np.uint64)
+        self.funcs = np.zeros(width, dtype=np.int64)
+        self.codes[:n] = codes
+        self.values[:n] = values
+        self.funcs[:n] = (codes % np.uint64(2)).astype(np.int64)
+        self.ctx.active[:n] = True
+        self.tracker = tracker
+        self.result = result
+        self._rounds = 0
+        self._max_stall = max_stall_rounds
+
+    def finished(self) -> bool:
+        return not self.ctx.any_active()
+
+    def step(self, _round_index: int) -> None:
+        leader = self.ctx.elect_leader()
+        if leader < 0:
+            return
+        self._rounds += 1
+        if self._rounds > self._max_stall:
+            raise CapacityError("MegaKV kernel stalled (table too full)")
+        code = int(self.ctx.shfl(self.codes, leader))
+        value = int(self.ctx.shfl(self.values, leader))
+        func = int(self.ctx.shfl(self.funcs, leader))
+
+        st = self.table.subtables[func]
+        bucket = int(self.table.hashes[func].bucket(
+            np.asarray([code], dtype=np.uint64), st.n_buckets)[0])
+        self.tracker.bucket_access()
+        self.result.memory_transactions += 1
+
+        bucket_keys = st.keys[bucket]
+        # Update-in-place if the key already sits here.
+        match = np.flatnonzero(bucket_keys == np.uint64(code))
+        if len(match):
+            st.values[bucket, int(match[0])] = np.uint64(value)
+            self.result.memory_transactions += 1
+            self.ctx.active[leader] = False
+            self.result.completed_ops += 1
+            return
+
+        free = np.flatnonzero(bucket_keys == EMPTY)
+        if len(free):
+            # One atomicExch claims the slot; no lock.
+            slot = int(free[0])
+            st.keys[bucket, slot] = np.uint64(code)
+            st.values[bucket, slot] = np.uint64(value)
+            st.size += 1
+            self.tracker.bucket_access()
+            self.result.memory_transactions += 1
+            self.result.votes += 1
+            self.ctx.active[leader] = False
+            self.result.completed_ops += 1
+            return
+
+        # Bucket full: exchange with a rotating victim, which continues
+        # on this lane targeted at the other hash function.
+        slot = (bucket + self._rounds) % st.bucket_capacity
+        victim_code = int(st.keys[bucket, slot])
+        victim_value = int(st.values[bucket, slot])
+        st.keys[bucket, slot] = np.uint64(code)
+        st.values[bucket, slot] = np.uint64(value)
+        self.tracker.bucket_access()
+        self.result.memory_transactions += 1
+        self.result.evictions += 1
+        self.codes[leader] = victim_code
+        self.values[leader] = victim_value
+        self.funcs[leader] = 1 - func
+
+
+def run_megakv_insert_kernel(table: MegaKVTable, keys, values
+                             ) -> KernelRunResult:
+    """Insert a batch through the lane-level MegaKV kernel.
+
+    Fresh keys only (no resizing inside a kernel); mutates the table's
+    storage directly, like the DyCuckoo kernels.
+    """
+    codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    values = np.asarray(values, dtype=np.uint64)
+    tracker = MemoryTracker()
+    result = KernelRunResult()
+    warps = []
+    width = 32
+    for start in range(0, len(codes), width):
+        stop = min(start + width, len(codes))
+        warps.append(_MegaKVInsertWarp(
+            warp_id=len(warps), table=table, codes=codes[start:stop],
+            values=values[start:stop], tracker=tracker, result=result))
+    result.rounds = RoundScheduler(warps).run()
+    return result

@@ -1,0 +1,130 @@
+"""Resize kernels (Section IV-D): conflict-free upsize, merging downsize.
+
+**Upsize** assigns one warp per *source bucket*: because the subtable
+doubled, every entry of bucket ``loc`` rehashes to ``loc`` or
+``loc + old_n`` and no two source buckets can collide on a destination —
+so the kernel runs without any locking at full memory bandwidth.  The
+functions here perform exactly that bucket-pair scatter and report the
+transaction counts, complementing the vectorized implementation in
+:mod:`repro.core.resize` (tests assert both produce identical tables).
+
+**Downsize** merges buckets ``loc`` and ``loc + new_n`` into ``loc``;
+entries beyond bucket capacity are returned as *residuals* for the
+caller to spill into the other subtables (with the downsizing subtable
+excluded), matching the single-kernel design of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.subtable import EMPTY
+from repro.gpusim.memory import MemoryTracker
+from repro.kernels.insert import KernelRunResult
+
+
+def run_upsize_kernel(table, target: int) -> KernelRunResult:
+    """Double subtable ``target`` via the conflict-free per-bucket scatter.
+
+    Mutates the table's storage directly.  One warp (here: one loop
+    iteration) handles one source bucket: it reads the bucket, computes
+    each occupant's one extra hash bit, and scatters entries between the
+    low and high destination buckets.
+    """
+    st = table.subtables[target]
+    old_n = st.n_buckets
+    new_n = old_n * 2
+    cap = st.bucket_capacity
+    result = KernelRunResult()
+    tracker = MemoryTracker()
+
+    new_keys = np.zeros((new_n, cap), dtype=np.uint64)
+    new_values = np.zeros((new_n, cap), dtype=np.uint64)
+    hash_fn = table.table_hashes[target]
+    for bucket in range(old_n):
+        keys_row = st.keys[bucket]
+        occupied = keys_row != EMPTY
+        tracker.bucket_access()
+        result.memory_transactions += 1
+        if not occupied.any():
+            continue
+        codes = keys_row[occupied]
+        vals = st.values[bucket][occupied]
+        dest = hash_fn.bucket(codes, new_n)
+        # Destination is provably bucket or bucket + old_n.
+        if not bool(np.all((dest == bucket) | (dest == bucket + old_n))):
+            raise AssertionError(
+                "conflict-free upsize property violated: entry left its "
+                "bucket pair"
+            )
+        for destination in (bucket, bucket + old_n):
+            sel = dest == destination
+            count = int(sel.sum())
+            if count:
+                new_keys[destination, :count] = codes[sel]
+                new_values[destination, :count] = vals[sel]
+                tracker.bucket_access()
+                result.memory_transactions += 1
+        result.completed_ops += len(codes)
+
+    size = st.size
+    st.n_buckets = new_n
+    st.keys = new_keys
+    st.values = new_values
+    st.size = size
+    result.rounds = old_n
+    return result
+
+
+def run_downsize_kernel(table, target: int
+                        ) -> tuple[np.ndarray, np.ndarray, KernelRunResult]:
+    """Halve subtable ``target``; returns residual ``(codes, values)``.
+
+    One warp handles one destination bucket, merging the two source
+    buckets that map onto it.  Entries that do not fit are residuals;
+    the caller spills them via the insert path with ``target`` excluded
+    (see :meth:`repro.core.resize.ResizeController.downsize`).
+    """
+    st = table.subtables[target]
+    old_n = st.n_buckets
+    new_n = old_n // 2
+    cap = st.bucket_capacity
+    result = KernelRunResult()
+    tracker = MemoryTracker()
+
+    new_keys = np.zeros((new_n, cap), dtype=np.uint64)
+    new_values = np.zeros((new_n, cap), dtype=np.uint64)
+    residual_codes: list[np.ndarray] = []
+    residual_values: list[np.ndarray] = []
+    kept = 0
+    for bucket in range(new_n):
+        low_occ = st.keys[bucket] != EMPTY
+        high_occ = st.keys[bucket + new_n] != EMPTY
+        tracker.bucket_access(2)
+        result.memory_transactions += 2
+        codes = np.concatenate([st.keys[bucket][low_occ],
+                                st.keys[bucket + new_n][high_occ]])
+        vals = np.concatenate([st.values[bucket][low_occ],
+                               st.values[bucket + new_n][high_occ]])
+        fit = min(len(codes), cap)
+        new_keys[bucket, :fit] = codes[:fit]
+        new_values[bucket, :fit] = vals[:fit]
+        kept += fit
+        if len(codes) > cap:
+            residual_codes.append(codes[cap:])
+            residual_values.append(vals[cap:])
+        if fit:
+            tracker.bucket_access()
+            result.memory_transactions += 1
+        result.completed_ops += len(codes)
+
+    st.n_buckets = new_n
+    st.keys = new_keys
+    st.values = new_values
+    st.size = kept
+    result.rounds = new_n
+    codes_out = (np.concatenate(residual_codes) if residual_codes
+                 else np.zeros(0, dtype=np.uint64))
+    values_out = (np.concatenate(residual_values) if residual_values
+                  else np.zeros(0, dtype=np.uint64))
+    return codes_out, values_out, result

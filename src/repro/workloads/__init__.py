@@ -1,0 +1,42 @@
+"""Workload generation: dataset surrogates and the dynamic batch protocol.
+
+* :mod:`repro.workloads.datasets` — generators matched to the paper's
+  five datasets (Table 2) at a configurable scale,
+* :mod:`repro.workloads.batches` — the insert/find/delete batching
+  protocol of Section VI-A,
+* :mod:`repro.workloads.skew` — hot-key streams for contention studies.
+"""
+
+from repro.workloads.batches import Batch, DynamicWorkload, Operation
+from repro.workloads.datasets import (ALL_DATASETS, COM, DEFAULT_SCALE, LINE,
+                                      RAND, RE, TW, DatasetSpec,
+                                      dataset_by_name)
+from repro.workloads.skew import hot_cold_keys, zipf_keys
+from repro.workloads.ycsb import (CORE_WORKLOADS, WORKLOAD_A, WORKLOAD_B,
+                                  WORKLOAD_C, WORKLOAD_D, WORKLOAD_F,
+                                  YcsbMix, YcsbWorkload)
+
+__all__ = [
+    "DatasetSpec",
+    "TW",
+    "RE",
+    "LINE",
+    "COM",
+    "RAND",
+    "ALL_DATASETS",
+    "DEFAULT_SCALE",
+    "dataset_by_name",
+    "DynamicWorkload",
+    "Batch",
+    "Operation",
+    "zipf_keys",
+    "hot_cold_keys",
+    "YcsbWorkload",
+    "YcsbMix",
+    "CORE_WORKLOADS",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_F",
+]

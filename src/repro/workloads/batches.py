@@ -1,0 +1,155 @@
+"""Dynamic workload protocol of the paper's evaluation (Section VI-A).
+
+The paper builds dynamic workloads by batching hash-table operations:
+
+    "We partition the datasets into batches of 1 million insertions.
+     For each batch, we augment 1 million FIND operations and r million
+     DELETE operations [...]  After we exhaust all the batches, we rerun
+     these batches by swapping the INSERT and DELETE operations."
+
+:class:`DynamicWorkload` reproduces that protocol: phase one streams the
+dataset in as insert batches, each augmented with finds (sampled from
+keys inserted so far) and ``r * batch`` deletes (likewise sampled);
+phase two replays the batches with inserts and deletes swapped — each
+batch's former inserts become deletes and ``r * batch`` previously
+deleted keys are reinserted — so the table first grows, then shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One homogeneous batched operation."""
+
+    kind: str  # "insert" | "find" | "delete"
+    keys: np.ndarray
+    values: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "find", "delete"):
+            raise InvalidConfigError(f"unknown operation kind {self.kind!r}")
+        if self.kind == "insert" and self.values is None:
+            raise InvalidConfigError("insert operations require values")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One unit of the dynamic protocol: a list of operations."""
+
+    index: int
+    phase: int  # 1 = growth, 2 = shrink (swapped replay)
+    operations: tuple[Operation, ...]
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(op) for op in self.operations)
+
+
+class DynamicWorkload:
+    """Batched dynamic workload over one dataset stream.
+
+    Parameters
+    ----------
+    keys, values:
+        The dataset stream (duplicates allowed, arrival order preserved).
+    batch_size:
+        Insertions per batch (the paper's default is 1e6; scaled runs
+        use proportionally smaller batches).
+    ratio_r:
+        Deletions per insertion within a batch (Table 3's ``r``).
+    find_factor:
+        FIND operations per insertion (the paper augments 1:1).
+    seed:
+        Sampling seed for find/delete targets.
+    """
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray,
+                 batch_size: int, ratio_r: float = 0.2,
+                 find_factor: float = 1.0, seed: int = 0) -> None:
+        if batch_size < 1:
+            raise InvalidConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if ratio_r < 0:
+            raise InvalidConfigError(f"ratio_r must be >= 0, got {ratio_r}")
+        if find_factor < 0:
+            raise InvalidConfigError(
+                f"find_factor must be >= 0, got {find_factor}")
+        self.keys = np.asarray(keys, dtype=np.uint64)
+        self.values = np.asarray(values, dtype=np.uint64)
+        if self.keys.shape != self.values.shape:
+            raise InvalidConfigError("keys and values must have equal length")
+        self.batch_size = batch_size
+        self.ratio_r = ratio_r
+        self.find_factor = find_factor
+        self.seed = seed
+
+    @property
+    def num_batches(self) -> int:
+        """Batches per phase (two phases total)."""
+        return (len(self.keys) + self.batch_size - 1) // self.batch_size
+
+    def _chunks(self) -> list[slice]:
+        return [slice(start, min(start + self.batch_size, len(self.keys)))
+                for start in range(0, len(self.keys), self.batch_size)]
+
+    def batches(self) -> Iterator[Batch]:
+        """Yield phase-1 growth batches then phase-2 shrink batches."""
+        rng = np.random.default_rng(self.seed)
+        chunks = self._chunks()
+        index = 0
+
+        # Phase 1: inserts stream in; finds and deletes target *live*
+        # keys (keys inserted and not yet deleted), so each delete batch
+        # actually lowers the filled factor in proportion to r.
+        live: np.ndarray = self.keys[:0]
+        deleted_pool: list[np.ndarray] = []
+        for chunk in chunks:
+            ops = [Operation("insert", self.keys[chunk], self.values[chunk])]
+            live = np.concatenate([live, self.keys[chunk]])
+            n_find = int(round((chunk.stop - chunk.start) * self.find_factor))
+            if n_find:
+                ops.append(Operation(
+                    "find", rng.choice(live, n_find, replace=True)))
+            n_delete = min(int(round((chunk.stop - chunk.start) * self.ratio_r)),
+                           len(live))
+            if n_delete:
+                picked = rng.choice(len(live), n_delete, replace=False)
+                targets = live[picked]
+                mask = np.ones(len(live), dtype=bool)
+                mask[picked] = False
+                live = live[mask]
+                deleted_pool.append(targets)
+                ops.append(Operation("delete", targets))
+            yield Batch(index, 1, tuple(ops))
+            index += 1
+
+        # Phase 2: the swap — each batch's inserts replay as deletes and
+        # r-proportional inserts restore previously deleted keys.
+        deleted = (np.concatenate(deleted_pool) if deleted_pool
+                   else self.keys[:0])
+        for chunk in chunks:
+            ops = [Operation("delete", self.keys[chunk])]
+            n_find = int(round((chunk.stop - chunk.start) * self.find_factor))
+            if n_find:
+                source = live if len(live) else self.keys
+                ops.append(Operation(
+                    "find", rng.choice(source, n_find, replace=True)))
+            n_insert = int(round((chunk.stop - chunk.start) * self.ratio_r))
+            if n_insert:
+                source = deleted if len(deleted) else self.keys
+                ins = rng.choice(source, n_insert, replace=True)
+                ops.append(Operation(
+                    "insert", ins,
+                    rng.integers(1, 1 << 62, n_insert).astype(np.uint64)))
+            yield Batch(index, 2, tuple(ops))
+            index += 1

@@ -1,0 +1,165 @@
+"""Surrogate dataset generators matched to the paper's Table 2.
+
+The paper evaluates on five datasets; three are proprietary crawls
+(Twitter actions, Reddit actions, Alibaba Databank transactions), one is
+TPC-H lineitem and one is a deduplicated random stream.  None of the raw
+data ships with the paper, so we generate surrogates that match the
+statistics the paper reports — total KV pairs, unique keys, and the
+duplicate skew — because those are the properties that drive hash-table
+behaviour (update-vs-insert mix and bucket hot spots).  Table 2:
+
+===========  ============  ============  ==============
+dataset      KV pairs      unique keys   duplicate skew
+===========  ============  ============  ==============
+TW           50,876,784    44,523,684    light (max ~4)
+RE           48,104,875    41,466,682    light (max ~2)
+LINE         50,000,000    45,159,880    light (max ~4)
+COM          10,000,000     4,583,941    heavy (max ~14)
+RAND        100,000,000   100,000,000    none
+===========  ============  ============  ==============
+
+Generators accept a ``scale`` factor (default 1/100) because the
+simulator runs on a CPU; scaling preserves the unique/total ratio and
+the duplicate-multiplicity histogram shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+#: Default scale applied to the paper's dataset sizes.
+DEFAULT_SCALE = 0.01
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistical fingerprint of one evaluation dataset."""
+
+    name: str
+    #: Full-size totals from Table 2 of the paper.
+    total_pairs: int
+    unique_keys: int
+    #: Cap on how many times one key repeats.
+    max_duplicates: int
+    #: Zipf-ish exponent for distributing duplicates (0 = uniform).
+    skew: float
+    description: str = ""
+
+    def generate(self, scale: float = DEFAULT_SCALE, seed: int = 0
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Produce ``(keys, values)`` arrays at the requested scale.
+
+        The stream contains ``round(total_pairs * scale)`` KV pairs over
+        ``round(unique_keys * scale)`` distinct keys, with duplicate
+        occurrences spread according to ``skew`` and capped at
+        ``max_duplicates`` per key, then shuffled into a random arrival
+        order.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise InvalidConfigError(f"scale must be in (0, 1], got {scale}")
+        # zlib.crc32 is stable across processes (unlike built-in hash()).
+        import zlib
+
+        name_hash = zlib.crc32(self.name.encode("utf-8")) & 0x7FFFFFFF
+        rng = np.random.default_rng(seed ^ name_hash)
+        total = max(1, round(self.total_pairs * scale))
+        unique = max(1, min(total, round(self.unique_keys * scale)))
+
+        keys = self._draw_unique_keys(unique, rng)
+        counts = self._duplicate_counts(total, unique, rng)
+        stream = np.repeat(keys, counts)
+        rng.shuffle(stream)
+        values = rng.integers(1, 1 << 62, len(stream)).astype(np.uint64)
+        return stream, values
+
+    @staticmethod
+    def _draw_unique_keys(unique: int, rng: np.random.Generator) -> np.ndarray:
+        """Distinct uint64 keys (rejection-free: draw extra, dedupe)."""
+        drawn = rng.integers(1, 1 << 62, int(unique * 1.1) + 16,
+                             dtype=np.int64).astype(np.uint64)
+        distinct = np.unique(drawn)
+        while len(distinct) < unique:
+            more = rng.integers(1, 1 << 62, unique, dtype=np.int64
+                                ).astype(np.uint64)
+            distinct = np.unique(np.concatenate([distinct, more]))
+        chosen = distinct[:unique]
+        rng.shuffle(chosen)
+        return chosen
+
+    def _duplicate_counts(self, total: int, unique: int,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Per-key multiplicities summing to ``total``.
+
+        Every key occurs at least once; the ``total - unique`` surplus is
+        assigned preferentially to a skew-weighted subset ("celebrity"
+        keys for COM), capped at ``max_duplicates``.
+        """
+        counts = np.ones(unique, dtype=np.int64)
+        surplus = total - unique
+        if surplus <= 0:
+            return counts
+        if self.skew > 0:
+            weights = 1.0 / np.arange(1, unique + 1, dtype=np.float64) ** self.skew
+        else:
+            weights = np.ones(unique, dtype=np.float64)
+        weights /= weights.sum()
+        headroom = self.max_duplicates - 1
+        while surplus > 0:
+            grant = rng.multinomial(surplus, weights)
+            grant = np.minimum(grant, headroom - (counts - 1))
+            added = int(grant.sum())
+            if added == 0:
+                # All weighted keys are saturated; spread the rest
+                # uniformly over whatever headroom remains.
+                open_keys = np.flatnonzero(counts - 1 < headroom)
+                if len(open_keys) == 0:
+                    raise InvalidConfigError(
+                        f"{self.name}: max_duplicates={self.max_duplicates} "
+                        f"cannot absorb {surplus} surplus occurrences"
+                    )
+                take = min(surplus, len(open_keys))
+                counts[rng.choice(open_keys, take, replace=False)] += 1
+                surplus -= take
+                continue
+            counts += grant
+            surplus -= added
+        return counts
+
+
+#: Twitter actions (tweet/retweet/quote/reply) — light duplication.
+TW = DatasetSpec("TW", 50_876_784, 44_523_684, max_duplicates=4, skew=0.6,
+                 description="Twitter stream actions, one week of trending "
+                             "topics")
+
+#: Reddit posts and comments, May 2015 — near-unique keys.
+RE = DatasetSpec("RE", 48_104_875, 41_466_682, max_duplicates=2, skew=0.3,
+                 description="Reddit post/comment actions")
+
+#: TPC-H lineitem composite keys.
+LINE = DatasetSpec("LINE", 50_000_000, 45_159_880, max_duplicates=4, skew=0.4,
+                   description="TPC-H lineitem orderkey/linenumber/partkey")
+
+#: Alibaba Databank customer transactions — heavy skew.
+COM = DatasetSpec("COM", 10_000_000, 4_583_941, max_duplicates=14, skew=1.05,
+                  description="Alibaba Databank customer behaviour sample")
+
+#: Deduplicated random keys — no duplicates at all.
+RAND = DatasetSpec("RAND", 100_000_000, 100_000_000, max_duplicates=1,
+                   skew=0.0, description="deduplicated normal-distribution "
+                                         "synthetic keys")
+
+#: The paper's five datasets, in presentation order.
+ALL_DATASETS = (TW, RE, LINE, COM, RAND)
+
+
+def dataset_by_name(name: str) -> DatasetSpec:
+    """Look up one of the paper's datasets by its short name."""
+    for spec in ALL_DATASETS:
+        if spec.name == name.upper():
+            return spec
+    raise KeyError(f"unknown dataset {name!r}; choose from "
+                   f"{[s.name for s in ALL_DATASETS]}")

@@ -1,0 +1,60 @@
+"""Skewed key generators for contention experiments.
+
+The paper motivates the voter scheme with hot-key scenarios ("certain
+twitter celebrities could receive thousands of retweets in a very short
+period"): many threads updating the same small key set at once.  These
+generators produce such streams for the contention microbenchmarks and
+the voter-ablation study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+
+def zipf_keys(num_ops: int, num_distinct: int, exponent: float = 1.1,
+              seed: int = 0) -> np.ndarray:
+    """A stream of ``num_ops`` keys Zipf-distributed over ``num_distinct``.
+
+    Rank 1 is the hottest key.  ``exponent`` around 1.0-1.2 matches web
+    workload skew; larger values concentrate traffic further.
+    """
+    if num_distinct < 1:
+        raise InvalidConfigError(f"num_distinct must be >= 1, got {num_distinct}")
+    if exponent <= 0:
+        raise InvalidConfigError(f"exponent must be > 0, got {exponent}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_distinct + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+    # Distinct keys are randomized so rank order is uncorrelated with
+    # hash order.
+    key_space = rng.permutation(
+        rng.integers(1, 1 << 62, num_distinct * 2, dtype=np.int64)
+    ).astype(np.uint64)
+    keys = np.unique(key_space)[:num_distinct]
+    rng.shuffle(keys)
+    return rng.choice(keys, size=num_ops, replace=True, p=weights)
+
+
+def hot_cold_keys(num_ops: int, num_hot: int, hot_fraction: float = 0.5,
+                  seed: int = 0) -> np.ndarray:
+    """A stream where ``hot_fraction`` of ops target ``num_hot`` keys.
+
+    The remaining ops draw from a large cold key space — the sharpest
+    version of the retweet-counter contention scenario.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise InvalidConfigError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    rng = np.random.default_rng(seed)
+    n_hot_ops = int(round(num_ops * hot_fraction))
+    hot_keys = np.arange(1, num_hot + 1, dtype=np.uint64)
+    hot = rng.choice(hot_keys, n_hot_ops, replace=True)
+    cold = rng.integers(1 << 32, 1 << 62, num_ops - n_hot_ops,
+                        dtype=np.int64).astype(np.uint64)
+    stream = np.concatenate([hot, cold])
+    rng.shuffle(stream)
+    return stream

@@ -1,0 +1,198 @@
+"""YCSB-style workloads (an extension beyond the paper's protocol).
+
+The Yahoo! Cloud Serving Benchmark's core workload mixes are the
+industry-standard way to exercise key-value stores.  This module adapts
+the mixes to the batched GPU execution model: each generated batch
+contains homogeneous sub-batches (reads, then updates, then inserts)
+whose sizes follow the mix, with request keys drawn from the chosen
+popularity distribution.
+
+Supported mixes (YCSB-E needs range scans, which hash tables do not
+provide, so it is omitted):
+
+========  ==========================  =======================
+workload  mix                         distribution default
+========  ==========================  =======================
+A         50% read / 50% update       zipfian
+B         95% read / 5% update        zipfian
+C         100% read                   zipfian
+D         95% read / 5% insert        latest
+F         50% read / 50% RMW          zipfian
+========  ==========================  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+from repro.workloads.batches import Batch, Operation
+
+
+@dataclass(frozen=True)
+class YcsbMix:
+    """Operation proportions of one YCSB core workload."""
+
+    name: str
+    read: float
+    update: float
+    insert: float
+    rmw: float
+    distribution: str  # "zipfian" | "uniform" | "latest"
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidConfigError(
+                f"workload {self.name}: proportions sum to {total}, not 1")
+        if self.distribution not in ("zipfian", "uniform", "latest"):
+            raise InvalidConfigError(
+                f"unknown distribution {self.distribution!r}")
+
+
+WORKLOAD_A = YcsbMix("A", read=0.5, update=0.5, insert=0.0, rmw=0.0,
+                     distribution="zipfian")
+WORKLOAD_B = YcsbMix("B", read=0.95, update=0.05, insert=0.0, rmw=0.0,
+                     distribution="zipfian")
+WORKLOAD_C = YcsbMix("C", read=1.0, update=0.0, insert=0.0, rmw=0.0,
+                     distribution="zipfian")
+WORKLOAD_D = YcsbMix("D", read=0.95, update=0.0, insert=0.05, rmw=0.0,
+                     distribution="latest")
+WORKLOAD_F = YcsbMix("F", read=0.5, update=0.0, insert=0.0, rmw=0.5,
+                     distribution="zipfian")
+
+CORE_WORKLOADS = {"A": WORKLOAD_A, "B": WORKLOAD_B, "C": WORKLOAD_C,
+                  "D": WORKLOAD_D, "F": WORKLOAD_F}
+
+
+class YcsbWorkload:
+    """Generates the load phase and run-phase batches of one YCSB mix.
+
+    Parameters
+    ----------
+    mix:
+        One of the :data:`CORE_WORKLOADS` (or a custom :class:`YcsbMix`).
+    num_records:
+        Records inserted by the load phase.
+    num_operations:
+        Total run-phase operations.
+    batch_size:
+        Operations per run-phase batch.
+    zipf_exponent:
+        Skew of the zipfian request distribution.
+    """
+
+    def __init__(self, mix: YcsbMix, num_records: int = 100_000,
+                 num_operations: int = 500_000, batch_size: int = 10_000,
+                 zipf_exponent: float = 0.99, seed: int = 0) -> None:
+        if num_records < 1:
+            raise InvalidConfigError("num_records must be >= 1")
+        if batch_size < 1:
+            raise InvalidConfigError("batch_size must be >= 1")
+        self.mix = mix
+        self.num_records = num_records
+        self.num_operations = num_operations
+        self.batch_size = batch_size
+        self.zipf_exponent = zipf_exponent
+        self._rng = np.random.default_rng(seed)
+        # Record keys are a random permutation so popularity rank is
+        # uncorrelated with hash placement.
+        self._record_keys = self._rng.permutation(
+            np.arange(1, num_records + 1, dtype=np.uint64))
+        self._inserted = num_records  # grows under workload D
+        self._zipf_weights = self._make_zipf_weights(num_records)
+        # Scrambled zipfian (as in YCSB proper): popularity rank is also
+        # uncorrelated with *insertion order*, otherwise the hottest
+        # records all sit at chain heads / early slots and flatter the
+        # structures that place early arrivals shallowly.
+        self._popularity_order = self._rng.permutation(num_records)
+
+    def _make_zipf_weights(self, n: int) -> np.ndarray:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_exponent)
+        return weights / weights.sum()
+
+    # ------------------------------------------------------------------
+    # Key sampling
+    # ------------------------------------------------------------------
+
+    def _sample_keys(self, count: int) -> np.ndarray:
+        """Draw request keys per the mix's popularity distribution."""
+        live = self._record_keys[:self._inserted]
+        if self.mix.distribution == "uniform":
+            idx = self._rng.integers(0, len(live), count)
+        elif self.mix.distribution == "zipfian":
+            weights = self._zipf_weights
+            order = self._popularity_order
+            if len(weights) != len(live):
+                weights = self._make_zipf_weights(len(live))
+                order = self._rng.permutation(len(live))
+            ranks = self._rng.choice(len(live), size=count, p=weights)
+            idx = order[ranks]
+        else:  # latest: newest records are the most popular
+            offsets = self._rng.geometric(p=0.05, size=count)
+            idx = np.maximum(0, len(live) - offsets)
+        return live[idx]
+
+    def _fresh_keys(self, count: int) -> np.ndarray:
+        """Brand-new record keys for workload D's inserts."""
+        start = self._inserted + 1
+        fresh = np.arange(start, start + count, dtype=np.uint64)
+        self._record_keys = np.concatenate([self._record_keys, fresh])
+        self._inserted += count
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def load_phase(self) -> Operation:
+        """The initial bulk insert of every record."""
+        values = self._rng.integers(1, 1 << 62, self.num_records
+                                    ).astype(np.uint64)
+        return Operation("insert", self._record_keys[:self.num_records],
+                         values)
+
+    def run_phase(self) -> Iterator[Batch]:
+        """Yield run-phase batches following the mix proportions.
+
+        A read-modify-write is one FIND batch followed by an INSERT
+        batch over the same keys (the canonical YCSB-F pattern).
+        """
+        emitted = 0
+        index = 0
+        while emitted < self.num_operations:
+            size = min(self.batch_size, self.num_operations - emitted)
+            n_read = int(round(size * self.mix.read))
+            n_update = int(round(size * self.mix.update))
+            n_insert = int(round(size * self.mix.insert))
+            n_rmw = size - n_read - n_update - n_insert
+
+            ops = []
+            if n_read:
+                ops.append(Operation("find", self._sample_keys(n_read)))
+            if n_update:
+                keys = self._sample_keys(n_update)
+                ops.append(Operation(
+                    "insert", keys,
+                    self._rng.integers(1, 1 << 62, n_update
+                                       ).astype(np.uint64)))
+            if n_insert:
+                keys = self._fresh_keys(n_insert)
+                ops.append(Operation(
+                    "insert", keys,
+                    self._rng.integers(1, 1 << 62, n_insert
+                                       ).astype(np.uint64)))
+            if n_rmw > 0:
+                keys = self._sample_keys(n_rmw)
+                ops.append(Operation("find", keys))
+                ops.append(Operation(
+                    "insert", keys,
+                    self._rng.integers(1, 1 << 62, n_rmw
+                                       ).astype(np.uint64)))
+            yield Batch(index, 1, tuple(ops))
+            emitted += size
+            index += 1

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+
+
+@pytest.fixture
+def small_config() -> DyCuckooConfig:
+    """A small table configuration exercising resizes quickly."""
+    return DyCuckooConfig(initial_buckets=16, bucket_capacity=8, min_buckets=8)
+
+@pytest.fixture
+def small_table(small_config) -> DyCuckooTable:
+    return DyCuckooTable(small_config)
+
+
+@pytest.fixture
+def static_table() -> DyCuckooTable:
+    """A table with automatic resizing disabled."""
+    return DyCuckooTable(DyCuckooConfig(initial_buckets=64, bucket_capacity=8,
+                                        auto_resize=False))
+
+
+def unique_keys(n: int, seed: int = 0, low: int = 1,
+                high: int = 1 << 62) -> np.ndarray:
+    """``n`` distinct uint64 keys drawn reproducibly."""
+    rng = np.random.default_rng(seed)
+    drawn = np.unique(rng.integers(low, high, int(n * 1.2) + 16,
+                                   dtype=np.int64).astype(np.uint64))
+    while len(drawn) < n:
+        more = rng.integers(low, high, n, dtype=np.int64).astype(np.uint64)
+        drawn = np.unique(np.concatenate([drawn, more]))
+    return drawn[:n]

@@ -1,0 +1,139 @@
+"""Tests validating the implementation against the paper's theory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (conflict_optimality_gap, expected_conflicts,
+                                 max_feasible_alpha, optimal_distribution,
+                                 post_upsize_fill, resize_work_bound)
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.errors import InvalidConfigError
+
+from .conftest import unique_keys
+
+
+class TestTheorem1Formulas:
+    def test_expected_conflicts(self):
+        # Two tables, loads 10 and 20, sizes 100 and 200:
+        # C(10,2)/100 + C(20,2)/200 = 0.45 + 0.95.
+        value = expected_conflicts(np.array([10, 20]),
+                                   np.array([100, 200]))
+        assert value == pytest.approx(0.45 + 0.95)
+
+    def test_optimum_equalizes_marginal_rates(self):
+        """The true optimum equalizes (2m-1)/(2n), not the raw terms.
+
+        (See the analysis-module docstring for the relation to the
+        paper's statement of Theorem 1.)
+        """
+        sizes = np.array([100.0, 100.0, 200.0, 200.0])
+        m = optimal_distribution(300.0, sizes)
+        marginals = (2 * m - 1) / (2 * sizes)
+        assert np.allclose(marginals, marginals[0], rtol=1e-9)
+        assert m.sum() == pytest.approx(300.0)
+
+    def test_optimum_beats_alternatives(self):
+        sizes = np.array([128.0, 128.0, 256.0, 256.0])
+        best = optimal_distribution(400.0, sizes)
+        best_value = expected_conflicts(best, sizes)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            weights = rng.random(4)
+            alt = 400.0 * weights / weights.sum()
+            assert expected_conflicts(alt, sizes) >= best_value - 1e-9
+
+    def test_equal_sizes_split_equally(self):
+        m = optimal_distribution(400.0, np.array([128.0] * 4))
+        assert np.allclose(m, 100.0)
+
+    def test_larger_tables_take_more(self):
+        """Bigger subtables carry more load, at near-equal fill."""
+        sizes = np.array([128.0, 256.0])
+        m = optimal_distribution(200.0, sizes)
+        assert m[1] > m[0]
+        # Fills match to first order (proportional split).
+        assert abs(m[1] / 256 - m[0] / 128) < 0.01
+
+    def test_optimality_gap_zero_at_optimum(self):
+        sizes = np.array([128.0, 256.0, 128.0])
+        m = optimal_distribution(300.0, sizes)
+        assert conflict_optimality_gap(m, sizes) == pytest.approx(0.0,
+                                                                  abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=10, max_value=5000))
+    @settings(max_examples=50, deadline=None)
+    def test_optimum_feasible(self, d, total):
+        sizes = np.array([128.0 * (1 + (i % 2)) for i in range(d)])
+        m = optimal_distribution(float(total), sizes)
+        assert m.sum() == pytest.approx(total, rel=1e-6)
+        assert bool((m >= 0).all())
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            expected_conflicts(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(InvalidConfigError):
+            optimal_distribution(-1.0, np.array([10.0]))
+
+
+class TestFillBounds:
+    def test_post_upsize_fill_formula(self):
+        # d=4, none doubled yet: theta' = theta * 4/5.
+        assert post_upsize_fill(0.85, 0, 4) == pytest.approx(0.85 * 0.8)
+        # d=4, three already doubled: theta * 7/8.
+        assert post_upsize_fill(0.85, 3, 4) == pytest.approx(0.85 * 7 / 8)
+
+    def test_max_feasible_alpha(self):
+        assert max_feasible_alpha(2) == pytest.approx(2 / 3)
+        assert max_feasible_alpha(4) == pytest.approx(4 / 5)
+
+    def test_config_enforces_the_bound(self):
+        for d in (2, 3, 4, 5):
+            limit = max_feasible_alpha(d)
+            with pytest.raises(InvalidConfigError):
+                DyCuckooConfig(num_tables=d, alpha=limit + 0.01,
+                               beta=min(0.99, limit + 0.1))
+
+    def test_worst_case_upsize_respects_alpha(self):
+        """An upsize from theta = beta never lands below the bound."""
+        for d in (2, 3, 4, 8):
+            landing = post_upsize_fill(0.85, 0, d)
+            assert landing >= 0.85 * d / (d + 1) - 1e-12
+
+
+class TestTheoryMatchesImplementation:
+    def test_router_stays_near_theorem1_optimum(self):
+        """The weighted router keeps expected conflicts near optimal."""
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=256,
+                                             bucket_capacity=16,
+                                             auto_resize=False))
+        keys = unique_keys(8000, seed=1)
+        table.insert(keys, keys)
+        gap = conflict_optimality_gap(table.subtable_loads(),
+                                      table.subtable_sizes())
+        assert gap < 0.02  # within 2% of the theoretical minimum
+
+    def test_upsize_fill_matches_formula(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=256,
+                                             bucket_capacity=16,
+                                             auto_resize=False))
+        keys = unique_keys(10_000, seed=2)
+        table.insert(keys, keys)
+        theta = table.load_factor
+        predicted = post_upsize_fill(theta, 0, table.num_tables)
+        table.upsize()
+        assert table.load_factor == pytest.approx(predicted, rel=1e-9)
+
+    def test_resize_touches_at_most_bound(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=256,
+                                             bucket_capacity=16,
+                                             auto_resize=False))
+        keys = unique_keys(10_000, seed=3)
+        table.insert(keys, keys)
+        before = table.stats.snapshot()
+        table.upsize()
+        moved = table.stats.delta(before)["rehashed_entries"]
+        assert moved <= resize_work_bound(len(table), table.num_tables)

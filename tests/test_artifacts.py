@@ -1,0 +1,54 @@
+"""Tests for the JSON benchmark-artifact writer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.artifacts import ENV_VAR, maybe_dump
+from repro.bench.runner import StaticRunResult
+
+
+class TestMaybeDump:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert maybe_dump("x", {"a": 1}) is None
+
+    def test_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        out = maybe_dump("myresult", {"a": 1, "b": [1.5, 2.5]})
+        assert out == tmp_path / "myresult.json"
+        assert json.loads(out.read_text()) == {"a": 1, "b": [1.5, 2.5]}
+
+    def test_numpy_and_tuple_keys(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        results = {
+            ("COM", 0.2, "DyCuckoo"): np.float64(123.4),
+            "series": np.array([1, 2, 3], dtype=np.uint64),
+        }
+        out = maybe_dump("mixed", results)
+        data = json.loads(out.read_text())
+        assert data["COM/0.2/DyCuckoo"] == pytest.approx(123.4)
+        assert data["series"] == [1, 2, 3]
+
+    def test_dataclass_results(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        result = StaticRunResult(table_name="DyCuckoo", insert_ops=10,
+                                 insert_seconds=0.5, find_ops=5,
+                                 find_seconds=0.1, fill_factor=0.8)
+        out = maybe_dump("static", {"run": result})
+        data = json.loads(out.read_text())
+        assert data["run"]["table_name"] == "DyCuckoo"
+        assert data["run"]["insert_ops"] == 10
+
+    def test_nested_objects(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+
+        class Holder:
+            def __init__(self):
+                self.value = np.int64(7)
+                self._private = "hidden"
+
+        out = maybe_dump("obj", [Holder()])
+        data = json.loads(out.read_text())
+        assert data == [{"value": 7}]

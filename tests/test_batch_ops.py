@@ -1,0 +1,117 @@
+"""Tests for mixed-operation batch execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_ops import (OP_DELETE, OP_FIND, OP_INSERT,
+                                  execute_mixed)
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.errors import InvalidConfigError
+
+
+def fresh_table():
+    return DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                        bucket_capacity=4))
+
+
+class TestExecuteMixed:
+    def test_program_order_semantics(self):
+        table = fresh_table()
+        ops = np.array([OP_INSERT, OP_FIND, OP_DELETE, OP_FIND])
+        keys = np.array([7, 7, 7, 7], dtype=np.uint64)
+        values = np.array([70, 0, 0, 0], dtype=np.uint64)
+        result = execute_mixed(table, ops, keys, values)
+        assert result.found[1] and result.values[1] == 70
+        assert result.removed[2]
+        assert not result.found[3]
+        assert result.runs == 4
+
+    def test_runs_group_same_kind(self):
+        table = fresh_table()
+        ops = np.array([OP_INSERT, OP_INSERT, OP_FIND, OP_FIND])
+        keys = np.array([1, 2, 1, 2], dtype=np.uint64)
+        values = np.array([10, 20, 0, 0], dtype=np.uint64)
+        result = execute_mixed(table, ops, keys, values)
+        assert result.runs == 2
+        assert result.found[2:].all()
+        assert result.values[2] == 10 and result.values[3] == 20
+
+    def test_insert_requires_values(self):
+        table = fresh_table()
+        with pytest.raises(InvalidConfigError):
+            execute_mixed(table, np.array([OP_INSERT]),
+                          np.array([1], dtype=np.uint64))
+
+    def test_find_only_needs_no_values(self):
+        table = fresh_table()
+        result = execute_mixed(table, np.array([OP_FIND]),
+                               np.array([1], dtype=np.uint64))
+        assert not result.found[0]
+
+    def test_rejects_unknown_op(self):
+        table = fresh_table()
+        with pytest.raises(InvalidConfigError):
+            execute_mixed(table, np.array([9]), np.array([1], dtype=np.uint64))
+
+    def test_rejects_misaligned(self):
+        table = fresh_table()
+        with pytest.raises(InvalidConfigError):
+            execute_mixed(table, np.array([OP_FIND, OP_FIND]),
+                          np.array([1], dtype=np.uint64))
+
+    def test_empty_batch(self):
+        table = fresh_table()
+        result = execute_mixed(table, np.array([], dtype=np.int64),
+                               np.array([], dtype=np.uint64))
+        assert result.runs == 0
+
+    @given(st.lists(
+        st.tuples(st.sampled_from([OP_INSERT, OP_FIND, OP_DELETE]),
+                  st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=1, max_value=1000)),
+        min_size=1, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_dict_model(self, program):
+        """Mixed execution must equal a per-op sequential dict replay.
+
+        Program order is the defined semantics, so a scalar replay of
+        the same program against a dict must agree on every FIND result
+        and DELETE outcome (modulo duplicate handling inside one run,
+        which the replay reproduces with the same rules).
+        """
+        table = fresh_table()
+        ops = np.array([op for op, _k, _v in program], dtype=np.int64)
+        keys = np.array([k for _op, k, _v in program], dtype=np.uint64)
+        values = np.array([v for _op, _k, v in program], dtype=np.uint64)
+        result = execute_mixed(table, ops, keys, values)
+
+        # Replay with the documented per-run rules.
+        model: dict = {}
+        i = 0
+        while i < len(program):
+            j = i
+            while j < len(program) and program[j][0] == program[i][0]:
+                j += 1
+            kind = program[i][0]
+            segment = program[i:j]
+            if kind == OP_INSERT:
+                for _op, k, v in segment:
+                    model[k] = v  # last-wins within the run
+            elif kind == OP_FIND:
+                for pos, (_op, k, _v) in enumerate(segment, start=i):
+                    assert bool(result.found[pos]) == (k in model)
+                    if k in model:
+                        assert int(result.values[pos]) == model[k]
+            else:
+                seen = set()
+                for pos, (_op, k, _v) in enumerate(segment, start=i):
+                    expected = k in model and k not in seen
+                    assert bool(result.removed[pos]) == expected
+                    seen.add(k)
+                    model.pop(k, None)
+            i = j
+        table.validate()
+        assert len(table) == len(model)

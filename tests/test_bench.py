@@ -1,0 +1,109 @@
+"""Tests for the measurement harness and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DyCuckooAdapter, MegaKVTable, SlabHashTable
+from repro.bench import (format_series, format_table, run_dynamic,
+                         run_static, shape_check, sparkline)
+from repro.core.config import DyCuckooConfig
+from repro.workloads import DynamicWorkload
+
+from .conftest import unique_keys
+
+
+def small_workload(n=2000, batch=500, r=0.2, seed=0):
+    keys = unique_keys(n, seed=seed)
+    values = keys * np.uint64(2)
+    return DynamicWorkload(keys, values, batch_size=batch, ratio_r=r,
+                           seed=seed)
+
+
+class TestRunStatic:
+    def test_produces_throughputs(self):
+        table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=16,
+                                               bucket_capacity=8))
+        keys = unique_keys(3000, seed=1)
+        result = run_static(table, keys, keys * 2, num_finds=1000)
+        assert result.insert_ops == 3000
+        assert result.find_ops == 1000
+        assert result.insert_mops > 0
+        assert result.find_mops > 0
+        assert 0 < result.fill_factor <= 1
+
+    def test_find_faster_than_insert(self):
+        """Read-only probes always beat insertion with evictions."""
+        table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=16,
+                                               bucket_capacity=8))
+        keys = unique_keys(5000, seed=2)
+        result = run_static(table, keys, keys, num_finds=5000)
+        assert result.find_mops > result.insert_mops
+
+
+class TestRunDynamic:
+    def test_collects_batch_series(self):
+        table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=8,
+                                               bucket_capacity=8))
+        result = run_dynamic(table, small_workload())
+        assert len(result.batches) == 2 * small_workload().num_batches
+        assert result.total_ops > 0
+        assert result.mops > 0
+        assert len(result.fill_series) == len(result.batches)
+        assert result.peak_memory_bytes > 0
+
+    def test_max_batches_cutoff(self):
+        table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=8,
+                                               bucket_capacity=8))
+        result = run_dynamic(table, small_workload(), max_batches=3)
+        assert len(result.batches) == 3
+
+    def test_works_for_all_dynamic_tables(self):
+        for table in (DyCuckooAdapter(DyCuckooConfig(initial_buckets=8,
+                                                     bucket_capacity=8)),
+                      MegaKVTable(initial_buckets=8),
+                      SlabHashTable(n_buckets=64)):
+            result = run_dynamic(table, small_workload())
+            assert result.total_ops > 0, table.NAME
+            assert all(b.simulated_seconds > 0 for b in result.batches)
+
+    def test_phases_recorded(self):
+        table = SlabHashTable(n_buckets=64)
+        result = run_dynamic(table, small_workload())
+        phases = {b.phase for b in result.batches}
+        assert phases == {1, 2}
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table(["approach", "TW", "RE"],
+                            [["DyCuckoo", 123.4, 110.0],
+                             ["MegaKV", 89.9, 95.5]],
+                            title="Insert Mops")
+        assert "Insert Mops" in text
+        assert "DyCuckoo" in text
+        assert "123.4" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_sparkline_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_sparkline_compresses(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_series(self):
+        text = format_series("Fill factor", {"DyCuckoo": [0.5, 0.6, 0.7],
+                                             "MegaKV": [0.9, 0.4, 0.8]})
+        assert "Fill factor" in text
+        assert "DyCuckoo" in text
+        assert "max=0.70" in text
+
+    def test_shape_check(self):
+        assert "PASS" in shape_check("x", True)
+        assert "FAIL" in shape_check("x", False)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (["info"], ["demo"], ["datasets"],
+                     ["dynamic", "--dataset", "COM"], ["profile"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 1080" in out
+        assert "Table 3" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--keys", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "inserted 3,000 keys" in out
+        assert "validate(): ok" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.0002"]) == 0
+        out = capsys.readouterr().out
+        for name in ("TW", "RE", "LINE", "COM", "RAND"):
+            assert name in out
+
+    def test_dynamic(self, capsys):
+        assert main(["dynamic", "--dataset", "COM", "--scale", "0.0005",
+                     "--batch", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "DyCuckoo" in out
+        assert "MegaKV" in out
+        assert "filled factor per batch" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--keys", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "insert:" in out
+        assert "find:" in out
+        assert "delete:" in out
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            main(["dynamic", "--dataset", "NOPE", "--scale", "0.0005"])

@@ -1,0 +1,103 @@
+"""Tests for DyCuckooConfig validation and the Table-3 parameter grid."""
+
+import pytest
+
+from repro.core.config import (DEFAULT_BUCKET_CAPACITY, DEFAULT_NUM_TABLES,
+                               PAPER_PARAMETERS, DyCuckooConfig,
+                               replace_config)
+from repro.errors import InvalidConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = DyCuckooConfig()
+        assert config.num_tables == DEFAULT_NUM_TABLES == 4
+        assert config.bucket_capacity == DEFAULT_BUCKET_CAPACITY == 32
+        assert config.alpha == PAPER_PARAMETERS["alpha"]["default"] == 0.30
+        assert config.beta == PAPER_PARAMETERS["beta"]["default"] == 0.85
+
+    def test_table3_grid_complete(self):
+        """The parameter grid matches Table 3 of the paper."""
+        assert PAPER_PARAMETERS["filled_factor"]["settings"] == (
+            0.70, 0.75, 0.80, 0.85, 0.90)
+        assert PAPER_PARAMETERS["alpha"]["settings"] == (
+            0.20, 0.25, 0.30, 0.35, 0.40)
+        assert PAPER_PARAMETERS["beta"]["settings"] == (
+            0.70, 0.75, 0.80, 0.85, 0.90)
+        assert PAPER_PARAMETERS["ratio_r"]["settings"] == (
+            0.1, 0.2, 0.3, 0.4, 0.5)
+        assert PAPER_PARAMETERS["batch_size"]["default"] == 1_000_000
+
+    def test_num_pairs(self):
+        assert DyCuckooConfig(num_tables=2).num_pairs == 1
+        assert DyCuckooConfig(num_tables=3).num_pairs == 3
+        assert DyCuckooConfig(num_tables=4).num_pairs == 6
+        assert DyCuckooConfig(num_tables=6).num_pairs == 15
+
+
+class TestValidation:
+    def test_rejects_single_table(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(num_tables=1)
+
+    def test_rejects_non_power_of_two_buckets(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(initial_buckets=100)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(bucket_capacity=0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(alpha=0.9, beta=0.5)
+
+    def test_rejects_alpha_at_or_above_d_over_d_plus_one(self):
+        # Section IV-B: alpha must stay below d/(d+1).
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(num_tables=2, alpha=0.67, beta=0.9)
+        # And the same alpha is fine with more tables.
+        DyCuckooConfig(num_tables=4, alpha=0.67, beta=0.9)
+
+    def test_rejects_initial_below_min(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(initial_buckets=8, min_buckets=16)
+
+    def test_rejects_bad_routing(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(routing="random")
+
+    def test_rejects_zero_eviction_rounds(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(max_eviction_rounds=0)
+
+
+class TestSizedFor:
+    def test_capacity_covers_entries(self):
+        config = DyCuckooConfig().sized_for(1_000_000)
+        slots = config.num_tables * config.initial_buckets * config.bucket_capacity
+        # Sized near the [alpha, beta] midpoint, never overfull.
+        assert slots >= 1_000_000
+
+    def test_respects_target_fill(self):
+        config = DyCuckooConfig().sized_for(100_000, target_fill=0.5)
+        slots = config.num_tables * config.initial_buckets * config.bucket_capacity
+        assert slots >= 200_000 / 2  # at least roughly sized
+        assert 100_000 / slots <= 0.55
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig().sized_for(-1)
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig().sized_for(100, target_fill=0.0)
+
+
+def test_replace_config_revalidates():
+    config = DyCuckooConfig()
+    bigger = replace_config(config, initial_buckets=256)
+    assert bigger.initial_buckets == 256
+    assert bigger.num_tables == config.num_tables
+    with pytest.raises(InvalidConfigError):
+        replace_config(config, initial_buckets=100)

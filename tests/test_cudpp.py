@@ -1,0 +1,115 @@
+"""Tests for the CUDPP-style per-slot cuckoo baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cudpp import CudppHashTable, choose_num_functions
+from repro.errors import (CapacityError, InvalidConfigError,
+                          UnsupportedOperationError)
+
+from .conftest import unique_keys
+
+
+class TestFunctionChoice:
+    def test_auto_choice_bands(self):
+        assert choose_num_functions(0.40) == 2
+        assert choose_num_functions(0.50) == 2
+        assert choose_num_functions(0.60) == 3
+        assert choose_num_functions(0.80) == 4
+        assert choose_num_functions(0.90) == 5
+
+    def test_more_functions_for_denser_tables(self):
+        fills = [0.4, 0.6, 0.8, 0.95]
+        counts = [choose_num_functions(f) for f in fills]
+        assert counts == sorted(counts)
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(InvalidConfigError):
+            choose_num_functions(0.0)
+
+    def test_explicit_override(self):
+        table = CudppHashTable(1000, num_functions=3)
+        assert table.num_functions == 3
+        with pytest.raises(InvalidConfigError):
+            CudppHashTable(1000, num_functions=6)
+
+
+class TestOperations:
+    def test_insert_find(self):
+        keys = unique_keys(5000, seed=1)
+        table = CudppHashTable(expected_entries=5000, target_fill=0.8)
+        table.insert(keys, keys * 2)
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+
+    def test_find_missing(self):
+        keys = unique_keys(100, seed=2)
+        table = CudppHashTable(expected_entries=200)
+        table.insert(keys, keys)
+        _, found = table.find(unique_keys(50, seed=3, low=1 << 40))
+        assert not found.any()
+
+    def test_no_delete(self):
+        table = CudppHashTable(expected_entries=100)
+        assert not table.SUPPORTS_DELETE
+        with pytest.raises(UnsupportedOperationError):
+            table.delete(np.array([1], dtype=np.uint64))
+
+    def test_upsert(self):
+        keys = unique_keys(200, seed=4)
+        table = CudppHashTable(expected_entries=400)
+        table.insert(keys, keys)
+        table.insert(keys, keys + np.uint64(9))
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys + np.uint64(9))
+        assert len(table) == 200
+
+    def test_duplicate_batch_last_wins(self):
+        table = CudppHashTable(expected_entries=16)
+        table.insert(np.array([7, 7], dtype=np.uint64),
+                     np.array([1, 2], dtype=np.uint64))
+        assert len(table) == 1
+        values, found = table.find(np.array([7], dtype=np.uint64))
+        assert found[0] and values[0] == 2
+
+    def test_over_capacity_raises(self):
+        table = CudppHashTable(expected_entries=64, target_fill=0.85)
+        keys = unique_keys(table.n_slots + 10, seed=5)
+        with pytest.raises(CapacityError):
+            table.insert(keys, keys)
+
+    def test_dense_fill_achievable(self):
+        """CUDPP reaches ~85% fill with its automatic function count."""
+        keys = unique_keys(20_000, seed=6)
+        table = CudppHashTable(expected_entries=20_000, target_fill=0.85)
+        table.insert(keys, keys)
+        table.validate()
+        assert table.load_factor >= 0.80
+        _, found = table.find(keys)
+        assert found.all()
+
+    def test_uses_random_accesses_not_buckets(self):
+        """Per-slot probing is uncoalesced — the paper's critique."""
+        keys = unique_keys(1000, seed=7)
+        table = CudppHashTable(expected_entries=2000)
+        table.insert(keys, keys)
+        assert table.stats.random_accesses > 0
+        assert table.stats.bucket_reads == 0
+
+    def test_find_probe_budget(self):
+        keys = unique_keys(1000, seed=8)
+        table = CudppHashTable(expected_entries=2000)
+        table.insert(keys, keys)
+        before = table.stats.snapshot()
+        table.find(keys)
+        delta = table.stats.delta(before)
+        assert delta["random_accesses"] <= table.num_functions * len(keys)
+
+    def test_memory_footprint(self):
+        table = CudppHashTable(expected_entries=1000)
+        fp = table.memory_footprint()
+        assert fp.total_slots == table.n_slots
+        assert fp.slot_bytes == table.n_slots * 16

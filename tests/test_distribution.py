@@ -1,0 +1,90 @@
+"""Tests for the Theorem-1 KV distribution policy."""
+
+import numpy as np
+
+from repro.core.distribution import (UniformRouter, WeightedRouter,
+                                     make_router, theorem1_weights)
+
+
+class TestTheorem1Weights:
+    def test_weight_formula(self):
+        sizes = np.array([100, 200])
+        loads = np.array([10, 10])
+        weights = theorem1_weights(sizes, loads)
+        # n / C(m, 2) with m = 10 -> 45 pairwise terms.
+        assert np.allclose(weights, [100 / 45, 200 / 45])
+
+    def test_small_loads_clamped(self):
+        weights = theorem1_weights(np.array([100, 100]), np.array([0, 1]))
+        # Pairwise term floors at 1 so weights stay finite.
+        assert np.allclose(weights, [100.0, 100.0])
+
+    def test_bigger_table_gets_more_weight_at_equal_load(self):
+        weights = theorem1_weights(np.array([100, 200]), np.array([50, 50]))
+        assert weights[1] > weights[0]
+
+    def test_fuller_table_gets_less_weight_at_equal_size(self):
+        weights = theorem1_weights(np.array([100, 100]), np.array([80, 20]))
+        assert weights[1] > weights[0]
+
+
+class TestRouters:
+    def _setup(self, n=20_000, seed=0):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(1, 1 << 62, n).astype(np.uint64)
+        first = np.zeros(n, dtype=np.int64)
+        second = np.ones(n, dtype=np.int64)
+        return codes, first, second
+
+    def test_weighted_prefers_emptier_table(self):
+        codes, first, second = self._setup()
+        router = WeightedRouter(seed=1)
+        sizes = np.array([1000, 1000])
+        loads = np.array([900, 100])  # table 0 nearly full
+        targets = router.choose(codes, first, second, sizes, loads)
+        share_to_empty = (targets == 1).mean()
+        assert share_to_empty > 0.9
+
+    def test_uniform_is_roughly_even(self):
+        codes, first, second = self._setup(seed=2)
+        router = UniformRouter(seed=1)
+        sizes = np.array([1000, 1000])
+        loads = np.array([900, 100])
+        targets = router.choose(codes, first, second, sizes, loads)
+        assert 0.45 < (targets == 1).mean() < 0.55
+
+    def test_deterministic_per_key(self):
+        """Duplicate keys must route identically (GPU race consistency)."""
+        codes, first, second = self._setup(n=100, seed=3)
+        router = WeightedRouter(seed=5)
+        sizes = np.array([512, 512])
+        loads = np.array([100, 120])
+        once = router.choose(codes, first, second, sizes, loads)
+        twice = router.choose(codes, first, second, sizes, loads)
+        assert np.array_equal(once, twice)
+
+    def test_targets_are_pair_members(self):
+        codes, first, second = self._setup(n=500, seed=4)
+        for router in (WeightedRouter(0), UniformRouter(0)):
+            targets = router.choose(codes, first, second,
+                                    np.array([64, 64]), np.array([0, 0]))
+            assert bool(np.all((targets == first) | (targets == second)))
+
+    def test_empty_input(self):
+        empty_i = np.array([], dtype=np.int64)
+        empty_c = np.array([], dtype=np.uint64)
+        router = WeightedRouter(0)
+        out = router.choose(empty_c, empty_i, empty_i,
+                            np.array([64, 64]), np.array([0, 0]))
+        assert len(out) == 0
+
+
+def test_make_router():
+    assert isinstance(make_router("weighted", 0), WeightedRouter)
+    assert isinstance(make_router("uniform", 0), UniformRouter)
+    try:
+        make_router("bogus", 0)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

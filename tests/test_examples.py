@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Fast examples run in CI; the streaming example is minutes-long and
+#: exercised manually (its machinery is covered by unit tests).
+FAST_EXAMPLES = ("quickstart.py", "hash_join.py", "memory_budget.py",
+                 "multi_tenant_gpu.py")
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_output_content():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=240)
+    assert "validate(): all invariants hold" in result.stdout
+    assert "downsizes" in result.stdout
+
+
+def test_memory_budget_shapes():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "memory_budget.py")],
+        capture_output=True, text=True, timeout=240)
+    assert "DyCuckoo" in result.stdout
+    assert "saved" in result.stdout
+
+
+def test_multi_tenant_story():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "multi_tenant_gpu.py")],
+        capture_output=True, text=True, timeout=240)
+    # The static deployment spills; the dynamic one should not.
+    assert "spilled" in result.stdout

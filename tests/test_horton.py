@@ -1,0 +1,92 @@
+"""Tests for the Horton-table extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.horton import BUCKET_CAPACITY, HortonTable
+from repro.errors import InvalidConfigError, UnsupportedOperationError
+
+from .conftest import unique_keys
+
+
+class TestBasics:
+    def test_insert_find(self):
+        keys = unique_keys(5000, seed=1)
+        table = HortonTable(expected_entries=5000, target_fill=0.8)
+        table.insert(keys, keys * 2)
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+
+    def test_miss(self):
+        keys = unique_keys(500, seed=2)
+        table = HortonTable(expected_entries=1000)
+        table.insert(keys, keys)
+        _, found = table.find(unique_keys(100, seed=3, low=1 << 40))
+        assert not found.any()
+
+    def test_upsert(self):
+        keys = unique_keys(1000, seed=4)
+        table = HortonTable(expected_entries=2000)
+        table.insert(keys, keys)
+        table.insert(keys, keys + np.uint64(1))
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys + np.uint64(1))
+        assert len(table) == 1000
+
+    def test_no_delete(self):
+        table = HortonTable(expected_entries=100)
+        with pytest.raises(UnsupportedOperationError):
+            table.delete(np.array([1], dtype=np.uint64))
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            HortonTable(expected_entries=0)
+        with pytest.raises(InvalidConfigError):
+            HortonTable(expected_entries=10, target_fill=0.99)
+
+    def test_dense_fill(self):
+        keys = unique_keys(20_000, seed=5)
+        table = HortonTable(expected_entries=20_000, target_fill=0.85)
+        table.insert(keys, keys)
+        table.validate()
+        assert table.load_factor > 0.55
+        _, found = table.find(keys)
+        assert found.all()
+
+
+class TestHortonProperty:
+    def test_find_probes_near_one(self):
+        """The headline: FIND averages close to one probe.
+
+        Hits in primary buckets and remap-decided misses both cost a
+        single bucket read; only remapped items pay a second.
+        """
+        keys = unique_keys(20_000, seed=6)
+        table = HortonTable(expected_entries=20_000, target_fill=0.80)
+        table.insert(keys, keys)
+        before = table.stats.snapshot()
+        table.find(keys)
+        delta = table.stats.delta(before)
+        probes_per_find = delta["bucket_reads"] / len(keys)
+        assert probes_per_find < 1.35
+
+    def test_misses_usually_one_probe(self):
+        keys = unique_keys(20_000, seed=7)
+        table = HortonTable(expected_entries=20_000, target_fill=0.80)
+        table.insert(keys, keys)
+        misses = unique_keys(5000, seed=8, low=1 << 40)
+        before = table.stats.snapshot()
+        table.find(misses)
+        delta = table.stats.delta(before)
+        assert delta["bucket_reads"] / len(misses) < 1.3
+
+    def test_type_b_conversion_happens(self):
+        keys = unique_keys(20_000, seed=9)
+        table = HortonTable(expected_entries=20_000, target_fill=0.85)
+        table.insert(keys, keys)
+        assert table.is_type_b.any()
+        # Sacrificed slots reduce usable capacity.
+        assert table.total_slots < table.n_buckets * BUCKET_CAPACITY

@@ -1,0 +1,169 @@
+"""Integration tests asserting the paper's qualitative results.
+
+Each test runs a miniature version of one of the paper's experiments and
+asserts the *shape* of the outcome — who wins, what degrades, what stays
+bounded.  These are the claims EXPERIMENTS.md records at full benchmark
+scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CudppHashTable, DyCuckooAdapter, MegaKVTable,
+                             SlabHashTable)
+from repro.baselines.slab import slab_buckets_for_fill
+from repro.bench import run_dynamic, run_static
+from repro.core.config import DyCuckooConfig, replace_config
+from repro.gpusim.metrics import CostModel
+from repro.workloads import COM, DynamicWorkload
+
+from .conftest import unique_keys
+
+#: The COM surrogate below runs at 1/500 of the paper's scale; fixed
+#: device overheads are scaled alike (see CostModel.overhead_scale).
+COST_MODEL = CostModel(overhead_scale=0.002)
+
+
+def dycuckoo(**kw):
+    defaults = dict(initial_buckets=16, bucket_capacity=16)
+    defaults.update(kw)
+    return DyCuckooAdapter(DyCuckooConfig(**defaults))
+
+
+@pytest.fixture(scope="module")
+def com_stream():
+    return COM.generate(scale=0.002, seed=11)  # 20k pairs, heavy skew
+
+
+class TestDynamicShapes:
+    def test_dycuckoo_fill_stays_bounded(self, com_stream):
+        """Figure 12: DyCuckoo's filled factor stays inside [alpha, beta]."""
+        keys, values = com_stream
+        table = dycuckoo(initial_buckets=8)
+        workload = DynamicWorkload(keys, values, batch_size=2000, seed=1)
+        result = run_dynamic(table, workload)
+        config = table.config
+        series = result.fill_series
+        # Skip warm-up batches where the table is still tiny.
+        steady = series[2:]
+        assert all(f <= config.beta + 1e-9 for f in steady)
+        at_min = all(st.n_buckets <= config.min_buckets
+                     for st in table.table.subtables)
+        assert min(steady) >= config.alpha * 0.8 or at_min
+
+    def test_slab_fill_decays(self, com_stream):
+        """Figure 12: SlabHash's symbolic deletion decays the fill factor."""
+        keys, values = com_stream
+        table = SlabHashTable(n_buckets=256)
+        workload = DynamicWorkload(keys, values, batch_size=2000, seed=1)
+        result = run_dynamic(table, workload)
+        assert result.fill_series[-1] < 0.25  # "<20% for COM" in the paper
+
+    def test_megakv_fill_oscillates(self, com_stream):
+        """Figure 12: MegaKV's double/half strategy jumps the fill factor."""
+        keys, values = com_stream
+        table = MegaKVTable(initial_buckets=8)
+        workload = DynamicWorkload(keys, values, batch_size=2000, seed=1)
+        result = run_dynamic(table, workload)
+        series = np.asarray(result.fill_series)
+        jumps = np.abs(np.diff(series))
+        assert jumps.max() > 0.2  # a resize step cuts/doubles the fill
+
+    def test_dycuckoo_beats_megakv_dynamic(self, com_stream):
+        """Figure 11: DyCuckoo has the best overall dynamic throughput."""
+        keys, values = com_stream
+        results = {}
+        for table in (dycuckoo(initial_buckets=8),
+                      MegaKVTable(initial_buckets=8),
+                      SlabHashTable(n_buckets=256)):
+            workload = DynamicWorkload(keys, values, batch_size=2000, seed=1)
+            results[table.NAME] = run_dynamic(table, workload,
+                                              cost_model=COST_MODEL).mops
+        assert results["DyCuckoo"] > results["MegaKV"]
+        assert results["DyCuckoo"] > results["SlabHash"]
+
+    def test_dycuckoo_uses_less_memory_than_megakv(self, com_stream):
+        """The headline memory claim: DyCuckoo saves memory vs MegaKV."""
+        keys, values = com_stream
+        peaks = {}
+        for table in (dycuckoo(initial_buckets=8),
+                      MegaKVTable(initial_buckets=8)):
+            workload = DynamicWorkload(keys, values, batch_size=2000, seed=1)
+            peaks[table.NAME] = run_dynamic(table, workload).peak_memory_bytes
+        assert peaks["DyCuckoo"] <= peaks["MegaKV"]
+
+    def test_more_deletions_slow_dycuckoo_but_help_slab(self, com_stream):
+        """Figure 11: raising r degrades DyCuckoo, improves Slab.
+
+        (The paper additionally reports the DyCuckoo/MegaKV margin
+        growing with r; under our workload protocol the margin stays
+        roughly flat — recorded as a deviation in EXPERIMENTS.md.)
+        """
+        keys, values = com_stream
+
+        def mops_at(table_factory, r):
+            workload = DynamicWorkload(keys, values, batch_size=2000,
+                                       ratio_r=r, seed=1)
+            return run_dynamic(table_factory(), workload,
+                               cost_model=COST_MODEL).mops
+
+        slab_low = mops_at(lambda: SlabHashTable(n_buckets=256), 0.1)
+        slab_high = mops_at(lambda: SlabHashTable(n_buckets=256), 0.5)
+        dy_low = mops_at(lambda: dycuckoo(initial_buckets=8), 0.1)
+        dy_high = mops_at(lambda: dycuckoo(initial_buckets=8), 0.5)
+        mega_low = mops_at(lambda: MegaKVTable(initial_buckets=8), 0.1)
+        mega_high = mops_at(lambda: MegaKVTable(initial_buckets=8), 0.5)
+        assert slab_high > slab_low * 0.95  # Slab improves (or holds)
+        assert dy_high < dy_low * 1.05      # DyCuckoo degrades (or holds)
+        assert dy_low > mega_low            # DyCuckoo ahead at every r
+        assert dy_high >= mega_high * 0.95
+
+
+class TestStaticShapes:
+    @pytest.fixture(scope="class")
+    def static_results(self):
+        # 52429 keys into 65536 slots = the paper's default theta (80%+),
+        # with every bucketized table allocated the same total memory.
+        target = 0.80
+        total_slots = 65_536
+        keys = unique_keys(int(total_slots * target), seed=21)
+        values = keys * np.uint64(3)
+        results = {}
+        # Each design uses its native geometry at equal total memory:
+        # DyCuckoo 4x512x32 slots, MegaKV 2x4096x8 slots (= 65536 each).
+        tables = {
+            "DyCuckoo": DyCuckooAdapter(DyCuckooConfig(
+                num_tables=4, bucket_capacity=32, initial_buckets=512,
+                auto_resize=False)),
+            "MegaKV": MegaKVTable(initial_buckets=4096, bucket_capacity=8,
+                                  auto_resize=False),
+            "CUDPP": CudppHashTable(len(keys), target_fill=target),
+            "SlabHash": SlabHashTable(
+                n_buckets=slab_buckets_for_fill(len(keys), target)),
+        }
+        for name, table in tables.items():
+            results[name] = run_static(table, keys, values, num_finds=10_000)
+        return results
+
+    def test_all_approaches_work(self, static_results):
+        for name, result in static_results.items():
+            assert result.insert_mops > 0, name
+            assert result.find_mops > 0, name
+
+    def test_dycuckoo_best_insert(self, static_results):
+        """Figure 9: DyCuckoo demonstrates the best insert throughput."""
+        dy = static_results["DyCuckoo"].insert_mops
+        for other in ("MegaKV", "CUDPP", "SlabHash"):
+            assert dy > static_results[other].insert_mops, other
+
+    def test_megakv_best_find_dycuckoo_close(self, static_results):
+        """Figure 9: MegaKV wins FIND; DyCuckoo is a close second."""
+        mega = static_results["MegaKV"].find_mops
+        dy = static_results["DyCuckoo"].find_mops
+        assert mega > dy
+        assert dy > 0.7 * mega  # "slightly inferior", not a blowout
+
+    def test_cuckoo_schemes_beat_chaining_on_find(self, static_results):
+        slab = static_results["SlabHash"].find_mops
+        assert static_results["DyCuckoo"].find_mops > slab
+        assert static_results["MegaKV"].find_mops > slab

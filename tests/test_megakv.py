@@ -1,0 +1,113 @@
+"""Tests for the MegaKV baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.megakv import MegaKVTable
+from repro.errors import CapacityError, InvalidConfigError
+
+from .conftest import unique_keys
+
+
+class TestBasicOperations:
+    def test_insert_find_delete(self):
+        table = MegaKVTable(initial_buckets=16, bucket_capacity=8)
+        keys = unique_keys(2000, seed=1)
+        table.insert(keys, keys * 2)
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+        removed = table.delete(keys[:1000])
+        assert removed.all()
+        table.validate()
+        _, found = table.find(keys)
+        assert not found[:1000].any()
+        assert found[1000:].all()
+
+    def test_upsert(self):
+        table = MegaKVTable(initial_buckets=16)
+        keys = unique_keys(100, seed=2)
+        table.insert(keys, keys)
+        table.insert(keys, keys + np.uint64(1))
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys + np.uint64(1))
+        assert len(table) == 100
+
+    def test_duplicate_batch_last_wins(self):
+        table = MegaKVTable(initial_buckets=16)
+        table.insert(np.array([4, 4], dtype=np.uint64),
+                     np.array([1, 2], dtype=np.uint64))
+        values, found = table.find(np.array([4], dtype=np.uint64))
+        assert found[0] and values[0] == 2
+        assert len(table) == 1
+
+    def test_duplicate_delete_counted_once(self):
+        table = MegaKVTable(initial_buckets=16)
+        table.insert(np.array([4], dtype=np.uint64),
+                     np.array([1], dtype=np.uint64))
+        removed = table.delete(np.array([4, 4], dtype=np.uint64))
+        assert removed.tolist() == [True, False]
+
+    def test_two_lookup_find(self):
+        table = MegaKVTable(initial_buckets=64)
+        keys = unique_keys(1000, seed=3)
+        table.insert(keys, keys)
+        before = table.stats.snapshot()
+        table.find(keys)
+        delta = table.stats.delta(before)
+        assert delta["bucket_reads"] <= 2 * len(keys)
+
+    def test_validation_errors(self):
+        with pytest.raises(InvalidConfigError):
+            MegaKVTable(alpha=0.9, beta=0.5)
+
+
+class TestResizeStrategy:
+    def test_growth_uses_full_rehash(self):
+        """MegaKV's resize is the naive whole-table rebuild."""
+        table = MegaKVTable(initial_buckets=8, bucket_capacity=8)
+        keys = unique_keys(5000, seed=4)
+        for start in range(0, len(keys), 500):
+            table.insert(keys[start:start + 500], keys[start:start + 500])
+        assert table.stats.full_rehashes > 0
+        assert table.stats.rehashed_entries > 0
+        _, found = table.find(keys)
+        assert found.all()
+
+    def test_fill_bounds_after_churn(self):
+        table = MegaKVTable(initial_buckets=8, bucket_capacity=8,
+                            alpha=0.3, beta=0.85)
+        keys = unique_keys(5000, seed=5)
+        table.insert(keys, keys)
+        assert table.load_factor <= 0.85 + 1e-9
+        table.delete(keys[:4500])
+        at_min = table.n_buckets <= table.min_buckets
+        assert table.load_factor >= 0.3 - 1e-9 or at_min
+
+    def test_shrink_rehashes_everything(self):
+        table = MegaKVTable(initial_buckets=8, bucket_capacity=8)
+        keys = unique_keys(5000, seed=6)
+        table.insert(keys, keys)
+        rehashes_before = table.stats.full_rehashes
+        table.delete(keys[:4500])
+        assert table.stats.full_rehashes > rehashes_before
+        _, found = table.find(keys[4500:])
+        assert found.all()
+
+    def test_static_table_raises_when_full(self):
+        table = MegaKVTable(initial_buckets=8, bucket_capacity=4,
+                            auto_resize=False, max_eviction_rounds=16)
+        keys = unique_keys(8 * 4 * 2 + 50, seed=7)
+        with pytest.raises(CapacityError):
+            table.insert(keys, keys)
+
+    def test_memory_footprint(self):
+        table = MegaKVTable(initial_buckets=16, bucket_capacity=8)
+        keys = unique_keys(100, seed=8)
+        table.insert(keys, keys)
+        fp = table.memory_footprint()
+        assert fp.live_entries == 100
+        assert fp.total_slots == table.total_slots
+        assert fp.overhead_bytes == 0

@@ -1,0 +1,103 @@
+"""Tests for the device memory manager (multi-tenant modeling)."""
+
+import pytest
+
+from repro.errors import CapacityError, InvalidConfigError
+from repro.gpusim import GTX_1050, DeviceMemoryManager
+from repro.gpusim.memory_manager import PCIE_BANDWIDTH
+
+
+def manager():
+    return DeviceMemoryManager(device=GTX_1050, reserve_fraction=0.0)
+
+
+class TestAllocation:
+    def test_basic_accounting(self):
+        m = manager()
+        m.set_allocation("a", 100)
+        m.set_allocation("b", 200)
+        assert m.resident_bytes == 300
+        assert m.free_bytes == m.capacity - 300
+        assert m.clients() == ["a", "b"]
+
+    def test_grow_and_shrink(self):
+        m = manager()
+        m.set_allocation("a", 100)
+        m.set_allocation("a", 500)
+        assert m.resident_bytes == 500
+        m.set_allocation("a", 50)
+        assert m.resident_bytes == 50
+        assert m.peak_resident_bytes == 500
+
+    def test_free(self):
+        m = manager()
+        m.set_allocation("a", 100)
+        m.free("a")
+        assert m.resident_bytes == 0
+        assert m.allocation_of("a") is None
+        m.free("missing")  # no-op
+
+    def test_single_allocation_over_capacity(self):
+        m = manager()
+        with pytest.raises(CapacityError):
+            m.set_allocation("huge", m.capacity + 1)
+
+    def test_negative_rejected(self):
+        m = manager()
+        with pytest.raises(InvalidConfigError):
+            m.set_allocation("a", -1)
+
+    def test_reserve_fraction_validated(self):
+        with pytest.raises(InvalidConfigError):
+            DeviceMemoryManager(reserve_fraction=1.0)
+
+
+class TestSpilling:
+    def test_overflow_spills_largest_other(self):
+        m = manager()
+        half = m.capacity // 2
+        m.set_allocation("big", half + 100)
+        m.set_allocation("small", 100)
+        # "active" needs more than the remaining space: big must spill.
+        m.set_allocation("active", half)
+        big = m.allocation_of("big")
+        assert not big.resident
+        assert m.allocation_of("active").resident
+        assert m.spill_bytes >= half
+
+    def test_spill_traffic_has_pcie_cost(self):
+        m = manager()
+        m.set_allocation("x", m.capacity)
+        m.set_allocation("y", 1000)
+        assert m.spill_seconds == pytest.approx(
+            m.spill_bytes / PCIE_BANDWIDTH)
+        assert m.spill_seconds > 0
+
+    def test_touching_spilled_structure_restores_it(self):
+        m = manager()
+        m.set_allocation("x", m.capacity)
+        m.set_allocation("y", 1000)          # spills x
+        spill_after_evict = m.spill_bytes
+        m.set_allocation("x", 1000)          # restore x (now small)
+        assert m.allocation_of("x").resident
+        assert m.spill_bytes > spill_after_evict  # restore transfer charged
+
+    def test_full_spill_always_resolves(self):
+        """Spilling every other tenant always makes room for one that
+        fits the device on its own (the over-capacity case is rejected
+        up front)."""
+        m = manager()
+        m.set_allocation("a", int(m.capacity * 0.9))
+        m.set_allocation("b", int(m.capacity * 0.9))
+        m.set_allocation("a", int(m.capacity * 0.95))
+        assert m.allocation_of("a").resident
+        assert not m.allocation_of("b").resident
+        assert m.resident_bytes <= m.capacity
+
+    def test_report_mentions_spill(self):
+        m = manager()
+        m.set_allocation("x", m.capacity)
+        m.set_allocation("y", 1000)
+        text = m.report()
+        assert "spilled" in text
+        assert "x" in text and "y" in text

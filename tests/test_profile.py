@@ -1,0 +1,66 @@
+"""Tests for the kernel profiling reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.gpusim import profile_batch, profile_operation
+
+from .conftest import unique_keys
+
+
+class TestProfileBatch:
+    def test_find_profile_is_clean(self):
+        """Read-only FIND: full warp efficiency, zero atomics."""
+        profile = profile_batch("find", {"bucket_reads": 1500,
+                                         "finds": 1000}, 1000)
+        assert profile.warp_efficiency == 1.0
+        assert profile.atomics_per_op == 0.0
+        assert profile.transactions_per_op == 1.5
+        assert profile.simulated_seconds > 0
+
+    def test_contended_insert_lowers_efficiency(self):
+        clean = profile_batch("insert", {
+            "bucket_reads": 1000, "lock_acquisitions": 1000,
+            "eviction_rounds": 1}, 1000)
+        messy = profile_batch("insert", {
+            "bucket_reads": 3000, "lock_acquisitions": 1000,
+            "lock_conflicts": 2000, "evictions": 1000,
+            "eviction_rounds": 20}, 1000)
+        assert messy.warp_efficiency < clean.warp_efficiency
+        assert messy.atomic_conflict_rate == pytest.approx(2.0)  # 2000/1000
+
+    def test_memory_utilization_bounded(self):
+        profile = profile_batch("x", {"bucket_reads": 10 ** 9}, 10 ** 6)
+        assert 0.0 <= profile.memory_utilization <= 1.0
+
+    def test_str_contains_essentials(self):
+        profile = profile_batch("demo", {"bucket_reads": 10}, 10)
+        text = str(profile)
+        assert "demo" in text
+        assert "warp eff" in text
+        assert "tx/op" in text
+
+    def test_zero_ops(self):
+        profile = profile_batch("empty", {}, 0)
+        assert profile.transactions_per_op == 0.0
+        assert profile.atomics_per_op == 0.0
+
+
+class TestProfileOperation:
+    def test_profiles_real_table_calls(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                             bucket_capacity=8))
+        keys = unique_keys(2000, seed=1)
+        insert_profile = profile_operation(table, "insert", table.insert,
+                                           keys, keys)
+        find_profile = profile_operation(table, "find", table.find, keys)
+        assert insert_profile.num_ops == 2000
+        assert find_profile.num_ops == 2000
+        # FIND touches at most 2 buckets/op; insert does strictly more
+        # work per op.
+        assert find_profile.transactions_per_op <= 2.0
+        assert (insert_profile.transactions_per_op
+                > find_profile.transactions_per_op)
+        assert find_profile.warp_efficiency >= insert_profile.warp_efficiency

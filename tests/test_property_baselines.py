@@ -1,0 +1,111 @@
+"""Property-based tests: baselines versus a dict reference model.
+
+The same model-based harness as ``test_property_table``, applied to
+MegaKV and SlabHash (CUDPP has no delete, so its program space is
+insert/find only).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cudpp import CudppHashTable
+from repro.baselines.megakv import MegaKVTable
+from repro.baselines.slab import SlabHashTable
+
+KEY = st.integers(min_value=0, max_value=150)
+VALUE = st.integers(min_value=0, max_value=1 << 32)
+
+full_op = st.one_of(
+    st.tuples(st.just("insert"),
+              st.lists(st.tuples(KEY, VALUE), min_size=1, max_size=30)),
+    st.tuples(st.just("delete"), st.lists(KEY, min_size=1, max_size=30)),
+    st.tuples(st.just("find"), st.lists(KEY, min_size=1, max_size=30)),
+)
+
+read_write_op = st.one_of(
+    st.tuples(st.just("insert"),
+              st.lists(st.tuples(KEY, VALUE), min_size=1, max_size=30)),
+    st.tuples(st.just("find"), st.lists(KEY, min_size=1, max_size=30)),
+)
+
+
+def apply_batch(table, model: dict, op) -> None:
+    kind, payload = op
+    if kind == "insert":
+        keys = np.array([k for k, _v in payload], dtype=np.uint64)
+        values = np.array([v for _k, v in payload], dtype=np.uint64)
+        table.insert(keys, values)
+        for k, v in payload:
+            model[k] = v
+    elif kind == "delete":
+        keys = np.array(payload, dtype=np.uint64)
+        removed = table.delete(keys)
+        expected = 0
+        seen = set()
+        for k in payload:
+            if k in model and k not in seen:
+                expected += 1
+            seen.add(k)
+            model.pop(k, None)
+        assert int(removed.sum()) == expected
+    else:
+        keys = np.array(payload, dtype=np.uint64)
+        values, found = table.find(keys)
+        for i, k in enumerate(payload):
+            assert bool(found[i]) == (k in model), (kind, k)
+            if k in model:
+                assert int(values[i]) == model[k]
+
+
+class TestMegaKVModel:
+    @given(st.lists(full_op, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_dict(self, ops):
+        table = MegaKVTable(initial_buckets=8, bucket_capacity=4)
+        model: dict = {}
+        for op in ops:
+            apply_batch(table, model, op)
+            assert len(table) == len(model)
+        table.validate()
+
+
+class TestSlabModel:
+    @given(st.lists(full_op, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_dict(self, ops):
+        table = SlabHashTable(n_buckets=4)
+        model: dict = {}
+        for op in ops:
+            apply_batch(table, model, op)
+            assert len(table) == len(model)
+        table.validate()
+
+    @given(st.lists(full_op, min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_memory_never_shrinks(self, ops):
+        """Symbolic deletion: allocated slots are monotone."""
+        table = SlabHashTable(n_buckets=4)
+        model: dict = {}
+        slots = table.total_slots
+        for op in ops:
+            apply_batch(table, model, op)
+            assert table.total_slots >= slots
+            slots = table.total_slots
+
+
+class TestCudppModel:
+    @given(st.lists(read_write_op, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_dict(self, ops):
+        table = CudppHashTable(expected_entries=400, target_fill=0.5)
+        model: dict = {}
+        for op in ops:
+            apply_batch(table, model, op)
+            assert len(table) == len(model)
+        table.validate()

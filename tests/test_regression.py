@@ -1,0 +1,93 @@
+"""Tests for the benchmark regression comparator."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (RegressionReport, compare_dirs,
+                                    compare_payloads, format_report)
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload))
+
+
+class TestComparePayloads:
+    def test_identical_is_clean(self):
+        report = RegressionReport()
+        payload = {"a": 1.0, "b": [1, 2, {"c": 3.5}]}
+        compare_payloads("x", payload, payload, 0.05, report)
+        assert report.clean
+        assert report.compared_leaves == 4
+
+    def test_within_tolerance_is_clean(self):
+        report = RegressionReport()
+        compare_payloads("x", {"mops": 100.0}, {"mops": 103.0}, 0.05,
+                         report)
+        assert report.clean
+
+    def test_beyond_tolerance_is_flagged(self):
+        report = RegressionReport()
+        compare_payloads("x", {"mops": 100.0}, {"mops": 80.0}, 0.05,
+                         report)
+        assert len(report.deviations) == 1
+        dev = report.deviations[0]
+        assert dev.path == "mops"
+        assert dev.ratio == pytest.approx(0.8)
+
+    def test_structural_changes_reported(self):
+        report = RegressionReport()
+        compare_payloads("x", {"old": 1, "both": 2}, {"new": 1, "both": 2},
+                         0.05, report)
+        assert report.missing_in_current == ["x:old"]
+        assert report.added_in_current == ["x:new"]
+
+    def test_string_leaf_change(self):
+        report = RegressionReport()
+        compare_payloads("x", {"name": "a"}, {"name": "b"}, 0.05, report)
+        assert len(report.deviations) == 1
+
+
+class TestCompareDirs:
+    def test_directory_comparison(self, tmp_path):
+        base = tmp_path / "base"
+        curr = tmp_path / "curr"
+        base.mkdir()
+        curr.mkdir()
+        write(base / "fig9.json", {"DyCuckoo": 150.0, "MegaKV": 140.0})
+        write(curr / "fig9.json", {"DyCuckoo": 152.0, "MegaKV": 90.0})
+        write(base / "gone.json", {"x": 1})
+        write(curr / "fresh.json", {"y": 2})
+        report = compare_dirs(base, curr, rel_tolerance=0.05)
+        assert not report.clean
+        assert [d.path for d in report.deviations] == ["MegaKV"]
+        assert report.missing_in_current == ["gone.json"]
+        assert report.added_in_current == ["fresh.json"]
+
+    def test_format_report(self, tmp_path):
+        base = tmp_path / "base"
+        curr = tmp_path / "curr"
+        base.mkdir()
+        curr.mkdir()
+        write(base / "a.json", {"m": 100.0})
+        write(curr / "a.json", {"m": 100.0})
+        clean_text = format_report(compare_dirs(base, curr))
+        assert "no regressions" in clean_text
+        write(curr / "a.json", {"m": 10.0})
+        dirty_text = format_report(compare_dirs(base, curr))
+        assert "CHANGED" in dirty_text
+        assert "0.10x" in dirty_text
+
+
+class TestEndToEndWithArtifacts:
+    def test_dump_then_compare(self, tmp_path, monkeypatch):
+        """The artifacts writer and the comparator round-trip."""
+        from repro.bench.artifacts import ENV_VAR, maybe_dump
+
+        base = tmp_path / "base"
+        curr = tmp_path / "curr"
+        monkeypatch.setenv(ENV_VAR, str(base))
+        maybe_dump("run", {("COM", "DyCuckoo"): 123.0})
+        monkeypatch.setenv(ENV_VAR, str(curr))
+        maybe_dump("run", {("COM", "DyCuckoo"): 123.0})
+        assert compare_dirs(base, curr).clean

@@ -1,0 +1,175 @@
+"""Tests for the single-subtable resizing policy (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.resize import _TableSnapshot
+from repro.core.table import DyCuckooTable
+from repro.errors import ResizeError
+
+from .conftest import unique_keys
+
+
+def filled_table(n_keys=2000, seed=1, **config_kwargs):
+    defaults = dict(initial_buckets=16, bucket_capacity=8, min_buckets=8)
+    defaults.update(config_kwargs)
+    table = DyCuckooTable(DyCuckooConfig(**defaults))
+    keys = unique_keys(n_keys, seed=seed)
+    table.insert(keys, keys * 2)
+    return table, keys
+
+
+class TestUpsize:
+    def test_upsize_targets_smallest(self):
+        table, _ = filled_table()
+        sizes_before = [st.n_buckets for st in table.subtables]
+        smallest = int(np.argmin(sizes_before))
+        table.upsize()
+        sizes_after = [st.n_buckets for st in table.subtables]
+        assert sizes_after[smallest] == 2 * sizes_before[smallest]
+
+    def test_upsize_preserves_contents(self):
+        table, keys = filled_table()
+        table.upsize()
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+
+    def test_upsize_is_conflict_free(self):
+        """Every entry lands in its old bucket or old bucket + old size."""
+        table, _ = filled_table()
+        target = int(np.argmin([st.n_buckets for st in table.subtables]))
+        st = table.subtables[target]
+        codes, _values, old_buckets = st.export_entries()
+        old_n = st.n_buckets
+        table.upsize()
+        _codes2, _values2, new_buckets = st.export_entries()
+        # Export order differs; verify per key via the hash directly.
+        recomputed = table.table_hashes[target].bucket(codes, old_n * 2)
+        old = table.table_hashes[target].bucket(codes, old_n)
+        assert bool(np.all((recomputed == old) | (recomputed == old + old_n)))
+
+    def test_upsize_halves_subtable_fill(self):
+        table, _ = filled_table()
+        target = int(np.argmin([st.n_buckets for st in table.subtables]))
+        fill_before = table.subtables[target].filled_factor
+        table.upsize()
+        assert table.subtables[target].filled_factor == pytest.approx(
+            fill_before / 2)
+
+
+class TestDownsize:
+    def test_downsize_targets_largest(self):
+        table, _ = filled_table()
+        table.upsize()   # make one table strictly larger
+        sizes_before = [st.n_buckets for st in table.subtables]
+        largest = int(np.argmax(sizes_before))
+        table.delete(table.items()[0][:1500])  # make room
+        sizes_mid = [st.n_buckets for st in table.subtables]
+        if sizes_mid == sizes_before:  # no automatic downsize happened yet
+            table.downsize()
+            sizes_after = [st.n_buckets for st in table.subtables]
+            assert sizes_after[largest] == sizes_before[largest] // 2
+
+    def test_downsize_preserves_contents(self):
+        table, keys = filled_table(n_keys=500)
+        keep = keys[:100]
+        table.delete(keys[100:])
+        table.validate()
+        before = len(table)
+        # Force an explicit downsize regardless of automatic ones.
+        try:
+            table.downsize()
+        except ResizeError:
+            pass  # already at minimum everywhere
+        table.validate()
+        assert len(table) == before
+        values, found = table.find(keep)
+        assert found.all()
+        assert np.array_equal(values, keep * np.uint64(2))
+
+    def test_downsize_at_minimum_raises(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                             bucket_capacity=8,
+                                             min_buckets=8))
+        with pytest.raises(ResizeError):
+            table.downsize()
+
+    def test_residuals_relocated(self):
+        """Residual spill keeps all entries findable and counted."""
+        # Dense small table so merging buckets must overflow.
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                             bucket_capacity=4,
+                                             min_buckets=8,
+                                             auto_resize=False))
+        keys = unique_keys(140, seed=3)
+        table.insert(keys, keys)
+        before_residuals = table.stats.residuals
+        table.downsize()
+        table.validate()
+        _, found = table.find(keys)
+        assert found.all()
+        # Not guaranteed every run produces residuals, but the counter
+        # must never go backwards and the structure must stay intact.
+        assert table.stats.residuals >= before_residuals
+
+
+class TestBoundEnforcement:
+    def test_fill_within_bounds_after_growth(self):
+        table, _ = filled_table(n_keys=20_000)
+        assert table.load_factor <= table.config.beta + 1e-9
+
+    def test_fill_recovers_after_mass_delete(self):
+        table, keys = filled_table(n_keys=20_000)
+        table.delete(keys[:19_000])
+        # Downsize loop: either back above alpha, or stuck at min size.
+        at_min = all(st.n_buckets <= table.config.min_buckets
+                     for st in table.subtables)
+        assert table.load_factor >= table.config.alpha - 1e-9 or at_min
+
+    def test_alpha_bound_respects_beta_projection(self):
+        """Downsizing never overshoots past beta."""
+        table, keys = filled_table(n_keys=20_000)
+        table.delete(keys[:10_000])
+        assert table.load_factor <= table.config.beta + 1e-9
+
+    def test_upsizes_counted(self):
+        # Insert in chunks so later upsizes move real entries (a single
+        # bulk insert sizes the table proactively while it is empty).
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                             bucket_capacity=8))
+        keys = unique_keys(20_000, seed=1)
+        for start in range(0, len(keys), 1000):
+            chunk = keys[start:start + 1000]
+            table.insert(chunk, chunk)
+        assert table.stats.upsizes > 0
+        assert table.stats.rehashed_entries > 0
+
+    def test_anticipatory_upsize_extension(self):
+        config = DyCuckooConfig(initial_buckets=16, bucket_capacity=8,
+                                anticipatory_upsize=True)
+        table = DyCuckooTable(config)
+        keys = unique_keys(20_000, seed=5)
+        table.insert(keys, keys)
+        _, found = table.find(keys)
+        assert found.all()
+        table.validate()
+        midpoint = (config.alpha + config.beta) / 2
+        # After an anticipatory upsize run, fill sits at/below midpoint
+        # or within bounds; it must never exceed beta.
+        assert table.load_factor <= config.beta + 1e-9
+
+
+class TestSnapshot:
+    def test_snapshot_restores_storage(self):
+        table, keys = filled_table(n_keys=500)
+        snapshot = _TableSnapshot(table)
+        table.delete(keys[:250])
+        table.upsize()
+        snapshot.restore(table)
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert len(table) == 500

@@ -1,0 +1,118 @@
+"""Robustness tests: adversarial inputs, growth ceilings, failure paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.hashing import UniversalHash
+from repro.core.table import DyCuckooTable
+from repro.errors import CapacityError, InvalidConfigError
+
+from .conftest import unique_keys
+
+
+class TestGrowthCeiling:
+    def test_ceiling_validated_against_initial(self):
+        with pytest.raises(InvalidConfigError):
+            DyCuckooConfig(initial_buckets=64, bucket_capacity=32,
+                           max_total_slots=100)
+
+    def test_ceiling_stops_growth(self):
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=4,
+                                max_total_slots=8 * 4 * 4 * 2)
+        table = DyCuckooTable(config)
+        keys = unique_keys(1000, seed=1)
+        with pytest.raises(CapacityError):
+            table.insert(keys, keys)
+        # The error message carries the diagnosis.
+        try:
+            table.insert(keys, keys)
+        except CapacityError as err:
+            assert "max_total_slots" in str(err)
+
+    def test_zero_ceiling_means_unbounded(self):
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=4,
+                                max_total_slots=0)
+        table = DyCuckooTable(config)
+        keys = unique_keys(5000, seed=2)
+        table.insert(keys, keys)
+        _, found = table.find(keys)
+        assert found.all()
+
+    def test_workload_within_ceiling_works(self):
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=8,
+                                max_total_slots=1 << 14)
+        table = DyCuckooTable(config)
+        keys = unique_keys(5000, seed=3)  # fits comfortably in 16384 slots
+        table.insert(keys, keys)
+        table.validate()
+        assert table.total_slots <= 1 << 14
+
+
+class TestAdversarialKeys:
+    def test_colliding_fold_keys_still_work(self):
+        """Keys crafted to collide in the 31-bit fold must still store.
+
+        ``k`` and ``k + (2**31 - 1)`` fold identically before the
+        per-function premix; the premix de-correlates the functions, so
+        such pairs must behave like ordinary distinct keys.
+        """
+        mersenne = (1 << 31) - 1
+        base = np.arange(1, 201, dtype=np.uint64)
+        shadow = base + np.uint64(mersenne)
+        keys = np.concatenate([base, shadow])
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                             bucket_capacity=8))
+        table.insert(keys, keys * 2)
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+
+    def test_dense_sequential_keys(self):
+        """Sequential integers (worst case for weak hashes) spread fine."""
+        keys = np.arange(10_000, dtype=np.uint64)
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                             bucket_capacity=8))
+        table.insert(keys, keys)
+        table.validate()
+        # No single bucket should be pathologically hot: the table grew
+        # to a sane size rather than doubling forever.
+        assert table.load_factor > 0.3
+
+    def test_same_key_many_times(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                             bucket_capacity=4))
+        key = np.full(10_000, 77, dtype=np.uint64)
+        vals = np.arange(10_000, dtype=np.uint64)
+        table.insert(key, vals)
+        assert len(table) == 1
+        assert table.get(77) == 9999
+        table.validate()
+
+
+class TestHashQuality:
+    def test_premix_decorrelates_fold_collisions(self):
+        """Two functions disagree on fold-colliding keys (mostly)."""
+        rng = np.random.default_rng(5)
+        h1, h2 = UniversalHash.random(rng), UniversalHash.random(rng)
+        mersenne = (1 << 31) - 1
+        base = np.arange(1, 2001, dtype=np.uint64)
+        shadow = base + np.uint64(mersenne)
+        same_h1 = h1.bucket(base, 1024) == h1.bucket(shadow, 1024)
+        same_h2 = h2.bucket(base, 1024) == h2.bucket(shadow, 1024)
+        # A pair colliding under one function rarely collides under the
+        # other: the premix makes the folds independent.
+        both = same_h1 & same_h2
+        assert both.mean() < 0.05
+
+
+class TestErrorMessages:
+    def test_capacity_error_reports_count(self):
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=4,
+                                auto_resize=False, max_eviction_rounds=8)
+        table = DyCuckooTable(config)
+        keys = unique_keys(8 * 4 * 4 + 64, seed=7)
+        with pytest.raises(CapacityError) as excinfo:
+            table.insert(keys, keys)
+        assert "auto_resize disabled" in str(excinfo.value)

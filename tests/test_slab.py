@@ -1,0 +1,151 @@
+"""Tests for the SlabHash chaining baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.slab import (MAX_SLAB_KEY, SLAB_CAPACITY, SlabHashTable,
+                                  TOMBSTONE)
+from repro.errors import InvalidConfigError, InvalidKeyError
+
+from .conftest import unique_keys
+
+
+class TestBasicOperations:
+    def test_insert_find_delete(self):
+        table = SlabHashTable(n_buckets=64)
+        keys = unique_keys(2000, seed=1)
+        table.insert(keys, keys * 2)
+        table.validate()
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+        removed = table.delete(keys[:500])
+        assert removed.all()
+        table.validate()
+        _, found = table.find(keys)
+        assert not found[:500].any()
+        assert found[500:].all()
+
+    def test_upsert(self):
+        table = SlabHashTable(n_buckets=16)
+        keys = unique_keys(100, seed=2)
+        table.insert(keys, keys)
+        table.insert(keys, keys + np.uint64(3))
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys + np.uint64(3))
+        assert len(table) == 100
+
+    def test_duplicate_batch_last_wins(self):
+        table = SlabHashTable(n_buckets=8)
+        table.insert(np.array([5, 5], dtype=np.uint64),
+                     np.array([1, 2], dtype=np.uint64))
+        assert len(table) == 1
+        values, _ = table.find(np.array([5], dtype=np.uint64))
+        assert values[0] == 2
+
+    def test_duplicate_delete_counted_once(self):
+        table = SlabHashTable(n_buckets=8)
+        table.insert(np.array([5], dtype=np.uint64),
+                     np.array([1], dtype=np.uint64))
+        removed = table.delete(np.array([5, 5], dtype=np.uint64))
+        assert removed.tolist() == [True, False]
+        assert len(table) == 0
+
+    def test_rejects_reserved_keys(self):
+        table = SlabHashTable(n_buckets=8)
+        with pytest.raises(InvalidKeyError):
+            table.insert(np.array([MAX_SLAB_KEY + 1], dtype=np.uint64),
+                         np.array([0], dtype=np.uint64))
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(InvalidConfigError):
+            SlabHashTable(n_buckets=0)
+
+
+class TestSymbolicDeletion:
+    def test_delete_leaves_memory_allocated(self):
+        """Symbolic deletion never shrinks the structure (weakness #2)."""
+        table = SlabHashTable(n_buckets=32)
+        keys = unique_keys(2000, seed=3)
+        table.insert(keys, keys)
+        slots_before = table.total_slots
+        table.delete(keys)
+        assert table.total_slots == slots_before
+        assert len(table) == 0
+        assert table.load_factor == 0.0
+        assert table.tombstones == 2000
+
+    def test_fill_factor_decays_under_deletion(self):
+        table = SlabHashTable(n_buckets=32)
+        keys = unique_keys(3000, seed=4)
+        table.insert(keys, keys)
+        fill_full = table.load_factor
+        table.delete(keys[:2500])
+        assert table.load_factor < fill_full / 3
+
+    def test_insert_reuses_tombstones(self):
+        """More deletions make inserts cheaper (Figure 11's trend)."""
+        table = SlabHashTable(n_buckets=16)
+        keys = unique_keys(1000, seed=5)
+        table.insert(keys, keys)
+        table.delete(keys)
+        slots_before = table.total_slots
+        tombstones_before = table.tombstones
+        fresh = unique_keys(1000, seed=6, low=1 << 40)
+        table.insert(fresh, fresh)
+        table.validate()
+        # The bulk of tombstoned slots must be recycled...
+        assert table.tombstones < tombstones_before / 5
+        # ...so the structure barely grows (a few race-allocated slabs
+        # at chain tails are acceptable; 10% is not).
+        assert table.total_slots <= slots_before * 1.10
+
+    def test_tombstone_does_not_stop_search(self):
+        table = SlabHashTable(n_buckets=1)  # everything chains together
+        keys = unique_keys(40, seed=7)
+        table.insert(keys, keys)
+        table.delete(keys[:10])
+        _, found = table.find(keys[10:])
+        assert found.all()
+
+
+class TestChaining:
+    def test_chains_grow_with_data(self):
+        table = SlabHashTable(n_buckets=4)
+        keys = unique_keys(400, seed=8)
+        table.insert(keys, keys)
+        lengths = table.chain_lengths()
+        assert lengths.max() > 1
+        assert lengths.sum() == table.allocated_slabs
+
+    def test_access_cost_grows_with_chains(self):
+        """Longer chains cost more accesses per FIND (weakness #3)."""
+        small = SlabHashTable(n_buckets=256)
+        big_chains = SlabHashTable(n_buckets=4)
+        keys = unique_keys(1000, seed=9)
+        for table in (small, big_chains):
+            table.insert(keys, keys)
+            table.stats.reset()
+            table.find(keys)
+        assert (big_chains.stats.random_accesses
+                > small.stats.random_accesses)
+
+    def test_allocator_reservation_is_overhead(self):
+        """The dedicated pool shows up as reserved overhead (weakness #1)."""
+        table = SlabHashTable(n_buckets=16, reserve_slabs=512)
+        fp = table.memory_footprint()
+        assert fp.overhead_bytes > 0
+        keys = unique_keys(500, seed=10)
+        table.insert(keys, keys)
+        fp2 = table.memory_footprint()
+        # Allocation converts reserved overhead into live slabs.
+        assert fp2.overhead_bytes < fp.overhead_bytes
+
+    def test_pool_growth_when_exhausted(self):
+        table = SlabHashTable(n_buckets=4, reserve_slabs=4)
+        keys = unique_keys(500, seed=11)
+        table.insert(keys, keys)
+        assert table.stats.full_rehashes > 0  # pool doubling events
+        _, found = table.find(keys)
+        assert found.all()

@@ -1,0 +1,68 @@
+"""Tests for the stats counters and memory footprint accounting."""
+
+import pytest
+
+from repro.core.stats import MemoryFootprint, TableStats
+
+
+class TestTableStats:
+    def test_starts_zeroed(self):
+        stats = TableStats()
+        assert all(v == 0 for v in stats.snapshot().values())
+
+    def test_snapshot_is_copy(self):
+        stats = TableStats()
+        snap = stats.snapshot()
+        stats.inserts += 5
+        assert snap["inserts"] == 0
+
+    def test_delta(self):
+        stats = TableStats()
+        stats.inserts = 10
+        before = stats.snapshot()
+        stats.inserts = 25
+        stats.evictions = 3
+        delta = stats.delta(before)
+        assert delta["inserts"] == 15
+        assert delta["evictions"] == 3
+        assert delta["finds"] == 0
+
+    def test_reset(self):
+        stats = TableStats()
+        stats.bucket_reads = 99
+        stats.reset()
+        assert stats.bucket_reads == 0
+
+    def test_merge(self):
+        a = TableStats()
+        b = TableStats()
+        a.inserts = 5
+        b.inserts = 7
+        b.upsizes = 2
+        a.merge(b)
+        assert a.inserts == 12
+        assert a.upsizes == 2
+        assert b.inserts == 7  # b untouched
+
+
+class TestMemoryFootprint:
+    def test_filled_factor(self):
+        fp = MemoryFootprint(total_slots=100, live_entries=60,
+                             slot_bytes=1600)
+        assert fp.filled_factor == pytest.approx(0.6)
+
+    def test_empty_table(self):
+        fp = MemoryFootprint(total_slots=0, live_entries=0, slot_bytes=0)
+        assert fp.filled_factor == 0.0
+
+    def test_total_bytes(self):
+        fp = MemoryFootprint(total_slots=10, live_entries=1,
+                             slot_bytes=160, overhead_bytes=40)
+        assert fp.total_bytes == 200
+
+    def test_str(self):
+        fp = MemoryFootprint(total_slots=100, live_entries=50,
+                             slot_bytes=1_000_000)
+        text = str(fp)
+        assert "50/100" in text
+        assert "50.0%" in text

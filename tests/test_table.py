@@ -1,0 +1,211 @@
+"""Unit tests for the DyCuckoo table's public operations."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.table import MAX_KEY, DyCuckooTable, decode_keys, encode_keys
+from repro.errors import CapacityError, InvalidKeyError
+
+from .conftest import unique_keys
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        keys = np.array([0, 1, MAX_KEY], dtype=np.uint64)
+        assert np.array_equal(decode_keys(encode_keys(keys)), keys)
+
+    def test_rejects_reserved_key(self):
+        with pytest.raises(InvalidKeyError):
+            encode_keys(np.array([MAX_KEY + 1], dtype=np.uint64))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidKeyError):
+            encode_keys(np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestBasicOperations:
+    def test_insert_find(self, small_table):
+        keys = unique_keys(1000, seed=1)
+        small_table.insert(keys, keys * 2)
+        values, found = small_table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+
+    def test_find_missing(self, small_table):
+        keys = unique_keys(100, seed=2)
+        small_table.insert(keys, keys)
+        missing = unique_keys(50, seed=99, low=1 << 62, high=(1 << 63) - 1)
+        values, found = small_table.find(missing)
+        assert not found.any()
+        assert (values == 0).all()
+
+    def test_key_zero_supported(self, small_table):
+        small_table.insert(np.array([0], dtype=np.uint64),
+                           np.array([42], dtype=np.uint64))
+        assert small_table.get(0) == 42
+
+    def test_max_key_supported(self, small_table):
+        small_table.insert(np.array([MAX_KEY], dtype=np.uint64),
+                           np.array([7], dtype=np.uint64))
+        assert small_table.get(MAX_KEY) == 7
+
+    def test_get_default(self, small_table):
+        assert small_table.get(12345) is None
+        assert small_table.get(12345, default=-1) == -1
+
+    def test_contains(self, small_table):
+        keys = unique_keys(64, seed=3)
+        small_table.insert(keys, keys)
+        assert small_table.contains(keys).all()
+
+    def test_upsert_updates_value(self, small_table):
+        keys = unique_keys(500, seed=4)
+        small_table.insert(keys, keys)
+        small_table.insert(keys, keys + np.uint64(1))
+        values, found = small_table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys + np.uint64(1))
+        assert len(small_table) == 500
+
+    def test_duplicate_keys_in_batch_last_wins(self, small_table):
+        keys = np.array([9, 9, 9], dtype=np.uint64)
+        vals = np.array([1, 2, 3], dtype=np.uint64)
+        small_table.insert(keys, vals)
+        assert small_table.get(9) == 3
+        assert len(small_table) == 1
+        small_table.validate()
+
+    def test_delete(self, small_table):
+        keys = unique_keys(800, seed=5)
+        small_table.insert(keys, keys)
+        removed = small_table.delete(keys[:400])
+        assert removed.all()
+        assert len(small_table) == 400
+        _, found = small_table.find(keys)
+        assert not found[:400].any()
+        assert found[400:].all()
+        small_table.validate()
+
+    def test_delete_missing(self, small_table):
+        removed = small_table.delete(np.array([1, 2, 3], dtype=np.uint64))
+        assert not removed.any()
+
+    def test_delete_duplicates_counted_once(self, small_table):
+        small_table.insert(np.array([5], dtype=np.uint64),
+                           np.array([50], dtype=np.uint64))
+        removed = small_table.delete(np.array([5, 5, 5], dtype=np.uint64))
+        assert removed.sum() == 1
+        assert removed[0]  # the first occurrence wins
+        assert len(small_table) == 0
+        small_table.validate()
+
+    def test_empty_batches(self, small_table):
+        empty = np.array([], dtype=np.uint64)
+        small_table.insert(empty, empty)
+        values, found = small_table.find(empty)
+        assert len(values) == 0
+        removed = small_table.delete(empty)
+        assert len(removed) == 0
+
+    def test_mismatched_values_rejected(self, small_table):
+        with pytest.raises(InvalidKeyError):
+            small_table.insert(np.array([1, 2], dtype=np.uint64),
+                               np.array([1], dtype=np.uint64))
+
+    def test_items_round_trip(self, small_table):
+        keys = unique_keys(300, seed=6)
+        small_table.insert(keys, keys * 3)
+        out_keys, out_values = small_table.items()
+        assert len(out_keys) == 300
+        order = np.argsort(out_keys)
+        assert np.array_equal(out_keys[order], np.sort(keys))
+        assert np.array_equal(out_values[order], np.sort(keys) * np.uint64(3))
+
+
+class TestInvariants:
+    def test_two_lookup_guarantee(self, small_table):
+        """FIND reads at most two buckets per key (the two-layer claim)."""
+        keys = unique_keys(2000, seed=7)
+        small_table.insert(keys, keys)
+        before = small_table.stats.snapshot()
+        small_table.find(keys)
+        delta = small_table.stats.delta(before)
+        assert delta["bucket_reads"] <= 2 * len(keys)
+
+    def test_delete_two_lookup_guarantee(self, small_table):
+        keys = unique_keys(2000, seed=8)
+        small_table.insert(keys, keys)
+        before = small_table.stats.snapshot()
+        small_table.delete(keys)
+        delta = small_table.stats.delta(before)
+        assert delta["bucket_reads"] <= 2 * len(keys)
+
+    def test_validate_after_heavy_churn(self, small_table):
+        rng = np.random.default_rng(9)
+        pool = unique_keys(3000, seed=10)
+        live = set()
+        for step in range(20):
+            batch = rng.choice(pool, 400, replace=False)
+            if step % 3 == 2:
+                small_table.delete(batch)
+                live -= set(batch.tolist())
+            else:
+                small_table.insert(batch, batch)
+                live |= set(batch.tolist())
+            small_table.validate()
+        assert len(small_table) == len(live)
+
+    def test_size_discipline(self, small_table):
+        """No subtable more than twice the size of any other."""
+        keys = unique_keys(20_000, seed=11)
+        small_table.insert(keys, keys)
+        sizes = [st.n_buckets for st in small_table.subtables]
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_static_table_raises_when_full(self):
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=4,
+                                auto_resize=False, max_eviction_rounds=16)
+        table = DyCuckooTable(config)
+        too_many = unique_keys(8 * 4 * 4 + 100, seed=12)
+        with pytest.raises(CapacityError):
+            table.insert(too_many, too_many)
+
+    def test_load_factor_definition(self, small_table):
+        keys = unique_keys(100, seed=13)
+        small_table.insert(keys, keys)
+        assert small_table.load_factor == pytest.approx(
+            len(small_table) / small_table.total_slots)
+
+    def test_memory_footprint(self, small_table):
+        keys = unique_keys(100, seed=14)
+        small_table.insert(keys, keys)
+        fp = small_table.memory_footprint()
+        assert fp.live_entries == 100
+        assert fp.total_slots == small_table.total_slots
+        # 16 bytes per slot plus lock words.
+        assert fp.slot_bytes == small_table.total_slots * 16
+        assert fp.overhead_bytes > 0
+
+
+class TestRoutingPolicies:
+    def test_uniform_routing_works(self):
+        config = DyCuckooConfig(initial_buckets=16, bucket_capacity=8,
+                                routing="uniform")
+        table = DyCuckooTable(config)
+        keys = unique_keys(2000, seed=15)
+        table.insert(keys, keys)
+        _, found = table.find(keys)
+        assert found.all()
+        table.validate()
+
+    def test_num_tables_variants(self):
+        for d in (2, 3, 5, 8):
+            config = DyCuckooConfig(num_tables=d, initial_buckets=16,
+                                    bucket_capacity=8)
+            table = DyCuckooTable(config)
+            keys = unique_keys(3000, seed=d)
+            table.insert(keys, keys)
+            _, found = table.find(keys)
+            assert found.all(), f"d={d}"
+            table.validate()

@@ -1,0 +1,94 @@
+"""Tests for the convenience API surface of DyCuckooTable."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+
+from .conftest import unique_keys
+
+
+def seeded_table(n=500, seed=1):
+    table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                         bucket_capacity=8))
+    keys = unique_keys(n, seed=seed)
+    table.insert(keys, keys * 3)
+    return table, keys
+
+
+class TestViews:
+    def test_keys_values_aligned(self):
+        table, keys = seeded_table()
+        out_keys = table.keys()
+        out_values = table.values()
+        assert len(out_keys) == len(keys)
+        assert np.array_equal(out_values, out_keys * np.uint64(3))
+
+    def test_to_dict(self):
+        table, keys = seeded_table(100)
+        d = table.to_dict()
+        assert len(d) == 100
+        for k in keys[:10]:
+            assert d[int(k)] == int(k) * 3
+
+    def test_contains_operator(self):
+        table, keys = seeded_table(50)
+        assert int(keys[0]) in table
+        assert 999_999_999_999 not in table
+
+
+class TestClearCopyMerge:
+    def test_clear(self):
+        table, _keys = seeded_table(2000)
+        table.clear()
+        assert len(table) == 0
+        assert all(st.n_buckets == table.config.initial_buckets
+                   for st in table.subtables)
+        table.validate()
+
+    def test_copy_is_independent(self):
+        table, keys = seeded_table(300)
+        clone = table.copy()
+        clone.validate()
+        assert clone.to_dict() == table.to_dict()
+        clone.delete(keys)
+        assert len(clone) == 0
+        assert len(table) == 300
+
+    def test_copy_preserves_hashes(self):
+        """Copied tables answer probes from identical bucket layouts."""
+        table, keys = seeded_table(300)
+        clone = table.copy()
+        for src, dst in zip(table.subtables, clone.subtables):
+            assert np.array_equal(src.keys, dst.keys)
+
+    def test_from_items(self):
+        keys = unique_keys(5000, seed=2)
+        table = DyCuckooTable.from_items(keys, keys + np.uint64(1))
+        assert len(table) == 5000
+        _, found = table.find(keys)
+        assert found.all()
+        # Pre-sizing means no resize was needed during the build.
+        assert table.stats.upsizes == 0
+
+    def test_merge_from(self):
+        a, keys_a = seeded_table(200, seed=3)
+        b, keys_b = seeded_table(200, seed=4)
+        overlap = keys_a[:50]
+        b.insert(overlap, np.full(50, 999, dtype=np.uint64))
+        a.merge_from(b)
+        a.validate()
+        # b's values win on collisions.
+        values, found = a.find(overlap)
+        assert found.all()
+        assert (values == 999).all()
+        assert len(a) == 200 + 200  # 50 overlapped
+
+    def test_merge_from_empty(self):
+        a, _ = seeded_table(10)
+        b = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                         bucket_capacity=4))
+        before = len(a)
+        a.merge_from(b)
+        assert len(a) == before

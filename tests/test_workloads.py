@@ -1,0 +1,203 @@
+"""Tests for dataset surrogates and the dynamic batch protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigError
+from repro.workloads import (ALL_DATASETS, COM, RAND, TW, DatasetSpec,
+                             DynamicWorkload, Operation, dataset_by_name,
+                             hot_cold_keys, zipf_keys)
+
+
+class TestDatasetSpecs:
+    def test_table2_statistics(self):
+        """The specs carry the exact Table-2 numbers."""
+        by_name = {s.name: s for s in ALL_DATASETS}
+        assert by_name["TW"].total_pairs == 50_876_784
+        assert by_name["TW"].unique_keys == 44_523_684
+        assert by_name["RE"].total_pairs == 48_104_875
+        assert by_name["RE"].unique_keys == 41_466_682
+        assert by_name["LINE"].total_pairs == 50_000_000
+        assert by_name["LINE"].unique_keys == 45_159_880
+        assert by_name["COM"].total_pairs == 10_000_000
+        assert by_name["COM"].unique_keys == 4_583_941
+        assert by_name["RAND"].total_pairs == 100_000_000
+        assert by_name["RAND"].unique_keys == 100_000_000
+
+    @pytest.mark.parametrize("spec", ALL_DATASETS, ids=lambda s: s.name)
+    def test_generated_statistics_match(self, spec):
+        keys, values = spec.generate(scale=0.001, seed=7)
+        total = round(spec.total_pairs * 0.001)
+        unique = min(total, round(spec.unique_keys * 0.001))
+        assert len(keys) == total
+        assert len(np.unique(keys)) == unique
+        counts = np.unique(keys, return_counts=True)[1]
+        assert counts.max() <= spec.max_duplicates
+        assert len(values) == total
+
+    def test_rand_is_fully_unique(self):
+        keys, _ = RAND.generate(scale=0.0005, seed=1)
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_com_is_skewed(self):
+        """COM has celebrity keys near the duplicate cap."""
+        keys, _ = COM.generate(scale=0.01, seed=2)
+        counts = np.unique(keys, return_counts=True)[1]
+        assert counts.max() >= COM.max_duplicates - 2
+
+    def test_deterministic_by_seed(self):
+        k1, v1 = TW.generate(scale=0.0005, seed=9)
+        k2, v2 = TW.generate(scale=0.0005, seed=9)
+        assert np.array_equal(k1, k2)
+        assert np.array_equal(v1, v2)
+        k3, _ = TW.generate(scale=0.0005, seed=10)
+        assert not np.array_equal(k1, k3)
+
+    def test_dataset_by_name(self):
+        assert dataset_by_name("com") is COM
+        with pytest.raises(KeyError):
+            dataset_by_name("nope")
+
+    def test_scale_validation(self):
+        with pytest.raises(InvalidConfigError):
+            TW.generate(scale=0.0)
+
+    def test_impossible_duplicates_rejected(self):
+        spec = DatasetSpec("BAD", 100, 10, max_duplicates=2, skew=0.0)
+        with pytest.raises(InvalidConfigError):
+            spec.generate(scale=1.0)
+
+
+class TestDynamicWorkload:
+    def _workload(self, n=1000, batch=100, r=0.2, seed=0):
+        rng = np.random.default_rng(seed)
+        keys = rng.permutation(np.arange(1, n + 1, dtype=np.uint64))
+        values = keys * np.uint64(2)
+        return DynamicWorkload(keys, values, batch_size=batch, ratio_r=r,
+                               seed=seed)
+
+    def test_two_phases(self):
+        wl = self._workload()
+        batches = list(wl.batches())
+        assert len(batches) == 2 * wl.num_batches
+        assert all(b.phase == 1 for b in batches[:wl.num_batches])
+        assert all(b.phase == 2 for b in batches[wl.num_batches:])
+
+    def test_phase1_structure(self):
+        wl = self._workload(n=1000, batch=100, r=0.3)
+        batch = next(wl.batches())
+        kinds = [op.kind for op in batch.operations]
+        assert kinds == ["insert", "find", "delete"]
+        sizes = {op.kind: len(op) for op in batch.operations}
+        assert sizes["insert"] == 100
+        assert sizes["find"] == 100
+        assert sizes["delete"] == 30
+
+    def test_phase2_swaps_insert_and_delete(self):
+        wl = self._workload(n=300, batch=100, r=0.2)
+        batches = list(wl.batches())
+        phase2 = batches[wl.num_batches]
+        kinds = [op.kind for op in phase2.operations]
+        assert kinds == ["delete", "find", "insert"]
+        sizes = {op.kind: len(op) for op in phase2.operations}
+        assert sizes["delete"] == 100
+        assert sizes["insert"] == 20
+
+    def test_phase2_deletes_are_phase1_inserts(self):
+        wl = self._workload(n=300, batch=100)
+        batches = list(wl.batches())
+        p1_inserts = batches[0].operations[0].keys
+        p2_deletes = batches[wl.num_batches].operations[0].keys
+        assert np.array_equal(p1_inserts, p2_deletes)
+
+    def test_zero_ratio(self):
+        wl = self._workload(r=0.0)
+        batch = next(wl.batches())
+        assert [op.kind for op in batch.operations] == ["insert", "find"]
+
+    def test_find_targets_inserted_prefix(self):
+        wl = self._workload(n=500, batch=100)
+        first = next(wl.batches())
+        find_op = first.operations[1]
+        inserted = set(wl.keys[:100].tolist())
+        assert set(find_op.keys.tolist()) <= inserted
+
+    def test_validation(self):
+        keys = np.arange(10, dtype=np.uint64)
+        with pytest.raises(InvalidConfigError):
+            DynamicWorkload(keys, keys, batch_size=0)
+        with pytest.raises(InvalidConfigError):
+            DynamicWorkload(keys, keys[:5], batch_size=2)
+        with pytest.raises(InvalidConfigError):
+            DynamicWorkload(keys, keys, batch_size=2, ratio_r=-1)
+
+    def test_operation_validation(self):
+        with pytest.raises(InvalidConfigError):
+            Operation("insert", np.arange(3, dtype=np.uint64))
+        with pytest.raises(InvalidConfigError):
+            Operation("upsert", np.arange(3, dtype=np.uint64))
+
+
+class TestSkewGenerators:
+    def test_zipf_concentration(self):
+        keys = zipf_keys(50_000, num_distinct=1000, exponent=1.2, seed=0)
+        _, counts = np.unique(keys, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(keys)
+        assert top_share > 0.2  # top-10 keys dominate
+
+    def test_zipf_validation(self):
+        with pytest.raises(InvalidConfigError):
+            zipf_keys(10, 0)
+        with pytest.raises(InvalidConfigError):
+            zipf_keys(10, 10, exponent=0)
+
+    def test_hot_cold_split(self):
+        keys = hot_cold_keys(10_000, num_hot=5, hot_fraction=0.6, seed=1)
+        hot_mask = keys <= 5
+        assert 0.55 < hot_mask.mean() < 0.65
+
+    def test_hot_cold_validation(self):
+        with pytest.raises(InvalidConfigError):
+            hot_cold_keys(10, 2, hot_fraction=1.5)
+
+
+class TestLivePoolProtocol:
+    """The delete targets of phase 1 come from the live key pool."""
+
+    def test_phase1_deletes_mostly_hit(self):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(np.arange(1, 2001, dtype=np.uint64))
+        wl = DynamicWorkload(keys, keys, batch_size=200, ratio_r=0.5, seed=1)
+        from repro.baselines import DyCuckooAdapter
+        from repro.core.config import DyCuckooConfig
+
+        table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=8,
+                                               bucket_capacity=8))
+        hits = total = 0
+        for batch in wl.batches():
+            if batch.phase != 1:
+                break
+            for op in batch.operations:
+                if op.kind == "insert":
+                    table.insert(op.keys, op.values)
+                elif op.kind == "delete":
+                    removed = table.delete(op.keys)
+                    hits += int(removed.sum())
+                    total += len(op)
+        # Live-pool sampling makes deletes nearly always effective
+        # (duplicate dataset keys can cause a few misses).
+        assert total > 0
+        assert hits / total > 0.9
+
+    def test_delete_volume_scales_with_r(self):
+        rng = np.random.default_rng(1)
+        keys = rng.permutation(np.arange(1, 1001, dtype=np.uint64))
+
+        def delete_count(r):
+            wl = DynamicWorkload(keys, keys, batch_size=100, ratio_r=r,
+                                 seed=2)
+            return sum(len(op) for b in wl.batches() if b.phase == 1
+                       for op in b.operations if op.kind == "delete")
+
+        assert delete_count(0.5) == pytest.approx(delete_count(0.1) * 5,
+                                                  rel=0.05)

@@ -1,0 +1,122 @@
+"""Tests for the YCSB-style workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DyCuckooAdapter
+from repro.bench import execute_operations
+from repro.core.config import DyCuckooConfig
+from repro.errors import InvalidConfigError
+from repro.workloads import (CORE_WORKLOADS, WORKLOAD_A, WORKLOAD_C,
+                             WORKLOAD_D, WORKLOAD_F, YcsbMix, YcsbWorkload)
+
+
+class TestMixDefinitions:
+    def test_core_workloads_registered(self):
+        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "F"}
+
+    def test_proportions_sum_to_one(self):
+        for mix in CORE_WORKLOADS.values():
+            assert (mix.read + mix.update + mix.insert + mix.rmw
+                    == pytest.approx(1.0))
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            YcsbMix("X", read=0.5, update=0.0, insert=0.0, rmw=0.0,
+                    distribution="zipfian")
+        with pytest.raises(InvalidConfigError):
+            YcsbMix("X", read=1.0, update=0.0, insert=0.0, rmw=0.0,
+                    distribution="pareto")
+
+
+class TestGeneration:
+    def _workload(self, mix, **kw):
+        defaults = dict(num_records=2000, num_operations=10_000,
+                        batch_size=1000, seed=1)
+        defaults.update(kw)
+        return YcsbWorkload(mix, **defaults)
+
+    def test_load_phase(self):
+        wl = self._workload(WORKLOAD_A)
+        load = wl.load_phase()
+        assert load.kind == "insert"
+        assert len(load.keys) == 2000
+        assert len(np.unique(load.keys)) == 2000
+
+    def test_run_phase_total_ops(self):
+        wl = self._workload(WORKLOAD_A)
+        total = sum(
+            sum(len(op) for op in batch.operations)
+            for batch in wl.run_phase())
+        assert total == 10_000
+
+    def test_workload_c_is_read_only(self):
+        wl = self._workload(WORKLOAD_C)
+        for batch in wl.run_phase():
+            assert all(op.kind == "find" for op in batch.operations)
+
+    def test_workload_a_mix(self):
+        wl = self._workload(WORKLOAD_A)
+        batch = next(wl.run_phase())
+        kinds = {op.kind: len(op) for op in batch.operations}
+        assert kinds["find"] == 500
+        assert kinds["insert"] == 500
+
+    def test_workload_f_rmw_pairs(self):
+        wl = self._workload(WORKLOAD_F)
+        batch = next(wl.run_phase())
+        # 50% reads, then the RMW pair: find + insert over the same keys.
+        assert [op.kind for op in batch.operations] == ["find", "find",
+                                                        "insert"]
+        rmw_find, rmw_insert = batch.operations[1], batch.operations[2]
+        assert np.array_equal(rmw_find.keys, rmw_insert.keys)
+
+    def test_workload_d_inserts_fresh_keys(self):
+        wl = self._workload(WORKLOAD_D)
+        seen = set(wl.load_phase().keys.tolist())
+        for batch in wl.run_phase():
+            for op in batch.operations:
+                if op.kind == "insert":
+                    fresh = set(op.keys.tolist())
+                    assert not (fresh & seen)
+                    seen |= fresh
+
+    def test_zipfian_skew(self):
+        wl = self._workload(WORKLOAD_C, num_operations=50_000)
+        counts: dict = {}
+        for batch in wl.run_phase():
+            for op in batch.operations:
+                for k in op.keys.tolist():
+                    counts[k] = counts.get(k, 0) + 1
+        top_share = sum(sorted(counts.values(), reverse=True)[:20]) / 50_000
+        assert top_share > 0.15  # hot records dominate
+
+    def test_requests_target_loaded_records(self):
+        wl = self._workload(WORKLOAD_C)
+        loaded = set(wl.load_phase().keys.tolist())
+        for batch in wl.run_phase():
+            for op in batch.operations:
+                assert set(op.keys.tolist()) <= loaded
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            YcsbWorkload(WORKLOAD_A, num_records=0)
+        with pytest.raises(InvalidConfigError):
+            YcsbWorkload(WORKLOAD_A, batch_size=0)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", sorted(CORE_WORKLOADS))
+    def test_runs_against_dycuckoo(self, name):
+        wl = YcsbWorkload(CORE_WORKLOADS[name], num_records=2000,
+                          num_operations=6000, batch_size=1000, seed=2)
+        table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=8,
+                                               bucket_capacity=8))
+        load = wl.load_phase()
+        table.insert(load.keys, load.values)
+        for batch in wl.run_phase():
+            execute_operations(table, batch.operations)
+        table.validate()
+        # Every loaded record is still present (no workload deletes).
+        _, found = table.find(load.keys)
+        assert found.all()
