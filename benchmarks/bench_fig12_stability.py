@@ -14,7 +14,8 @@ shapes:
 
 import numpy as np
 
-from repro.bench import format_series, run_dynamic, shape_check
+from repro.bench import format_series, maybe_dump_trace, run_dynamic, shape_check
+from repro.telemetry import Telemetry
 from repro.workloads import ALL_DATASETS, DynamicWorkload
 
 from benchmarks.common import (BATCH_SIZE, COST_MODEL, SCALE,
@@ -32,9 +33,21 @@ def _run_all():
         for factory in (make_dycuckoo_dynamic, make_megakv_dynamic,
                         lambda: make_slab_dynamic(expected_live)):
             table = factory()
+            if table.NAME == "DyCuckoo":
+                # Full-fidelity trace of the stability run: with
+                # REPRO_BENCH_JSON set, a Chrome-trace artifact with the
+                # resize lifecycle and fill-factor samples lands next to
+                # the JSON results.
+                telemetry = table.set_telemetry(Telemetry())
             workload = DynamicWorkload(keys, values, batch_size=BATCH_SIZE,
                                        seed=4)
             run = run_dynamic(table, workload, cost_model=COST_MODEL)
+            if table.NAME == "DyCuckoo":
+                maybe_dump_trace(
+                    f"bench_fig12_stability_{spec.name}_dycuckoo",
+                    telemetry.tracer,
+                    metadata={"dataset": spec.name, "scale": SCALE,
+                              "batch_size": BATCH_SIZE})
             results[(spec.name, table.NAME)] = (run, table)
     return results
 

@@ -14,6 +14,8 @@ native layout at equal total memory:
 
 from __future__ import annotations
 
+import subprocess
+
 import numpy as np
 
 from repro.baselines import (CudppHashTable, DyCuckooAdapter, MegaKVTable,
@@ -135,6 +137,41 @@ def make_static_suite(num_keys: int, target_fill: float = 0.85) -> dict:
         "SlabHash": SlabHashTable(
             n_buckets=slab_buckets_for_fill(num_keys, target_fill)),
     }
+
+
+#: stderr lines containing any of these markers are environment noise
+#: from conda activation (e.g. "/root/.condarc: parse error"), not
+#: output of the command under test.
+_STDERR_NOISE_MARKERS = ("condarc", "conda activate", "CondaError",
+                         "EnvironmentNameNotFound")
+
+
+def clean_stderr(text: str) -> str:
+    """Strip conda-activation warning noise from a captured stderr.
+
+    Some container images ship a broken ``~/.condarc``; every
+    subprocess then prints parse warnings to stderr that have nothing
+    to do with the command being run.  Assertions on stderr (and error
+    messages built from it) should see only the real output.
+    """
+    if not text:
+        return text
+    kept = [line for line in text.splitlines()
+            if not any(marker in line for marker in _STDERR_NOISE_MARKERS)]
+    return "\n".join(kept)
+
+
+def run_quiet(cmd, **kwargs) -> subprocess.CompletedProcess:
+    """``subprocess.run`` with output captured and stderr de-noised.
+
+    Returns the completed process with ``stderr`` already passed
+    through :func:`clean_stderr`.
+    """
+    kwargs.setdefault("capture_output", True)
+    kwargs.setdefault("text", True)
+    result = subprocess.run(cmd, **kwargs)
+    result.stderr = clean_stderr(result.stderr)
+    return result
 
 
 def once(benchmark, fn):

@@ -13,13 +13,16 @@ A from-scratch Python reproduction of *"Dynamic Hash Tables on GPUs"*
 * :mod:`repro.workloads` - surrogate dataset generators and the dynamic
   batch protocol of the paper's evaluation,
 * :mod:`repro.bench` - the measurement harness regenerating every table
-  and figure.
+  and figure,
+* :mod:`repro.telemetry` - structured tracing, metric time series, and
+  Chrome-trace/Prometheus export for any table run.
 """
 
 from repro.core import (DyCuckooConfig, DyCuckooTable, MemoryFootprint,
                         PAPER_PARAMETERS, TableStats)
 from repro.errors import (CapacityError, InvalidConfigError, InvalidKeyError,
                           ReproError, ResizeError, UnsupportedOperationError)
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __version__ = "1.0.0"
 
@@ -35,5 +38,7 @@ __all__ = [
     "CapacityError",
     "ResizeError",
     "UnsupportedOperationError",
+    "Telemetry",
+    "NULL_TELEMETRY",
     "__version__",
 ]

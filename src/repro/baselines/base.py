@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.stats import MemoryFootprint, TableStats
 from repro.gpusim.metrics import KernelCosts
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class GpuHashTable(abc.ABC):
@@ -32,7 +33,17 @@ class GpuHashTable(abc.ABC):
     #: Whether the implementation can resize itself dynamically.
     SUPPORTS_RESIZE = True
 
+    #: Observability hooks (the harness reads this; implementations that
+    #: carry a DyCuckooTable forward the attached handle to it).
+    telemetry: Telemetry = NULL_TELEMETRY
+
     stats: TableStats
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> Telemetry:
+        """Attach a telemetry handle (``None`` detaches); returns it."""
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
+        return self.telemetry
 
     @abc.abstractmethod
     def insert(self, keys, values) -> None:

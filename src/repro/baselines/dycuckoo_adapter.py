@@ -36,6 +36,18 @@ class DyCuckooAdapter(GpuHashTable):
     def config(self) -> DyCuckooConfig:
         return self.table.config
 
+    @property
+    def telemetry(self):
+        """The inner table's telemetry handle (shared, not duplicated)."""
+        return self.table.telemetry
+
+    def set_telemetry(self, telemetry):
+        return self.table.set_telemetry(telemetry)
+
+    @property
+    def subtable_load_factors(self) -> list[float]:
+        return self.table.subtable_load_factors
+
     def insert(self, keys, values) -> None:
         self.table.insert(keys, values)
 

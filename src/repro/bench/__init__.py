@@ -6,7 +6,7 @@
   series and qualitative shape checks.
 """
 
-from repro.bench.artifacts import maybe_dump
+from repro.bench.artifacts import maybe_dump, maybe_dump_trace
 from repro.bench.regression import (RegressionReport, compare_dirs,
                                     format_report)
 from repro.bench.report import format_series, format_table, shape_check, sparkline
@@ -26,6 +26,7 @@ __all__ = [
     "sparkline",
     "shape_check",
     "maybe_dump",
+    "maybe_dump_trace",
     "compare_dirs",
     "format_report",
     "RegressionReport",

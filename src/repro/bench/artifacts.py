@@ -72,3 +72,23 @@ def maybe_dump(name: str, results) -> Path | None:
         return out
     except Exception:  # pragma: no cover - best-effort by design
         return None
+
+
+def maybe_dump_trace(name: str, tracer,
+                     metadata: dict | None = None) -> Path | None:
+    """Write a Chrome-trace artifact ``<dir>/<name>.trace.json``.
+
+    Like :func:`maybe_dump`, gated on :data:`ENV_VAR` and best-effort:
+    telemetry persistence must never fail a benchmark.  The written file
+    loads directly in ``chrome://tracing`` or Perfetto.
+    """
+    directory = os.environ.get(ENV_VAR)
+    if not directory:
+        return None
+    try:
+        from repro.telemetry.export import write_chrome_trace
+
+        out = Path(directory) / f"{name}.trace.json"
+        return write_chrome_trace(tracer, out, metadata)
+    except Exception:  # pragma: no cover - best-effort by design
+        return None

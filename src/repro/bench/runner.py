@@ -15,6 +15,7 @@ GTX 1080.  Wall-clock host time is also recorded for pytest-benchmark.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ import numpy as np
 from repro.baselines.base import GpuHashTable
 from repro.errors import UnsupportedOperationError
 from repro.gpusim.metrics import CostModel
+from repro.telemetry import NULL_TELEMETRY
 from repro.workloads.batches import DynamicWorkload
 
 
@@ -133,22 +135,60 @@ def execute_operations(table: GpuHashTable, operations) -> int:
     return executed
 
 
+def _sample_fill_telemetry(telemetry, table: GpuHashTable,
+                           footprint) -> None:
+    """Record global and per-subtable fill-factor gauges for one batch.
+
+    Per-subtable factors exist only for subtable designs (DyCuckoo); the
+    global filled factor is sampled for every table.
+    """
+    fill = footprint.filled_factor
+    telemetry.metrics.gauge("fill.global").set(fill)
+    telemetry.tracer.counter("fill.global", fill)
+    per_subtable = getattr(table, "subtable_load_factors", None)
+    if per_subtable is not None:
+        series = {}
+        for idx, factor in enumerate(per_subtable):
+            telemetry.metrics.gauge(f"fill.subtable{idx}").set(factor)
+            series[f"subtable{idx}"] = factor
+        telemetry.tracer.counter("fill.subtable", series)
+
+
 def run_dynamic(table: GpuHashTable, workload: DynamicWorkload,
                 cost_model: CostModel | None = None,
                 max_batches: int | None = None) -> DynamicRunResult:
-    """Drive the full dynamic protocol; collect per-batch measurements."""
+    """Drive the full dynamic protocol; collect per-batch measurements.
+
+    When the table carries an enabled telemetry handle (see
+    :meth:`repro.baselines.base.GpuHashTable.set_telemetry`), each batch
+    is wrapped in a ``batch`` span whose duration is the batch's
+    *simulated* GPU time — the exported trace timeline is laid out in
+    simulated time — and per-subtable fill-factor gauges are sampled
+    after every batch.
+    """
     cost_model = cost_model or CostModel()
+    telemetry = getattr(table, "telemetry", NULL_TELEMETRY)
     result = DynamicRunResult(table_name=table.NAME)
     for batch in workload.batches():
         if max_batches is not None and batch.index >= max_batches:
             break
-        before = table.stats.snapshot()
-        ops = execute_operations(table, batch.operations)
-        delta = table.stats.delta(before)
-        seconds = cost_model.batch_seconds(
-            delta, ops, _batch_compute_ns(table, batch.operations),
-            kernel_launches=len(batch.operations))
-        footprint = table.memory_footprint()
+        batch_ctx = (telemetry.tracer.span("batch", "bench",
+                                           index=batch.index,
+                                           phase=batch.phase)
+                     if telemetry.enabled else nullcontext())
+        with batch_ctx:
+            before = table.stats.snapshot()
+            ops = execute_operations(table, batch.operations)
+            delta = table.stats.delta(before)
+            seconds = cost_model.batch_seconds(
+                delta, ops, _batch_compute_ns(table, batch.operations),
+                kernel_launches=len(batch.operations))
+            footprint = table.memory_footprint()
+            if telemetry.enabled:
+                _sample_fill_telemetry(telemetry, table, footprint)
+                # Lay the batch out over its simulated duration so the
+                # span's width in the trace is the simulated GPU time.
+                telemetry.tracer.advance(seconds)
         result.batches.append(BatchResult(
             index=batch.index,
             phase=batch.phase,
@@ -168,27 +208,37 @@ def run_static(table: GpuHashTable, keys: np.ndarray, values: np.ndarray,
                ) -> StaticRunResult:
     """The static experiment: bulk insert, then random FIND queries."""
     cost_model = cost_model or CostModel()
+    telemetry = getattr(table, "telemetry", NULL_TELEMETRY)
     keys = np.asarray(keys, dtype=np.uint64)
     values = np.asarray(values, dtype=np.uint64)
 
-    before = table.stats.snapshot()
-    chunks = 0
-    for start in range(0, len(keys), insert_chunk):
-        stop = min(start + insert_chunk, len(keys))
-        table.insert(keys[start:stop], values[start:stop])
-        chunks += 1
-    insert_delta = table.stats.delta(before)
-    insert_seconds = cost_model.batch_seconds(
-        insert_delta, len(keys), table.KERNEL_COSTS.insert_ns,
-        kernel_launches=chunks)
+    insert_ctx = (telemetry.tracer.span("static.insert", "bench",
+                                        n=len(keys))
+                  if telemetry.enabled else nullcontext())
+    with insert_ctx:
+        before = table.stats.snapshot()
+        chunks = 0
+        for start in range(0, len(keys), insert_chunk):
+            stop = min(start + insert_chunk, len(keys))
+            table.insert(keys[start:stop], values[start:stop])
+            chunks += 1
+        insert_delta = table.stats.delta(before)
+        insert_seconds = cost_model.batch_seconds(
+            insert_delta, len(keys), table.KERNEL_COSTS.insert_ns,
+            kernel_launches=chunks)
+        telemetry.tracer.advance(insert_seconds)
 
     rng = np.random.default_rng(seed)
     queries = rng.choice(keys, size=num_finds, replace=True)
-    before = table.stats.snapshot()
-    table.find(queries)
-    find_delta = table.stats.delta(before)
-    find_seconds = cost_model.batch_seconds(
-        find_delta, num_finds, table.KERNEL_COSTS.find_ns)
+    find_ctx = (telemetry.tracer.span("static.find", "bench", n=num_finds)
+                if telemetry.enabled else nullcontext())
+    with find_ctx:
+        before = table.stats.snapshot()
+        table.find(queries)
+        find_delta = table.stats.delta(before)
+        find_seconds = cost_model.batch_seconds(
+            find_delta, num_finds, table.KERNEL_COSTS.find_ns)
+        telemetry.tracer.advance(find_seconds)
 
     return StaticRunResult(
         table_name=table.NAME,

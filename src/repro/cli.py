@@ -18,14 +18,31 @@ Commands
 ``profile``
     Profile one insert+find+delete cycle of DyCuckoo with the kernel
     profiler.
+``trace``
+    Run a dynamic workload on DyCuckoo with telemetry enabled and write
+    a Chrome-trace JSON (``chrome://tracing`` / Perfetto), optionally a
+    JSON-lines event log and a Prometheus metrics dump.  ``--smoke``
+    runs a fast built-in configuration and fails if the trace misses
+    the expected structure (CI's telemetry health check).
+
+``demo``, ``dynamic``, and ``profile`` all take ``--seed`` (exact
+reproducibility) and ``--json`` (machine-readable results on stdout
+instead of the human-readable rendering).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 import numpy as np
+
+
+def _emit_json(payload) -> None:
+    """Print one machine-readable JSON document to stdout."""
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _cmd_info(_args) -> int:
@@ -52,14 +69,29 @@ def _cmd_demo(args) -> int:
     rng = np.random.default_rng(args.seed)
     keys = rng.permutation(np.arange(args.keys, dtype=np.uint64))
     table.insert(keys, keys * np.uint64(2))
-    print(f"inserted {len(table):,} keys, filled factor "
-          f"{table.load_factor:.1%}")
+    fill_after_insert = table.load_factor
     _values, found = table.find(keys[: args.keys // 2])
-    print(f"find hit rate: {found.mean():.1%}")
+    hit_rate = float(found.mean()) if len(found) else 0.0
     table.delete(keys[: int(args.keys * 0.8)])
+    table.validate()
+    if args.json:
+        _emit_json({
+            "command": "demo",
+            "seed": args.seed,
+            "keys": args.keys,
+            "inserted": args.keys,
+            "live_entries": len(table),
+            "fill_after_insert": fill_after_insert,
+            "find_hit_rate": hit_rate,
+            "fill_after_delete": table.load_factor,
+            "stats": table.stats.snapshot(),
+        })
+        return 0
+    print(f"inserted {args.keys:,} keys, filled factor "
+          f"{fill_after_insert:.1%}")
+    print(f"find hit rate: {hit_rate:.1%}")
     print(f"after deleting 80%: filled factor {table.load_factor:.1%} "
           f"({table.stats.downsizes} downsizes)")
-    table.validate()
     print("validate(): ok")
     return 0
 
@@ -107,6 +139,25 @@ def _cmd_dynamic(args) -> int:
         runs[table.NAME] = run_dynamic(table, workload,
                                        cost_model=cost_model)
 
+    if args.json:
+        _emit_json({
+            "command": "dynamic",
+            "dataset": spec.name,
+            "scale": args.scale,
+            "batch": args.batch,
+            "ratio": args.ratio,
+            "seed": args.seed,
+            "approaches": {
+                name: {
+                    "mops": run.mops,
+                    "total_ops": run.total_ops,
+                    "peak_memory_bytes": run.peak_memory_bytes,
+                    "fill_series": run.fill_series,
+                }
+                for name, run in runs.items()
+            },
+        })
+        return 0
     print(format_table(
         ["approach", "Mops", "peak MB"],
         [[name, run.mops, run.peak_memory_bytes / 1e6]
@@ -127,9 +178,105 @@ def _cmd_profile(args) -> int:
     table = DyCuckooTable(DyCuckooConfig())
     rng = np.random.default_rng(args.seed)
     keys = rng.permutation(np.arange(args.keys, dtype=np.uint64))
-    print(profile_operation(table, "insert", table.insert, keys, keys))
-    print(profile_operation(table, "find", table.find, keys))
-    print(profile_operation(table, "delete", table.delete, keys))
+    profiles = [
+        profile_operation(table, "insert", table.insert, keys, keys),
+        profile_operation(table, "find", table.find, keys),
+        profile_operation(table, "delete", table.delete, keys),
+    ]
+    if args.json:
+        _emit_json({
+            "command": "profile",
+            "seed": args.seed,
+            "keys": args.keys,
+            "profiles": [dataclasses.asdict(p) for p in profiles],
+        })
+        return 0
+    for profile in profiles:
+        print(profile)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.baselines import DyCuckooAdapter
+    from repro.bench import run_dynamic
+    from repro.core.config import DyCuckooConfig
+    from repro.gpusim.metrics import CostModel
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import (prometheus_text, write_chrome_trace,
+                                        write_jsonl)
+    from repro.workloads import DynamicWorkload, dataset_by_name
+
+    # --smoke: a fast fixed configuration with structural validation,
+    # used as CI's telemetry health check.
+    scale = 0.0005 if args.smoke else args.scale
+    batch = 250 if args.smoke else args.batch
+
+    spec = dataset_by_name(args.workload)
+    keys, values = spec.generate(scale=scale, seed=args.seed)
+    table = DyCuckooAdapter(DyCuckooConfig(initial_buckets=8))
+    telemetry = table.set_telemetry(Telemetry())
+    workload = DynamicWorkload(keys, values, batch_size=batch,
+                               ratio_r=args.ratio, seed=args.seed)
+    run = run_dynamic(table, workload, cost_model=CostModel(
+        overhead_scale=scale))
+
+    out = args.out
+    if out is None:
+        out = f"trace_{spec.name.lower()}.json"
+    tracer = telemetry.tracer
+    path = write_chrome_trace(tracer, out, metadata={
+        "workload": spec.name, "scale": scale, "batch": batch,
+        "ratio": args.ratio, "seed": args.seed})
+    written = [str(path)]
+    if args.jsonl:
+        written.append(str(write_jsonl(tracer, args.jsonl)))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(telemetry.metrics))
+        written.append(args.metrics_out)
+
+    summary = {
+        "command": "trace",
+        "workload": spec.name,
+        "batches": len(run.batches),
+        "mops": run.mops,
+        "events": len(tracer.events),
+        "spans": len(tracer.spans()),
+        "resize_upsizes": len(tracer.spans("resize.upsize")),
+        "resize_downsizes": len(tracer.spans("resize.downsize")),
+        "resize_triggers": len(tracer.instants("resize.trigger")),
+        "fill_samples": len(tracer.counters("fill.subtable")),
+        "written": written,
+    }
+    if args.json:
+        _emit_json(summary)
+    else:
+        print(f"{spec.name}: {summary['batches']} batches, "
+              f"{run.mops:.1f} simulated Mops")
+        print(f"trace: {summary['events']} events "
+              f"({summary['spans']} spans, "
+              f"{summary['resize_upsizes']} upsizes, "
+              f"{summary['resize_downsizes']} downsizes, "
+              f"{summary['fill_samples']} fill samples)")
+        for item in written:
+            print(f"wrote {item}")
+        print("open in chrome://tracing or https://ui.perfetto.dev")
+
+    if args.smoke:
+        problems = []
+        if summary["spans"] == 0:
+            problems.append("no spans recorded")
+        if summary["resize_upsizes"] == 0:
+            problems.append("no resize.upsize span (table never grew)")
+        if summary["resize_triggers"] == 0:
+            problems.append("no resize.trigger instant")
+        if summary["fill_samples"] != len(run.batches):
+            problems.append("fill gauge samples != batches")
+        if problems:
+            print("telemetry smoke check FAILED: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 1
+        print("telemetry smoke check ok")
     return 0
 
 
@@ -142,7 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="small end-to-end demonstration")
     demo.add_argument("--keys", type=int, default=100_000)
-    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--seed", type=int, default=0,
+                      help="RNG seed for exact reproducibility")
+    demo.add_argument("--json", action="store_true",
+                      help="machine-readable JSON on stdout")
 
     datasets = sub.add_parser("datasets", help="Table 2 dataset statistics")
     datasets.add_argument("--scale", type=float, default=0.001)
@@ -153,11 +303,37 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--scale", type=float, default=0.001)
     dynamic.add_argument("--batch", type=int, default=1000)
     dynamic.add_argument("--ratio", type=float, default=0.2)
-    dynamic.add_argument("--seed", type=int, default=0)
+    dynamic.add_argument("--seed", type=int, default=0,
+                         help="RNG seed for exact reproducibility")
+    dynamic.add_argument("--json", action="store_true",
+                         help="machine-readable JSON on stdout")
 
     profile = sub.add_parser("profile", help="profile DyCuckoo kernels")
     profile.add_argument("--keys", type=int, default=100_000)
-    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--seed", type=int, default=0,
+                         help="RNG seed for exact reproducibility")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable JSON on stdout")
+
+    trace = sub.add_parser(
+        "trace", help="run a workload with telemetry; write a Chrome trace")
+    trace.add_argument("workload", nargs="?", default="COM",
+                       help="dataset name (see `repro datasets`)")
+    trace.add_argument("--scale", type=float, default=0.001)
+    trace.add_argument("--batch", type=int, default=1000)
+    trace.add_argument("--ratio", type=float, default=0.2)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default=None,
+                       help="Chrome-trace output path "
+                            "(default trace_<workload>.json)")
+    trace.add_argument("--jsonl", default=None,
+                       help="also write a JSON-lines event log here")
+    trace.add_argument("--metrics-out", default=None,
+                       help="also write Prometheus-format metrics here")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable summary on stdout")
+    trace.add_argument("--smoke", action="store_true",
+                       help="fast run + structural validation (CI check)")
 
     return parser
 
@@ -168,6 +344,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "dynamic": _cmd_dynamic,
     "profile": _cmd_profile,
+    "trace": _cmd_trace,
 }
 
 

@@ -16,11 +16,16 @@ preserving the batched execution model the cost accounting assumes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import InvalidConfigError
+from repro.telemetry import NULL_TELEMETRY
+
+#: Human-readable names for op codes (trace event labelling).
+_KIND_NAMES = {0: "insert", 1: "find", 2: "delete"}
 
 #: Operation codes for the vectorized mixed interface.
 OP_INSERT = 0
@@ -94,15 +99,23 @@ def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
     if n == 0:
         return MixedBatchResult(out_values, out_found, out_removed, runs)
 
-    for kind, start, stop in _runs(op_codes):
-        runs += 1
-        segment = slice(start, stop)
-        if kind == OP_INSERT:
-            table.insert(keys[segment], values[segment])
-        elif kind == OP_FIND:
-            seg_values, seg_found = table.find(keys[segment])
-            out_values[segment] = seg_values
-            out_found[segment] = seg_found
-        else:
-            out_removed[segment] = table.delete(keys[segment])
+    telemetry = getattr(table, "telemetry", NULL_TELEMETRY)
+    batch_ctx = (telemetry.tracer.span("mixed.batch", "op", ops=n)
+                 if telemetry.enabled else nullcontext())
+    with batch_ctx:
+        for kind, start, stop in _runs(op_codes):
+            runs += 1
+            segment = slice(start, stop)
+            if telemetry.enabled:
+                telemetry.tracer.instant("mixed.run", "op",
+                                         kind=_KIND_NAMES[kind],
+                                         ops=stop - start)
+            if kind == OP_INSERT:
+                table.insert(keys[segment], values[segment])
+            elif kind == OP_FIND:
+                seg_values, seg_found = table.find(keys[segment])
+                out_values[segment] = seg_values
+                out_found[segment] = seg_found
+            else:
+                out_removed[segment] = table.delete(keys[segment])
     return MixedBatchResult(out_values, out_found, out_removed, runs)

@@ -51,9 +51,18 @@ class ResizeController:
         """
         table = self._table
         config = table.config
+        tel = table.telemetry
         while table.total_slots and table.load_factor > config.beta:
+            if tel.enabled:
+                tel.tracer.instant("resize.trigger", "resize",
+                                   reason="theta>beta",
+                                   theta=table.load_factor)
             self.upsize()
         while table.load_factor < config.alpha:
+            if tel.enabled:
+                tel.tracer.instant("resize.trigger", "resize",
+                                   reason="theta<alpha",
+                                   theta=table.load_factor)
             target = self._pick_downsize_target()
             if target is None:
                 break
@@ -76,6 +85,10 @@ class ResizeController:
         paper observes in Figure 12.
         """
         table = self._table
+        if table.telemetry.enabled:
+            table.telemetry.tracer.instant("resize.trigger", "resize",
+                                           reason="insert_stall",
+                                           theta=table.load_factor)
         self.upsize()
         if not table.config.anticipatory_upsize:
             return
@@ -115,25 +128,36 @@ class ResizeController:
         backstop against workloads no amount of doubling can absorb.
         """
         table = self._table
-        target = self._pick_upsize_target()
-        st = table.subtables[target]
-        ceiling = table.config.max_total_slots
-        if ceiling and table.total_slots + st.total_slots > ceiling:
-            from repro.errors import CapacityError
+        tracer = table.telemetry.tracer
+        with tracer.span("resize.upsize", "resize"):
+            with tracer.span("resize.plan", "resize"):
+                target = self._pick_upsize_target()
+                st = table.subtables[target]
+                ceiling = table.config.max_total_slots
+                if ceiling and table.total_slots + st.total_slots > ceiling:
+                    from repro.errors import CapacityError
 
-            raise CapacityError(
-                f"upsizing subtable {target} would exceed max_total_slots="
-                f"{ceiling} (currently {table.total_slots} slots, "
-                f"{len(table)} live entries)")
-        codes, values, _old_buckets = st.export_entries()
-        new_n = st.n_buckets * 2
-        new_buckets = table.table_hashes[target].bucket(codes, new_n)
-        st.rebuild(new_n, codes, values, new_buckets)
-        table.stats.upsizes += 1
-        table.stats.rehashed_entries += len(codes)
-        # One coalesced read + write per touched bucket pair.
-        table.stats.bucket_reads += st.n_buckets // 2
-        table.stats.bucket_writes += st.n_buckets
+                    raise CapacityError(
+                        f"upsizing subtable {target} would exceed "
+                        f"max_total_slots={ceiling} (currently "
+                        f"{table.total_slots} slots, "
+                        f"{len(table)} live entries)")
+            with tracer.span("resize.rehash", "resize", subtable=target,
+                             old_buckets=st.n_buckets,
+                             new_buckets=st.n_buckets * 2):
+                codes, values, _old_buckets = st.export_entries()
+                new_n = st.n_buckets * 2
+                new_buckets = table.table_hashes[target].bucket(codes, new_n)
+                st.rebuild(new_n, codes, values, new_buckets)
+            table.stats.upsizes += 1
+            table.stats.rehashed_entries += len(codes)
+            # One coalesced read + write per touched bucket pair.
+            table.stats.bucket_reads += st.n_buckets // 2
+            table.stats.bucket_writes += st.n_buckets
+            if table.telemetry.enabled:
+                table.telemetry.metrics.counter("resize.upsizes").inc()
+                table.telemetry.metrics.counter(
+                    "resize.rehashed_entries").inc(len(codes))
         return target
 
     def downsize(self) -> int:
@@ -145,37 +169,56 @@ class ResizeController:
         rolled back and :class:`ResizeError` propagates.
         """
         table = self._table
-        target = self._pick_downsize_target()
-        if target is None:
-            raise ResizeError(
-                "no subtable can be downsized (all at min_buckets)"
-            )
-        st = table.subtables[target]
-        snapshot = _TableSnapshot(table)
-        codes, values, _old_buckets = st.export_entries()
-        new_n = st.n_buckets // 2
-        new_buckets = table.table_hashes[target].bucket(codes, new_n)
-        ranks, _unique, _inverse = rank_within_group(new_buckets)
-        keep = ranks < st.bucket_capacity
-        st.rebuild(new_n, codes[keep], values[keep], new_buckets[keep])
-        table.stats.bucket_reads += new_n * 2
-        table.stats.bucket_writes += new_n
+        tracer = table.telemetry.tracer
+        with tracer.span("resize.downsize", "resize"):
+            with tracer.span("resize.plan", "resize"):
+                target = self._pick_downsize_target()
+                if target is None:
+                    raise ResizeError(
+                        "no subtable can be downsized (all at min_buckets)"
+                    )
+                st = table.subtables[target]
+                snapshot = _TableSnapshot(table)
+            with tracer.span("resize.rehash", "resize", subtable=target,
+                             old_buckets=st.n_buckets,
+                             new_buckets=st.n_buckets // 2):
+                codes, values, _old_buckets = st.export_entries()
+                new_n = st.n_buckets // 2
+                new_buckets = table.table_hashes[target].bucket(codes, new_n)
+                ranks, _unique, _inverse = rank_within_group(new_buckets)
+                keep = ranks < st.bucket_capacity
+                st.rebuild(new_n, codes[keep], values[keep], new_buckets[keep])
+            table.stats.bucket_reads += new_n * 2
+            table.stats.bucket_writes += new_n
 
-        residual_codes = codes[~keep]
-        residual_values = values[~keep]
-        table.stats.downsizes += 1
-        table.stats.rehashed_entries += len(codes)
-        table.stats.residuals += len(residual_codes)
-        if len(residual_codes):
-            current = np.full(len(residual_codes), target, dtype=np.int64)
-            alternates = table.pair_hash.alternate_table(residual_codes, current)
-            try:
-                table._insert_pending(residual_codes, residual_values,
-                                      alternates, excluded=target)
-            except ResizeError:
-                snapshot.restore(table)
-                table.stats.downsizes -= 1
-                raise
+            residual_codes = codes[~keep]
+            residual_values = values[~keep]
+            table.stats.downsizes += 1
+            table.stats.rehashed_entries += len(codes)
+            table.stats.residuals += len(residual_codes)
+            if table.telemetry.enabled:
+                table.telemetry.metrics.counter("resize.downsizes").inc()
+                table.telemetry.metrics.counter(
+                    "resize.rehashed_entries").inc(len(codes))
+                table.telemetry.metrics.counter(
+                    "resize.residuals").inc(len(residual_codes))
+            with tracer.span("resize.spill", "resize", subtable=target,
+                             residuals=len(residual_codes)):
+                if len(residual_codes):
+                    current = np.full(len(residual_codes), target,
+                                      dtype=np.int64)
+                    alternates = table.pair_hash.alternate_table(
+                        residual_codes, current)
+                    try:
+                        table._insert_pending(residual_codes, residual_values,
+                                              alternates, excluded=target)
+                    except ResizeError:
+                        snapshot.restore(table)
+                        table.stats.downsizes -= 1
+                        tracer.instant("resize.rollback", "resize",
+                                       subtable=target,
+                                       residuals=len(residual_codes))
+                        raise
         return target
 
 

@@ -36,6 +36,11 @@ from repro.core.stats import MemoryFootprint, TableStats
 from repro.core.subtable import Subtable
 from repro.errors import CapacityError, InvalidKeyError, ResizeError
 from repro.gpusim.kernel import estimate_lock_conflicts
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+#: Bucket upper bounds for the cuckoo-chain-depth histogram (evictions a
+#: key's placement chain went through before settling).
+CHAIN_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: Largest user key; ``2**64 - 1`` is unrepresentable because the
 #: internal code space reserves 0 for empty slots.
@@ -91,6 +96,18 @@ class DyCuckooTable:
         self._router = make_router(self.config.routing, self.config.seed ^ 0xA5A5)
         self._resizer = ResizeController(self)
         self._victim_counter = 0
+        #: Observability hooks; the null default makes every gate a
+        #: single attribute check (see :mod:`repro.telemetry`).
+        self.telemetry = NULL_TELEMETRY
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> Telemetry:
+        """Attach a telemetry handle (``None`` detaches); returns it.
+
+        All spans, instants, and metric updates flow into the attached
+        handle's tracer and registry from then on.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        return self.telemetry
 
     # ------------------------------------------------------------------
     # Introspection
@@ -250,6 +267,13 @@ class DyCuckooTable:
         Returns ``(values, found)``; ``values[i]`` is meaningful only
         where ``found[i]``.  Each lookup reads at most two buckets.
         """
+        if self.telemetry.enabled:
+            with self.telemetry.tracer.span("find", "op",
+                                            n=int(np.size(keys))):
+                return self._find_batch(keys)
+        return self._find_batch(keys)
+
+    def _find_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
         codes = encode_keys(keys)
         n = len(codes)
         self.stats.finds += n
@@ -263,7 +287,15 @@ class DyCuckooTable:
         if len(missing):
             self.stats.chain_hops += len(missing)
             self._probe(codes[missing], second[missing], missing, values, found)
-        self.stats.find_hits += int(found.sum())
+        hits = int(found.sum())
+        self.stats.find_hits += hits
+        if self.telemetry.enabled:
+            hist = self.telemetry.metrics.histogram("probe_length",
+                                                    (1.0, 2.0))
+            hist.observe_count(1.0, n - len(missing))
+            hist.observe_count(2.0, len(missing))
+            self.telemetry.metrics.counter("find.hits").inc(hits)
+            self.telemetry.metrics.counter("find.misses").inc(n - hits)
         return values, found
 
     def contains(self, keys) -> np.ndarray:
@@ -284,6 +316,13 @@ class DyCuckooTable:
         filled factor then exceeds ``beta`` (or an insert exhausts its
         eviction budget), the table upsizes per Section IV-B.
         """
+        if self.telemetry.enabled:
+            with self.telemetry.tracer.span("insert", "op",
+                                            n=int(np.size(keys))):
+                return self._insert_batch(keys, values)
+        return self._insert_batch(keys, values)
+
+    def _insert_batch(self, keys, values) -> None:
         codes = encode_keys(keys)
         values = np.asarray(values, dtype=np.uint64)
         if values.shape != codes.shape:
@@ -318,6 +357,13 @@ class DyCuckooTable:
         physically (no tombstones), so the filled factor drops and may
         trigger a downsize.
         """
+        if self.telemetry.enabled:
+            with self.telemetry.tracer.span("delete", "op",
+                                            n=int(np.size(keys))):
+                return self._delete_batch(keys)
+        return self._delete_batch(keys)
+
+    def _delete_batch(self, keys) -> np.ndarray:
         all_codes = encode_keys(keys)
         n = len(all_codes)
         self.stats.deletes += n
@@ -418,6 +464,16 @@ class DyCuckooTable:
         codes = np.asarray(codes, dtype=np.uint64)
         values = np.asarray(values, dtype=np.uint64)
         targets = np.asarray(targets, dtype=np.int64)
+        tel = self.telemetry
+        traced = tel.enabled
+        if traced:
+            chain_hist = tel.metrics.histogram("cuckoo_chain_depth",
+                                               CHAIN_DEPTH_BUCKETS)
+            retry_hist = tel.metrics.histogram(
+                "atomic_retries", (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+            # Evictions a key's placement chain has gone through so far;
+            # victims inherit their evictor's depth plus one.
+            depths = np.zeros(len(codes), dtype=np.int64)
         rounds_since_progress = 0
         while len(codes):
             if excluded is None and self.config.auto_resize:
@@ -427,12 +483,18 @@ class DyCuckooTable:
                 # wasted eviction churn on a table that is simply full.
                 while ((len(self) + len(codes)) / self.total_slots
                        > self.config.beta):
+                    if traced:
+                        tel.tracer.instant(
+                            "resize.trigger", "resize", reason="beta_bound",
+                            theta=self.load_factor, pending=len(codes))
                     self._resizer.upsize()
             self.stats.eviction_rounds += 1
             before_pending = len(codes)
+            round_evictions = 0
             next_codes: list[np.ndarray] = []
             next_values: list[np.ndarray] = []
             next_targets: list[np.ndarray] = []
+            next_depths: list[np.ndarray] = []
             for t in range(self.num_tables):
                 sel = np.flatnonzero(targets == t)
                 if len(sel) == 0:
@@ -444,14 +506,21 @@ class DyCuckooTable:
                 self.stats.bucket_reads += len(sel)
                 # One bucket-lock CAS per operation; collisions estimated
                 # from device occupancy (only resident warps contend).
+                conflicts = estimate_lock_conflicts(len(sel), st.n_buckets)
                 self.stats.lock_acquisitions += len(sel)
-                self.stats.lock_conflicts += estimate_lock_conflicts(
-                    len(sel), st.n_buckets)
+                self.stats.lock_conflicts += conflicts
+                if traced:
+                    tel.metrics.counter("lock.acquisitions").inc(len(sel))
+                    tel.metrics.counter("lock.conflicts").inc(conflicts)
+                    retry_hist.observe(conflicts)
+                    tel.tracer.instant("lock.acquire", "lock", subtable=t,
+                                       requests=len(sel), conflicts=conflicts)
                 updated, placed, full_leader = st.place_round(
                     buckets, sel_codes, sel_values)
                 self.stats.bucket_writes += int(placed.sum() + updated.sum())
 
                 ev = np.flatnonzero(full_leader)
+                good = np.zeros(0, dtype=np.int64)
                 if len(ev):
                     ev_buckets = buckets[ev]
                     slots, ok, victim_alts = self._choose_victims(
@@ -463,9 +532,12 @@ class DyCuckooTable:
                             sel_codes[ev[good]], sel_values[ev[good]])
                         self.stats.evictions += len(good)
                         self.stats.bucket_writes += len(good)
+                        round_evictions += len(good)
                         next_codes.append(old_codes)
                         next_values.append(old_values)
                         next_targets.append(victim_alts[good])
+                        if traced:
+                            next_depths.append(depths[sel[ev[good]]] + 1)
                     # Eviction leaders without an eligible victim retry.
                     full_leader[ev[~ok]] = False
 
@@ -475,14 +547,32 @@ class DyCuckooTable:
                     next_values.append(sel_values[retry])
                     next_targets.append(np.full(int(retry.sum()), t,
                                                 dtype=np.int64))
+                    if traced:
+                        next_depths.append(depths[sel[retry]])
+                if traced:
+                    done = updated | placed | full_leader
+                    if np.any(done):
+                        chain_hist.observe_many(depths[sel[done]])
+            if traced:
+                tel.metrics.counter("eviction.rounds").inc()
+                tel.metrics.counter("evictions").inc(round_evictions)
+                tel.tracer.instant(
+                    "evict.round", "insert", pending=before_pending,
+                    evictions=round_evictions,
+                    carried=sum(len(c) for c in next_codes))
             if next_codes:
                 codes = np.concatenate(next_codes)
                 values = np.concatenate(next_values)
                 targets = np.concatenate(next_targets)
+                if traced:
+                    depths = (np.concatenate(next_depths) if next_depths
+                              else np.zeros(0, dtype=np.int64))
             else:
                 codes = np.zeros(0, dtype=np.uint64)
                 values = np.zeros(0, dtype=np.uint64)
                 targets = np.zeros(0, dtype=np.int64)
+                if traced:
+                    depths = np.zeros(0, dtype=np.int64)
 
             if len(codes) >= before_pending:
                 rounds_since_progress += 1

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.device import DeviceSpec, GTX_1080
+from repro.telemetry.tracer import NULL_TRACER
 
 #: Relative cost multiplier of atomicCAS over atomicExch (read-compare-write
 #: versus blind write; consistent with the gap in the paper's Figure 5).
@@ -38,13 +39,14 @@ class AtomicMemory:
     scheduler chose, which is a legal GPU interleaving.
     """
 
-    def __init__(self, num_words: int) -> None:
+    def __init__(self, num_words: int, tracer=None) -> None:
         self.words = np.zeros(num_words, dtype=np.int64)
         #: Total atomic operations executed.
         self.ops = 0
         #: Operations grouped by address within the current round, used to
         #: derive conflict statistics.
         self._round_addresses: list[int] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def atomic_cas(self, address: int, compare: int, value: int) -> int:
         """``old = mem[address]; if old == compare: mem[address] = value``.
@@ -71,6 +73,11 @@ class AtomicMemory:
         counts: dict[int, int] = {}
         for address in self._round_addresses:
             counts[address] = counts.get(address, 0) + 1
+        if self.tracer.enabled and counts:
+            self.tracer.instant(
+                "atomic.round", "atomic",
+                ops=len(self._round_addresses), addresses=len(counts),
+                max_degree=max(counts.values()))
         self._round_addresses.clear()
         return counts
 

@@ -19,6 +19,7 @@ from typing import Callable, Iterable
 
 from repro.errors import InvalidConfigError
 from repro.gpusim.device import DeviceSpec, GTX_1080
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -107,10 +108,11 @@ class RoundScheduler:
     """
 
     def __init__(self, warps: Iterable, max_rounds: int = 1_000_000,
-                 seed: int = 0) -> None:
+                 seed: int = 0, tracer=None) -> None:
         self.warps = list(warps)
         self.max_rounds = max_rounds
         self.rounds_executed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = __import__("numpy").random.default_rng(seed)
 
     def run(self, before_round: Callable[[int], None] | None = None,
@@ -121,6 +123,13 @@ class RoundScheduler:
         gives no warp a standing priority, and a fixed order would let
         warp 0 win every lock race.
         """
+        with self.tracer.span("kernel.run", "kernel", warps=len(self.warps)):
+            round_index = self._run_rounds(before_round, after_round)
+        self.rounds_executed = round_index
+        return round_index
+
+    def _run_rounds(self, before_round, after_round) -> int:
+        tracer = self.tracer
         round_index = 0
         while any(not w.finished() for w in self.warps):
             if round_index >= self.max_rounds:
@@ -129,6 +138,10 @@ class RoundScheduler:
                 )
             if before_round is not None:
                 before_round(round_index)
+            if tracer.enabled:
+                tracer.instant("kernel.round", "kernel", index=round_index,
+                               active=sum(1 for w in self.warps
+                                          if not w.finished()))
             order = self._rng.permutation(len(self.warps))
             for idx in order:
                 warp = self.warps[idx]
@@ -137,7 +150,6 @@ class RoundScheduler:
             if after_round is not None:
                 after_round(round_index)
             round_index += 1
-        self.rounds_executed = round_index
         return round_index
 
 
@@ -151,18 +163,23 @@ class LockArbiter:
     counts the failed attempts (the spinning the voter scheme avoids).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._held: set[int] = set()
         self.acquisitions = 0
         self.conflicts = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def try_acquire(self, resource: int) -> bool:
         """Attempt to lock ``resource``; False means revote/spin."""
         if resource in self._held:
             self.conflicts += 1
+            if self.tracer.enabled:
+                self.tracer.instant("lock.retry", "lock", resource=resource)
             return False
         self._held.add(resource)
         self.acquisitions += 1
+        if self.tracer.enabled:
+            self.tracer.instant("lock.acquire", "lock", resource=resource)
         return True
 
     def release(self, resource: int) -> None:

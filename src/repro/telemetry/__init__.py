@@ -1,0 +1,86 @@
+"""Observability for table runs: tracing, metrics, and exporters.
+
+Three pieces:
+
+* :class:`~repro.telemetry.tracer.Tracer` — structured span / instant /
+  counter events on a logical simulated-time clock,
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — counters, gauges,
+  and fixed-bucket histograms updated from the hot paths,
+* :mod:`repro.telemetry.export` — JSON-lines, Chrome ``trace_event``,
+  and Prometheus text exporters.
+
+Instrumented code holds a :class:`Telemetry` handle bundling one tracer
+and one registry.  The default is :data:`NULL_TELEMETRY`, whose
+``enabled`` is ``False``: every hook site gates on that one attribute,
+so an uninstrumented run does no telemetry work beyond the check.
+
+Example
+-------
+>>> from repro import DyCuckooTable
+>>> from repro.telemetry import Telemetry
+>>> table = DyCuckooTable()
+>>> tel = table.set_telemetry(Telemetry())
+>>> import numpy as np
+>>> table.insert(np.arange(100, dtype=np.uint64),
+...              np.arange(100, dtype=np.uint64))
+>>> len(tel.tracer.spans("insert"))
+1
+
+See ``docs/observability.md`` for the event taxonomy and how to open a
+trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import (chrome_trace, prometheus_text,
+                                    write_chrome_trace, write_jsonl)
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
+from repro.telemetry.tracer import (NULL_TRACER, NullTracer, TraceEvent,
+                                    Tracer)
+
+
+class Telemetry:
+    """A tracer plus a metrics registry, handed to instrumented code."""
+
+    __slots__ = ("tracer", "metrics")
+
+    #: Instrumentation gate; the null subclass overrides it to False.
+    enabled = True
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+
+class _NullTelemetry(Telemetry):
+    """Disabled telemetry: the default on every table."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NULL_TRACER, metrics=MetricsRegistry())
+
+
+#: Shared disabled-telemetry singleton (one attribute check to skip).
+NULL_TELEMETRY = _NullTelemetry()
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "prometheus_text",
+]

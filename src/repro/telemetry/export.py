@@ -1,0 +1,126 @@
+"""Telemetry exporters: JSON-lines, Chrome ``trace_event``, Prometheus.
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format, loadable in ``chrome://tracing``
+  and https://ui.perfetto.dev (spans become nested slices, counter
+  samples become track graphs);
+* :func:`write_jsonl` — one event per line, trivially greppable and
+  streamable;
+* :func:`prometheus_text` — the Prometheus text exposition format for a
+  :class:`~repro.telemetry.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN,
+                                    TraceEvent)
+
+#: pid/tid stamped on every exported event (single simulated device).
+TRACE_PID = 0
+TRACE_TID = 0
+
+
+def event_to_chrome(event: TraceEvent) -> dict:
+    """One :class:`TraceEvent` as a Chrome ``trace_event`` record."""
+    record = {
+        "name": event.name,
+        "cat": event.category or "repro",
+        "ph": event.phase,
+        "ts": event.ts_us,
+        "pid": TRACE_PID,
+        "tid": TRACE_TID,
+        "args": event.args,
+    }
+    if event.phase == PHASE_SPAN:
+        record["dur"] = event.dur_us
+    elif event.phase == PHASE_INSTANT:
+        record["s"] = "t"  # thread-scoped instant
+    return record
+
+
+def chrome_trace(tracer, metadata: dict | None = None) -> dict:
+    """The full trace as a Chrome JSON object (``traceEvents`` + meta)."""
+    trace = {
+        "traceEvents": [event_to_chrome(e) for e in tracer.events],
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = dict(metadata)
+    return trace
+
+
+def write_chrome_trace(tracer, path, metadata: dict | None = None) -> Path:
+    """Write the Chrome-trace JSON to ``path``; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer, metadata), handle)
+    return out
+
+
+def write_jsonl(tracer, path) -> Path:
+    """Write one JSON object per event to ``path``; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        for event in tracer.events:
+            handle.write(json.dumps({
+                "name": event.name,
+                "cat": event.category,
+                "ph": event.phase,
+                "ts_us": event.ts_us,
+                "dur_us": event.dur_us,
+                "depth": event.depth,
+                "args": event.args,
+            }))
+            handle.write("\n")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus data model."""
+    cleaned = _METRIC_NAME_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {counter.value}")
+    for name, gauge in sorted(registry.gauges.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(gauge.value)}")
+    for name, hist in sorted(registry.histograms.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for upper, cumulative in hist.cumulative():
+            lines.append(f'{prom}_bucket{{le="{_fmt(upper)}"}} {cumulative}')
+        lines.append(f"{prom}_sum {_fmt(hist.sum)}")
+        lines.append(f"{prom}_count {hist.total}")
+    return "\n".join(lines) + "\n"

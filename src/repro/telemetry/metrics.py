@@ -1,0 +1,171 @@
+"""Metric instruments: counters, gauges, and fixed-bucket histograms.
+
+The registry complements the tracer: where the tracer answers *when did
+it happen*, the registry answers *how often and how much* — probe
+lengths, cuckoo chain depths, atomic retry counts, per-subtable fill
+factors.  Instruments are cheap enough to update from the vectorized
+hot paths (histograms accept whole numpy arrays via
+:meth:`Histogram.observe_many`).
+
+Export formats live in :mod:`repro.telemetry.export`
+(:func:`~repro.telemetry.export.prometheus_text` renders the standard
+Prometheus exposition format).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+#: Default bucket upper bounds for probe-length style histograms.
+DEFAULT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise InvalidConfigError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-value instrument that also keeps its sample series.
+
+    Fill factors are sampled once per batch, so retaining the series is
+    cheap and gives tests (and plots) the whole trajectory without a
+    second bookkeeping path.
+    """
+
+    __slots__ = ("name", "value", "series")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.series: list[float] = []
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.series.append(self.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus-style cumulative export).
+
+    ``buckets`` are inclusive upper bounds in increasing order; one
+    overflow bucket (``+Inf``) is implicit.  ``counts[i]`` is the number
+    of observations with ``value <= buckets[i]`` minus those in earlier
+    buckets, i.e. counts are stored *per bucket* and cumulated only at
+    export time.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "sum")
+
+    def __init__(self, name: str,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise InvalidConfigError(
+                f"histogram {name} needs strictly increasing buckets, "
+                f"got {buckets}")
+        self.name = name
+        self.buckets = edges
+        self.counts = np.zeros(len(edges) + 1, dtype=np.int64)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = int(np.searchsorted(self.buckets, value, side="left"))
+        self.counts[idx] += 1
+        self.total += 1
+        self.sum += float(value)
+
+    def observe_many(self, values) -> None:
+        """Record a whole array of observations (vectorized)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.buckets, values, side="left")
+        np.add.at(self.counts, idx, 1)
+        self.total += int(values.size)
+        self.sum += float(values.sum())
+
+    def observe_count(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in O(1)."""
+        if count <= 0:
+            return
+        idx = int(np.searchsorted(self.buckets, value, side="left"))
+        self.counts[idx] += count
+        self.total += count
+        self.sum += float(value) * count
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        running = np.cumsum(self.counts)
+        pairs = [(b, int(running[i])) for i, b in enumerate(self.buckets)]
+        pairs.append((float("inf"), int(running[-1])))
+        return pairs
+
+
+class MetricsRegistry:
+    """Named instrument store with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, buckets)
+        return inst
+
+    @property
+    def counters(self) -> dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON snapshot of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: {"value": g.value, "samples": len(g.series)}
+                       for n, g in self._gauges.items()},
+            "histograms": {
+                n: {"buckets": list(h.buckets),
+                    "counts": h.counts.tolist(),
+                    "count": h.total,
+                    "sum": h.sum}
+                for n, h in self._histograms.items()},
+        }

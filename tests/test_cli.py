@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -13,9 +15,23 @@ class TestParser:
     def test_all_commands_parse(self):
         parser = build_parser()
         for argv in (["info"], ["demo"], ["datasets"],
-                     ["dynamic", "--dataset", "COM"], ["profile"]):
+                     ["dynamic", "--dataset", "COM"], ["profile"],
+                     ["trace"], ["trace", "RAND", "--smoke"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_seed_and_json_flags_everywhere(self):
+        parser = build_parser()
+        for command in ("demo", "dynamic", "profile", "trace"):
+            args = parser.parse_args([command, "--seed", "42", "--json"])
+            assert args.seed == 42
+            assert args.json is True
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.workload == "COM"
+        assert args.out is None
+        assert args.smoke is False
 
 
 class TestCommands:
@@ -55,3 +71,80 @@ class TestCommands:
     def test_unknown_dataset_raises(self):
         with pytest.raises(KeyError):
             main(["dynamic", "--dataset", "NOPE", "--scale", "0.0005"])
+
+
+class TestJsonOutput:
+    def _run_json(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_demo_json(self, capsys):
+        payload = self._run_json(
+            capsys, ["demo", "--keys", "3000", "--seed", "7", "--json"])
+        assert payload["command"] == "demo"
+        assert payload["seed"] == 7
+        assert payload["inserted"] == 3000
+        assert 0.0 <= payload["fill_after_insert"] <= 1.0
+        assert payload["stats"]["inserts"] == 3000
+
+    def test_demo_json_is_seed_reproducible(self, capsys):
+        a = self._run_json(capsys, ["demo", "--keys", "3000",
+                                    "--seed", "7", "--json"])
+        b = self._run_json(capsys, ["demo", "--keys", "3000",
+                                    "--seed", "7", "--json"])
+        assert a == b
+
+    def test_dynamic_json(self, capsys):
+        payload = self._run_json(
+            capsys, ["dynamic", "--dataset", "COM", "--scale", "0.0005",
+                     "--batch", "500", "--json"])
+        assert payload["command"] == "dynamic"
+        assert set(payload["approaches"]) == {"DyCuckoo", "MegaKV",
+                                              "SlabHash"}
+        for result in payload["approaches"].values():
+            assert result["mops"] > 0
+            assert len(result["fill_series"]) > 0
+
+    def test_profile_json(self, capsys):
+        payload = self._run_json(
+            capsys, ["profile", "--keys", "5000", "--json"])
+        assert payload["command"] == "profile"
+        names = [p["name"] for p in payload["profiles"]]
+        assert names == ["insert", "find", "delete"]
+        for profile in payload["profiles"]:
+            assert profile["num_ops"] > 0
+            assert profile["simulated_seconds"] > 0
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "COM", "--scale", "0.0005", "--batch", "500",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "events" in text
+        parsed = json.loads(out.read_text())
+        assert parsed["traceEvents"]
+        assert parsed["otherData"]["workload"] == "COM"
+
+    def test_trace_json_summary_with_side_outputs(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        metrics = tmp_path / "t.prom"
+        assert main(["trace", "COM", "--scale", "0.0005", "--batch", "500",
+                     "--out", str(out), "--jsonl", str(jsonl),
+                     "--metrics-out", str(metrics), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "trace"
+        assert payload["events"] > 0
+        assert payload["fill_samples"] == payload["batches"]
+        assert len(payload["written"]) == 3
+        assert jsonl.read_text().count("\n") == payload["events"]
+        assert "# TYPE" in metrics.read_text()
+
+    def test_trace_smoke(self, capsys, tmp_path):
+        out = tmp_path / "smoke.json"
+        assert main(["trace", "--smoke", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "telemetry smoke check ok" in text
+        assert out.exists()

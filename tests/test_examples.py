@@ -1,10 +1,11 @@
 """Smoke tests: the shipped examples run cleanly end to end."""
 
-import subprocess
 import sys
 from pathlib import Path
 
 import pytest
+
+from benchmarks.common import clean_stderr, run_quiet
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -16,32 +17,46 @@ FAST_EXAMPLES = ("quickstart.py", "hash_join.py", "memory_budget.py",
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
 def test_example_runs(script):
-    result = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / script)],
-        capture_output=True, text=True, timeout=240)
+    result = run_quiet([sys.executable, str(EXAMPLES_DIR / script)],
+                       timeout=240)
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "example produced no output"
 
 
 def test_quickstart_output_content():
-    result = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        capture_output=True, text=True, timeout=240)
+    result = run_quiet([sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+                       timeout=240)
     assert "validate(): all invariants hold" in result.stdout
     assert "downsizes" in result.stdout
 
 
 def test_memory_budget_shapes():
-    result = subprocess.run(
+    result = run_quiet(
         [sys.executable, str(EXAMPLES_DIR / "memory_budget.py")],
-        capture_output=True, text=True, timeout=240)
+        timeout=240)
     assert "DyCuckoo" in result.stdout
     assert "saved" in result.stdout
 
 
 def test_multi_tenant_story():
-    result = subprocess.run(
+    result = run_quiet(
         [sys.executable, str(EXAMPLES_DIR / "multi_tenant_gpu.py")],
-        capture_output=True, text=True, timeout=240)
+        timeout=240)
     # The static deployment spills; the dynamic one should not.
     assert "spilled" in result.stdout
+
+
+class TestStderrFilter:
+    def test_drops_conda_noise_keeps_real_errors(self):
+        noisy = ("/root/.condarc: parse error\n"
+                 "Traceback (most recent call last):\n"
+                 "CondaError: something\n"
+                 "ValueError: real failure\n")
+        cleaned = clean_stderr(noisy)
+        assert "condarc" not in cleaned
+        assert "CondaError" not in cleaned
+        assert "Traceback" in cleaned
+        assert "ValueError: real failure" in cleaned
+
+    def test_empty_passthrough(self):
+        assert clean_stderr("") == ""

@@ -1,8 +1,17 @@
 """Tests for the stats counters and memory footprint accounting."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.stats import MemoryFootprint, TableStats
+
+
+@dataclasses.dataclass
+class _ExtendedStats(TableStats):
+    """TableStats plus one counter, as a future PR would add one."""
+
+    brand_new_counter: int = 0
 
 
 class TestTableStats:
@@ -43,6 +52,57 @@ class TestTableStats:
         assert a.inserts == 12
         assert a.upsizes == 2
         assert b.inserts == 7  # b untouched
+
+
+class TestFieldCoverage:
+    """reset/snapshot/delta/merge must be derived from dataclass fields.
+
+    These tests fail if any of the four methods is ever rewritten with a
+    hard-coded field list: a newly added counter would silently desync.
+    """
+
+    def test_every_field_appears_in_snapshot_and_delta(self):
+        stats = TableStats()
+        field_names = [f.name for f in dataclasses.fields(TableStats)]
+        # Give every counter a distinct nonzero value so a dropped field
+        # cannot hide behind an accidental zero.
+        expected = {}
+        for value, name in enumerate(field_names, start=1):
+            setattr(stats, name, value)
+            expected[name] = value
+        assert stats.snapshot() == expected
+        assert stats.delta({}) == expected
+
+    def test_reset_zeroes_every_field(self):
+        stats = TableStats()
+        for value, f in enumerate(dataclasses.fields(TableStats), start=1):
+            setattr(stats, f.name, value)
+        stats.reset()
+        assert all(v == 0 for v in stats.snapshot().values())
+
+    def test_merge_covers_every_field(self):
+        a = TableStats()
+        b = TableStats()
+        for value, f in enumerate(dataclasses.fields(TableStats), start=1):
+            setattr(a, f.name, value)
+            setattr(b, f.name, 2 * value)
+        a.merge(b)
+        for value, f in enumerate(dataclasses.fields(TableStats), start=1):
+            assert getattr(a, f.name) == 3 * value
+
+    def test_added_field_is_picked_up_automatically(self):
+        stats = _ExtendedStats()
+        stats.brand_new_counter = 7
+        assert stats.snapshot()["brand_new_counter"] == 7
+        assert stats.delta({})["brand_new_counter"] == 7
+
+        other = _ExtendedStats()
+        other.brand_new_counter = 5
+        stats.merge(other)
+        assert stats.brand_new_counter == 12
+
+        stats.reset()
+        assert stats.brand_new_counter == 0
 
 
 class TestMemoryFootprint:
