@@ -15,13 +15,18 @@ A from-scratch Python reproduction of *"Dynamic Hash Tables on GPUs"*
 * :mod:`repro.bench` - the measurement harness regenerating every table
   and figure,
 * :mod:`repro.telemetry` - structured tracing, metric time series, and
-  Chrome-trace/Prometheus export for any table run.
+  Chrome-trace/Prometheus export for any table run,
+* :mod:`repro.faults` - deterministic, replayable fault injection
+  (atomic failure storms, lock-holder stalls, allocation failures,
+  resize aborts) with a bounded stash as the recovery path.
 """
 
 from repro.core import (DyCuckooConfig, DyCuckooTable, MemoryFootprint,
                         PAPER_PARAMETERS, TableStats)
 from repro.errors import (CapacityError, InvalidConfigError, InvalidKeyError,
-                          ReproError, ResizeError, UnsupportedOperationError)
+                          ReproError, ResizeError, StashOverflowError,
+                          UnsupportedOperationError)
+from repro.faults import NO_FAULTS, FaultPlan, default_chaos_plan
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __version__ = "1.0.0"
@@ -36,9 +41,13 @@ __all__ = [
     "InvalidKeyError",
     "InvalidConfigError",
     "CapacityError",
+    "StashOverflowError",
     "ResizeError",
     "UnsupportedOperationError",
     "Telemetry",
     "NULL_TELEMETRY",
+    "FaultPlan",
+    "NO_FAULTS",
+    "default_chaos_plan",
     "__version__",
 ]

@@ -25,6 +25,15 @@ Commands
     runs a fast built-in configuration and fails if the trace misses
     the expected structure (CI's telemetry health check).
 
+``faults``
+    Run a seeded chaos session: a mixed insert/find/delete workload with
+    fault injection at every site (CAS storms, lock stalls, allocation
+    failures, resize aborts), continuously differentially checked
+    against a plain-dict model, with structural invariants verified per
+    batch.  Prints a survival report; ``--script``/``--save-script``
+    replay or capture the exact fault sequence; ``--smoke`` is CI's fast
+    robustness health check.
+
 ``demo``, ``dynamic``, and ``profile`` all take ``--seed`` (exact
 reproducibility) and ``--json`` (machine-readable results on stdout
 instead of the human-readable rendering).
@@ -280,6 +289,155 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro import DyCuckooConfig, DyCuckooTable
+    from repro.core.analysis import check_invariants
+    from repro.errors import CapacityError
+    from repro.faults import FaultPlan, default_chaos_plan
+    from repro.gpusim.atomics import AtomicMemory
+    from repro.gpusim.memory_manager import DeviceMemoryManager
+    from repro.kernels.insert import run_voter_insert_kernel
+
+    batches = 10 if args.smoke else args.batches
+    batch = 200 if args.smoke else args.batch
+    keyspace = max(batch * 4, args.keyspace)
+
+    if args.script:
+        with open(args.script, encoding="utf-8") as handle:
+            plan = FaultPlan.from_script(handle.read())
+    else:
+        plan = default_chaos_plan(seed=args.seed, intensity=args.intensity)
+
+    config = DyCuckooConfig(initial_buckets=16, bucket_capacity=8,
+                            min_buckets=8)
+    table = DyCuckooTable(config)
+    table.set_fault_plan(plan)
+
+    # Phase 1: differential chaos on the vectorized table — every batch
+    # is checked against a plain-dict model and the invariant suite.
+    model: dict[int, int] = {}
+    rng = np.random.default_rng(args.seed)
+    problems: list[str] = []
+    total_ops = 0
+    for index in range(batches):
+        ins_keys = rng.integers(0, keyspace, batch).astype(np.uint64)
+        ins_values = rng.integers(0, 1 << 32, batch).astype(np.uint64)
+        table.insert(ins_keys, ins_values)
+        for k, v in zip(ins_keys.tolist(), ins_values.tolist()):
+            model[k] = v
+
+        find_keys = rng.integers(0, keyspace, batch // 2).astype(np.uint64)
+        values, found = table.find(find_keys)
+        for k, v, hit in zip(find_keys.tolist(), values.tolist(),
+                             found.tolist()):
+            if hit != (k in model) or (hit and v != model[k]):
+                problems.append(f"batch {index}: FIND({k}) diverged")
+        del_keys = rng.integers(0, keyspace, batch // 4).astype(np.uint64)
+        removed = table.delete(del_keys)
+        seen: set[int] = set()
+        for k, hit in zip(del_keys.tolist(), removed.tolist()):
+            expect = k in model and k not in seen
+            seen.add(k)
+            if hit != expect:
+                problems.append(f"batch {index}: DELETE({k}) diverged")
+            model.pop(k, None)
+        total_ops += batch + batch // 2 + batch // 4
+        try:
+            check_invariants(table)
+        except AssertionError as exc:
+            problems.append(f"batch {index}: invariant violated: {exc}")
+    if table.to_dict() != model:
+        problems.append("final table state diverged from the model")
+
+    # Phase 2: the lane-level voter kernel under lock faults (the
+    # vectorized path never consults the lock/atomic sites).
+    kernel_table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=64, bucket_capacity=8, min_buckets=8,
+        auto_resize=False))
+    kernel_table.set_fault_plan(plan)
+    kernel_keys = rng.integers(0, 1 << 40, 512).astype(np.uint64)
+    kernel_keys = np.unique(kernel_keys)
+    kernel_result = run_voter_insert_kernel(kernel_table, kernel_keys,
+                                            kernel_keys + np.uint64(1))
+    _kv, kernel_found = kernel_table.find(kernel_keys)
+    if not bool(kernel_found.all()):
+        problems.append(
+            f"voter kernel lost {int((~kernel_found).sum())} inserts")
+
+    # Phase 3: raw atomics and the device memory manager.
+    memory = AtomicMemory(num_words=8, faults=plan)
+    cas_wins = 0
+    for attempt in range(200):
+        if memory.atomic_cas(attempt % 8, 0, 1) == 0:
+            cas_wins += 1
+            memory.words[attempt % 8] = 0  # release
+    if cas_wins == 0:
+        problems.append("atomic CAS never succeeded under the fault storm")
+    manager = DeviceMemoryManager(faults=plan)
+    alloc_failures = 0
+    for step in range(1, 51):
+        try:
+            manager.set_allocation("table", step * 1_000_000)
+        except CapacityError:
+            alloc_failures += 1
+
+    counts = plan.fired_by_site()
+    invocations = plan.invocations()
+    report = {
+        "command": "faults",
+        "seed": plan.seed,
+        "mode": "script" if args.script else "chaos",
+        "batches": batches,
+        "total_ops": total_ops,
+        "live_entries": len(table),
+        "stash_entries": len(table.stash),
+        "faults_fired": len(plan.fired),
+        "fired_by_site": counts,
+        "invocations_by_site": invocations,
+        "resize_aborts": table.stats.resize_aborts,
+        "stash_pushes": table.stats.stash_pushes,
+        "stash_drained": table.stats.stash_drained,
+        "kernel_rounds": kernel_result.rounds,
+        "kernel_lock_conflicts": kernel_result.lock_conflicts,
+        "injected_cas_failures": memory.injected_failures,
+        "injected_alloc_failures": manager.injected_failures,
+        "problems": problems,
+        "survived": not problems,
+    }
+    if args.save_script:
+        with open(args.save_script, "w", encoding="utf-8") as handle:
+            handle.write(plan.script_json())
+        report["script"] = args.save_script
+
+    if args.json:
+        _emit_json(report)
+    else:
+        print(f"chaos session: {total_ops:,} table ops over {batches} "
+              f"batches, seed {plan.seed}")
+        print(f"faults fired: {len(plan.fired)} across "
+              f"{len(counts)} sites")
+        for site in sorted(invocations):
+            print(f"  {site}: {counts.get(site, 0)} fired / "
+                  f"{invocations[site]} invocations")
+        print(f"recovery: {table.stats.resize_aborts} resize aborts rolled "
+              f"back, {table.stats.stash_pushes} keys stashed, "
+              f"{table.stats.stash_drained} drained back, "
+              f"{len(table.stash)} still stashed")
+        outcome = ("no lost inserts" if bool(kernel_found.all())
+                   else "LOST INSERTS")
+        print(f"voter kernel: {kernel_result.rounds} rounds, "
+              f"{kernel_result.lock_conflicts} lock conflicts, {outcome}")
+        if args.save_script:
+            print(f"wrote fault script to {args.save_script}")
+        if problems:
+            print("SURVIVAL CHECK FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+        else:
+            print("survival check ok: zero divergences, all invariants held")
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DyCuckoo reproduction toolkit")
@@ -335,6 +493,28 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="fast run + structural validation (CI check)")
 
+    faults = sub.add_parser(
+        "faults", help="seeded chaos session with a survival report")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="chaos seed (exact replay with same seed)")
+    faults.add_argument("--batches", type=int, default=40,
+                        help="mixed-op batches to run")
+    faults.add_argument("--batch", type=int, default=500,
+                        help="inserts per batch (finds/deletes scale off it)")
+    faults.add_argument("--keyspace", type=int, default=0,
+                        help="key domain size (default 4x batch)")
+    faults.add_argument("--intensity", type=float, default=1.0,
+                        help="scale factor on all default fault rates")
+    faults.add_argument("--script", default=None,
+                        help="replay a fault script (JSON file) instead of "
+                             "seeded chaos")
+    faults.add_argument("--save-script", default=None,
+                        help="write the fired fault script here for replay")
+    faults.add_argument("--json", action="store_true",
+                        help="machine-readable survival report on stdout")
+    faults.add_argument("--smoke", action="store_true",
+                        help="fast fixed configuration (CI robustness check)")
+
     return parser
 
 
@@ -345,6 +525,7 @@ _COMMANDS = {
     "dynamic": _cmd_dynamic,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
 }
 
 

@@ -9,7 +9,7 @@ Public surface:
 * :class:`repro.core.stats.TableStats` / ``MemoryFootprint`` — counters.
 """
 
-from repro.core.analysis import (conflict_optimality_gap,
+from repro.core.analysis import (check_invariants, conflict_optimality_gap,
                                  expected_conflicts, max_feasible_alpha,
                                  optimal_distribution, post_upsize_fill,
                                  resize_work_bound)
@@ -19,6 +19,7 @@ from repro.core.config import (DEFAULT_BUCKET_CAPACITY, DEFAULT_NUM_TABLES,
                                PAPER_PARAMETERS, DyCuckooConfig,
                                replace_config)
 from repro.core.persistence import load_table, save_table
+from repro.core.stash import Stash
 from repro.core.stats import MemoryFootprint, TableStats
 from repro.core.table import MAX_KEY, DyCuckooTable
 
@@ -39,6 +40,8 @@ __all__ = [
     "OP_INSERT",
     "OP_FIND",
     "OP_DELETE",
+    "Stash",
+    "check_invariants",
     "expected_conflicts",
     "optimal_distribution",
     "conflict_optimality_gap",

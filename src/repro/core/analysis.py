@@ -26,6 +26,10 @@ math*, not just against itself:
 * **Section IV-D's amortized resize cost** — a resize touches at most
   ``m / d`` entries.  :func:`resize_work_bound` gives the bound that
   tests compare against measured ``rehashed_entries``.
+
+The module also hosts :func:`check_invariants`, the single reusable
+structural checker behind :meth:`repro.core.table.DyCuckooTable.validate`
+and the property/fuzz test suites.
 """
 
 from __future__ import annotations
@@ -141,3 +145,120 @@ def resize_work_bound(total_entries: int, num_tables: int) -> float:
     if num_tables < 1:
         raise InvalidConfigError("num_tables must be >= 1")
     return 2.0 * total_entries / (num_tables + 1.0)
+
+
+def check_invariants(table, check_fill: bool = False) -> None:
+    """Check every structural invariant of a DyCuckoo table.
+
+    Raises ``AssertionError`` naming the first violated invariant.
+    Checked unconditionally:
+
+    * per-subtable storage consistency (``Subtable.validate``),
+    * every stored key lives in a subtable of its layer-1 pair and in
+      its hashed bucket,
+    * no key is stored twice (across subtables, or in both a subtable
+      and the overflow stash),
+    * the 2x size discipline between subtables (Section IV-B),
+    * the stash occupancy bound,
+    * ``len(table)`` equals the sum of subtable loads plus the stash.
+
+    With ``check_fill`` the global filled factor must additionally sit
+    inside ``[alpha, beta]`` unless a legitimate stop condition of
+    ``enforce_bounds`` explains the excursion: the ``max_total_slots``
+    ceiling blocking an upsize; every subtable at ``min_buckets`` or a
+    halving that would overshoot ``beta`` blocking a downsize; or a
+    fault-injection plan attached / stash occupied (injected resize
+    aborts legitimately strand ``theta`` out of bounds until a later
+    batch retries).
+    """
+    all_codes = []
+    for idx, st in enumerate(table.subtables):
+        st.validate()
+        codes, _values, buckets = st.export_entries()
+        all_codes.append(codes)
+        if len(codes):
+            first, second = table.pair_hash.tables_for(codes)
+            in_pair = (first == idx) | (second == idx)
+            if not bool(np.all(in_pair)):
+                raise AssertionError(
+                    f"subtable {idx} stores a key outside its pair"
+                )
+            expected = table.table_hashes[idx].bucket(codes, st.n_buckets)
+            if not bool(np.all(expected == buckets)):
+                raise AssertionError(
+                    f"subtable {idx} has an entry in the wrong bucket"
+                )
+    merged = (np.concatenate(all_codes) if all_codes
+              else np.zeros(0, dtype=np.uint64))
+    if len(merged) != len(np.unique(merged)):
+        raise AssertionError("duplicate key stored across subtables")
+    sizes = [st.n_buckets for st in table.subtables]
+    if max(sizes) > 2 * min(sizes):
+        raise AssertionError(
+            f"subtable size discipline violated: {sizes}"
+        )
+    table.stash.validate()
+    if len(table.stash):
+        stash_codes, _stash_values = table.stash.export_entries()
+        if np.intersect1d(merged, stash_codes).size:
+            raise AssertionError(
+                "key stored in both a subtable and the stash"
+            )
+    expected_len = sum(st.size for st in table.subtables) + len(table.stash)
+    if len(table) != expected_len:
+        raise AssertionError(
+            f"len(table)={len(table)} disagrees with subtable loads "
+            f"plus stash ({expected_len})"
+        )
+    if check_fill:
+        _check_fill_bounds(table)
+
+
+def _check_fill_bounds(table) -> None:
+    """Fill-bound half of :func:`check_invariants` (see its docstring)."""
+    config = table.config
+    if not config.auto_resize or table.total_slots == 0:
+        return
+    if getattr(table.faults, "enabled", False) or len(table.stash):
+        return
+    theta = table.load_factor
+    if theta > config.beta:
+        smallest = min(st.total_slots for st in table.subtables)
+        ceiling = config.max_total_slots
+        if not (ceiling and table.total_slots + smallest > ceiling):
+            raise AssertionError(
+                f"filled factor {theta:.3f} above beta={config.beta} "
+                "with nothing blocking an upsize"
+            )
+    if theta < config.alpha:
+        target = None
+        best_size = -1
+        for idx, st in enumerate(table.subtables):
+            if st.n_buckets <= config.min_buckets:
+                continue
+            if st.n_buckets > best_size:
+                target = idx
+                best_size = st.n_buckets
+        if target is None:
+            return  # every subtable at min_buckets: legal stop
+        st = table.subtables[target]
+        projected = table.total_slots - st.total_slots // 2
+        if projected and len(table) / projected > config.beta:
+            return  # halving would overshoot beta: legal stop
+        # A downsize whose merge produces residuals can legitimately
+        # fail (spill stall); only a provably residual-free downsize
+        # makes the excursion a bug.
+        codes, _values, _buckets = st.export_entries()
+        new_n = st.n_buckets // 2
+        if len(codes):
+            new_buckets = table.table_hashes[target].bucket(codes, new_n)
+            counts = np.bincount(new_buckets.astype(np.int64),
+                                 minlength=new_n)
+            residuals = int(np.maximum(counts - st.bucket_capacity, 0).sum())
+        else:
+            residuals = 0
+        if residuals == 0:
+            raise AssertionError(
+                f"filled factor {theta:.3f} below alpha={config.alpha} "
+                "with a residual-free downsize available"
+            )

@@ -84,6 +84,13 @@ class DyCuckooConfig:
         a single doubling is insufficient): when enabled, an insert-failure
         triggered upsize keeps doubling the smallest subtable until the
         projected filled factor falls below ``beta``.
+    stash_capacity:
+        Size of the bounded overflow stash (the CUDA reference's
+        ``error_table_t``).  The stash absorbs inserts whose eviction
+        chain is exhausted while an upsize is pending but aborted (only
+        reachable under fault injection); overflowing it raises
+        :class:`repro.errors.StashOverflowError`.  0 disables the stash
+        entirely, turning the degraded path into an immediate overflow.
     seed:
         Seed for hash-function constants and routing randomness.
     """
@@ -99,6 +106,7 @@ class DyCuckooConfig:
     min_buckets: int = 8
     max_total_slots: int = 0
     anticipatory_upsize: bool = False
+    stash_capacity: int = 256
     seed: int = 0x5EED
 
     def __post_init__(self) -> None:
@@ -147,6 +155,10 @@ class DyCuckooConfig:
         if self.max_total_slots < 0:
             raise InvalidConfigError(
                 f"max_total_slots must be >= 0, got {self.max_total_slots}"
+            )
+        if self.stash_capacity < 0:
+            raise InvalidConfigError(
+                f"stash_capacity must be >= 0, got {self.stash_capacity}"
             )
         initial_total = (self.num_tables * self.initial_buckets
                          * self.bucket_capacity)

@@ -50,6 +50,9 @@ def save_table(table: DyCuckooTable, path) -> None:
         "victim_counter": np.asarray([table._victim_counter],
                                      dtype=np.int64),
     }
+    stash_codes, stash_values = table.stash.export_entries()
+    payload["stash_keys"] = stash_codes
+    payload["stash_values"] = stash_values
     for idx, st in enumerate(table.subtables):
         payload[f"keys_{idx}"] = st.keys
         payload[f"values_{idx}"] = st.values
@@ -86,4 +89,10 @@ def load_table(path) -> DyCuckooTable:
             st.size = int(archive[f"size_{idx}"][0])
             table.table_hashes[idx] = _hash_from_constants(
                 archive[f"hash_{idx}"])
+        # Stash entries appeared with the fault-injection layer; archives
+        # written before it simply have an empty stash.
+        if "stash_keys" in archive:
+            stash_codes = archive["stash_keys"]
+            if len(stash_codes):
+                table.stash.push(stash_codes, archive["stash_values"])
     return table

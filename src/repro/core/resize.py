@@ -18,6 +18,14 @@ consequence of always picking the extreme subtable and is asserted by
 
 A failed residual spill (possible in adversarial corner cases) rolls the
 downsize back from a snapshot, so downsizing is all-or-nothing.
+
+When a :class:`~repro.faults.FaultPlan` is attached to the table, every
+resize consults it at four lifecycle stages — ``trigger`` (before
+anything happens), ``plan`` (target picked, nothing mutated), ``rehash``
+(storage already rebuilt) and ``spill`` (residual relocation) — and an
+injected abort raises :class:`~repro.errors.ResizeError` after rolling
+any mutation back from a :class:`_TableSnapshot`.  Resizes are therefore
+all-or-nothing even under injected failure at the worst possible moment.
 """
 
 from __future__ import annotations
@@ -57,7 +65,12 @@ class ResizeController:
                 tel.tracer.instant("resize.trigger", "resize",
                                    reason="theta>beta",
                                    theta=table.load_factor)
-            self.upsize()
+            try:
+                self.upsize()
+            except ResizeError:
+                # Injected abort: theta stays above beta for now; the
+                # next mutating batch re-enters this loop and retries.
+                break
         while table.load_factor < config.alpha:
             if tel.enabled:
                 tel.tracer.instant("resize.trigger", "resize",
@@ -97,6 +110,35 @@ class ResizeController:
             self.upsize()
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def _fire_abort(self, stage: str,
+                    snapshot: "_TableSnapshot | None" = None) -> None:
+        """Abort the running resize if the fault plan says so.
+
+        With ``snapshot`` given, storage is restored before raising —
+        the already-mutated stages (``rehash``) stay all-or-nothing.
+        Callers gate on ``table.faults.enabled`` so the fault-free path
+        pays one attribute check.
+        """
+        table = self._table
+        fault = table.faults.fire(f"resize.abort.{stage}")
+        if fault is None:
+            return
+        if snapshot is not None:
+            snapshot.restore(table)
+        table.stats.resize_aborts += 1
+        if table.telemetry.enabled:
+            table.telemetry.tracer.instant(
+                "fault.inject", "fault", site=fault.site, index=fault.index,
+                rolled_back=snapshot is not None)
+            table.telemetry.metrics.counter("faults.injected").inc()
+        raise ResizeError(
+            f"injected resize abort at {stage} stage"
+            + (" (rolled back)" if snapshot is not None else ""))
+
+    # ------------------------------------------------------------------
     # Single-subtable resizes
     # ------------------------------------------------------------------
 
@@ -129,6 +171,9 @@ class ResizeController:
         """
         table = self._table
         tracer = table.telemetry.tracer
+        faulty = table.faults.enabled
+        if faulty:
+            self._fire_abort("trigger")
         with tracer.span("resize.upsize", "resize"):
             with tracer.span("resize.plan", "resize"):
                 target = self._pick_upsize_target()
@@ -142,6 +187,9 @@ class ResizeController:
                         f"max_total_slots={ceiling} (currently "
                         f"{table.total_slots} slots, "
                         f"{len(table)} live entries)")
+            if faulty:
+                self._fire_abort("plan")
+            snapshot = _TableSnapshot(table) if faulty else None
             with tracer.span("resize.rehash", "resize", subtable=target,
                              old_buckets=st.n_buckets,
                              new_buckets=st.n_buckets * 2):
@@ -149,6 +197,8 @@ class ResizeController:
                 new_n = st.n_buckets * 2
                 new_buckets = table.table_hashes[target].bucket(codes, new_n)
                 st.rebuild(new_n, codes, values, new_buckets)
+                if faulty:
+                    self._fire_abort("rehash", snapshot=snapshot)
             table.stats.upsizes += 1
             table.stats.rehashed_entries += len(codes)
             # One coalesced read + write per touched bucket pair.
@@ -170,6 +220,9 @@ class ResizeController:
         """
         table = self._table
         tracer = table.telemetry.tracer
+        faulty = table.faults.enabled
+        if faulty:
+            self._fire_abort("trigger")
         with tracer.span("resize.downsize", "resize"):
             with tracer.span("resize.plan", "resize"):
                 target = self._pick_downsize_target()
@@ -179,6 +232,8 @@ class ResizeController:
                     )
                 st = table.subtables[target]
                 snapshot = _TableSnapshot(table)
+            if faulty:
+                self._fire_abort("plan")
             with tracer.span("resize.rehash", "resize", subtable=target,
                              old_buckets=st.n_buckets,
                              new_buckets=st.n_buckets // 2):
@@ -188,6 +243,8 @@ class ResizeController:
                 ranks, _unique, _inverse = rank_within_group(new_buckets)
                 keep = ranks < st.bucket_capacity
                 st.rebuild(new_n, codes[keep], values[keep], new_buckets[keep])
+                if faulty:
+                    self._fire_abort("rehash", snapshot=snapshot)
             table.stats.bucket_reads += new_n * 2
             table.stats.bucket_writes += new_n
 
@@ -210,6 +267,8 @@ class ResizeController:
                     alternates = table.pair_hash.alternate_table(
                         residual_codes, current)
                     try:
+                        if faulty:
+                            self._fire_abort("spill")
                         table._insert_pending(residual_codes, residual_values,
                                               alternates, excluded=target)
                     except ResizeError:

@@ -71,6 +71,14 @@ class TableStats:
     residuals: int = 0
     #: Inserts that failed permanently (static tables without resizing).
     insert_failures: int = 0
+    #: Entries parked in the overflow stash after a failed upsize.
+    stash_pushes: int = 0
+    #: Stash entries drained back into the main table after a resize.
+    stash_drained: int = 0
+    #: FIND probes answered from the stash.
+    stash_hits: int = 0
+    #: Resizes aborted mid-lifecycle (fault injection) and rolled back.
+    resize_aborts: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

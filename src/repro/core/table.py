@@ -32,9 +32,12 @@ from repro.core.distribution import make_router
 from repro.core.grouping import first_occurrence_mask, last_occurrence_mask
 from repro.core.hashing import PairHash, make_table_hashes
 from repro.core.resize import ResizeController
+from repro.core.stash import Stash
 from repro.core.stats import MemoryFootprint, TableStats
 from repro.core.subtable import Subtable
-from repro.errors import CapacityError, InvalidKeyError, ResizeError
+from repro.errors import (CapacityError, InvalidKeyError, ResizeError,
+                          StashOverflowError)
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.gpusim.kernel import estimate_lock_conflicts
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
@@ -99,6 +102,26 @@ class DyCuckooTable:
         #: Observability hooks; the null default makes every gate a
         #: single attribute check (see :mod:`repro.telemetry`).
         self.telemetry = NULL_TELEMETRY
+        #: Fault-injection hooks; same gating discipline as telemetry.
+        self.faults = NO_FAULTS
+        #: Bounded overflow stash (the CUDA reference's error table);
+        #: empty in every fault-free run.
+        self.stash = Stash(self.config.stash_capacity)
+        self._draining = False
+        #: Resize epoch (upsizes + downsizes) of the last drain attempt;
+        #: bounds retries to one per completed resize.
+        self._drain_epoch = -1
+
+    def set_fault_plan(self, plan: FaultPlan | None) -> FaultPlan:
+        """Attach a fault-injection plan (``None`` detaches); returns it.
+
+        With the default :data:`repro.faults.NO_FAULTS` attached the
+        table's behaviour is bit-identical to a build without the fault
+        layer: every hook is a single attribute check and the stash
+        stays empty.
+        """
+        self.faults = plan if plan is not None else NO_FAULTS
+        return self.faults
 
     def set_telemetry(self, telemetry: Telemetry | None) -> Telemetry:
         """Attach a telemetry handle (``None`` detaches); returns it.
@@ -114,7 +137,7 @@ class DyCuckooTable:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(st.size for st in self.subtables)
+        return sum(st.size for st in self.subtables) + len(self.stash)
 
     @property
     def num_tables(self) -> int:
@@ -157,8 +180,13 @@ class DyCuckooTable:
         )
 
     def items(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return all live ``(keys, values)`` (unspecified order)."""
-        exports = [st.export_entries() for st in self.subtables]
+        """Return all live ``(keys, values)`` (unspecified order).
+
+        Includes entries currently parked in the overflow stash.
+        """
+        exports = [st.export_entries()[:2] for st in self.subtables]
+        if len(self.stash):
+            exports.append(self.stash.export_entries())
         all_codes = (np.concatenate([e[0] for e in exports]) if exports
                      else np.zeros(0, dtype=np.uint64))
         all_values = (np.concatenate([e[1] for e in exports]) if exports
@@ -187,6 +215,8 @@ class DyCuckooTable:
             Subtable(self.config.initial_buckets, self.config.bucket_capacity)
             for _ in range(self.config.num_tables)
         ]
+        self.stash = Stash(self.config.stash_capacity)
+        self._drain_epoch = -1
 
     def copy(self) -> "DyCuckooTable":
         """Deep copy: same hash functions, independent storage."""
@@ -200,6 +230,7 @@ class DyCuckooTable:
             dst.keys = src.keys.copy()
             dst.values = src.values.copy()
             dst.size = src.size
+        clone.stash = self.stash.copy()
         clone._victim_counter = self._victim_counter
         return clone
 
@@ -226,36 +257,15 @@ class DyCuckooTable:
         """Check structural invariants; raises ``AssertionError`` on bugs.
 
         Verified invariants: per-subtable live counts, no duplicate key
-        across subtables, every entry stored in a subtable of its pair
-        and in its hashed bucket, and the 2x size discipline between
-        subtables.
+        across subtables (or between a subtable and the stash), every
+        entry stored in a subtable of its pair and in its hashed bucket,
+        the 2x size discipline between subtables, and the stash capacity
+        bound.  Delegates to
+        :func:`repro.core.analysis.check_invariants`.
         """
-        all_codes = []
-        for idx, st in enumerate(self.subtables):
-            st.validate()
-            codes, _values, buckets = st.export_entries()
-            all_codes.append(codes)
-            if len(codes):
-                first, second = self.pair_hash.tables_for(codes)
-                in_pair = (first == idx) | (second == idx)
-                if not bool(np.all(in_pair)):
-                    raise AssertionError(
-                        f"subtable {idx} stores a key outside its pair"
-                    )
-                expected = self.table_hashes[idx].bucket(codes, st.n_buckets)
-                if not bool(np.all(expected == buckets)):
-                    raise AssertionError(
-                        f"subtable {idx} has an entry in the wrong bucket"
-                    )
-        merged = (np.concatenate(all_codes) if all_codes
-                  else np.zeros(0, dtype=np.uint64))
-        if len(merged) != len(np.unique(merged)):
-            raise AssertionError("duplicate key stored across subtables")
-        sizes = [st.n_buckets for st in self.subtables]
-        if max(sizes) > 2 * min(sizes):
-            raise AssertionError(
-                f"subtable size discipline violated: {sizes}"
-            )
+        from repro.core.analysis import check_invariants
+
+        check_invariants(self, check_fill=False)
 
     # ------------------------------------------------------------------
     # Public batched operations
@@ -287,6 +297,15 @@ class DyCuckooTable:
         if len(missing):
             self.stats.chain_hops += len(missing)
             self._probe(codes[missing], second[missing], missing, values, found)
+        if len(self.stash):
+            still_missing = np.flatnonzero(~found)
+            if len(still_missing):
+                stash_values, stash_found = self.stash.lookup(
+                    codes[still_missing])
+                dest = still_missing[stash_found]
+                values[dest] = stash_values[stash_found]
+                found[dest] = True
+                self.stats.stash_hits += int(stash_found.sum())
         hits = int(found.sum())
         self.stats.find_hits += hits
         if self.telemetry.enabled:
@@ -349,6 +368,8 @@ class DyCuckooTable:
                                  excluded=None)
         if self.config.auto_resize:
             self._resizer.enforce_bounds()
+        if len(self.stash):
+            self._drain_stash()
 
     def delete(self, keys) -> np.ndarray:
         """Delete a batch of keys; returns a mask of keys actually removed.
@@ -393,19 +414,30 @@ class DyCuckooTable:
                 erased = st.erase(buckets, codes[sel])
                 self.stats.bucket_writes += int(erased.sum())
                 removed_unique[sel[erased]] = True
+        if len(self.stash):
+            pending = np.flatnonzero(~removed_unique)
+            if len(pending):
+                erased = self.stash.erase(codes[pending])
+                removed_unique[pending[erased]] = True
         removed[unique_idx] = removed_unique
         self.stats.delete_hits += int(removed_unique.sum())
         if self.config.auto_resize:
             self._resizer.enforce_bounds()
+        if len(self.stash):
+            self._drain_stash()
         return removed
 
     def upsize(self) -> None:
         """Manually double the smallest subtable (Section IV-D)."""
         self._resizer.upsize()
+        if len(self.stash):
+            self._drain_stash()
 
     def downsize(self) -> None:
         """Manually halve the largest subtable (Section IV-D)."""
         self._resizer.downsize()
+        if len(self.stash):
+            self._drain_stash()
 
     # ------------------------------------------------------------------
     # Internal machinery
@@ -449,6 +481,11 @@ class DyCuckooTable:
                 upd = st.update_existing(buckets, codes[sel], values[sel])
                 self.stats.bucket_writes += int(upd.sum())
                 updated[sel[upd]] = True
+        if len(self.stash):
+            pending = np.flatnonzero(~updated)
+            if len(pending):
+                upd = self.stash.update(codes[pending], values[pending])
+                updated[pending[upd]] = True
         return updated
 
     def _insert_pending(self, codes: np.ndarray, values: np.ndarray,
@@ -476,6 +513,32 @@ class DyCuckooTable:
             depths = np.zeros(len(codes), dtype=np.int64)
         rounds_since_progress = 0
         while len(codes):
+            if self.faults.enabled:
+                fault = self.faults.fire("insert.evict")
+                if fault is not None:
+                    if traced:
+                        tel.tracer.instant("fault.inject", "fault",
+                                           site=fault.site, index=fault.index,
+                                           pending=len(codes))
+                        tel.metrics.counter("faults.injected").inc()
+                    if excluded is not None:
+                        raise ResizeError(
+                            "injected eviction-chain exhaustion during "
+                            "residual spill"
+                        )
+                    if not self.config.auto_resize:
+                        self.stats.insert_failures += len(codes)
+                        raise CapacityError(
+                            f"insert failed for {len(codes)} keys: injected "
+                            "eviction-chain exhaustion (auto_resize disabled)"
+                        )
+                    try:
+                        self._resizer.upsize_for_insert_failure()
+                    except ResizeError as exc:
+                        # Upsize aborted while the chain is exhausted:
+                        # park the pending keys in the stash.
+                        self._stash_pending(codes, values, reason=str(exc))
+                        return
             if excluded is None and self.config.auto_resize:
                 # Section IV-B: keep theta under beta.  Upsizing before the
                 # round (rather than after a long eviction stall) matches
@@ -487,7 +550,12 @@ class DyCuckooTable:
                         tel.tracer.instant(
                             "resize.trigger", "resize", reason="beta_bound",
                             theta=self.load_factor, pending=len(codes))
-                    self._resizer.upsize()
+                    try:
+                        self._resizer.upsize()
+                    except ResizeError:
+                        # Injected abort: run the round over-full and let
+                        # the stall path decide what to do next.
+                        break
             self.stats.eviction_rounds += 1
             before_pending = len(codes)
             round_evictions = 0
@@ -591,8 +659,100 @@ class DyCuckooTable:
                         f"{self.config.max_eviction_rounds} stalled rounds "
                         "(auto_resize disabled)"
                     )
-                self._resizer.upsize_for_insert_failure()
+                try:
+                    self._resizer.upsize_for_insert_failure()
+                except ResizeError as exc:
+                    # The upsize that would have made room was aborted by
+                    # an injected fault: degrade to the bounded stash
+                    # (the CUDA reference's error table) instead of
+                    # spinning further eviction rounds.
+                    self._stash_pending(codes, values, reason=str(exc))
+                    return
                 rounds_since_progress = 0
+
+    def _stash_pending(self, codes: np.ndarray, values: np.ndarray,
+                       reason: str) -> None:
+        """Park pending inserts in the overflow stash (degraded mode).
+
+        Mirrors the CUDA reference's ``cg_error_handle``: keys whose
+        eviction chain is exhausted while the upsize that would make
+        room is unavailable are appended to a bounded error table
+        rather than lost.  Overflowing the stash raises
+        :class:`StashOverflowError` — the error of last resort.
+        """
+        absorbed = self.stash.push(codes, values)
+        n_absorbed = int(absorbed.sum())
+        self.stats.stash_pushes += n_absorbed
+        tel = self.telemetry
+        if tel.enabled:
+            tel.tracer.instant("stash.push", "stash", n=n_absorbed,
+                               occupancy=len(self.stash), reason=reason)
+            tel.metrics.counter("stash.pushes").inc(n_absorbed)
+            tel.metrics.gauge("stash.occupancy").set(len(self.stash))
+        overflow = len(codes) - n_absorbed
+        if overflow:
+            self.stats.insert_failures += overflow
+            if tel.enabled:
+                tel.tracer.instant("stash.overflow", "stash", dropped=overflow,
+                                   capacity=self.stash.capacity)
+                tel.metrics.counter("stash.overflows").inc(overflow)
+            raise StashOverflowError(
+                f"overflow stash full: {overflow} keys could not be parked "
+                f"(stash_capacity={self.stash.capacity}); last resize "
+                f"failure: {reason}"
+            )
+
+    def _drain_stash(self) -> int:
+        """Retry stashed inserts through the normal path; return count.
+
+        Bounded retry-with-revote: at most one drain attempt per resize
+        *epoch* (total completed upsizes + downsizes), so a stash that
+        cannot be emptied does not add per-batch retry churn.  The
+        attempt is all-or-nothing with respect to key survival — on a
+        hard :class:`CapacityError` mid-drain the table and stash are
+        rolled back from a snapshot and the table stays in degraded
+        mode.
+        """
+        if self._draining or not len(self.stash):
+            return 0
+        epoch = self.stats.upsizes + self.stats.downsizes
+        if epoch == self._drain_epoch:
+            return 0
+        from repro.core.resize import _TableSnapshot
+
+        snapshot = _TableSnapshot(self)
+        stash_backup = self.stash.copy()
+        codes, values = self.stash.pop_all()
+        before = len(codes)
+        self._draining = True
+        try:
+            first, second = self.pair_hash.tables_for(codes)
+            targets = self._router.choose(codes, first, second,
+                                          self.subtable_sizes(),
+                                          self.subtable_loads())
+            self._insert_pending(codes, values, targets, excluded=None)
+        except CapacityError:
+            # Hard failure mid-drain (e.g. max_total_slots): no key may
+            # be lost, so restore the pre-drain state and stay degraded.
+            snapshot.restore(self)
+            self.stash = stash_backup
+            if self.telemetry.enabled:
+                self.telemetry.tracer.instant("stash.drain_failed", "stash",
+                                              attempted=before)
+            return 0
+        finally:
+            self._draining = False
+            self._drain_epoch = self.stats.upsizes + self.stats.downsizes
+        drained = before - len(self.stash)
+        self.stats.stash_drained += drained
+        if self.telemetry.enabled:
+            self.telemetry.tracer.instant("stash.drain", "stash",
+                                          attempted=before, drained=drained,
+                                          remaining=len(self.stash))
+            self.telemetry.metrics.counter("stash.drained").inc(drained)
+            self.telemetry.metrics.gauge("stash.occupancy").set(
+                len(self.stash))
+        return drained
 
     def _choose_victims(self, table_idx: int, buckets: np.ndarray,
                         excluded: int | None

@@ -3,7 +3,8 @@
 All library errors derive from :class:`ReproError` so callers can catch a
 single base class.  The hierarchy mirrors the failure modes of the paper's
 system: keys outside the supported domain, insertion failures that even
-resizing could not absorb, and invalid resize requests.
+resizing could not absorb, invalid resize requests, and overflow of the
+bounded stash that backstops failed inserts under fault injection.
 """
 
 from __future__ import annotations
@@ -31,6 +32,16 @@ class CapacityError(ReproError, RuntimeError):
     Raised when the eviction chain limit is exceeded and either automatic
     resizing is disabled or resizing failed to make room (for instance
     because the table hit ``max_total_slots``).
+    """
+
+
+class StashOverflowError(CapacityError):
+    """The overflow stash (error table) itself ran out of room.
+
+    The stash absorbs inserts whose eviction chain is exhausted while an
+    upsize is pending (the CUDA reference's ``error_table_t``); this is
+    the error of last resort when even that degradation path is full.
+    Subclasses :class:`CapacityError` so existing handlers keep working.
     """
 
 

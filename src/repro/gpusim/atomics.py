@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -39,22 +40,34 @@ class AtomicMemory:
     scheduler chose, which is a legal GPU interleaving.
     """
 
-    def __init__(self, num_words: int, tracer=None) -> None:
+    def __init__(self, num_words: int, tracer=None, faults=None) -> None:
         self.words = np.zeros(num_words, dtype=np.int64)
         #: Total atomic operations executed.
         self.ops = 0
+        #: CAS operations that lost their race to an injected fault.
+        self.injected_failures = 0
         #: Operations grouped by address within the current round, used to
         #: derive conflict statistics.
         self._round_addresses: list[int] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NO_FAULTS
 
     def atomic_cas(self, address: int, compare: int, value: int) -> int:
         """``old = mem[address]; if old == compare: mem[address] = value``.
 
         Returns ``old`` (CUDA semantics: success iff return == compare).
+        An injected ``atomics.cas`` fault models a lost race: the CAS
+        observes a word that differs from ``compare`` and writes nothing,
+        exactly what a competing thread's interleaved write produces.
         """
         self.ops += 1
         self._round_addresses.append(address)
+        if self.faults.enabled and self.faults.fire("atomics.cas") is not None:
+            self.injected_failures += 1
+            if self.tracer.enabled:
+                self.tracer.instant("fault.inject", "fault",
+                                    site="atomics.cas", address=address)
+            return compare ^ 1
         old = int(self.words[address])
         if old == compare:
             self.words[address] = value

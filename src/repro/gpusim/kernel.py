@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.errors import InvalidConfigError
+from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -163,19 +164,59 @@ class LockArbiter:
     counts the failed attempts (the spinning the voter scheme avoids).
     """
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, faults=None) -> None:
         self._held: set[int] = set()
+        #: Resources camped on by an injected stalled holder, mapped to
+        #: the device rounds the stall has left (aged by :meth:`tick`).
+        self._stalled: dict[int, int] = {}
         self.acquisitions = 0
         self.conflicts = 0
+        #: Acquisitions denied by an injected ``lock.acquire`` fault.
+        self.injected_failures = 0
+        #: Stalled-holder faults injected (``lock.stall``).
+        self.injected_stalls = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NO_FAULTS
 
     def try_acquire(self, resource: int) -> bool:
         """Attempt to lock ``resource``; False means revote/spin."""
+        if self._stalled and resource in self._stalled:
+            # A stalled holder (injected fault) is camping on the lock.
+            self.conflicts += 1
+            if self.tracer.enabled:
+                self.tracer.instant("lock.retry", "lock", resource=resource,
+                                    stalled=True)
+            return False
         if resource in self._held:
             self.conflicts += 1
             if self.tracer.enabled:
                 self.tracer.instant("lock.retry", "lock", resource=resource)
             return False
+        if self.faults.enabled:
+            fault = self.faults.fire("lock.acquire")
+            if fault is not None:
+                # The CAS lost to a competitor the simulator did not
+                # model — the caller must revote, like any conflict.
+                self.conflicts += 1
+                self.injected_failures += 1
+                if self.tracer.enabled:
+                    self.tracer.instant("fault.inject", "fault",
+                                        site="lock.acquire",
+                                        resource=resource)
+                return False
+            fault = self.faults.fire("lock.stall")
+            if fault is not None:
+                # A phantom holder wins the lock and stalls on it for
+                # ``param`` device rounds; everyone (including this
+                # warp) must revote until the stall expires.
+                self._stalled[resource] = max(1, fault.param)
+                self.conflicts += 1
+                self.injected_stalls += 1
+                if self.tracer.enabled:
+                    self.tracer.instant("fault.inject", "fault",
+                                        site="lock.stall", resource=resource,
+                                        rounds=max(1, fault.param))
+                return False
         self._held.add(resource)
         self.acquisitions += 1
         if self.tracer.enabled:
@@ -186,6 +227,22 @@ class LockArbiter:
         """Unlock ``resource`` (atomicExch(&lock, 0))."""
         self._held.discard(resource)
 
+    def tick(self) -> None:
+        """Age injected lock-holder stalls by one device round.
+
+        Kernels that hold locks across rounds (the two-phase insert
+        kernel) call this from their ``after_round`` hook; kernels that
+        call :meth:`end_round` get it for free.
+        """
+        if not self._stalled:
+            return
+        for resource in list(self._stalled):
+            remaining = self._stalled[resource] - 1
+            if remaining <= 0:
+                del self._stalled[resource]
+            else:
+                self._stalled[resource] = remaining
+
     def end_round(self) -> None:
         """Release every lock at the round boundary.
 
@@ -193,6 +250,8 @@ class LockArbiter:
         loop executing concurrently: locks acquired during the round are
         held against all other warps of that round (producing conflicts)
         and the matching ``atomicExch`` unlocks land at the iteration
-        end, i.e. here.
+        end, i.e. here.  Stalled holders do *not* release — that is the
+        fault being modelled — but their stalls age by one round.
         """
         self._held.clear()
+        self.tick()

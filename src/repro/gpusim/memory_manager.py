@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import CapacityError, InvalidConfigError
+from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
 
 #: Sustained host<->device PCIe 3.0 x16 bandwidth (bytes/second).
@@ -47,7 +48,7 @@ class DeviceMemoryManager:
     """
 
     def __init__(self, device: DeviceSpec = GTX_1080,
-                 reserve_fraction: float = 0.05) -> None:
+                 reserve_fraction: float = 0.05, faults=None) -> None:
         if not 0.0 <= reserve_fraction < 1.0:
             raise InvalidConfigError(
                 f"reserve_fraction must be in [0, 1), got {reserve_fraction}")
@@ -59,6 +60,9 @@ class DeviceMemoryManager:
         self.spill_bytes = 0
         #: Highest device residency observed.
         self.peak_resident_bytes = 0
+        #: Growth requests denied by an injected ``memory.alloc`` fault.
+        self.injected_failures = 0
+        self.faults = faults if faults is not None else NO_FAULTS
 
     # ------------------------------------------------------------------
     # Introspection
@@ -103,6 +107,15 @@ class DeviceMemoryManager:
                 f"{client}: {num_bytes / 1e9:.2f} GB exceeds device "
                 f"capacity {self.capacity / 1e9:.2f} GB")
         record = self._allocations.get(client)
+        current = record.num_bytes if record is not None else 0
+        if (self.faults.enabled and num_bytes > current
+                and self.faults.fire("memory.alloc") is not None):
+            # Injected cudaMalloc failure: nothing is mutated, so the
+            # caller sees the same state as before the request.
+            self.injected_failures += 1
+            raise CapacityError(
+                f"injected allocation failure for {client} "
+                f"({num_bytes / 1e6:.2f} MB requested)")
         if record is None:
             record = AllocationRecord(client, 0)
             self._allocations[client] = record

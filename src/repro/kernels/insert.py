@@ -217,7 +217,7 @@ def _run_insert(table, keys, values, voter: bool) -> KernelRunResult:
     targets = table._router.choose(codes, first, second,
                                    table.subtable_sizes(),
                                    table.subtable_loads())
-    arbiter = LockArbiter()
+    arbiter = LockArbiter(faults=getattr(table, "faults", None))
     tracker = MemoryTracker()
     result = KernelRunResult()
     warps = []
@@ -229,7 +229,12 @@ def _run_insert(table, keys, values, voter: bool) -> KernelRunResult:
             values=values[start:stop], targets=targets[start:stop],
             arbiter=arbiter, tracker=tracker, result=result, voter=voter))
     scheduler = RoundScheduler(warps)
-    result.rounds = scheduler.run()
+    if arbiter.faults.enabled:
+        # The insert kernel holds locks across rounds (two-phase), so it
+        # never calls end_round(); injected stalls still have to age.
+        result.rounds = scheduler.run(after_round=lambda _i: arbiter.tick())
+    else:
+        result.rounds = scheduler.run()
     result.lock_acquisitions = arbiter.acquisitions
     result.lock_conflicts = arbiter.conflicts
     return result

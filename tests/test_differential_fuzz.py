@@ -1,0 +1,180 @@
+"""Differential fuzzing: DyCuckoo vs a dict model, with and without faults.
+
+Hypothesis drives mixed operation sequences against both the table and a
+plain dict under a tight ``[alpha, beta]`` band (so resizes fire
+constantly) and, in the fault-injected variant, under a seeded chaos
+plan.  Any divergence shrinks to a minimal operation sequence plus a
+replayable fault script, printed in the failure message.
+
+``REPRO_FUZZ_EXAMPLES`` scales the per-test example budget (CI raises
+it; the default keeps local runs quick).
+"""
+
+import os
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import check_invariants
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.faults import FaultPlan, default_chaos_plan
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+
+KEY = st.integers(min_value=0, max_value=200)
+VALUE = st.integers(min_value=0, max_value=1 << 32)
+
+op_strategy = st.one_of(
+    st.tuples(st.just("insert"),
+              st.lists(st.tuples(KEY, VALUE), min_size=1, max_size=40)),
+    st.tuples(st.just("delete"), st.lists(KEY, min_size=1, max_size=40)),
+    st.tuples(st.just("find"), st.lists(KEY, min_size=1, max_size=40)),
+)
+
+
+def storm_config() -> DyCuckooConfig:
+    """A tight fill band so nearly every batch crosses a resize bound."""
+    return DyCuckooConfig(initial_buckets=8, bucket_capacity=4,
+                          min_buckets=4, alpha=0.45, beta=0.55)
+
+
+def apply_batch(table: DyCuckooTable, model: dict, op) -> None:
+    kind, payload = op
+    if kind == "insert":
+        keys = np.array([k for k, _ in payload], dtype=np.uint64)
+        values = np.array([v for _, v in payload], dtype=np.uint64)
+        table.insert(keys, values)
+        for k, v in payload:
+            model[k] = v
+    elif kind == "delete":
+        keys = np.array(payload, dtype=np.uint64)
+        removed = table.delete(keys)
+        expected_removed = 0
+        seen = set()
+        for k in payload:
+            if k in model and k not in seen:
+                expected_removed += 1
+            seen.add(k)
+            model.pop(k, None)
+        assert int(removed.sum()) == expected_removed
+    else:
+        keys = np.array(payload, dtype=np.uint64)
+        values, found = table.find(keys)
+        for i, k in enumerate(payload):
+            assert bool(found[i]) == (k in model)
+            if k in model:
+                assert int(values[i]) == model[k]
+
+
+def assert_model_agreement(table: DyCuckooTable, model: dict) -> None:
+    assert len(table) == len(model)
+    if model:
+        keys = np.array(sorted(model), dtype=np.uint64)
+        values, found = table.find(keys)
+        assert bool(found.all())
+        assert [int(v) for v in values] == [model[int(k)] for k in keys]
+
+
+class TestFaultFreeFuzz:
+    @given(st.lists(op_strategy, min_size=1, max_size=25))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_resize_storm_matches_dict(self, ops):
+        table = DyCuckooTable(storm_config())
+        model: dict = {}
+        mutated = False
+        for op in ops:
+            apply_batch(table, model, op)
+            mutated = mutated or op[0] != "find"
+            # Fill bounds are only enforceable once a mutating batch has
+            # given enforce_bounds a chance to run.
+            check_invariants(table, check_fill=mutated)
+        assert_model_agreement(table, model)
+
+
+class TestFaultInjectedFuzz:
+    @given(st.lists(op_strategy, min_size=1, max_size=25),
+           st.integers(min_value=0, max_value=2 ** 16),
+           st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_chaos_matches_dict(self, ops, fault_seed, intensity):
+        table = DyCuckooTable(storm_config())
+        plan = default_chaos_plan(seed=fault_seed, intensity=intensity)
+        table.set_fault_plan(plan)
+        model: dict = {}
+        try:
+            for op in ops:
+                apply_batch(table, model, op)
+                check_invariants(table)
+            assert_model_agreement(table, model)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{exc}\nREPLAY: FaultPlan.from_script("
+                f"{plan.script_json()!r})") from exc
+
+    @given(st.lists(op_strategy, min_size=1, max_size=25),
+           st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_scripted_replay_reproduces_chaos_run(self, ops, fault_seed):
+        live = DyCuckooTable(storm_config())
+        plan = default_chaos_plan(seed=fault_seed)
+        live.set_fault_plan(plan)
+        model: dict = {}
+        for op in ops:
+            apply_batch(live, model, op)
+
+        replayed = DyCuckooTable(storm_config())
+        replayed.set_fault_plan(FaultPlan.from_script(plan.to_script()))
+        replay_model: dict = {}
+        for op in ops:
+            apply_batch(replayed, replay_model, op)
+        assert live.to_dict() == replayed.to_dict()
+        assert sorted(live.stash.export_entries()[0].tolist()) == \
+            sorted(replayed.stash.export_entries()[0].tolist())
+
+
+class TestDeterministicAcceptance:
+    def test_10k_mixed_ops_with_default_chaos(self):
+        """Acceptance gate: 10k mixed ops under the default chaos plan,
+        zero divergences, invariants after every batch."""
+        table = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=16, bucket_capacity=8, min_buckets=8))
+        plan = default_chaos_plan(seed=2021)
+        table.set_fault_plan(plan)
+        model: dict = {}
+        rng = np.random.default_rng(2021)
+        total_ops = 0
+        while total_ops < 10_000:
+            insert_keys = rng.integers(0, 2_000, 128, dtype=np.uint64)
+            insert_values = insert_keys * np.uint64(7) + np.uint64(1)
+            table.insert(insert_keys, insert_values)
+            for k, v in zip(insert_keys.tolist(), insert_values.tolist()):
+                model[k] = v
+
+            find_keys = rng.integers(0, 2_000, 64, dtype=np.uint64)
+            values, found = table.find(find_keys)
+            for i, k in enumerate(find_keys.tolist()):
+                assert bool(found[i]) == (k in model), \
+                    f"find divergence on key {k}\nREPLAY: " \
+                    f"FaultPlan.from_script({plan.script_json()!r})"
+                if k in model:
+                    assert int(values[i]) == model[k]
+
+            delete_keys = np.unique(
+                rng.integers(0, 2_000, 32, dtype=np.uint64))
+            removed = table.delete(delete_keys)
+            expected = sum(1 for k in delete_keys.tolist() if k in model)
+            assert int(removed.sum()) == expected
+            for k in delete_keys.tolist():
+                model.pop(k, None)
+
+            check_invariants(table)
+            assert len(table) == len(model)
+            total_ops += 128 + 64 + len(delete_keys)
+
+        assert table.to_dict() == model
+        assert plan.fired, "chaos plan never fired — rates are dead"
