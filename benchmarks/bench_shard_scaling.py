@@ -1,0 +1,128 @@
+"""Shard scaling — simulated speedup of the sharded front-end.
+
+Runs the same mixed workload (insert, find, delete) through
+:class:`~repro.shard.ShardedDyCuckoo` at S in {1, 2, 4, 8} and prices
+each run two ways with :func:`~repro.shard.simulate_shard_speedup`:
+serially on the whole simulated GTX 1080, and in parallel with one SM
+group per shard (the front-end's execution model).
+
+Expected shapes: S=1 is exactly the serial schedule (speedup 1.0);
+larger S parallelizes round-synchronization, compute, and lock
+contention while the memory-bound fraction stays tied to the shared
+DRAM bus, so speedup grows with S but stays well short of linear.  All
+shard counts remain differentially equal to a single reference table.
+
+With ``REPRO_BENCH_JSON`` set, results are also dumped as
+``BENCH_shard.json`` for regression tracking.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, shape_check
+from repro.bench.artifacts import maybe_dump
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.shard import ShardedDyCuckoo, simulate_shard_speedup
+
+from benchmarks.common import BATCH_SIZE, once
+
+#: Shard counts swept (powers of two; 8 groups on 20 SMs still splits).
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Distinct keys driven through each table (paper's 1e7, scaled).
+NUM_KEYS = 10_000
+
+#: Subtables per shard (the paper's default geometry).
+NUM_TABLES = 4
+
+
+def _shard_config() -> DyCuckooConfig:
+    """Per-shard geometry: start small, grow with the workload."""
+    return DyCuckooConfig(num_tables=NUM_TABLES, bucket_capacity=32,
+                          initial_buckets=8, min_buckets=8)
+
+
+def _workload(rng: np.random.Generator):
+    """One deterministic mixed stream shared by every shard count."""
+    keys = rng.choice(np.arange(1, NUM_KEYS * 20, dtype=np.uint64),
+                      size=NUM_KEYS, replace=False)
+    values = rng.integers(1, 1 << 40, size=NUM_KEYS, dtype=np.uint64)
+    return keys, values
+
+
+def _drive(table, keys: np.ndarray, values: np.ndarray) -> int:
+    """Insert everything, find everything, delete half; return op count."""
+    for start in range(0, len(keys), BATCH_SIZE):
+        segment = slice(start, start + BATCH_SIZE)
+        table.insert(keys[segment], values[segment])
+    _found_values, found = table.find(keys)
+    assert bool(found.all()), "driven keys must all be findable"
+    removed = table.delete(keys[: len(keys) // 2])
+    assert bool(removed.all()), "driven deletes must all hit"
+    return len(keys) * 2 + len(keys) // 2
+
+
+def _run_one(num_shards: int, keys: np.ndarray, values: np.ndarray,
+             reference: dict) -> dict:
+    table = ShardedDyCuckoo(num_shards=num_shards, config=_shard_config())
+    before = [stats.snapshot() for stats in table.shard_stats()]
+    total_ops = _drive(table, keys, values)
+    table.validate()
+    assert table.to_dict() == reference, (
+        f"S={num_shards} diverged from the single-table reference")
+
+    # Every op routes by key, so per-shard op counts follow the routing
+    # of the driven key stream (inserts + finds + deletes).
+    op_keys = np.concatenate([keys, keys, keys[: len(keys) // 2]])
+    shard_ops = np.bincount(table.shard_ids(op_keys),
+                            minlength=num_shards).tolist()
+    deltas = [stats.delta(snap)
+              for stats, snap in zip(table.shard_stats(), before)]
+    report = simulate_shard_speedup(deltas, shard_ops,
+                                    num_tables=NUM_TABLES)
+    assert report.num_ops == total_ops
+    return report.to_dict()
+
+
+def _run_all() -> dict:
+    rng = np.random.default_rng(1080)
+    keys, values = _workload(rng)
+
+    reference_table = DyCuckooTable(_shard_config())
+    _drive(reference_table, keys, values)
+    reference = reference_table.to_dict()
+
+    return {num_shards: _run_one(num_shards, keys, values, reference)
+            for num_shards in SHARD_COUNTS}
+
+
+def test_shard_scaling(benchmark):
+    results = once(benchmark, _run_all)
+    maybe_dump("BENCH_shard", results)
+
+    print()
+    print(format_table(
+        ["S", "serial Mops", "parallel Mops", "speedup", "lock fraction"],
+        [[s, r["serial_mops"], r["parallel_mops"], r["speedup"],
+          r["resize_lock_fraction"]] for s, r in results.items()],
+        title="Shard scaling: serial device vs one SM group per shard"))
+
+    speedups = {s: results[s]["speedup"] for s in SHARD_COUNTS}
+    checks = [
+        ("S=1 is the serial schedule (speedup == 1.0)",
+         abs(speedups[1] - 1.0) < 1e-9),
+        (f"sharding helps at S=4 ({speedups[4]:.2f}x > 1.2x)",
+         speedups[4] > 1.2),
+        (f"speedup grows from S=1 to S=4 "
+         f"({speedups[1]:.2f} < {speedups[2]:.2f} < {speedups[4]:.2f})",
+         speedups[1] < speedups[2] < speedups[4]),
+        ("sub-linear: the memory-bound fraction shares the DRAM bus",
+         all(speedups[s] < s for s in SHARD_COUNTS if s > 1)),
+        ("a resize locks 1/(S*d) of the data",
+         all(results[s]["resize_lock_fraction"] == 1.0 / (s * NUM_TABLES)
+             for s in SHARD_COUNTS)),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

@@ -18,7 +18,10 @@ A from-scratch Python reproduction of *"Dynamic Hash Tables on GPUs"*
   Chrome-trace/Prometheus export for any table run,
 * :mod:`repro.faults` - deterministic, replayable fault injection
   (atomic failure storms, lock-holder stalls, allocation failures,
-  resize aborts) with a bounded stash as the recovery path.
+  resize aborts) with a bounded stash as the recovery path,
+* :mod:`repro.shard` - a sharded front-end partitioning the key space
+  over independent DyCuckoo tables, with an SM-group cost model for the
+  simulated parallel speedup.
 """
 
 from repro.core import (DyCuckooConfig, DyCuckooTable, MemoryFootprint,
@@ -27,12 +30,14 @@ from repro.errors import (CapacityError, InvalidConfigError, InvalidKeyError,
                           ReproError, ResizeError, StashOverflowError,
                           UnsupportedOperationError)
 from repro.faults import NO_FAULTS, FaultPlan, default_chaos_plan
+from repro.shard import ShardedDyCuckoo
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DyCuckooTable",
+    "ShardedDyCuckoo",
     "DyCuckooConfig",
     "PAPER_PARAMETERS",
     "MemoryFootprint",

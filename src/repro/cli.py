@@ -25,6 +25,12 @@ Commands
     runs a fast built-in configuration and fails if the trace misses
     the expected structure (CI's telemetry health check).
 
+``shard``
+    Run a mixed workload through the sharded front-end
+    (:class:`repro.shard.ShardedDyCuckoo`), differentially check it
+    against a single table, and report per-shard balance plus the
+    simulated SM-group speedup.  ``--sweep`` scans S in {1, 2, 4, 8}.
+
 ``faults``
     Run a seeded chaos session: a mixed insert/find/delete workload with
     fault injection at every site (CAS storms, lock stalls, allocation
@@ -289,6 +295,90 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _run_sharded(num_shards: int, keys: np.ndarray, values: np.ndarray,
+                 batch: int, reference: dict) -> dict:
+    """Drive one shard count through the standard mixed protocol."""
+    from repro.core.config import DyCuckooConfig
+    from repro.shard import ShardedDyCuckoo, speedup_for_table
+
+    table = ShardedDyCuckoo(num_shards=num_shards,
+                            config=DyCuckooConfig(initial_buckets=8))
+    before = [stats.snapshot() for stats in table.shard_stats()]
+    for start in range(0, len(keys), batch):
+        segment = slice(start, start + batch)
+        table.insert(keys[segment], values[segment])
+    _found_values, found = table.find(keys)
+    removed = table.delete(keys[: len(keys) // 2])
+    table.validate()
+    diverged = table.to_dict() != reference
+
+    op_keys = np.concatenate([keys, keys, keys[: len(keys) // 2]])
+    shard_ops = np.bincount(table.shard_ids(op_keys),
+                            minlength=num_shards).tolist()
+    report = speedup_for_table(table, before, shard_ops)
+    return {
+        "num_shards": num_shards,
+        "find_hit_rate": float(found.mean()),
+        "delete_hit_rate": float(removed.mean()),
+        "shard_loads": table.shard_loads(),
+        "live_entries": len(table),
+        "diverged_from_reference": diverged,
+        "report": report.to_dict(),
+    }
+
+
+def _cmd_shard(args) -> int:
+    from repro import DyCuckooConfig, DyCuckooTable
+    from repro.bench import format_table
+
+    rng = np.random.default_rng(args.seed)
+    keys = rng.choice(np.arange(1, args.keys * 20, dtype=np.uint64),
+                      size=args.keys, replace=False)
+    values = rng.integers(1, 1 << 40, size=args.keys, dtype=np.uint64)
+
+    reference_table = DyCuckooTable(DyCuckooConfig(initial_buckets=8))
+    for start in range(0, len(keys), args.batch):
+        segment = slice(start, start + args.batch)
+        reference_table.insert(keys[segment], values[segment])
+    reference_table.find(keys)
+    reference_table.delete(keys[: len(keys) // 2])
+    reference = reference_table.to_dict()
+
+    shard_counts = (1, 2, 4, 8) if args.sweep else (args.shards,)
+    results = [_run_sharded(s, keys, values, args.batch, reference)
+               for s in shard_counts]
+    diverged = any(r["diverged_from_reference"] for r in results)
+
+    if args.json:
+        _emit_json({
+            "command": "shard",
+            "keys": args.keys,
+            "batch": args.batch,
+            "seed": args.seed,
+            "results": results,
+        })
+        return 1 if diverged else 0
+
+    print(format_table(
+        ["S", "serial Mops", "parallel Mops", "speedup", "lock fraction",
+         "shard loads"],
+        [[r["num_shards"], r["report"]["serial_mops"],
+          r["report"]["parallel_mops"], r["report"]["speedup"],
+          r["report"]["resize_lock_fraction"],
+          "/".join(str(n) for n in r["shard_loads"])]
+         for r in results],
+        title=f"sharded front-end: {args.keys:,} keys, "
+              f"batch {args.batch}"))
+    for r in results:
+        if r["diverged_from_reference"]:
+            print(f"S={r['num_shards']}: DIVERGED from the single-table "
+                  f"reference", file=sys.stderr)
+    if not diverged:
+        print("differential check ok: every shard count matches the "
+              "single-table reference")
+    return 1 if diverged else 0
+
+
 def _cmd_faults(args) -> int:
     from repro import DyCuckooConfig, DyCuckooTable
     from repro.core.analysis import check_invariants
@@ -493,6 +583,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="fast run + structural validation (CI check)")
 
+    shard = sub.add_parser(
+        "shard", help="sharded front-end: differential check + speedup")
+    shard.add_argument("--shards", type=int, default=4,
+                       help="shard count S (power of two)")
+    shard.add_argument("--sweep", action="store_true",
+                       help="scan S in {1, 2, 4, 8} instead of --shards")
+    shard.add_argument("--keys", type=int, default=20_000)
+    shard.add_argument("--batch", type=int, default=1000)
+    shard.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for exact reproducibility")
+    shard.add_argument("--json", action="store_true",
+                       help="machine-readable JSON on stdout")
+
     faults = sub.add_parser(
         "faults", help="seeded chaos session with a survival report")
     faults.add_argument("--seed", type=int, default=0,
@@ -525,6 +628,7 @@ _COMMANDS = {
     "dynamic": _cmd_dynamic,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "shard": _cmd_shard,
     "faults": _cmd_faults,
 }
 

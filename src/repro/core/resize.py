@@ -232,6 +232,10 @@ class ResizeController:
                     )
                 st = table.subtables[target]
                 snapshot = _TableSnapshot(table)
+                # Rollback must be symmetric: everything below mutates
+                # counters, so remember them all (not just `downsizes`)
+                # before the first mutation.
+                stats_before = table.stats.snapshot()
             if faulty:
                 self._fire_abort("plan")
             with tracer.span("resize.rehash", "resize", subtable=target,
@@ -253,12 +257,6 @@ class ResizeController:
             table.stats.downsizes += 1
             table.stats.rehashed_entries += len(codes)
             table.stats.residuals += len(residual_codes)
-            if table.telemetry.enabled:
-                table.telemetry.metrics.counter("resize.downsizes").inc()
-                table.telemetry.metrics.counter(
-                    "resize.rehashed_entries").inc(len(codes))
-                table.telemetry.metrics.counter(
-                    "resize.residuals").inc(len(residual_codes))
             with tracer.span("resize.spill", "resize", subtable=target,
                              residuals=len(residual_codes)):
                 if len(residual_codes):
@@ -273,12 +271,33 @@ class ResizeController:
                                               alternates, excluded=target)
                     except ResizeError:
                         snapshot.restore(table)
-                        table.stats.downsizes -= 1
+                        self._restore_stats(stats_before)
                         tracer.instant("resize.rollback", "resize",
                                        subtable=target,
                                        residuals=len(residual_codes))
                         raise
+            # Telemetry counters are monotonic (no decrement exists), so
+            # they are only published once the spill — the last stage
+            # that can roll the downsize back — has succeeded.
+            if table.telemetry.enabled:
+                table.telemetry.metrics.counter("resize.downsizes").inc()
+                table.telemetry.metrics.counter(
+                    "resize.rehashed_entries").inc(len(codes))
+                table.telemetry.metrics.counter(
+                    "resize.residuals").inc(len(residual_codes))
         return target
+
+    def _restore_stats(self, stats_before: dict) -> None:
+        """Roll every counter back to ``stats_before``.
+
+        ``resize_aborts`` is exempt: an injected abort that triggered
+        the rollback is a real event that must stay counted.
+        """
+        stats = self._table.stats
+        aborts = stats.resize_aborts
+        for name, value in stats_before.items():
+            setattr(stats, name, value)
+        stats.resize_aborts = max(aborts, stats.resize_aborts)
 
 
 class _TableSnapshot:

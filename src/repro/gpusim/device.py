@@ -91,6 +91,35 @@ class DeviceSpec:
         return self.mem_bandwidth_gbps * 1e9 * self.mem_efficiency
 
 
+def partition_device(device: DeviceSpec, groups: int) -> DeviceSpec:
+    """Carve ``device`` into ``groups`` equal SM groups; return one group.
+
+    Models co-scheduling independent shards on disjoint SM groups of one
+    GPU (the sharding front-end's execution model): each group owns
+    ``num_sms / groups`` SMs and a fair ``1 / groups`` share of the DRAM
+    bandwidth.  Bandwidth-bound work therefore sees *no* speedup from
+    sharding (the memory bus is shared), while round-synchronization,
+    compute, and contention costs parallelize — matching how partitioned
+    hash tables behave on real hardware.
+
+    ``groups`` beyond ``num_sms`` still yields a 1-SM spec with a
+    ``1 / groups`` bandwidth share (groups time-share SMs).
+    """
+    if groups < 1:
+        raise InvalidConfigError(f"groups must be >= 1, got {groups}")
+    if groups == 1:
+        return device
+    import dataclasses
+
+    return dataclasses.replace(
+        device,
+        name=f"{device.name} [1/{groups} SM group]",
+        num_sms=max(1, device.num_sms // groups),
+        mem_bandwidth_gbps=device.mem_bandwidth_gbps / groups,
+        device_memory_bytes=device.device_memory_bytes // groups,
+    )
+
+
 #: The paper's evaluation machine.
 GTX_1080 = DeviceSpec()
 

@@ -139,6 +139,22 @@ class _InsertWarp:
         self.tracker.bucket_access()
         self._locked = (leader, target, bucket, lock_id)
 
+    def _ballot_first_slot(self, lane_matches: np.ndarray,
+                           capacity: int) -> int:
+        """First slot whose lane predicate is set, or -1.
+
+        Each lane inspects one slot; with capacity > warp width the
+        warp would loop over stripes — ballot each stripe in turn.
+        """
+        for stripe_start in range(0, capacity, self.ctx.width):
+            stripe = lane_matches[stripe_start:stripe_start + self.ctx.width]
+            pred = np.zeros(self.ctx.width, dtype=bool)
+            pred[:len(stripe)] = stripe
+            hit = self.ctx.ffs(self.ctx.ballot(pred))
+            if hit >= 0:
+                return stripe_start + hit
+        return -1
+
     def _complete_locked(self) -> None:
         """Phase two: inspect the bucket, write or evict, unlock."""
         leader, target, bucket, lock_id = self._locked
@@ -147,19 +163,27 @@ class _InsertWarp:
         value = int(self.values[leader])
         st = self.table.subtables[target]
         bucket_keys = st.keys[bucket]
-        lane_matches = ((bucket_keys == np.uint64(key))
-                        | (bucket_keys == EMPTY))
-        # Each lane inspects one slot; with capacity > warp width the
-        # warp would loop over stripes — ballot each stripe in turn.
-        slot = -1
-        for stripe_start in range(0, st.bucket_capacity, self.ctx.width):
-            stripe = lane_matches[stripe_start:stripe_start + self.ctx.width]
-            pred = np.zeros(self.ctx.width, dtype=bool)
-            pred[:len(stripe)] = stripe
-            hit = self.ctx.ffs(self.ctx.ballot(pred))
-            if hit >= 0:
-                slot = stripe_start + hit
-                break
+        # Upsert order matters: an existing-key slot must win over an
+        # EMPTY slot, otherwise a delete hole at a lower slot index than
+        # the stored key makes the warp write a *second* copy of the key
+        # into the hole.  Ballot the existing-key predicate first and
+        # fall back to the free-slot predicate only on a miss.
+        slot = self._ballot_first_slot(bucket_keys == np.uint64(key),
+                                       st.bucket_capacity)
+        if slot < 0:
+            # Second half of the upsert contract: the key may live in
+            # the *other* subtable of its pair (router flips between
+            # batches as loads shift; evictions relocate keys).  Probe
+            # that bucket before claiming a free slot here, or the
+            # table ends up with one copy per pair member.
+            if self._update_in_alternate(key, value, target):
+                self.arbiter.release(lock_id)
+                self.ctx.active[leader] = False
+                self.result.completed_ops += 1
+                self._next_start_lane = (leader + 1) % self.ctx.width
+                return
+            slot = self._ballot_first_slot(bucket_keys == EMPTY,
+                                           st.bucket_capacity)
         if 0 <= slot < st.bucket_capacity:
             was_empty = bucket_keys[slot] == EMPTY
             st.keys[bucket, slot] = np.uint64(key)
@@ -192,6 +216,32 @@ class _InsertWarp:
         self.keys[leader] = victim_key
         self.values[leader] = victim_value
         self.targets[leader] = alternate
+
+    def _update_in_alternate(self, key: int, value: int,
+                             target: int) -> bool:
+        """Update ``key`` in the pair's other subtable if stored there.
+
+        One extra coalesced read per leader op that misses its target
+        bucket — the same both-bucket probe the vectorized path's
+        update-existing pass performs.  The value write is lock-free,
+        matching the vectorized path and the delete kernel.
+        """
+        alternate = int(self.table.pair_hash.alternate_table(
+            np.asarray([key], dtype=np.uint64),
+            np.asarray([target], dtype=np.int64))[0])
+        st = self.table.subtables[alternate]
+        bucket = int(self.table.table_hashes[alternate].bucket(
+            np.asarray([key], dtype=np.uint64), st.n_buckets)[0])
+        self.tracker.bucket_access()
+        self.result.memory_transactions += 1
+        slot = self._ballot_first_slot(st.keys[bucket] == np.uint64(key),
+                                       st.bucket_capacity)
+        if slot < 0:
+            return False
+        st.values[bucket, slot] = np.uint64(value)
+        self.tracker.bucket_access()
+        self.result.memory_transactions += 1
+        return True
 
     def _choose_victim_slot(self, target: int, bucket: int,
                             bucket_keys: np.ndarray) -> int:

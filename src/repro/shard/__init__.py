@@ -1,0 +1,26 @@
+"""Sharded front-end: ``S`` independent DyCuckoo tables, one interface.
+
+:class:`ShardedDyCuckoo` partitions the key space over independent
+:class:`~repro.core.table.DyCuckooTable` shards using high bits of a
+dedicated hash (composing with the two-layer scheme, which consumes low
+bits), dispatches batches by vectorized scatter/gather, lets each shard
+resize inside its own ``[alpha, beta]`` band — so one resize locks only
+``1/(S*d)`` of the data — and rolls per-shard stats and telemetry up
+into fleet-wide views.  :func:`simulate_shard_speedup` prices the
+sharded schedule on disjoint SM groups of one simulated GPU against
+serial execution on the whole device.
+
+See ``docs/sharding.md`` for the routing scheme, the semantics
+contract, and the cost-model assumptions.
+"""
+
+from repro.shard.cost import (ShardSpeedupReport, simulate_shard_speedup,
+                              speedup_for_table)
+from repro.shard.sharded import ShardedDyCuckoo
+
+__all__ = [
+    "ShardedDyCuckoo",
+    "ShardSpeedupReport",
+    "simulate_shard_speedup",
+    "speedup_for_table",
+]

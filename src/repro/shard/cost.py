@@ -1,0 +1,170 @@
+"""Simulated parallel speedup for sharded execution.
+
+The sharding front-end's execution model maps each shard onto a
+disjoint SM group of one GPU (see
+:func:`repro.gpusim.device.partition_device`): shards run concurrently
+in separate streams, each owning ``1/S`` of the SMs and a fair ``1/S``
+share of DRAM bandwidth.  This module prices that model against serial
+execution of the same work on the whole device:
+
+* **serial** — the merged per-shard counter deltas timed by a
+  :class:`~repro.gpusim.metrics.CostModel` over the *full* device, i.e.
+  what a single unsharded table doing the same work would cost;
+* **parallel** — each shard's own delta timed on its SM-group spec;
+  wall-clock is the *slowest shard* (a barrier joins the streams), so
+  key-distribution skew shows up directly as lost speedup.
+
+Because an SM group gets only its bandwidth share, perfectly
+memory-bound work sees no speedup — the honest outcome for hash
+probing, which saturates DRAM.  What sharding does buy is the
+parallelization of round-synchronization overhead, compute, chain
+latency, and lock contention (each shard's conflicts serialize only
+against its own lock traffic), plus the availability win measured by
+``resize_lock_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.device import DeviceSpec, GTX_1080, partition_device
+from repro.gpusim.metrics import DEFAULT_COMPUTE_NS, CostModel
+
+
+@dataclass(frozen=True)
+class ShardSpeedupReport:
+    """Outcome of one serial-vs-sharded pricing of a workload."""
+
+    #: Shard count ``S`` the parallel schedule used.
+    num_shards: int
+    #: Simulated seconds for the same work run serially on the full GPU.
+    serial_seconds: float
+    #: Simulated seconds for the sharded schedule (slowest SM group).
+    parallel_seconds: float
+    #: Per-shard seconds on their SM groups (reveals skew).
+    shard_seconds: tuple[float, ...]
+    #: Operations priced (summed over shards).
+    num_ops: int
+    #: Largest data fraction a single resize locks, ``1 / (S * d)``.
+    resize_lock_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial over parallel simulated time (1.0 = no benefit)."""
+        if self.parallel_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds
+
+    @property
+    def serial_mops(self) -> float:
+        if self.serial_seconds <= 0.0:
+            return float("inf")
+        return self.num_ops / self.serial_seconds / 1e6
+
+    @property
+    def parallel_mops(self) -> float:
+        if self.parallel_seconds <= 0.0:
+            return float("inf")
+        return self.num_ops / self.parallel_seconds / 1e6
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (benchmark artifacts)."""
+        return {
+            "num_shards": self.num_shards,
+            "serial_seconds": self.serial_seconds,
+            "parallel_seconds": self.parallel_seconds,
+            "shard_seconds": list(self.shard_seconds),
+            "num_ops": self.num_ops,
+            "speedup": self.speedup,
+            "serial_mops": self.serial_mops,
+            "parallel_mops": self.parallel_mops,
+            "resize_lock_fraction": self.resize_lock_fraction,
+        }
+
+
+def simulate_shard_speedup(shard_deltas: Sequence[Mapping[str, int]],
+                           shard_ops: Sequence[int],
+                           num_tables: int = 2,
+                           device: DeviceSpec = GTX_1080,
+                           overhead_scale: float = 1.0,
+                           compute_ns_per_op: float = DEFAULT_COMPUTE_NS,
+                           ) -> ShardSpeedupReport:
+    """Price one batch of sharded work: serial device vs SM groups.
+
+    Parameters
+    ----------
+    shard_deltas:
+        One :meth:`~repro.core.stats.TableStats.delta` mapping per
+        shard, covering the work being priced.
+    shard_ops:
+        Operations each shard executed over the same window (aligned
+        with ``shard_deltas``).
+    num_tables:
+        Subtables per shard ``d`` — only feeds ``resize_lock_fraction``.
+    device:
+        The whole GPU; the parallel schedule carves it into
+        ``len(shard_deltas)`` SM groups.
+    overhead_scale:
+        Forwarded to both cost models (reduced-scale experiments pass
+        their dataset scale, see :class:`CostModel`).
+    compute_ns_per_op:
+        Average per-op instruction cost for the batch mix.
+    """
+    if len(shard_deltas) != len(shard_ops):
+        raise InvalidConfigError(
+            f"{len(shard_deltas)} deltas for {len(shard_ops)} op counts")
+    if not shard_deltas:
+        raise InvalidConfigError("at least one shard delta is required")
+    num_shards = len(shard_deltas)
+
+    merged: dict[str, int] = {}
+    for delta in shard_deltas:
+        for name, value in delta.items():
+            merged[name] = merged.get(name, 0) + value
+    total_ops = int(sum(shard_ops))
+
+    serial_model = CostModel(device=device, overhead_scale=overhead_scale)
+    # The serial reference launches each shard's batch back-to-back.
+    serial_seconds = serial_model.batch_seconds(
+        merged, total_ops, compute_ns_per_op=compute_ns_per_op,
+        kernel_launches=num_shards)
+
+    group_model = CostModel(device=partition_device(device, num_shards),
+                            overhead_scale=overhead_scale)
+    shard_seconds = tuple(
+        group_model.batch_seconds(delta, int(ops),
+                                  compute_ns_per_op=compute_ns_per_op,
+                                  kernel_launches=1)
+        for delta, ops in zip(shard_deltas, shard_ops))
+
+    return ShardSpeedupReport(
+        num_shards=num_shards,
+        serial_seconds=serial_seconds,
+        parallel_seconds=max(shard_seconds),
+        shard_seconds=shard_seconds,
+        num_ops=total_ops,
+        resize_lock_fraction=1.0 / (num_shards * num_tables),
+    )
+
+
+def speedup_for_table(table, before: Sequence[Mapping[str, int]],
+                      shard_ops: Sequence[int],
+                      device: DeviceSpec = GTX_1080,
+                      overhead_scale: float = 1.0,
+                      compute_ns_per_op: float = DEFAULT_COMPUTE_NS,
+                      ) -> ShardSpeedupReport:
+    """Convenience wrapper taking a live :class:`ShardedDyCuckoo`.
+
+    ``before`` holds one pre-window :meth:`TableStats.snapshot` per
+    shard (as returned by iterating ``table.shard_stats()``); the deltas
+    are computed against the shards' current counters.
+    """
+    deltas = [stats.delta(snap)
+              for stats, snap in zip(table.shard_stats(), before)]
+    return simulate_shard_speedup(
+        deltas, shard_ops,
+        num_tables=table.config.num_tables,
+        device=device, overhead_scale=overhead_scale,
+        compute_ns_per_op=compute_ns_per_op)

@@ -1,0 +1,354 @@
+"""The sharded DyCuckoo front-end.
+
+:class:`ShardedDyCuckoo` partitions the key space across ``S``
+independent :class:`~repro.core.table.DyCuckooTable` shards.  The shard
+id comes from the *high* bits of a dedicated first-level hash, so it
+composes cleanly with the per-table machinery, which consumes low bits
+(bucket selection masks the low bits of each second-layer hash) and an
+independent function (the pair hash) — a key's shard, pair, and buckets
+are pairwise-independent decisions.
+
+Why shard a table that already resizes one subtable at a time?  The
+same argument DyCuckoo makes for subtables, applied once more: a resize
+locks one subtable of one shard, i.e. ``1 / (S * d)`` of the data, so
+the rest of the structure keeps serving (DHash makes the equivalent
+point with per-partition structural changes, and Maier & Sanders'
+dynamic space-efficient hashing grows and shrinks per region).  Each
+shard keeps its own ``[alpha, beta]`` band and resizes on its own
+schedule, so a hot shard can grow while a cooling shard shrinks.
+
+Semantics are exactly those of a single table:
+
+* all dispatch is vectorized scatter/gather — one boolean-mask pass per
+  shard, results written back in input positions;
+* duplicate keys land in the same shard, and scatter preserves input
+  order, so the batched duplicate rules (insert last-wins, delete
+  first-occurrence) carry over verbatim;
+* a mixed batch is scattered *whole*: per shard, the key-disjoint
+  subsequence runs through :func:`repro.core.batch_ops.execute_mixed`,
+  preserving program order per key (operations on different keys
+  commute, operations on the same key share a shard).
+
+Observability: each shard carries its own telemetry handle; the
+front-end rolls the per-shard registries into one labelled view (see
+:func:`repro.telemetry.aggregate.merge_registries`) and merges
+:class:`~repro.core.stats.TableStats` on demand.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.baselines.base import GpuHashTable
+from repro.core.batch_ops import MixedBatchResult
+from repro.core.batch_ops import execute_mixed as _execute_mixed
+from repro.core.config import DyCuckooConfig, replace_config
+from repro.core.hashing import UniversalHash
+from repro.core.stats import MemoryFootprint, TableStats
+from repro.core.table import DyCuckooTable, encode_keys
+from repro.errors import InvalidConfigError
+from repro.gpusim.metrics import KernelCosts
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.aggregate import merge_registries
+
+#: Seed salt deriving the shard-router hash from the table seed.
+_SHARD_HASH_SALT = 0x5A4D
+
+
+class ShardedDyCuckoo(GpuHashTable):
+    """``S`` independent DyCuckoo shards behind the one-table interface.
+
+    Parameters
+    ----------
+    num_shards:
+        Shard count ``S`` (a power of two, so the shard id is exactly
+        the top ``log2(S)`` bits of the shard hash).
+    config:
+        Base configuration applied to every shard.  Each shard's hash
+        constants are derived from ``config.seed`` XOR the shard index,
+        so no two shards share hash functions — an adversarial key set
+        that stresses one shard's functions leaves the others alone.
+    shard_configs:
+        Optional per-shard configuration overrides (length ``S``).  Use
+        this to give shards individual ``[alpha, beta]`` bands or
+        capacity ceilings; entries of ``None`` fall back to the derived
+        base configuration.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.shard import ShardedDyCuckoo
+    >>> table = ShardedDyCuckoo(num_shards=4)
+    >>> table.insert(np.arange(100, dtype=np.uint64),
+    ...              np.arange(100, dtype=np.uint64) * 2)
+    >>> values, found = table.find(np.array([3, 999], dtype=np.uint64))
+    >>> bool(found[0]), bool(found[1]), int(values[0])
+    (True, False, 6)
+    """
+
+    NAME = "ShardedDyCuckoo"
+    KERNEL_COSTS = KernelCosts(find_ns=0.44, insert_ns=0.38, delete_ns=0.44)
+
+    def __init__(self, num_shards: int = 4,
+                 config: DyCuckooConfig | None = None,
+                 shard_configs=None) -> None:
+        if num_shards < 1 or num_shards & (num_shards - 1):
+            raise InvalidConfigError(
+                f"num_shards must be a positive power of two, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        self.config = config or DyCuckooConfig()
+        if shard_configs is not None and len(shard_configs) != num_shards:
+            raise InvalidConfigError(
+                f"shard_configs must have {num_shards} entries, "
+                f"got {len(shard_configs)}"
+            )
+        self.shards: list[DyCuckooTable] = []
+        for idx in range(num_shards):
+            override = shard_configs[idx] if shard_configs else None
+            shard_config = override or replace_config(
+                self.config, seed=self.config.seed ^ (idx << 17))
+            self.shards.append(DyCuckooTable(shard_config))
+        #: log2(S) — the number of high hash bits consumed by routing.
+        self._shard_bits = num_shards.bit_length() - 1
+        rng = np.random.default_rng(self.config.seed ^ _SHARD_HASH_SALT)
+        self._shard_hash = UniversalHash.random(rng)
+        self.telemetry = NULL_TELEMETRY
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    def shard_ids(self, keys) -> np.ndarray:
+        """Shard index per key: the top ``log2(S)`` bits of the hash."""
+        return self._shard_of_codes(encode_keys(keys))
+
+    def _shard_of_codes(self, codes: np.ndarray) -> np.ndarray:
+        if self._shard_bits == 0:
+            return np.zeros(len(codes), dtype=np.int64)
+        raw = self._shard_hash.raw(codes)  # 31-bit values
+        return (raw >> np.uint64(31 - self._shard_bits)).astype(np.int64)
+
+    def _scatter(self, keys) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return ``(codes, per-shard index arrays)`` for one batch."""
+        codes = encode_keys(keys)
+        ids = self._shard_of_codes(codes)
+        return codes, [np.flatnonzero(ids == s)
+                       for s in range(self.num_shards)]
+
+    # ------------------------------------------------------------------
+    # Batched operations (vectorized scatter/gather)
+    # ------------------------------------------------------------------
+
+    def insert(self, keys, values) -> None:
+        """Upsert a batch; each shard ingests its key-disjoint slice."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        _codes, selections = self._scatter(keys)
+        ctx = (self.telemetry.tracer.span("shard.insert", "shard",
+                                          n=len(keys))
+               if self.telemetry.enabled else nullcontext())
+        with ctx:
+            for shard, sel in zip(self.shards, selections):
+                if len(sel):
+                    shard.insert(keys[sel], values[sel])
+
+    def find(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Look up a batch; results gathered back to input positions."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        _codes, selections = self._scatter(keys)
+        values = np.zeros(len(keys), dtype=np.uint64)
+        found = np.zeros(len(keys), dtype=bool)
+        for shard, sel in zip(self.shards, selections):
+            if len(sel):
+                shard_values, shard_found = shard.find(keys[sel])
+                values[sel] = shard_values
+                found[sel] = shard_found
+        return values, found
+
+    def delete(self, keys) -> np.ndarray:
+        """Delete a batch; removed mask gathered to input positions."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        _codes, selections = self._scatter(keys)
+        removed = np.zeros(len(keys), dtype=bool)
+        for shard, sel in zip(self.shards, selections):
+            if len(sel):
+                removed[sel] = shard.delete(keys[sel])
+        return removed
+
+    def contains(self, keys) -> np.ndarray:
+        """Membership test for a batch of keys."""
+        _values, found = self.find(keys)
+        return found
+
+    def get(self, key: int, default: int | None = None):
+        """Scalar convenience lookup; returns ``default`` when absent."""
+        values, found = self.find(np.asarray([key], dtype=np.uint64))
+        return int(values[0]) if bool(found[0]) else default
+
+    def execute_mixed(self, op_codes, keys, values=None) -> MixedBatchResult:
+        """Run a mixed insert/find/delete batch across the shards.
+
+        The whole operation stream is scattered by key: each shard
+        executes its subsequence (in program order) through the standard
+        mixed-batch machinery, and the per-position results are gathered
+        back.  Because every operation on a given key maps to the same
+        shard, per-key program order — the semantics contract of
+        :func:`repro.core.batch_ops.execute_mixed` — is preserved while
+        shards proceed independently.  ``runs`` is the total number of
+        homogeneous sub-batches summed over shards.
+        """
+        op_codes = np.asarray(op_codes, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.uint64)
+        if op_codes.shape != keys.shape:
+            raise InvalidConfigError("op_codes and keys must have equal length")
+        if values is not None:
+            values = np.asarray(values, dtype=np.uint64)
+        n = len(keys)
+        out_values = np.zeros(n, dtype=np.uint64)
+        out_found = np.zeros(n, dtype=bool)
+        out_removed = np.zeros(n, dtype=bool)
+        runs = 0
+        if n == 0:
+            return MixedBatchResult(out_values, out_found, out_removed, runs)
+        _codes, selections = self._scatter(keys)
+        for shard, sel in zip(self.shards, selections):
+            if len(sel) == 0:
+                continue
+            result = _execute_mixed(
+                shard, op_codes[sel], keys[sel],
+                values[sel] if values is not None else None)
+            out_values[sel] = result.values
+            out_found[sel] = result.found
+            out_removed[sel] = result.removed
+            runs += result.runs
+        return MixedBatchResult(out_values, out_found, out_removed, runs)
+
+    # ------------------------------------------------------------------
+    # Introspection and roll-ups
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def total_slots(self) -> int:
+        """Allocated key slots across all shards."""
+        return sum(shard.total_slots for shard in self.shards)
+
+    @property
+    def load_factor(self) -> float:
+        """Fleet-wide filled factor (live entries / allocated slots)."""
+        slots = self.total_slots
+        return len(self) / slots if slots else 0.0
+
+    @property
+    def shard_load_factors(self) -> list[float]:
+        """Per-shard filled factors."""
+        return [shard.load_factor for shard in self.shards]
+
+    # The harness samples this name for per-partition fill gauges; for a
+    # sharded table the natural partitions are the shards.
+    subtable_load_factors = shard_load_factors
+
+    def shard_loads(self) -> list[int]:
+        """Live entry count per shard (key-distribution diagnostics)."""
+        return [len(shard) for shard in self.shards]
+
+    @property
+    def stats(self) -> TableStats:
+        """Merged counters across shards (a fresh roll-up per access)."""
+        merged = TableStats()
+        for shard in self.shards:
+            merged.merge(shard.stats)
+        return merged
+
+    def shard_stats(self) -> list[TableStats]:
+        """The live per-shard stats objects (not copies)."""
+        return [shard.stats for shard in self.shards]
+
+    def memory_footprint(self) -> MemoryFootprint:
+        """Summed device-memory accounting over all shards."""
+        parts = [shard.memory_footprint() for shard in self.shards]
+        return MemoryFootprint(
+            total_slots=sum(p.total_slots for p in parts),
+            live_entries=sum(p.live_entries for p in parts),
+            slot_bytes=sum(p.slot_bytes for p in parts),
+            overhead_bytes=sum(p.overhead_bytes for p in parts),
+        )
+
+    def resize_lock_fraction(self) -> float:
+        """Largest data fraction a single resize locks: ``1 / (S * d)``.
+
+        The availability argument for sharding: one resize rebuilds one
+        subtable of one shard while everything else keeps serving.
+        """
+        return 1.0 / (self.num_shards * self.config.num_tables)
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All live ``(keys, values)`` across shards (unspecified order)."""
+        parts = [shard.items() for shard in self.shards]
+        return (np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]))
+
+    def to_dict(self) -> dict[int, int]:
+        """Materialize the whole sharded table as a plain dict."""
+        out_keys, out_values = self.items()
+        return {int(k): int(v) for k, v in zip(out_keys, out_values)}
+
+    def validate(self) -> None:
+        """Check every shard's invariants plus shard-placement.
+
+        Beyond each shard's own :meth:`DyCuckooTable.validate`, asserts
+        that every stored key actually routes to the shard holding it
+        and that no key is stored in two shards.
+        """
+        all_keys = []
+        for idx, shard in enumerate(self.shards):
+            shard.validate()
+            shard_keys, _values = shard.items()
+            all_keys.append(shard_keys)
+            if len(shard_keys):
+                routed = self.shard_ids(shard_keys)
+                if not bool(np.all(routed == idx)):
+                    raise AssertionError(
+                        f"shard {idx} stores a key routed to shard "
+                        f"{int(routed[routed != idx][0])}"
+                    )
+        merged = (np.concatenate(all_keys) if all_keys
+                  else np.zeros(0, dtype=np.uint64))
+        if len(merged) != len(np.unique(merged)):
+            raise AssertionError("duplicate key stored across shards")
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> Telemetry:
+        """Attach telemetry; every shard gets its own child handle.
+
+        The returned (parent) handle records the front-end's dispatch
+        spans; each shard traces into a private handle so per-shard
+        behaviour stays separable.  :meth:`merged_metrics` rolls the
+        shard registries up into one labelled view.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        for shard in self.shards:
+            shard.set_telemetry(Telemetry() if self.telemetry.enabled
+                                else None)
+        return self.telemetry
+
+    def merged_metrics(self):
+        """Labelled + aggregated metrics across shards.
+
+        Returns a :class:`~repro.telemetry.metrics.MetricsRegistry`
+        holding ``shard{i}.<name>`` copies and ``<name>`` roll-ups —
+        feed it to any exporter (e.g.
+        :func:`repro.telemetry.export.prometheus_text`).
+        """
+        return merge_registries({
+            f"shard{idx}": shard.telemetry.metrics
+            for idx, shard in enumerate(self.shards)
+        })

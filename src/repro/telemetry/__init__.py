@@ -32,6 +32,7 @@ trace in Perfetto.
 
 from __future__ import annotations
 
+from repro.telemetry.aggregate import merge_registries
 from repro.telemetry.export import (chrome_trace, prometheus_text,
                                     write_chrome_trace, write_jsonl)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
@@ -83,4 +84,5 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "prometheus_text",
+    "merge_registries",
 ]

@@ -1,0 +1,55 @@
+"""Multi-registry metric roll-ups (sharded and multi-table runs).
+
+A sharded table keeps one :class:`~repro.telemetry.metrics.MetricsRegistry`
+per shard so per-shard behaviour stays observable.  For dashboards and
+exporters, :func:`merge_registries` folds those registries into a single
+one holding
+
+* a **labelled copy** of every instrument (``shard0.find.hits``), and
+* an **aggregated roll-up** under the original name (``find.hits``):
+  counters and histograms sum; gauges sum too (per-shard fills and
+  occupancies add up to the fleet view — export the labelled copies when
+  the distribution matters).
+
+The merged registry is a plain :class:`MetricsRegistry`, so every
+existing exporter (:func:`~repro.telemetry.export.prometheus_text`,
+``to_dict``) works on it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def merge_registries(labelled: Mapping[str, MetricsRegistry]
+                     ) -> MetricsRegistry:
+    """Merge several registries into one (labelled copies + roll-ups).
+
+    ``labelled`` maps a label (e.g. ``"shard0"``) to that source's
+    registry.  Histograms roll up only across sources that share the
+    same bucket layout; a divergent layout keeps its labelled copy but
+    is skipped from the aggregate (layouts are fixed per metric name in
+    practice, so this is a guard, not a code path).
+    """
+    merged = MetricsRegistry()
+    for label, registry in labelled.items():
+        for name, counter in registry.counters.items():
+            merged.counter(f"{label}.{name}").inc(counter.value)
+            merged.counter(name).inc(counter.value)
+        for name, gauge in registry.gauges.items():
+            merged.gauge(f"{label}.{name}").set(gauge.value)
+            roll = merged.gauge(name)
+            roll.set(roll.value + gauge.value if roll.series else gauge.value)
+        for name, hist in registry.histograms.items():
+            copy = merged.histogram(f"{label}.{name}", buckets=hist.buckets)
+            copy.counts += hist.counts
+            copy.total += hist.total
+            copy.sum += hist.sum
+            roll = merged.histogram(name, buckets=hist.buckets)
+            if roll.buckets == hist.buckets:
+                roll.counts += hist.counts
+                roll.total += hist.total
+                roll.sum += hist.sum
+    return merged

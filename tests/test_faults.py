@@ -192,6 +192,38 @@ class TestResizeAborts:
         assert after[0] == before[0] and after[1] == before[1]
         table.validate()
 
+    @pytest.mark.parametrize("stage", ["plan", "rehash", "spill"])
+    def test_aborted_downsize_rolls_back_all_counters(self, stage):
+        """An aborted downsize must leave *every* counter untouched.
+
+        Regression: the rollback used to decrement only ``downsizes``,
+        leaving ``rehashed_entries``/``residuals``/``bucket_reads``/
+        ``bucket_writes`` inflated by work that was undone — the cost
+        model would then charge simulated time for traffic that never
+        stuck.  The delta across an aborted downsize must be exactly
+        one ``resize_aborts`` tick.
+        """
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=2,
+                                min_buckets=4, auto_resize=False)
+        table = DyCuckooTable(config)
+        keys = unique_keys(40, seed=4)
+        table.insert(keys, keys)
+        plan = FaultPlan(seed=0, rates={f"resize.abort.{stage}": 1.0})
+        table.set_fault_plan(plan)
+        before = table.stats.snapshot()
+        aborted = False
+        for _ in range(4):
+            try:
+                table._resizer.downsize()
+            except ResizeError:
+                aborted = True
+                break
+            before = table.stats.snapshot()
+        assert aborted, "fault plan never aborted a downsize"
+        delta = {name: count for name, count
+                 in table.stats.delta(before).items() if count}
+        assert delta == {"resize_aborts": 1}
+
     def test_enforce_bounds_survives_persistent_aborts(self, small_config):
         # Every resize aborts; batches must still complete and stay
         # differential-correct, just with theta temporarily off-bounds.

@@ -1,0 +1,150 @@
+"""Regression tests for three historical accounting/upsert bugs.
+
+Each test failed before its fix and pins the exact failure mode:
+
+1. the warp insert kernel balloted "existing key" and "EMPTY slot" as
+   one predicate, so a delete hole below a stored key's slot captured
+   the upsert and duplicated the key (and the kernel never probed the
+   pair's other subtable at all — the cross-subtable variant of the
+   same duplication);
+2. :meth:`Subtable.erase` decremented ``size`` once per matching input
+   row, so duplicate ``(bucket, code)`` rows drove the counter negative;
+3. a rolled-back downsize restored storage but only the ``downsizes``
+   counter, leaving ``rehashed_entries``/``residuals``/``bucket_reads``/
+   ``bucket_writes`` inflated by undone work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.subtable import EMPTY, Subtable
+from repro.core.table import DyCuckooTable, decode_keys
+from repro.errors import ResizeError
+from repro.faults import FaultPlan
+from repro.kernels import run_spin_insert_kernel, run_voter_insert_kernel
+
+from .conftest import unique_keys
+
+
+def fresh_table(buckets=16, capacity=8, **kw):
+    defaults = dict(initial_buckets=buckets, bucket_capacity=capacity,
+                    auto_resize=False)
+    defaults.update(kw)
+    return DyCuckooTable(DyCuckooConfig(**defaults))
+
+
+class TestKernelUpsertDuplication:
+    """Bug 1: warp upsert wrote a second copy of an existing key."""
+
+    def _bucket_with_two_entries(self, table):
+        """Locate (subtable idx, bucket, lower slot, higher slot)."""
+        for t_idx, st in enumerate(table.subtables):
+            occupancy = (st.keys != EMPTY).sum(axis=1)
+            for bucket in np.flatnonzero(occupancy >= 2):
+                slots = np.flatnonzero(st.keys[bucket] != EMPTY)
+                return t_idx, int(bucket), int(slots[0]), int(slots[1])
+        raise AssertionError("workload left no bucket with two entries")
+
+    @pytest.mark.parametrize("kernel", [run_voter_insert_kernel,
+                                        run_spin_insert_kernel])
+    def test_hole_below_stored_key_updates_in_place(self, kernel):
+        """A delete hole below the stored slot must not win the upsert."""
+        table = fresh_table()
+        keys = unique_keys(300, seed=40)
+        kernel(table, keys, keys)
+        t_idx, bucket, low_slot, high_slot = \
+            self._bucket_with_two_entries(table)
+        st = table.subtables[t_idx]
+        low_key = decode_keys(st.keys[bucket, low_slot:low_slot + 1])
+        high_key = decode_keys(st.keys[bucket, high_slot:high_slot + 1])
+
+        assert bool(table.delete(low_key)[0])  # hole below high_key
+        # Pin the router so the kernel re-inspects exactly this bucket.
+        table._router.choose = (
+            lambda codes, first, second, sizes, loads:
+            np.full(len(codes), t_idx, dtype=np.int64))
+        kernel(table, high_key, high_key + np.uint64(7))
+
+        table.validate()  # used to raise: duplicate key across slots
+        assert len(table) == 299
+        values, found = table.find(high_key)
+        assert bool(found[0])
+        assert int(values[0]) == int(high_key[0]) + 7
+
+    @pytest.mark.parametrize("kernel", [run_voter_insert_kernel,
+                                        run_spin_insert_kernel])
+    def test_key_resident_in_alternate_subtable(self, kernel):
+        """Upsert must probe the pair's other subtable, not duplicate."""
+        table = fresh_table()
+        keys = unique_keys(50, seed=41)
+        # Place every key in the *first* subtable of its pair...
+        table._router.choose = (
+            lambda codes, first, second, sizes, loads: first)
+        table.insert(keys, keys)
+        # ...then drive the kernel at the *second*.
+        table._router.choose = (
+            lambda codes, first, second, sizes, loads: second)
+        kernel(table, keys, keys + np.uint64(3))
+
+        table.validate()  # used to raise: duplicate key across subtables
+        assert len(table) == 50
+        values, found = table.find(keys)
+        assert bool(found.all())
+        assert np.array_equal(values, keys + np.uint64(3))
+
+
+class TestEraseDuplicateRows:
+    """Bug 2: duplicate (bucket, code) rows double-decremented size."""
+
+    def test_duplicate_rows_count_slot_once(self):
+        st = Subtable(n_buckets=8, bucket_capacity=4)
+        st.keys[3, 0] = np.uint64(42)
+        st.size = 1
+        erased = st.erase(np.array([3, 3], dtype=np.int64),
+                          np.array([42, 42], dtype=np.uint64))
+        assert erased.tolist() == [True, True]
+        assert st.size == 0  # used to go to -1
+        st.validate()
+
+    def test_mixed_duplicate_and_fresh_rows(self):
+        st = Subtable(n_buckets=8, bucket_capacity=4)
+        st.keys[1, 0] = np.uint64(10)
+        st.keys[1, 1] = np.uint64(11)
+        st.keys[5, 2] = np.uint64(12)
+        st.size = 3
+        erased = st.erase(
+            np.array([1, 1, 5, 1, 6], dtype=np.int64),
+            np.array([10, 10, 12, 11, 10], dtype=np.uint64))
+        assert erased.tolist() == [True, True, True, True, False]
+        assert st.size == 0
+        st.validate()
+
+
+class TestDownsizeRollbackAccounting:
+    """Bug 3: rollback restored storage but not the event counters."""
+
+    def test_spill_abort_delta_is_exactly_one_abort(self):
+        config = DyCuckooConfig(initial_buckets=8, bucket_capacity=2,
+                                min_buckets=4, auto_resize=False)
+        table = DyCuckooTable(config)
+        keys = unique_keys(40, seed=42)
+        table.insert(keys, keys)
+        plan = FaultPlan(seed=0, rates={"resize.abort.spill": 1.0})
+        table.set_fault_plan(plan)
+        before = table.stats.snapshot()
+        aborted = False
+        for _ in range(4):
+            try:
+                table._resizer.downsize()
+            except ResizeError:
+                aborted = True
+                break
+            before = table.stats.snapshot()
+        assert aborted, "fault plan never reached the spill stage"
+        delta = {name: count for name, count
+                 in table.stats.delta(before).items() if count}
+        # Used to leave bucket_reads/bucket_writes/rehashed_entries/
+        # residuals inflated by the rolled-back rehash.
+        assert delta == {"resize_aborts": 1}
+        table.validate()

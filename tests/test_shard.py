@@ -1,0 +1,283 @@
+"""Tests for the sharded front-end (:mod:`repro.shard`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_ops import (OP_DELETE, OP_FIND, OP_INSERT,
+                                  execute_mixed)
+from repro.core.config import DyCuckooConfig, replace_config
+from repro.core.table import DyCuckooTable
+from repro.errors import InvalidConfigError
+from repro.gpusim.device import GTX_1080, partition_device
+from repro.shard import (ShardedDyCuckoo, simulate_shard_speedup,
+                         speedup_for_table)
+from repro.telemetry import Telemetry
+
+from .conftest import unique_keys
+
+
+def small_sharded(num_shards=4, **kw):
+    defaults = dict(initial_buckets=8, min_buckets=8)
+    defaults.update(kw)
+    return ShardedDyCuckoo(num_shards=num_shards,
+                           config=DyCuckooConfig(**defaults))
+
+
+class TestConstruction:
+    def test_interface(self):
+        from repro.baselines.base import GpuHashTable
+
+        table = small_sharded()
+        assert isinstance(table, GpuHashTable)
+        assert table.NAME == "ShardedDyCuckoo"
+        assert len(table.shards) == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, 3, 6, 12])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(InvalidConfigError, match="power of two"):
+            ShardedDyCuckoo(num_shards=bad)
+
+    def test_shard_configs_length_checked(self):
+        with pytest.raises(InvalidConfigError, match="4 entries"):
+            ShardedDyCuckoo(num_shards=4,
+                            shard_configs=[DyCuckooConfig()] * 3)
+
+    def test_shards_use_distinct_hash_functions(self):
+        table = small_sharded()
+        constants = {(int(h.a), int(h.b), int(h.premix))
+                     for shard in table.shards
+                     for h in shard.table_hashes}
+        # 4 shards x 4 subtables, all drawn from distinct seeds.
+        assert len(constants) == 16
+
+
+class TestRouting:
+    def test_ids_in_range_and_deterministic(self):
+        table = small_sharded(num_shards=8)
+        keys = unique_keys(5000, seed=21)
+        ids = table.shard_ids(keys)
+        assert ids.min() >= 0 and ids.max() < 8
+        assert np.array_equal(ids, table.shard_ids(keys))
+
+    def test_single_shard_routes_everything_to_zero(self):
+        table = small_sharded(num_shards=1)
+        ids = table.shard_ids(unique_keys(100, seed=22))
+        assert not ids.any()
+
+    def test_reasonable_balance(self):
+        table = small_sharded(num_shards=4)
+        keys = unique_keys(20_000, seed=23)
+        counts = np.bincount(table.shard_ids(keys), minlength=4)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_stored_keys_route_home(self):
+        table = small_sharded()
+        keys = unique_keys(2000, seed=24)
+        table.insert(keys, keys)
+        table.validate()
+        for idx, shard in enumerate(table.shards):
+            shard_keys = shard.items()[0]
+            assert bool((table.shard_ids(shard_keys) == idx).all())
+
+
+class TestDifferentialEquality:
+    """Acceptance: S=4 equals one table over a 10k-op mixed workload."""
+
+    def _mixed_stream(self, total_ops: int, seed: int):
+        rng = np.random.default_rng(seed)
+        ops = rng.choice([OP_INSERT, OP_FIND, OP_DELETE], size=total_ops,
+                         p=[0.5, 0.3, 0.2]).astype(np.int64)
+        keys = rng.integers(1, 4000, size=total_ops).astype(np.uint64)
+        values = rng.integers(1, 1 << 40, size=total_ops).astype(np.uint64)
+        return ops, keys, values
+
+    def test_10k_mixed_ops_match_single_table(self):
+        sharded = small_sharded(num_shards=4)
+        reference = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                                 min_buckets=8))
+        ops, keys, values = self._mixed_stream(10_000, seed=25)
+        for start in range(0, len(ops), 500):
+            seg = slice(start, start + 500)
+            got = sharded.execute_mixed(ops[seg], keys[seg], values[seg])
+            want = execute_mixed(reference, ops[seg], keys[seg],
+                                 values[seg])
+            find_at = ops[seg] == OP_FIND
+            assert np.array_equal(got.found[find_at], want.found[find_at])
+            assert np.array_equal(got.values[find_at & got.found],
+                                  want.values[find_at & want.found])
+            delete_at = ops[seg] == OP_DELETE
+            assert np.array_equal(got.removed[delete_at],
+                                  want.removed[delete_at])
+        sharded.validate()
+        # Union of shard contents equals the reference contents.
+        assert sharded.to_dict() == reference.to_dict()
+        assert len(sharded) == len(reference)
+
+    def test_homogeneous_batches_match(self):
+        sharded = small_sharded(num_shards=4)
+        reference = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                                 min_buckets=8))
+        keys = unique_keys(5000, seed=26)
+        for table in (sharded, reference):
+            table.insert(keys, keys * np.uint64(2))
+        s_values, s_found = sharded.find(keys)
+        r_values, r_found = reference.find(keys)
+        assert np.array_equal(s_found, r_found)
+        assert np.array_equal(s_values, r_values)
+        assert np.array_equal(sharded.delete(keys[:2500]),
+                              reference.delete(keys[:2500]))
+        assert sharded.to_dict() == reference.to_dict()
+
+    def test_duplicate_key_batch_semantics_preserved(self):
+        """Same shard per key => last-wins / first-occurrence carry over."""
+        sharded = small_sharded()
+        keys = np.array([5, 9, 5, 9, 5], dtype=np.uint64)
+        values = np.array([1, 2, 3, 4, 5], dtype=np.uint64)
+        sharded.insert(keys, values)
+        assert sharded.to_dict() == {5: 5, 9: 4}
+        removed = sharded.delete(np.array([5, 5, 9], dtype=np.uint64))
+        assert removed.tolist() == [True, False, True]
+        assert len(sharded) == 0
+
+
+class TestPerShardResize:
+    def test_shards_resize_independently(self):
+        table = small_sharded(num_shards=4)
+        keys = unique_keys(8000, seed=27)
+        table.insert(keys, keys)
+        upsizes = [shard.stats.upsizes for shard in table.shards]
+        assert all(u > 0 for u in upsizes)
+        # Deleting only one shard's keys downsizes only that shard.
+        target = 2
+        target_keys = keys[table.shard_ids(keys) == target]
+        table.delete(target_keys)
+        downsizes = [shard.stats.downsizes for shard in table.shards]
+        assert downsizes[target] > 0
+        assert all(d == 0 for i, d in enumerate(downsizes) if i != target)
+        table.validate()
+
+    def test_per_shard_bands(self):
+        """shard_configs gives each shard its own [alpha, beta] band."""
+        base = DyCuckooConfig(initial_buckets=8, min_buckets=8)
+        tight = replace_config(base, alpha=0.55, beta=0.75, seed=99)
+        table = ShardedDyCuckoo(
+            num_shards=2, config=base, shard_configs=[base, tight])
+        assert table.shards[0].config.beta == base.beta
+        assert table.shards[1].config.beta == 0.75
+        keys = unique_keys(4000, seed=28)
+        table.insert(keys, keys)
+        table.validate()
+        for shard in table.shards:
+            assert shard.load_factor <= shard.config.beta + 1e-9
+
+    def test_resize_lock_fraction(self):
+        assert small_sharded(num_shards=4).resize_lock_fraction() == 1 / 16
+        assert small_sharded(num_shards=1).resize_lock_fraction() == 1 / 4
+
+
+class TestRollups:
+    def test_stats_merge_across_shards(self):
+        table = small_sharded()
+        keys = unique_keys(3000, seed=29)
+        table.insert(keys, keys)
+        table.find(keys)
+        merged = table.stats
+        assert merged.inserts == 3000
+        assert merged.finds == 3000
+        assert merged.inserts == sum(s.stats.inserts for s in table.shards)
+
+    def test_memory_footprint_sums(self):
+        table = small_sharded()
+        keys = unique_keys(2000, seed=30)
+        table.insert(keys, keys)
+        footprint = table.memory_footprint()
+        parts = [shard.memory_footprint() for shard in table.shards]
+        assert footprint.live_entries == 2000 == len(table)
+        assert footprint.total_slots == sum(p.total_slots for p in parts)
+        assert footprint.total_bytes == sum(p.total_bytes for p in parts)
+        assert table.total_slots == footprint.total_slots
+        assert table.load_factor == pytest.approx(
+            2000 / footprint.total_slots)
+
+    def test_subtable_load_factors_alias(self):
+        table = small_sharded(num_shards=4)
+        table.insert(unique_keys(1000, seed=31), unique_keys(1000, seed=31))
+        fills = table.subtable_load_factors
+        assert fills == table.shard_load_factors
+        assert len(fills) == 4 and all(0.0 < f <= 1.0 for f in fills)
+
+    def test_telemetry_rollup(self):
+        table = small_sharded()
+        table.set_telemetry(Telemetry())
+        keys = unique_keys(1500, seed=32)
+        table.insert(keys, keys)
+        table.find(keys)
+        merged = table.merged_metrics()
+        # Labelled per-shard copies plus aggregated roll-ups.
+        assert "shard0.find.hits" in merged.counters
+        roll = merged.counter("find.hits")
+        assert roll.value == sum(
+            merged.counter(f"shard{i}.find.hits").value for i in range(4))
+        assert roll.value == 1500
+        # The front-end's own dispatch spans land on the parent handle.
+        assert len(table.telemetry.tracer.spans("shard.insert")) == 1
+
+    def test_validate_detects_misrouted_key(self):
+        table = small_sharded()
+        keys = unique_keys(100, seed=33)
+        table.insert(keys, keys)
+        # Force one key into the wrong shard behind the router's back.
+        wrong = (int(table.shard_ids(keys[:1])[0]) + 1) % 4
+        table.shards[wrong].insert(keys[:1], keys[:1])
+        with pytest.raises(AssertionError,
+                           match="routed to|duplicate key"):
+            table.validate()
+
+
+class TestCostModel:
+    def test_partition_device_shares_resources(self):
+        group = partition_device(GTX_1080, 4)
+        assert group.num_sms == GTX_1080.num_sms // 4
+        assert group.mem_bandwidth_gbps == GTX_1080.mem_bandwidth_gbps / 4
+        assert partition_device(GTX_1080, 1) is GTX_1080
+        with pytest.raises(InvalidConfigError):
+            partition_device(GTX_1080, 0)
+
+    def test_more_groups_than_sms_clamps(self):
+        group = partition_device(GTX_1080, 64)
+        assert group.num_sms == 1
+        assert group.mem_bandwidth_gbps == pytest.approx(
+            GTX_1080.mem_bandwidth_gbps / 64)
+
+    def test_single_shard_is_serial_schedule(self):
+        table = small_sharded(num_shards=1)
+        before = [stats.snapshot() for stats in table.shard_stats()]
+        keys = unique_keys(2000, seed=34)
+        table.insert(keys, keys)
+        report = speedup_for_table(table, before, [len(keys)])
+        assert report.speedup == pytest.approx(1.0)
+        assert report.parallel_seconds == pytest.approx(
+            report.serial_seconds)
+
+    def test_sharding_speeds_up_but_sublinearly(self):
+        table = small_sharded(num_shards=4)
+        before = [stats.snapshot() for stats in table.shard_stats()]
+        keys = unique_keys(8000, seed=35)
+        table.insert(keys, keys)
+        table.find(keys)
+        shard_ops = np.bincount(
+            table.shard_ids(np.concatenate([keys, keys])),
+            minlength=4).tolist()
+        report = speedup_for_table(table, before, shard_ops)
+        assert 1.0 < report.speedup < 4.0
+        assert report.parallel_mops > report.serial_mops
+        assert report.num_ops == 16_000
+        assert report.resize_lock_fraction == 1 / 16
+        payload = report.to_dict()
+        assert payload["speedup"] == pytest.approx(report.speedup)
+
+    def test_input_validation(self):
+        with pytest.raises(InvalidConfigError, match="op counts"):
+            simulate_shard_speedup([{}, {}], [1])
+        with pytest.raises(InvalidConfigError, match="at least one"):
+            simulate_shard_speedup([], [])
