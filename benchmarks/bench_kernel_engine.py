@@ -1,0 +1,146 @@
+"""Kernel execution engines — warp reference vs vectorized cohort.
+
+Drives one 100k-operation mixed batch (insert/find/delete in long
+homogeneous runs, the bulk-synchronous shape of the paper's dynamic
+workloads) through the lane-faithful kernels under both execution
+engines (see ``docs/performance.md``):
+
+* ``warp`` — the per-warp Python interpreter (the readable reference),
+* ``cohort`` — the structure-of-arrays engine of
+  :mod:`repro.gpusim.cohort`.
+
+Expected shapes: the two engines return identical results and identical
+aggregate cost counters (the bit-for-bit conformance contract), and the
+cohort engine is at least 10x faster in wall-clock on this batch.
+
+With ``REPRO_BENCH_JSON`` set, results are also dumped as
+``BENCH_kernel_engine.json`` for regression tracking.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.bench import format_table, shape_check
+from repro.bench.artifacts import maybe_dump
+from repro.core.batch_ops import OP_DELETE, OP_FIND, OP_INSERT
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+
+from benchmarks.common import once
+
+#: Operations in the mixed batch (paper-scale sweeps use 1e7; scaled).
+NUM_OPS = 100_000
+
+#: Bounds on one homogeneous run's length.  Long runs are the
+#: bulk-synchronous regime the engines are built for; the cohort
+#: engine amortizes per-launch setup over each run.
+RUN_LENGTH = (2_000, 8_000)
+
+#: Table geometry: 4 x 256 x 32 = 32,768 slots, which pushes the ~30k
+#: distinct live keys toward high fill so eviction chains actually fire
+#: (kernels never resize).
+NUM_TABLES = 4
+BUCKETS = 256
+BUCKET_CAPACITY = 32
+
+ENGINES = ("warp", "cohort")
+
+COUNTER_FIELDS = ("rounds", "memory_transactions", "lock_acquisitions",
+                  "lock_conflicts", "evictions", "completed_ops", "votes")
+
+
+def _workload(rng: np.random.Generator):
+    """Run-structured mixed op stream: (ops, keys, values)."""
+    ops = np.empty(NUM_OPS, dtype=np.int64)
+    pos = 0
+    while pos < NUM_OPS:
+        kind = rng.choice([OP_INSERT, OP_FIND, OP_DELETE],
+                          p=[0.5, 0.3, 0.2])
+        length = min(int(rng.integers(*RUN_LENGTH)), NUM_OPS - pos)
+        ops[pos:pos + length] = kind
+        pos += length
+    keyspace = NUM_OPS // 2
+    keys = rng.integers(1, keyspace + 1, NUM_OPS).astype(np.uint64)
+    values = rng.integers(1, 1 << 40, NUM_OPS).astype(np.uint64)
+    return ops, keys, values
+
+
+def _fresh_table() -> DyCuckooTable:
+    return DyCuckooTable(DyCuckooConfig(
+        num_tables=NUM_TABLES, initial_buckets=BUCKETS,
+        bucket_capacity=BUCKET_CAPACITY, auto_resize=False, seed=1080))
+
+
+def _run_all() -> dict:
+    rng = np.random.default_rng(1080)
+    ops, keys, values = _workload(rng)
+
+    outcomes = {}
+    for engine in ENGINES:
+        table = _fresh_table()
+        start = time.perf_counter()
+        result = table.execute_mixed(ops, keys, values, engine=engine)
+        elapsed = time.perf_counter() - start
+        outcomes[engine] = (table, result, elapsed)
+
+    # Conformance: identical outputs, storage, and cost counters.
+    tw, rw, _ = outcomes["warp"]
+    tc, rc, _ = outcomes["cohort"]
+    assert np.array_equal(rw.values, rc.values), "FIND values diverged"
+    assert np.array_equal(rw.found, rc.found), "FIND hits diverged"
+    assert np.array_equal(rw.removed, rc.removed), "DELETE masks diverged"
+    assert rw.kernel == rc.kernel, (
+        f"cost counters diverged: {rw.kernel} != {rc.kernel}")
+    assert tw._victim_counter == tc._victim_counter
+    for sw, sc in zip(tw.subtables, tc.subtables):
+        assert np.array_equal(sw.keys, sc.keys), "storage diverged"
+        assert np.array_equal(sw.values, sc.values), "values diverged"
+
+    results = {"ops": NUM_OPS, "runs": rw.runs, "conformant": True}
+    for engine in ENGINES:
+        _table, result, elapsed = outcomes[engine]
+        results[engine] = {
+            "seconds": elapsed,
+            "ops_per_sec": NUM_OPS / elapsed,
+            **{f: getattr(result.kernel, f) for f in COUNTER_FIELDS},
+        }
+    results["speedup"] = (results["warp"]["seconds"]
+                          / results["cohort"]["seconds"])
+    return results
+
+
+def test_kernel_engine(benchmark):
+    results = once(benchmark, _run_all)
+    maybe_dump("BENCH_kernel_engine", results)
+
+    print()
+    print(format_table(
+        ["engine", "seconds", "ops/sec", "rounds", "transactions",
+         "evictions", "lock conflicts"],
+        [[engine, results[engine]["seconds"],
+          results[engine]["ops_per_sec"], results[engine]["rounds"],
+          results[engine]["memory_transactions"],
+          results[engine]["evictions"],
+          results[engine]["lock_conflicts"]] for engine in ENGINES],
+        title=f"Kernel engines on a {NUM_OPS:,}-op mixed batch "
+              f"({results['runs']} runs)"))
+
+    speedup = results["speedup"]
+    identical_counters = all(
+        results["warp"][f] == results["cohort"][f] for f in COUNTER_FIELDS)
+    checks = [
+        ("engines return identical results and storage",
+         results["conformant"]),
+        ("aggregate cost counters identical across engines",
+         identical_counters),
+        (f"cohort is >= 10x faster on 100k mixed ops ({speedup:.1f}x)",
+         speedup >= 10.0),
+        ("the batch exercises evictions (insert pressure is real)",
+         results["warp"]["evictions"] > 0),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

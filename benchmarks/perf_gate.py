@@ -1,0 +1,62 @@
+"""Warn-only performance gate over dumped ``BENCH_*.json`` artifacts.
+
+Compares the current bench-artifact directory against a baseline
+directory (CI restores it from the previous run's cache) with
+:func:`repro.bench.regression.compare_dirs` and prints the report.
+
+Exit status:
+
+* ``0`` — clean, baseline missing/empty (first run), or deviations
+  found while warn-only (the default): perf drift should be visible in
+  CI logs, not block unrelated changes on noisy shared runners.
+* ``1`` — deviations found and ``--strict`` was passed.
+
+Usage::
+
+    python benchmarks/perf_gate.py BASELINE_DIR CURRENT_DIR [--strict]
+        [--tolerance 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.regression import compare_dirs, format_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline artifact directory")
+    parser.add_argument("current", help="current artifact directory")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative tolerance per numeric result")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on deviations instead of warning")
+    args = parser.parse_args(argv)
+
+    baseline = Path(args.baseline)
+    if not baseline.is_dir() or not list(baseline.glob("*.json")):
+        print(f"perf gate: no baseline artifacts in {baseline} "
+              "(first run?); skipping comparison")
+        return 0
+    current = Path(args.current)
+    if not current.is_dir():
+        print(f"perf gate: current directory {current} missing",
+              file=sys.stderr)
+        return 1
+
+    report = compare_dirs(baseline, current, rel_tolerance=args.tolerance)
+    print(format_report(report))
+    if report.clean:
+        return 0
+    if args.strict:
+        return 1
+    print("perf gate: deviations above are WARN-ONLY (pass --strict to "
+          "enforce)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,13 @@ Commands
     against a single table, and report per-shard balance plus the
     simulated SM-group speedup.  ``--sweep`` scans S in {1, 2, 4, 8}.
 
+``kernel``
+    Run one mixed insert/find/delete batch through the lane-faithful
+    kernels and report cost counters per execution engine.  With
+    ``--engine both`` (the default) the per-warp reference and the
+    vectorized cohort engine both run, their results and counters are
+    cross-checked for exact equality, and the speedup is reported.
+
 ``faults``
     Run a seeded chaos session: a mixed insert/find/delete workload with
     fault injection at every site (CAS storms, lock stalls, allocation
@@ -379,6 +386,118 @@ def _cmd_shard(args) -> int:
     return 1 if diverged else 0
 
 
+def _make_mixed_workload(rng: np.random.Generator, n: int):
+    """Run-structured mixed workload: ops, keys, values arrays."""
+    from repro.core.batch_ops import OP_DELETE, OP_FIND, OP_INSERT
+
+    ops = np.empty(n, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        kind = rng.choice([OP_INSERT, OP_FIND, OP_DELETE],
+                          p=[0.5, 0.3, 0.2])
+        length = min(int(rng.integers(50, 500)), n - pos)
+        ops[pos:pos + length] = kind
+        pos += length
+    keyspace = max(2, n // 2)
+    keys = rng.integers(1, keyspace + 1, n).astype(np.uint64)
+    values = rng.integers(1, 1 << 32, n).astype(np.uint64)
+    return ops, keys, values
+
+
+def _cmd_kernel(args) -> int:
+    import time
+
+    from repro import DyCuckooConfig, DyCuckooTable
+
+    rng = np.random.default_rng(args.seed)
+    n = args.ops
+    ops, keys, values = _make_mixed_workload(rng, n)
+
+    # Pre-size so the kernels (which never resize) stay below ~50% fill:
+    # at most n/2 distinct keys are ever live, so target ~n total slots.
+    capacity = 16
+    buckets = 8
+    while 4 * buckets * capacity < n:
+        buckets *= 2
+
+    def fresh() -> DyCuckooTable:
+        return DyCuckooTable(DyCuckooConfig(
+            initial_buckets=buckets, bucket_capacity=capacity,
+            auto_resize=False, seed=args.seed))
+
+    engines = ["warp", "cohort"] if args.engine == "both" else [args.engine]
+    outcomes = {}
+    for engine in engines:
+        table = fresh()
+        start = time.perf_counter()
+        result = table.execute_mixed(ops, keys, values, engine=engine)
+        elapsed = time.perf_counter() - start
+        outcomes[engine] = (table, result, elapsed)
+
+    problems: list[str] = []
+    if len(engines) == 2:
+        tw, rw, _ = outcomes["warp"]
+        tc, rc, _ = outcomes["cohort"]
+        if not (np.array_equal(rw.values, rc.values)
+                and np.array_equal(rw.found, rc.found)
+                and np.array_equal(rw.removed, rc.removed)):
+            problems.append("engine results diverged")
+        if rw.kernel != rc.kernel:
+            problems.append(
+                f"cost counters diverged: {rw.kernel} != {rc.kernel}")
+        for t_idx, (sw, sc) in enumerate(zip(tw.subtables, tc.subtables)):
+            if not (np.array_equal(sw.keys, sc.keys)
+                    and np.array_equal(sw.values, sc.values)):
+                problems.append(f"subtable {t_idx} storage diverged")
+
+    report = {
+        "command": "kernel",
+        "ops": n,
+        "seed": args.seed,
+        "buckets": buckets,
+        "bucket_capacity": capacity,
+        "engines": {},
+        "conformant": not problems,
+        "problems": problems,
+    }
+    for engine in engines:
+        _table, result, elapsed = outcomes[engine]
+        report["engines"][engine] = {
+            "seconds": elapsed,
+            "ops_per_sec": n / elapsed if elapsed else float("inf"),
+            "runs": result.runs,
+            **dataclasses.asdict(result.kernel),
+        }
+    if len(engines) == 2:
+        report["speedup"] = (outcomes["warp"][2]
+                             / max(outcomes["cohort"][2], 1e-12))
+
+    if args.json:
+        _emit_json(report)
+    else:
+        print(f"mixed batch: {n:,} ops over "
+              f"{outcomes[engines[0]][1].runs} homogeneous runs "
+              f"(seed {args.seed})")
+        for engine in engines:
+            stats = report["engines"][engine]
+            print(f"  {engine:6s}: {stats['seconds']:.3f}s "
+                  f"({stats['ops_per_sec']:,.0f} ops/s), "
+                  f"{stats['rounds']} rounds, "
+                  f"{stats['memory_transactions']} transactions, "
+                  f"{stats['evictions']} evictions, "
+                  f"{stats['lock_conflicts']} lock conflicts")
+        if "speedup" in report:
+            print(f"cohort speedup: {report['speedup']:.1f}x")
+        if problems:
+            print("CONFORMANCE FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+        elif len(engines) == 2:
+            print("conformance: results, storage, and cost counters "
+                  "identical across engines")
+    return 1 if problems else 0
+
+
 def _cmd_faults(args) -> int:
     from repro import DyCuckooConfig, DyCuckooTable
     from repro.core.analysis import check_invariants
@@ -448,7 +567,8 @@ def _cmd_faults(args) -> int:
     kernel_keys = rng.integers(0, 1 << 40, 512).astype(np.uint64)
     kernel_keys = np.unique(kernel_keys)
     kernel_result = run_voter_insert_kernel(kernel_table, kernel_keys,
-                                            kernel_keys + np.uint64(1))
+                                            kernel_keys + np.uint64(1),
+                                            engine=args.engine)
     _kv, kernel_found = kernel_table.find(kernel_keys)
     if not bool(kernel_found.all()):
         problems.append(
@@ -596,6 +716,19 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--json", action="store_true",
                        help="machine-readable JSON on stdout")
 
+    kernel = sub.add_parser(
+        "kernel", help="lane-faithful kernel engines on a mixed batch")
+    kernel.add_argument("--ops", type=int, default=10_000,
+                        help="operations in the mixed batch")
+    kernel.add_argument("--engine", choices=("warp", "cohort", "both"),
+                        default="both",
+                        help="execution engine ('both' cross-checks and "
+                             "reports the speedup)")
+    kernel.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for exact reproducibility")
+    kernel.add_argument("--json", action="store_true",
+                        help="machine-readable JSON on stdout")
+
     faults = sub.add_parser(
         "faults", help="seeded chaos session with a survival report")
     faults.add_argument("--seed", type=int, default=0,
@@ -617,6 +750,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable survival report on stdout")
     faults.add_argument("--smoke", action="store_true",
                         help="fast fixed configuration (CI robustness check)")
+    faults.add_argument("--engine", choices=("warp", "cohort"),
+                        default="warp",
+                        help="kernel engine for the lane-level phase "
+                             "(fault-bearing inserts always execute "
+                             "per-warp; see repro.gpusim.cohort)")
 
     return parser
 
@@ -629,6 +767,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "trace": _cmd_trace,
     "shard": _cmd_shard,
+    "kernel": _cmd_kernel,
     "faults": _cmd_faults,
 }
 

@@ -14,7 +14,8 @@ from repro.core.analysis import (check_invariants, conflict_optimality_gap,
                                  optimal_distribution, post_upsize_fill,
                                  resize_work_bound)
 from repro.core.batch_ops import (OP_DELETE, OP_FIND, OP_INSERT,
-                                  MixedBatchResult, execute_mixed)
+                                  EncodedBatch, MixedBatchResult,
+                                  execute_mixed)
 from repro.core.config import (DEFAULT_BUCKET_CAPACITY, DEFAULT_NUM_TABLES,
                                PAPER_PARAMETERS, DyCuckooConfig,
                                replace_config)
@@ -36,6 +37,7 @@ __all__ = [
     "save_table",
     "load_table",
     "execute_mixed",
+    "EncodedBatch",
     "MixedBatchResult",
     "OP_INSERT",
     "OP_FIND",

@@ -12,6 +12,13 @@ program order, so ``insert k; delete k; find k`` misses.
 
 This gives mixed workloads a well-defined, testable meaning while
 preserving the batched execution model the cost accounting assumes.
+
+Key encoding and hashing are position-pure — they depend only on the
+key, never on table geometry — so :class:`EncodedBatch` computes them
+once for the whole mixed batch and every homogeneous run executes on
+views of the shared arrays.  ``engine="warp" | "cohort"`` routes the
+runs through the lane-faithful kernels instead of the vectorized host
+path (see :mod:`repro.kernels.engine`).
 """
 
 from __future__ import annotations
@@ -35,6 +42,57 @@ OP_DELETE = 2
 _VALID_OPS = (OP_INSERT, OP_FIND, OP_DELETE)
 
 
+class EncodedBatch:
+    """Hashes for one key batch, computed once and sliced per run.
+
+    ``codes`` (the canonical uint64 encoding), the pair-hash targets
+    ``first``/``second``, and each subtable's 31-bit raw hash are pure
+    functions of the keys — in particular the raw hashes survive
+    resizes, because a resize only changes the power-of-two mask
+    applied by :meth:`~repro.core.hashing.UniversalHash.bucket_from_raw`.
+    Everything is evaluated lazily so a FIND-only batch never pays for
+    hashes it does not use.
+    """
+
+    def __init__(self, table, keys) -> None:
+        from repro.core.table import encode_keys
+
+        self.table = table
+        self.codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+        self._first: np.ndarray | None = None
+        self._second: np.ndarray | None = None
+        self._raw: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def first(self) -> np.ndarray:
+        if self._first is None:
+            self._first, self._second = self.table.pair_hash.tables_for(
+                self.codes)
+        return self._first
+
+    @property
+    def second(self) -> np.ndarray:
+        if self._second is None:
+            self.first  # noqa: B018 - populates both caches
+        return self._second
+
+    def raw(self, t: int) -> np.ndarray:
+        """Raw (geometry-independent) hash of every code under subtable
+        ``t``'s hash function; cached after the first request."""
+        cached = self._raw.get(t)
+        if cached is None:
+            cached = self.table.table_hashes[t].raw(self.codes)
+            self._raw[t] = cached
+        return cached
+
+    def raw_of(self, segment: slice):
+        """``raw_of`` callback for one run: subtable -> raw-hash view."""
+        return lambda t: self.raw(t)[segment]
+
+
 @dataclass(frozen=True)
 class MixedBatchResult:
     """Outcome of one mixed batch.
@@ -49,6 +107,9 @@ class MixedBatchResult:
     removed: np.ndarray
     #: Number of homogeneous runs the batch was split into.
     runs: int
+    #: Aggregate kernel cost counters, populated only when the batch
+    #: executed through a kernel engine (``engine="warp" | "cohort"``).
+    kernel: "object | None" = None
 
 
 def _runs(op_codes: np.ndarray):
@@ -60,7 +121,8 @@ def _runs(op_codes: np.ndarray):
         yield int(op_codes[start]), int(start), int(stop)
 
 
-def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
+def execute_mixed(table, op_codes, keys, values=None,
+                  engine: str | None = None) -> MixedBatchResult:
     """Execute a mixed batch against ``table`` in program order.
 
     Parameters
@@ -75,6 +137,13 @@ def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
     values:
         One value per operation; required when any op is an insert
         (ignored at non-insert positions).
+    engine:
+        ``None`` (default) executes through the table's vectorized host
+        path.  ``"warp"`` or ``"cohort"`` executes every run through
+        the lane-faithful kernels of :mod:`repro.kernels` instead — the
+        table must then be pre-sized (kernels never resize or consult
+        the stash) and the result carries the aggregate
+        :class:`~repro.kernels.insert.KernelRunResult` in ``.kernel``.
     """
     op_codes = np.asarray(op_codes, dtype=np.int64)
     keys = np.asarray(keys, dtype=np.uint64)
@@ -83,6 +152,10 @@ def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
     if len(op_codes) and not bool(np.all(np.isin(op_codes, _VALID_OPS))):
         raise InvalidConfigError(
             f"op codes must be one of {_VALID_OPS}")
+    if engine is not None:
+        from repro.kernels.engine import resolve_engine
+
+        resolve_engine(engine)
     has_inserts = bool(np.any(op_codes == OP_INSERT))
     if has_inserts:
         if values is None:
@@ -100,6 +173,14 @@ def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
         return MixedBatchResult(out_values, out_found, out_removed, runs)
 
     telemetry = getattr(table, "telemetry", NULL_TELEMETRY)
+    # Encoded fast path: hash the whole batch once when the table
+    # exposes the encoded entry points (kernel engines require them).
+    encoded = (EncodedBatch(table, keys)
+               if hasattr(table, "_find_encoded") else None)
+    if engine is not None and encoded is None:
+        raise InvalidConfigError(
+            "kernel engines need a DyCuckooTable-compatible table")
+    kernel_total = None
     batch_ctx = (telemetry.tracer.span("mixed.batch", "op", ops=n)
                  if telemetry.enabled else nullcontext())
     with batch_ctx:
@@ -110,7 +191,17 @@ def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
                 telemetry.tracer.instant("mixed.run", "op",
                                          kind=_KIND_NAMES[kind],
                                          ops=stop - start)
-            if kind == OP_INSERT:
+            if engine is not None:
+                result = _execute_run_kernel(table, encoded, kind, segment,
+                                             values, out_values, out_found,
+                                             out_removed, engine)
+                kernel_total = (result if kernel_total is None
+                                else kernel_total.merge(result))
+            elif encoded is not None:
+                _execute_run_encoded(table, telemetry, encoded, kind,
+                                     segment, values, out_values,
+                                     out_found, out_removed)
+            elif kind == OP_INSERT:
                 table.insert(keys[segment], values[segment])
             elif kind == OP_FIND:
                 seg_values, seg_found = table.find(keys[segment])
@@ -118,4 +209,66 @@ def execute_mixed(table, op_codes, keys, values=None) -> MixedBatchResult:
                 out_found[segment] = seg_found
             else:
                 out_removed[segment] = table.delete(keys[segment])
-    return MixedBatchResult(out_values, out_found, out_removed, runs)
+    return MixedBatchResult(out_values, out_found, out_removed, runs,
+                            kernel_total)
+
+
+def _execute_run_encoded(table, telemetry, encoded: EncodedBatch, kind: int,
+                         segment: slice, values, out_values, out_found,
+                         out_removed) -> None:
+    """One homogeneous run through the vectorized encoded entry points.
+
+    Emits the same per-op spans the public ``find``/``insert``/``delete``
+    methods emit, so traces are identical to the unhinted path.
+    """
+    codes = encoded.codes[segment]
+    first = encoded.first[segment]
+    second = encoded.second[segment]
+    raw_of = encoded.raw_of(segment)
+    name = _KIND_NAMES[kind]
+    ctx = (telemetry.tracer.span(name, "op", n=len(codes))
+           if telemetry.enabled else nullcontext())
+    with ctx:
+        if kind == OP_INSERT:
+            table._insert_encoded(codes, values[segment], first, second,
+                                  raw_of=raw_of)
+        elif kind == OP_FIND:
+            seg_values, seg_found = table._find_encoded(codes, first,
+                                                        second,
+                                                        raw_of=raw_of)
+            out_values[segment] = seg_values
+            out_found[segment] = seg_found
+        else:
+            out_removed[segment] = table._delete_encoded(codes, first,
+                                                         second,
+                                                         raw_of=raw_of)
+
+
+def _execute_run_kernel(table, encoded: EncodedBatch, kind: int,
+                        segment: slice, values, out_values, out_found,
+                        out_removed, engine: str):
+    """One homogeneous run through the lane-faithful kernels."""
+    from repro.kernels.delete import run_delete_kernel
+    from repro.kernels.find import run_find_kernel
+    from repro.kernels.insert import run_voter_insert_kernel
+
+    codes = encoded.codes[segment]
+    first = encoded.first[segment]
+    second = encoded.second[segment]
+    raw_of = encoded.raw_of(segment)
+    if kind == OP_INSERT:
+        return run_voter_insert_kernel(table, None, values[segment],
+                                       engine=engine, codes=codes,
+                                       first=first, second=second)
+    if kind == OP_FIND:
+        seg_values, seg_found, result = run_find_kernel(
+            table, None, engine=engine, codes=codes, first=first,
+            second=second, raw_of=raw_of)
+        out_values[segment] = seg_values
+        out_found[segment] = seg_found
+        return result
+    removed, result = run_delete_kernel(table, None, engine=engine,
+                                        codes=codes, first=first,
+                                        second=second, raw_of=raw_of)
+    out_removed[segment] = removed
+    return result

@@ -94,11 +94,22 @@ class UniversalHash:
         property because ``h mod 2n`` is ``h mod n`` plus (possibly)
         ``n``.
         """
+        return self.bucket_from_raw(self.raw(codes), n_buckets)
+
+    @staticmethod
+    def bucket_from_raw(raw: np.ndarray, n_buckets: int) -> np.ndarray:
+        """Reduce precomputed :meth:`raw` values to bucket indices.
+
+        ``raw`` does not depend on the table geometry, so batch code can
+        hash a key set once and re-reduce it cheaply after every resize
+        (see :class:`repro.core.batch_ops.EncodedBatch`).
+        """
         if n_buckets & (n_buckets - 1):
             raise InvalidConfigError(
                 f"n_buckets must be a power of two, got {n_buckets}"
             )
-        return (self.raw(codes) & np.uint64(n_buckets - 1)).astype(np.int64)
+        return (np.asarray(raw, dtype=np.uint64)
+                & np.uint64(n_buckets - 1)).astype(np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"UniversalHash(a={int(self.a)}, b={int(self.b)}, "

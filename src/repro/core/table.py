@@ -284,19 +284,33 @@ class DyCuckooTable:
         return self._find_batch(keys)
 
     def _find_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
-        codes = encode_keys(keys)
+        return self._find_encoded(encode_keys(keys))
+
+    def _find_encoded(self, codes: np.ndarray, first=None, second=None,
+                      raw_of=None) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`find` body over pre-encoded codes.
+
+        ``first``/``second``/``raw_of`` optionally carry precomputed
+        pair-hash targets and per-subtable raw hashes (aligned to
+        ``codes``; see :class:`repro.core.batch_ops.EncodedBatch`).
+        Hash hoisting only — stats and telemetry are byte-identical to
+        the unhinted path.
+        """
         n = len(codes)
         self.stats.finds += n
         values = np.zeros(n, dtype=np.uint64)
         found = np.zeros(n, dtype=bool)
         if n == 0:
             return values, found
-        first, second = self.pair_hash.tables_for(codes)
-        self._probe(codes, first, np.arange(n), values, found)
+        if first is None or second is None:
+            first, second = self.pair_hash.tables_for(codes)
+        self._probe(codes, first, np.arange(n), values, found,
+                    raw_of=raw_of)
         missing = np.flatnonzero(~found)
         if len(missing):
             self.stats.chain_hops += len(missing)
-            self._probe(codes[missing], second[missing], missing, values, found)
+            self._probe(codes[missing], second[missing], missing, values,
+                        found, raw_of=raw_of)
         if len(self.stash):
             still_missing = np.flatnonzero(~found)
             if len(still_missing):
@@ -342,7 +356,16 @@ class DyCuckooTable:
         return self._insert_batch(keys, values)
 
     def _insert_batch(self, keys, values) -> None:
-        codes = encode_keys(keys)
+        return self._insert_encoded(encode_keys(keys), values)
+
+    def _insert_encoded(self, codes: np.ndarray, values, first=None,
+                        second=None, raw_of=None) -> None:
+        """:meth:`insert` body over pre-encoded, *un-deduplicated* codes.
+
+        ``first``/``second``/``raw_of`` are aligned to ``codes`` (before
+        the last-occurrence dedupe, which happens here).  Pure hash
+        hoisting; stats and telemetry are byte-identical.
+        """
         values = np.asarray(values, dtype=np.uint64)
         if values.shape != codes.shape:
             raise InvalidKeyError(
@@ -352,16 +375,23 @@ class DyCuckooTable:
         if len(codes) == 0:
             return
         keep = last_occurrence_mask(codes)
+        keep_idx = np.flatnonzero(keep)
         codes = codes[keep]
         values = values[keep]
+        if first is not None and second is not None:
+            first = first[keep]
+            second = second[keep]
+        else:
+            first, second = self.pair_hash.tables_for(codes)
 
-        updated = self._update_existing(codes, values)
+        updated = self._update_existing(codes, values, first, second,
+                                        raw_of=raw_of, abs_idx=keep_idx)
         fresh = np.flatnonzero(~updated)
         self.stats.updates += int(updated.sum())
         if len(fresh):
             fresh_codes = codes[fresh]
-            first, second = self.pair_hash.tables_for(fresh_codes)
-            targets = self._router.choose(fresh_codes, first, second,
+            targets = self._router.choose(fresh_codes, first[fresh],
+                                          second[fresh],
                                           self.subtable_sizes(),
                                           self.subtable_loads())
             self._insert_pending(fresh_codes, values[fresh], targets,
@@ -385,7 +415,15 @@ class DyCuckooTable:
         return self._delete_batch(keys)
 
     def _delete_batch(self, keys) -> np.ndarray:
-        all_codes = encode_keys(keys)
+        return self._delete_encoded(encode_keys(keys))
+
+    def _delete_encoded(self, all_codes: np.ndarray, first=None,
+                        second=None, raw_of=None) -> np.ndarray:
+        """:meth:`delete` body over pre-encoded codes.
+
+        Hints are aligned to ``all_codes`` (before the first-occurrence
+        dedupe).  Pure hash hoisting; stats are byte-identical.
+        """
         n = len(all_codes)
         self.stats.deletes += n
         removed = np.zeros(n, dtype=bool)
@@ -397,7 +435,11 @@ class DyCuckooTable:
         unique_idx = np.flatnonzero(unique)
         codes = all_codes[unique]
         removed_unique = np.zeros(len(codes), dtype=bool)
-        first, second = self.pair_hash.tables_for(codes)
+        if first is not None and second is not None:
+            first = first[unique]
+            second = second[unique]
+        else:
+            first, second = self.pair_hash.tables_for(codes)
         for pass_idx, targets in enumerate((first, second)):
             pending = np.flatnonzero(~removed_unique)
             if len(pending) == 0:
@@ -409,7 +451,12 @@ class DyCuckooTable:
                 if len(sel) == 0:
                     continue
                 st = self.subtables[t]
-                buckets = self.table_hashes[t].bucket(codes[sel], st.n_buckets)
+                if raw_of is not None:
+                    buckets = self.table_hashes[t].bucket_from_raw(
+                        raw_of(t)[unique_idx[sel]], st.n_buckets)
+                else:
+                    buckets = self.table_hashes[t].bucket(codes[sel],
+                                                          st.n_buckets)
                 self.stats.bucket_reads += len(sel)
                 erased = st.erase(buckets, codes[sel])
                 self.stats.bucket_writes += int(erased.sum())
@@ -426,6 +473,19 @@ class DyCuckooTable:
         if len(self.stash):
             self._drain_stash()
         return removed
+
+    def execute_mixed(self, op_codes, keys, values=None,
+                      engine: str | None = None):
+        """Execute a mixed op batch; see
+        :func:`repro.core.batch_ops.execute_mixed`.
+
+        ``engine=None`` uses the vectorized host path; ``"warp"`` /
+        ``"cohort"`` route every homogeneous run through the
+        lane-faithful kernels (the table must then be pre-sized).
+        """
+        from repro.core.batch_ops import execute_mixed
+
+        return execute_mixed(self, op_codes, keys, values, engine=engine)
 
     def upsize(self) -> None:
         """Manually double the smallest subtable (Section IV-D)."""
@@ -445,26 +505,43 @@ class DyCuckooTable:
 
     def _probe(self, codes: np.ndarray, targets: np.ndarray,
                out_indices: np.ndarray, values: np.ndarray,
-               found: np.ndarray) -> None:
-        """Look up ``codes`` in per-key subtables, writing results back."""
+               found: np.ndarray, raw_of=None) -> None:
+        """Look up ``codes`` in per-key subtables, writing results back.
+
+        ``raw_of(t)``, when given, holds precomputed raw hashes for
+        subtable ``t`` indexed by *absolute* position — which is exactly
+        what ``out_indices`` maps local positions to.
+        """
         for t in range(self.num_tables):
             sel = np.flatnonzero(targets == t)
             if len(sel) == 0:
                 continue
             st = self.subtables[t]
-            buckets = self.table_hashes[t].bucket(codes[sel], st.n_buckets)
+            if raw_of is not None:
+                buckets = self.table_hashes[t].bucket_from_raw(
+                    raw_of(t)[out_indices[sel]], st.n_buckets)
+            else:
+                buckets = self.table_hashes[t].bucket(codes[sel],
+                                                      st.n_buckets)
             self.stats.bucket_reads += len(sel)
             hit, vals = st.lookup(buckets, codes[sel])
             dest = out_indices[sel[hit]]
             values[dest] = vals[hit]
             found[dest] = True
 
-    def _update_existing(self, codes: np.ndarray, values: np.ndarray
-                         ) -> np.ndarray:
-        """Overwrite values of keys already stored; return updated mask."""
+    def _update_existing(self, codes: np.ndarray, values: np.ndarray,
+                         first=None, second=None, raw_of=None,
+                         abs_idx=None) -> np.ndarray:
+        """Overwrite values of keys already stored; return updated mask.
+
+        ``raw_of(t)`` is indexed by absolute batch position;
+        ``abs_idx`` maps local positions in ``codes`` to those absolute
+        positions (identity when omitted).
+        """
         n = len(codes)
         updated = np.zeros(n, dtype=bool)
-        first, second = self.pair_hash.tables_for(codes)
+        if first is None or second is None:
+            first, second = self.pair_hash.tables_for(codes)
         for pass_idx, targets in enumerate((first, second)):
             pending = np.flatnonzero(~updated)
             if len(pending) == 0:
@@ -476,7 +553,13 @@ class DyCuckooTable:
                 if len(sel) == 0:
                     continue
                 st = self.subtables[t]
-                buckets = self.table_hashes[t].bucket(codes[sel], st.n_buckets)
+                if raw_of is not None:
+                    src = sel if abs_idx is None else abs_idx[sel]
+                    buckets = self.table_hashes[t].bucket_from_raw(
+                        raw_of(t)[src], st.n_buckets)
+                else:
+                    buckets = self.table_hashes[t].bucket(codes[sel],
+                                                          st.n_buckets)
                 self.stats.bucket_reads += len(sel)
                 upd = st.update_existing(buckets, codes[sel], values[sel])
                 self.stats.bucket_writes += int(upd.sum())

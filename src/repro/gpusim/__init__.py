@@ -12,7 +12,9 @@ provides the pieces of that machine the hash tables interact with:
 * :mod:`repro.gpusim.atomics` — functional atomics plus the
   contention-degradation model of Figure 5,
 * :mod:`repro.gpusim.metrics` — the cost model turning event counts
-  into simulated seconds and Mops.
+  into simulated seconds and Mops,
+* :mod:`repro.gpusim.cohort` — the vectorized structure-of-arrays warp
+  engine, bit-for-bit conformant with the per-warp interpreter.
 """
 
 from repro.gpusim.atomics import (AtomicMemory, atomic_batch_seconds,
@@ -25,6 +27,11 @@ from repro.gpusim.memory_manager import DeviceMemoryManager, PCIE_BANDWIDTH
 from repro.gpusim.metrics import CostModel, KernelCosts, mops
 from repro.gpusim.profile import KernelProfile, profile_batch, profile_operation
 from repro.gpusim.warp import WarpContext
+
+# Imported last: the cohort engine depends on the modules above and on
+# repro.kernels (lazily), so keeping it at the tail avoids import cycles.
+from repro.gpusim.cohort import (cohort_delete, cohort_find,  # noqa: E402
+                                 cohort_insert)
 
 __all__ = [
     "DeviceSpec",
@@ -49,4 +56,7 @@ __all__ = [
     "KernelProfile",
     "profile_batch",
     "profile_operation",
+    "cohort_find",
+    "cohort_delete",
+    "cohort_insert",
 ]

@@ -1,0 +1,575 @@
+"""Structure-of-arrays warp-cohort execution engine.
+
+The reference kernel path (:mod:`repro.kernels` over
+:class:`~repro.gpusim.kernel.RoundScheduler`) steps every warp as a
+separate Python object per device round, which is lane-faithful but
+100-1000x slower than the vectorized table path.  This module executes
+the *same* warp programs with the whole launch held as parallel numpy
+arrays — one row per resident warp — and advances every warp per round
+with a handful of vectorized mask operations:
+
+* lane ballots are ``uint32`` masks in a ``(W,)`` array instead of
+  per-warp bool vectors;
+* leader election (including the voter scheme's rotating start lane) is
+  a bitwise rotate plus a count-trailing-zeros over all warps at once;
+* per-round lock arbitration replaces the per-resource
+  :class:`~repro.gpusim.kernel.LockArbiter` loop with sorted-group
+  winner selection over ``(lock_id, round_position)`` pairs;
+* bucket inspection (existing-key ballot, alternate probe, free-slot
+  ballot, victim choice) is batched per target subtable.
+
+Conformance contract
+--------------------
+The cohort engine is **bit-for-bit conformant** with the per-warp
+engine: identical table storage after a run, identical
+``(values, found, removed)`` outputs, and identical aggregate cost
+counters (rounds, memory transactions, lock acquisitions/conflicts,
+evictions, votes).  Three mechanisms make that exact rather than
+approximate:
+
+1. **Identical scheduling randomness.**  The round loop consumes
+   ``np.random.default_rng(0).permutation(W)`` exactly like
+   :class:`RoundScheduler`, and every order-sensitive decision (lock
+   arbitration, victim-counter consumption) is ranked by each warp's
+   position in that permutation — the order the reference engine would
+   have stepped them in.
+
+2. **Hazard-exact phase-two vectorization.**  Within one round, a
+   locked warp only ever writes *keys* into its own locked bucket, so
+   every other warp's own-bucket ballots are stable and the round can
+   be applied from a start-of-round snapshot — *except* when carried
+   keys coincide.  Two precise hazard conditions (duplicate carried
+   keys in the cohort; an eviction whose victim key equals another
+   warp's carried key aimed at the evicting bucket) are detected per
+   round; a hazardous round falls back to a scalar replay of the
+   reference semantics in permutation order.  Fault-free unique-key
+   workloads essentially never trip the hazards.
+
+3. **Fault-plan delegation.**  :class:`repro.faults.FaultPlan`
+   decisions are a pure hash of the per-site *invocation index*, which
+   is inherently sequential; insert runs on a fault-enabled table are
+   delegated to the per-warp engine wholesale (see
+   :func:`repro.kernels.insert._run_insert`), so injected-fault
+   behaviour stays byte-identical by construction.
+
+FIND and DELETE have no scheduler and no locks in the reference engine
+(one warp processes ops sequentially), so their cohort forms are plain
+grouped-gather pipelines with transaction accounting reproduced from
+the probe/hit structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.subtable import EMPTY
+from repro.errors import CapacityError
+
+#: Lane count of a warp (fixed by the reference kernels).
+WARP_WIDTH = 32
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+_ONE = np.uint64(1)
+
+
+def _ctz(masks: np.ndarray) -> np.ndarray:
+    """Count trailing zeros of nonzero uint64 masks (vectorized ffs)."""
+    low = masks & (~masks + _ONE)
+    # Isolated low bits are exact powers of two < 2**53: log2 is exact.
+    return np.log2(low.astype(np.float64)).astype(np.int64)
+
+
+def _first_slot(match: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row first True column of a 2-D predicate, as (any, argmax)."""
+    return match.any(axis=1), match.argmax(axis=1)
+
+
+# ----------------------------------------------------------------------
+# FIND
+# ----------------------------------------------------------------------
+
+def cohort_find(table, codes: np.ndarray, first=None, second=None,
+                raw_of=None):
+    """Vectorized form of :func:`repro.kernels.find.run_find_kernel`.
+
+    ``codes`` are already-encoded keys; ``first``/``second`` are the
+    pair-hash targets (computed here when omitted) and ``raw_of`` an
+    optional ``t -> raw-hash-array`` cache aligned with ``codes``.
+    Returns ``(values, found, result)`` with transaction counts equal
+    to the sequential warp walk: one per first-bucket probe plus one
+    per second probe on a miss.
+    """
+    from repro.kernels.insert import KernelRunResult
+
+    codes = np.asarray(codes, dtype=np.uint64)
+    n = len(codes)
+    values = np.zeros(n, dtype=np.uint64)
+    found = np.zeros(n, dtype=bool)
+    result = KernelRunResult()
+    if n == 0:
+        return values, found, result
+    if first is None or second is None:
+        first, second = table.pair_hash.tables_for(codes)
+
+    def probe(idx: np.ndarray, targets: np.ndarray) -> None:
+        for t in range(table.num_tables):
+            sel = idx[targets == t]
+            if len(sel) == 0:
+                continue
+            st = table.subtables[t]
+            h = table.table_hashes[t]
+            if raw_of is None:
+                buckets = h.bucket(codes[sel], st.n_buckets)
+            else:
+                buckets = h.bucket_from_raw(raw_of(t)[sel], st.n_buckets)
+            hit, slots = _first_slot(st.keys[buckets] == codes[sel][:, None])
+            dest = sel[hit]
+            values[dest] = st.values[buckets[hit], slots[hit]]
+            found[dest] = True
+
+    everyone = np.arange(n)
+    probe(everyone, np.asarray(first, dtype=np.int64))
+    missing = np.flatnonzero(~found)
+    if len(missing):
+        probe(missing, np.asarray(second, dtype=np.int64)[missing])
+    result.memory_transactions = n + len(missing)
+    result.completed_ops = n
+    result.rounds = n  # one warp processes queries sequentially
+    return values, found, result
+
+
+# ----------------------------------------------------------------------
+# DELETE
+# ----------------------------------------------------------------------
+
+def cohort_delete(table, codes: np.ndarray, first=None, second=None,
+                  raw_of=None):
+    """Vectorized form of :func:`repro.kernels.delete.run_delete_kernel`.
+
+    Sequential duplicate semantics are reproduced exactly: only a
+    key's first occurrence can observe (and clear) the entry; later
+    duplicates probe both buckets, miss, and pay two transactions.
+    Returns ``(removed, result)``.
+    """
+    from repro.core.grouping import first_occurrence_mask
+    from repro.kernels.insert import KernelRunResult
+
+    codes = np.asarray(codes, dtype=np.uint64)
+    n = len(codes)
+    removed = np.zeros(n, dtype=bool)
+    result = KernelRunResult()
+    if n == 0:
+        return removed, result
+    if first is None or second is None:
+        first, second = table.pair_hash.tables_for(codes)
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+
+    # Distinct keys never interact (clearing one key's slot cannot make
+    # another key appear or vanish), so only first occurrences can hit.
+    unique_idx = np.flatnonzero(first_occurrence_mask(codes))
+    hit_first = np.zeros(n, dtype=bool)
+
+    def clear(idx: np.ndarray, targets: np.ndarray, hit_out) -> None:
+        for t in range(table.num_tables):
+            sel = idx[targets == t]
+            if len(sel) == 0:
+                continue
+            st = table.subtables[t]
+            h = table.table_hashes[t]
+            if raw_of is None:
+                buckets = h.bucket(codes[sel], st.n_buckets)
+            else:
+                buckets = h.bucket_from_raw(raw_of(t)[sel], st.n_buckets)
+            hit, slots = _first_slot(st.keys[buckets] == codes[sel][:, None])
+            if np.any(hit):
+                st.keys[buckets[hit], slots[hit]] = EMPTY
+                st.size -= int(hit.sum())
+                dest = sel[hit]
+                removed[dest] = True
+                if hit_out is not None:
+                    hit_out[dest] = True
+
+    clear(unique_idx, first[unique_idx], hit_first)
+    pending = unique_idx[~removed[unique_idx]]
+    if len(pending):
+        clear(pending, second[pending], None)
+
+    n_removed = int(removed.sum())
+    # Every op reads its first bucket; ops that miss there (including
+    # every non-first duplicate) read the second; each removal is one
+    # slot-clear write.
+    result.memory_transactions = (n + (n - int(hit_first.sum()))
+                                  + n_removed)
+    result.completed_ops = n_removed
+    result.rounds = n
+    return removed, result
+
+
+# ----------------------------------------------------------------------
+# INSERT (Algorithm 1, voter and spin variants)
+# ----------------------------------------------------------------------
+
+class _CohortState:
+    """All resident warps of one insert launch, structure-of-arrays."""
+
+    def __init__(self, codes: np.ndarray, values: np.ndarray,
+                 targets: np.ndarray) -> None:
+        n = len(codes)
+        width = WARP_WIDTH
+        self.num_warps = (n + width - 1) // width
+        W = self.num_warps
+        self.keys = np.zeros((W, width), dtype=np.uint64)
+        self.values = np.zeros((W, width), dtype=np.uint64)
+        self.targets = np.zeros((W, width), dtype=np.int64)
+        self.keys.ravel()[:n] = codes
+        self.values.ravel()[:n] = values
+        self.targets.ravel()[:n] = targets
+        #: Lane ballots: bit ``l`` set while lane ``l`` still has work.
+        self.active = np.zeros(W, dtype=np.uint64)
+        full, rem = divmod(n, width)
+        self.active[:full] = _U32_MASK
+        if rem:
+            self.active[full] = (_ONE << np.uint64(rem)) - _ONE
+        #: Voter scheme: lane the next election starts scanning from.
+        self.next_start = np.zeros(W, dtype=np.int64)
+        #: Consecutive lock-failure rounds (stall detector).
+        self.stalled = np.zeros(W, dtype=np.int64)
+        #: Program counter, effectively: a locked warp is in phase two.
+        self.locked = np.zeros(W, dtype=bool)
+        self.lk_leader = np.zeros(W, dtype=np.int64)
+        self.lk_target = np.zeros(W, dtype=np.int64)
+        self.lk_bucket = np.zeros(W, dtype=np.int64)
+        self.lk_lockid = np.zeros(W, dtype=np.int64)
+
+
+def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
+                  targets: np.ndarray, voter: bool,
+                  max_rounds: int = 1_000_000,
+                  max_rounds_per_op: int = 4096):
+    """Vectorized Algorithm-1 insert over pre-routed ``(code, value)``s.
+
+    ``targets`` must come from the same router call the per-warp engine
+    would make (see :func:`repro.kernels.insert._run_insert`, which
+    computes them before dispatching on the engine).  Returns a
+    :class:`~repro.kernels.insert.KernelRunResult` whose every field
+    matches the per-warp engine on the same inputs.
+    """
+    from repro.kernels.insert import KernelRunResult
+
+    result = KernelRunResult()
+    codes = np.asarray(codes, dtype=np.uint64)
+    if len(codes) == 0:
+        return result
+    state = _CohortState(codes, np.asarray(values, dtype=np.uint64),
+                         np.asarray(targets, dtype=np.int64))
+    rng = np.random.default_rng(0)
+    W = state.num_warps
+    rounds = 0
+    while bool(state.locked.any()) or bool(state.active.any()):
+        if rounds >= max_rounds:
+            raise RuntimeError(
+                f"kernel did not converge within {max_rounds} rounds"
+            )
+        perm = rng.permutation(W)
+        pos = np.empty(W, dtype=np.int64)
+        pos[perm] = np.arange(W)
+        ph2 = np.flatnonzero(state.locked)
+        ph1 = np.flatnonzero(~state.locked & (state.active != 0))
+        # Lock holders at round start: they complete and release at
+        # their permutation position, which phase-one arbitration needs.
+        holder_ids = state.lk_lockid[ph2]
+        holder_pos = pos[ph2]
+        if len(ph2):
+            _phase_two(table, state, result, ph2, pos)
+        if len(ph1):
+            _phase_one(table, state, result, ph1, pos, holder_ids,
+                       holder_pos, voter, max_rounds_per_op)
+        rounds += 1
+    result.rounds = rounds
+    return result
+
+
+def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
+               pos: np.ndarray, holder_ids: np.ndarray,
+               holder_pos: np.ndarray, voter: bool,
+               max_stall: int) -> None:
+    """Elect leaders, hash buckets, arbitrate locks — all warps at once."""
+    m = state.active[ph1]
+    result.votes += len(ph1)
+    if voter:
+        s = state.next_start[ph1].astype(np.uint64)
+        # Rotate the ballot so bit j is lane (start + j) % 32, then the
+        # first set bit is the first active lane at-or-after start.
+        rot = ((m >> s) | (m << (np.uint64(WARP_WIDTH) - s))) & _U32_MASK
+        leader = (state.next_start[ph1] + _ctz(rot)) % WARP_WIDTH
+    else:
+        leader = _ctz(m)
+    key = state.keys[ph1, leader]
+    target = state.targets[ph1, leader]
+    bucket = np.empty(len(ph1), dtype=np.int64)
+    for t in range(table.num_tables):
+        g = np.flatnonzero(target == t)
+        if len(g):
+            bucket[g] = table.table_hashes[t].bucket(
+                key[g], table.subtables[t].n_buckets)
+    lock_id = (target << 40) | bucket
+    my_pos = pos[ph1]
+
+    # Arbitration: within this round, a request succeeds iff its lock is
+    # not blocked by a phase-two holder stepping later (holders release
+    # at their own position) and no earlier request already took it —
+    # exactly what the per-request LockArbiter sees when the reference
+    # scheduler steps warps in permutation order.
+    order = np.lexsort((my_pos, lock_id))
+    lid_s = lock_id[order]
+    pos_s = my_pos[order]
+    if len(holder_ids):
+        h_order = np.argsort(holder_ids)
+        h_ids = holder_ids[h_order]
+        h_pos = holder_pos[h_order]
+        where = np.searchsorted(h_ids, lid_s)
+        where_c = np.clip(where, 0, len(h_ids) - 1)
+        held = h_ids[where_c] == lid_s
+        blocker = np.where(held, h_pos[where_c], np.int64(-1))
+    else:
+        blocker = np.full(len(lid_s), -1, dtype=np.int64)
+    eligible = pos_s > blocker
+    group_start = np.empty(len(lid_s), dtype=bool)
+    group_start[0] = True
+    group_start[1:] = lid_s[1:] != lid_s[:-1]
+    grp = np.cumsum(group_start) - 1
+    running = np.cumsum(eligible)
+    starts = np.flatnonzero(group_start)
+    before_group = np.concatenate(
+        [[0], running[starts[1:] - 1]]) if len(starts) > 1 else np.zeros(
+            1, dtype=np.int64)
+    winner_s = eligible & ((running - before_group[grp]) == 1)
+    win = np.zeros(len(ph1), dtype=bool)
+    win[order] = winner_s
+
+    n_win = int(win.sum())
+    result.lock_acquisitions += n_win
+    result.lock_conflicts += len(ph1) - n_win
+    # Phase one of a won lock: one coalesced bucket read issued.
+    result.memory_transactions += n_win
+
+    w_idx = ph1[win]
+    state.locked[w_idx] = True
+    state.lk_leader[w_idx] = leader[win]
+    state.lk_target[w_idx] = target[win]
+    state.lk_bucket[w_idx] = bucket[win]
+    state.lk_lockid[w_idx] = lock_id[win]
+    state.stalled[w_idx] = 0
+
+    l_idx = ph1[~win]
+    if len(l_idx):
+        if voter:
+            state.next_start[l_idx] = (leader[~win] + 1) % WARP_WIDTH
+        state.stalled[l_idx] += 1
+        if bool(np.any(state.stalled[l_idx] > max_stall)):
+            raise CapacityError(
+                "insert kernel stalled: no lock progress "
+                f"after {max_stall} rounds"
+            )
+
+
+def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
+               pos: np.ndarray) -> None:
+    """Complete every held lock: upsert, place, or evict, then release.
+
+    Classifies all locked warps from a start-of-round snapshot and
+    applies the whole round vectorized unless a key-coincidence hazard
+    makes the order of operations observable, in which case the round
+    replays scalar in permutation order (the reference semantics).
+    """
+    cap = table.subtables[0].bucket_capacity
+    tgt = state.lk_target[ph2]
+    bkt = state.lk_bucket[ph2]
+    ldr = state.lk_leader[ph2]
+    key = state.keys[ph2, ldr]
+    val = state.values[ph2, ldr]
+    mcount = len(ph2)
+
+    own = np.empty((mcount, cap), dtype=np.uint64)
+    for t in range(table.num_tables):
+        g = np.flatnonzero(tgt == t)
+        if len(g):
+            own[g] = table.subtables[t].keys[bkt[g]]
+
+    has_exist, exist_slot = _first_slot(own == key[:, None])
+    miss = np.flatnonzero(~has_exist)
+
+    # Alternate-bucket probe for every own-bucket miss.
+    alt_t = np.empty(len(miss), dtype=np.int64)
+    alt_b = np.empty(len(miss), dtype=np.int64)
+    a_hit = np.zeros(len(miss), dtype=bool)
+    a_slot = np.zeros(len(miss), dtype=np.int64)
+    if len(miss):
+        alt_t = table.pair_hash.alternate_table(key[miss], tgt[miss])
+        for t in range(table.num_tables):
+            g = np.flatnonzero(alt_t == t)
+            if len(g):
+                st = table.subtables[t]
+                alt_b[g] = table.table_hashes[t].bucket(
+                    key[miss][g], st.n_buckets)
+                hit, slots = _first_slot(
+                    st.keys[alt_b[g]] == key[miss][g][:, None])
+                a_hit[g] = hit
+                a_slot[g] = slots
+
+    has_free, free_slot = _first_slot(own[miss] == EMPTY)
+    place = miss[~a_hit & has_free]
+    evict = miss[~a_hit & ~has_free]
+
+    # Hazard H1: two in-flight copies of one key — placement/update
+    # order decides which value survives and whether a second probe
+    # sees the first copy.  Hazard H2: an eviction removes (or has its
+    # victim's value overwritten by) a key some other warp is probing
+    # for in the evicting bucket this round.  Both require carried-key
+    # coincidences; either forces the scalar replay.
+    hazard = len(np.unique(key)) != mcount
+    vict_rank = np.empty(0, dtype=np.int64)
+    if len(evict):
+        vict_rank = np.empty(len(evict), dtype=np.int64)
+        vict_rank[np.argsort(pos[ph2[evict]], kind="stable")] = np.arange(
+            len(evict))
+        vslot = (table._victim_counter + vict_rank + bkt[evict]) % cap
+        victim_key = own[evict, vslot]
+        if not hazard and len(miss):
+            e_lock = state.lk_lockid[ph2[evict]]
+            e_order = np.argsort(e_lock)
+            e_lock_s = e_lock[e_order]
+            e_vkey_s = victim_key[e_order]
+            probe_lock = (alt_t << 40) | alt_b
+            where = np.searchsorted(e_lock_s, probe_lock)
+            where_c = np.clip(where, 0, len(e_lock_s) - 1)
+            same = e_lock_s[where_c] == probe_lock
+            hazard = bool(np.any(same & (e_vkey_s[where_c] == key[miss])))
+
+    if hazard:
+        for w in ph2[np.argsort(pos[ph2], kind="stable")]:
+            _complete_one_scalar(table, state, int(w), result)
+        return
+
+    # ---- vectorized apply (no observable ordering inside the round) --
+    n_miss = len(miss)
+    n_up = mcount - n_miss
+    n_ahit = int(a_hit.sum())
+    # Upserts pay one write; every miss pays the alternate read, then
+    # one more write whichever way it resolves (value / place / swap).
+    result.memory_transactions += n_up + 2 * n_miss
+    result.completed_ops += n_up + n_ahit + len(place)
+    result.evictions += len(evict)
+
+    exist = np.flatnonzero(has_exist)
+    for t in range(table.num_tables):
+        st = table.subtables[t]
+        g = exist[tgt[exist] == t]
+        if len(g):
+            st.values[bkt[g], exist_slot[g]] = val[g]
+        gp = place[tgt[place] == t]
+        if len(gp):
+            pslot = free_slot[np.searchsorted(miss, gp)]
+            st.keys[bkt[gp], pslot] = key[gp]
+            st.values[bkt[gp], pslot] = val[gp]
+            st.size += len(gp)
+    if n_ahit:
+        hit_rows = np.flatnonzero(a_hit)
+        for t in range(table.num_tables):
+            g = hit_rows[alt_t[hit_rows] == t]
+            if len(g):
+                table.subtables[t].values[alt_b[g], a_slot[g]] = val[
+                    miss[g]]
+
+    if len(evict):
+        victim_val = np.empty(len(evict), dtype=np.uint64)
+        for t in range(table.num_tables):
+            g = np.flatnonzero(tgt[evict] == t)
+            if len(g):
+                st = table.subtables[t]
+                rows = evict[g]
+                victim_val[g] = st.values[bkt[rows], vslot[g]]
+                st.keys[bkt[rows], vslot[g]] = key[rows]
+                st.values[bkt[rows], vslot[g]] = val[rows]
+        table._victim_counter += len(evict)
+        # The evicted pair continues on the leader's lane, retargeted
+        # at the victim's alternate subtable; the lane stays active.
+        e_warp = ph2[evict]
+        e_lane = ldr[evict]
+        state.keys[e_warp, e_lane] = victim_key
+        state.values[e_warp, e_lane] = victim_val
+        state.targets[e_warp, e_lane] = table.pair_hash.alternate_table(
+            victim_key, tgt[evict])
+
+    done = np.concatenate([exist, miss[a_hit], place])
+    if len(done):
+        d_warp = ph2[done]
+        d_lane = ldr[done]
+        state.active[d_warp] &= ~(_ONE << d_lane.astype(np.uint64))
+        state.next_start[d_warp] = (d_lane + 1) % WARP_WIDTH
+    state.locked[ph2] = False
+
+
+def _complete_one_scalar(table, state: _CohortState, w: int,
+                         result) -> None:
+    """Reference-exact phase two for one warp against live storage.
+
+    Mirrors :meth:`repro.kernels.insert._InsertWarp._complete_locked`
+    line for line; used for hazardous rounds, where same-round write
+    order between warps is observable.
+    """
+    ldr = int(state.lk_leader[w])
+    tgt = int(state.lk_target[w])
+    bkt = int(state.lk_bucket[w])
+    key = np.uint64(state.keys[w, ldr])
+    val = np.uint64(state.values[w, ldr])
+    st = table.subtables[tgt]
+    row = st.keys[bkt]
+    hits = np.flatnonzero(row == key)
+    slot = int(hits[0]) if len(hits) else -1
+    if slot < 0:
+        alt = int(table.pair_hash.alternate_table(
+            np.asarray([key], dtype=np.uint64),
+            np.asarray([tgt], dtype=np.int64))[0])
+        ast = table.subtables[alt]
+        ab = int(table.table_hashes[alt].bucket(
+            np.asarray([key], dtype=np.uint64), ast.n_buckets)[0])
+        result.memory_transactions += 1
+        ahits = np.flatnonzero(ast.keys[ab] == key)
+        if len(ahits):
+            ast.values[ab, int(ahits[0])] = val
+            result.memory_transactions += 1
+            result.completed_ops += 1
+            state.active[w] &= ~(_ONE << np.uint64(ldr))
+            state.next_start[w] = (ldr + 1) % WARP_WIDTH
+            state.locked[w] = False
+            return
+        empties = np.flatnonzero(row == EMPTY)
+        slot = int(empties[0]) if len(empties) else -1
+    if 0 <= slot < st.bucket_capacity:
+        was_empty = row[slot] == EMPTY
+        st.keys[bkt, slot] = key
+        st.values[bkt, slot] = val
+        if was_empty:
+            st.size += 1
+        result.memory_transactions += 1
+        result.completed_ops += 1
+        state.active[w] &= ~(_ONE << np.uint64(ldr))
+        state.next_start[w] = (ldr + 1) % WARP_WIDTH
+        state.locked[w] = False
+        return
+    vslot = (table._victim_counter + bkt) % st.bucket_capacity
+    table._victim_counter += 1
+    victim_key = np.uint64(st.keys[bkt, vslot])
+    victim_val = np.uint64(st.values[bkt, vslot])
+    st.keys[bkt, vslot] = key
+    st.values[bkt, vslot] = val
+    result.memory_transactions += 1
+    result.evictions += 1
+    state.keys[w, ldr] = victim_key
+    state.values[w, ldr] = victim_val
+    state.targets[w, ldr] = int(table.pair_hash.alternate_table(
+        np.asarray([victim_key], dtype=np.uint64),
+        np.asarray([tgt], dtype=np.int64))[0])
+    state.locked[w] = False

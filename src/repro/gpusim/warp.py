@@ -32,6 +32,12 @@ class WarpContext:
         self.width = width
         self.lanes = np.arange(width, dtype=np.int64)
         self.active = np.zeros(width, dtype=bool)
+        #: Reusable lane-predicate buffer for striped bucket scans.  A
+        #: warp ballots one stripe at a time; allocating a fresh
+        #: predicate vector per stripe dominated the kernels' profile,
+        #: so scans overwrite this scratch instead (callers must not
+        #: hold a reference across warp steps).
+        self.scratch_pred = np.zeros(width, dtype=bool)
         #: Count of executed warp-synchronous steps (for profiling).
         self.steps = 0
 

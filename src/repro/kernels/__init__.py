@@ -14,9 +14,17 @@ fast path in :mod:`repro.core.table`, which lets the test suite prove
 the two execution models agree.  The vectorized path is what benchmarks
 use at scale; these kernels are the ground truth for warp semantics and
 lock-contention behaviour.
+
+Each ``run_*_kernel`` accepts ``engine="warp" | "cohort"``
+(:mod:`repro.kernels.engine`): ``"warp"`` steps one Python object per
+warp (the reference), ``"cohort"`` executes the same program through
+the structure-of-arrays engine of :mod:`repro.gpusim.cohort`, which is
+bit-for-bit conformant on results *and* cost counters while running
+1-2 orders of magnitude faster.
 """
 
 from repro.kernels.delete import run_delete_kernel
+from repro.kernels.engine import VALID_ENGINES, resolve_engine
 from repro.kernels.find import run_find_kernel
 from repro.kernels.insert import (KernelRunResult, run_spin_insert_kernel,
                                   run_voter_insert_kernel)
@@ -33,4 +41,6 @@ __all__ = [
     "run_downsize_kernel",
     "KernelRunResult",
     "run_megakv_insert_kernel",
+    "VALID_ENGINES",
+    "resolve_engine",
 ]

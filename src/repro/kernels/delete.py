@@ -4,7 +4,9 @@ Deletion, like FIND, needs no bucket locks: one warp inspects the two
 candidate buckets of the key; the lane that sees the key clears it.  At
 most one lane can match (keys are unique across the structure), so no
 write conflict is possible — the property the paper uses to keep DELETE
-lock-free.
+lock-free.  ``engine="cohort"`` runs the same program through the
+structure-of-arrays engine with identical results, storage mutations,
+and transaction counts.
 """
 
 from __future__ import annotations
@@ -14,21 +16,45 @@ import numpy as np
 from repro.core.subtable import EMPTY
 from repro.gpusim.memory import MemoryTracker
 from repro.gpusim.warp import WarpContext
+from repro.kernels.engine import (kernel_span, record_kernel_counters,
+                                  resolve_engine)
 from repro.kernels.find import _ballot_match
 from repro.kernels.insert import KernelRunResult
 
 
-def run_delete_kernel(table, keys) -> tuple[np.ndarray, KernelRunResult]:
+def run_delete_kernel(table, keys, engine: str = "warp", *,
+                      codes=None, first=None, second=None,
+                      raw_of=None) -> tuple[np.ndarray, KernelRunResult]:
     """Delete a batch of keys lane-faithfully.
 
     Returns ``(removed, result)``.  Mutates the table's storage and its
     per-subtable live counters; semantically identical to
     :meth:`repro.core.table.DyCuckooTable.delete` minus the automatic
     resize (resizing is a separate kernel in the paper).
+
+    ``codes``/``first``/``second``/``raw_of`` let a caller that has
+    already encoded and pair-hashed the batch skip the re-derivation.
     """
     from repro.core.table import encode_keys
 
-    codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    resolve_engine(engine)
+    if codes is None:
+        codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    n = len(codes)
+    with kernel_span(table, "delete", n, engine):
+        if engine == "cohort":
+            from repro.gpusim.cohort import cohort_delete
+
+            removed, result = cohort_delete(table, codes, first, second,
+                                            raw_of)
+        else:
+            removed, result = _warp_delete(table, codes, first, second)
+    record_kernel_counters(table, result)
+    return removed, result
+
+
+def _warp_delete(table, codes: np.ndarray, first=None, second=None
+                 ) -> tuple[np.ndarray, KernelRunResult]:
     n = len(codes)
     removed = np.zeros(n, dtype=bool)
     result = KernelRunResult()
@@ -37,7 +63,8 @@ def run_delete_kernel(table, keys) -> tuple[np.ndarray, KernelRunResult]:
     if n == 0:
         return removed, result
 
-    first, second = table.pair_hash.tables_for(codes)
+    if first is None or second is None:
+        first, second = table.pair_hash.tables_for(codes)
     for i in range(n):
         code = int(codes[i])
         for target in (int(first[i]), int(second[i])):

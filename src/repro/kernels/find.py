@@ -7,7 +7,9 @@ the warp read the second candidate bucket — the two-layer scheme
 guarantees there is no third.
 
 FIND needs no locks at all (read-only), which is why the paper
-parallelizes it trivially.
+parallelizes it trivially.  ``engine="cohort"`` runs the same program
+through the structure-of-arrays engine (:mod:`repro.gpusim.cohort`)
+with identical results and transaction counts.
 """
 
 from __future__ import annotations
@@ -16,6 +18,8 @@ import numpy as np
 
 from repro.gpusim.memory import MemoryTracker
 from repro.gpusim.warp import WarpContext
+from repro.kernels.engine import (kernel_span, record_kernel_counters,
+                                  resolve_engine)
 from repro.kernels.insert import KernelRunResult
 
 
@@ -23,9 +27,10 @@ def _ballot_match(ctx: WarpContext, bucket_keys: np.ndarray,
                   code: int) -> int:
     """Warp-wide slot scan; returns matching slot or -1."""
     matches = bucket_keys == np.uint64(code)
+    pred = ctx.scratch_pred
     for stripe_start in range(0, len(bucket_keys), ctx.width):
         stripe = matches[stripe_start:stripe_start + ctx.width]
-        pred = np.zeros(ctx.width, dtype=bool)
+        pred[:] = False
         pred[:len(stripe)] = stripe
         hit = ctx.ffs(ctx.ballot(pred))
         if hit >= 0:
@@ -33,17 +38,40 @@ def _ballot_match(ctx: WarpContext, bucket_keys: np.ndarray,
     return -1
 
 
-def run_find_kernel(table, keys) -> tuple[np.ndarray, np.ndarray,
+def run_find_kernel(table, keys, engine: str = "warp", *,
+                    codes=None, first=None, second=None,
+                    raw_of=None) -> tuple[np.ndarray, np.ndarray,
                                           KernelRunResult]:
     """Look up a batch of keys lane-faithfully.
 
     Returns ``(values, found, result)``.  Semantically identical to
     :meth:`repro.core.table.DyCuckooTable.find` (asserted by tests);
     this path additionally yields exact per-warp transaction counts.
+
+    ``codes``/``first``/``second``/``raw_of`` let a caller that has
+    already encoded and pair-hashed the batch (see
+    :class:`repro.core.batch_ops.EncodedBatch`) skip the re-derivation.
     """
     from repro.core.table import encode_keys
 
-    codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    resolve_engine(engine)
+    if codes is None:
+        codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    n = len(codes)
+    with kernel_span(table, "find", n, engine):
+        if engine == "cohort":
+            from repro.gpusim.cohort import cohort_find
+
+            values, found, result = cohort_find(table, codes, first,
+                                                second, raw_of)
+        else:
+            values, found, result = _warp_find(table, codes, first, second)
+    record_kernel_counters(table, result)
+    return values, found, result
+
+
+def _warp_find(table, codes: np.ndarray, first=None, second=None
+               ) -> tuple[np.ndarray, np.ndarray, KernelRunResult]:
     n = len(codes)
     values = np.zeros(n, dtype=np.uint64)
     found = np.zeros(n, dtype=bool)
@@ -53,7 +81,8 @@ def run_find_kernel(table, keys) -> tuple[np.ndarray, np.ndarray,
     if n == 0:
         return values, found, result
 
-    first, second = table.pair_hash.tables_for(codes)
+    if first is None or second is None:
+        first, second = table.pair_hash.tables_for(codes)
     for i in range(n):
         code = int(codes[i])
         for target in (int(first[i]), int(second[i])):

@@ -49,6 +49,19 @@ class KernelRunResult:
     #: Per-warp counts of leader elections (vote steps).
     votes: int = 0
 
+    def merge(self, other: "KernelRunResult") -> "KernelRunResult":
+        """Field-wise sum of two runs (mixed-batch aggregation)."""
+        return KernelRunResult(
+            rounds=self.rounds + other.rounds,
+            lock_acquisitions=self.lock_acquisitions + other.lock_acquisitions,
+            lock_conflicts=self.lock_conflicts + other.lock_conflicts,
+            evictions=self.evictions + other.evictions,
+            memory_transactions=(self.memory_transactions
+                                 + other.memory_transactions),
+            completed_ops=self.completed_ops + other.completed_ops,
+            votes=self.votes + other.votes,
+        )
+
 
 class _InsertWarp:
     """One warp's state while executing Algorithm 1."""
@@ -146,9 +159,10 @@ class _InsertWarp:
         Each lane inspects one slot; with capacity > warp width the
         warp would loop over stripes — ballot each stripe in turn.
         """
+        pred = self.ctx.scratch_pred
         for stripe_start in range(0, capacity, self.ctx.width):
             stripe = lane_matches[stripe_start:stripe_start + self.ctx.width]
-            pred = np.zeros(self.ctx.width, dtype=bool)
+            pred[:] = False
             pred[:len(stripe)] = stripe
             hit = self.ctx.ffs(self.ctx.ballot(pred))
             if hit >= 0:
@@ -258,16 +272,47 @@ class _InsertWarp:
         return (table_idx << 40) | bucket
 
 
-def _run_insert(table, keys, values, voter: bool) -> KernelRunResult:
-    keys = np.asarray(keys, dtype=np.uint64)
-    values = np.asarray(values, dtype=np.uint64)
+def _run_insert(table, keys, values, voter: bool, engine: str = "warp",
+                codes=None, first=None, second=None) -> KernelRunResult:
     from repro.core.table import encode_keys
-    codes = encode_keys(keys)
-    first, second = table.pair_hash.tables_for(codes)
+    from repro.kernels.engine import (kernel_span, record_kernel_counters,
+                                      resolve_engine)
+
+    resolve_engine(engine)
+    values = np.asarray(values, dtype=np.uint64)
+    if codes is None:
+        codes = encode_keys(np.asarray(keys, dtype=np.uint64))
+    if first is None or second is None:
+        first, second = table.pair_hash.tables_for(codes)
+    # Routing happens once, before engine dispatch, so both engines see
+    # byte-identical targets (the router is a pure function of the key
+    # and the table's current sizes/loads).
     targets = table._router.choose(codes, first, second,
                                    table.subtable_sizes(),
                                    table.subtable_loads())
-    arbiter = LockArbiter(faults=getattr(table, "faults", None))
+    faults = getattr(table, "faults", None)
+    faulty = faults is not None and faults.enabled
+    with kernel_span(table, "insert", len(codes), engine):
+        if engine == "cohort" and not faulty:
+            from repro.gpusim.cohort import cohort_insert
+
+            result = cohort_insert(table, codes, values, targets,
+                                   voter=voter)
+        else:
+            # Fault-plan decisions hash the per-site *invocation index*,
+            # which only the sequential per-warp engine reproduces; a
+            # fault-enabled run delegates to it so injected behaviour
+            # stays byte-identical across engines.
+            result = _run_insert_warps(table, codes, values, targets,
+                                       voter, faults)
+    record_kernel_counters(table, result)
+    return result
+
+
+def _run_insert_warps(table, codes, values, targets, voter: bool,
+                      faults) -> KernelRunResult:
+    """Reference engine: one `_InsertWarp` object per warp, stepped."""
+    arbiter = LockArbiter(faults=faults)
     tracker = MemoryTracker()
     result = KernelRunResult()
     warps = []
@@ -290,20 +335,28 @@ def _run_insert(table, keys, values, voter: bool) -> KernelRunResult:
     return result
 
 
-def run_voter_insert_kernel(table, keys, values) -> KernelRunResult:
+def run_voter_insert_kernel(table, keys, values, engine: str = "warp", *,
+                            codes=None, first=None,
+                            second=None) -> KernelRunResult:
     """Insert a batch via Algorithm 1 (voter coordination).
 
     Mutates ``table``'s storage directly; intended for fresh keys on a
     table with enough headroom (no resizing happens inside a kernel,
     matching the paper where resizing is its own kernel).
+    ``engine="cohort"`` executes the same program on the
+    structure-of-arrays engine with bit-identical storage and counters.
     """
-    return _run_insert(table, keys, values, voter=True)
+    return _run_insert(table, keys, values, voter=True, engine=engine,
+                       codes=codes, first=first, second=second)
 
 
-def run_spin_insert_kernel(table, keys, values) -> KernelRunResult:
+def run_spin_insert_kernel(table, keys, values, engine: str = "warp", *,
+                           codes=None, first=None,
+                           second=None) -> KernelRunResult:
     """Ablation: warp-centric insert that spins on the same lock.
 
     Identical to the voter kernel except a lock failure retries the same
     leader (and therefore the same bucket) next round.
     """
-    return _run_insert(table, keys, values, voter=False)
+    return _run_insert(table, keys, values, voter=False, engine=engine,
+                       codes=codes, first=first, second=second)

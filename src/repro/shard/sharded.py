@@ -188,7 +188,8 @@ class ShardedDyCuckoo(GpuHashTable):
         values, found = self.find(np.asarray([key], dtype=np.uint64))
         return int(values[0]) if bool(found[0]) else default
 
-    def execute_mixed(self, op_codes, keys, values=None) -> MixedBatchResult:
+    def execute_mixed(self, op_codes, keys, values=None,
+                      engine: str | None = None) -> MixedBatchResult:
         """Run a mixed insert/find/delete batch across the shards.
 
         The whole operation stream is scattered by key: each shard
@@ -199,6 +200,10 @@ class ShardedDyCuckoo(GpuHashTable):
         :func:`repro.core.batch_ops.execute_mixed` — is preserved while
         shards proceed independently.  ``runs`` is the total number of
         homogeneous sub-batches summed over shards.
+
+        ``engine`` is forwarded to every shard's mixed executor;
+        ``"warp"`` / ``"cohort"`` run the lane-faithful kernels per
+        shard, and ``.kernel`` carries the counters summed over shards.
         """
         op_codes = np.asarray(op_codes, dtype=np.int64)
         keys = np.asarray(keys, dtype=np.uint64)
@@ -211,6 +216,7 @@ class ShardedDyCuckoo(GpuHashTable):
         out_found = np.zeros(n, dtype=bool)
         out_removed = np.zeros(n, dtype=bool)
         runs = 0
+        kernel_total = None
         if n == 0:
             return MixedBatchResult(out_values, out_found, out_removed, runs)
         _codes, selections = self._scatter(keys)
@@ -219,12 +225,17 @@ class ShardedDyCuckoo(GpuHashTable):
                 continue
             result = _execute_mixed(
                 shard, op_codes[sel], keys[sel],
-                values[sel] if values is not None else None)
+                values[sel] if values is not None else None,
+                engine=engine)
             out_values[sel] = result.values
             out_found[sel] = result.found
             out_removed[sel] = result.removed
             runs += result.runs
-        return MixedBatchResult(out_values, out_found, out_removed, runs)
+            if result.kernel is not None:
+                kernel_total = (result.kernel if kernel_total is None
+                                else kernel_total.merge(result.kernel))
+        return MixedBatchResult(out_values, out_found, out_removed, runs,
+                                kernel_total)
 
     # ------------------------------------------------------------------
     # Introspection and roll-ups

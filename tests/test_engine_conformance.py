@@ -1,0 +1,266 @@
+"""Warp-vs-cohort engine conformance (the contract of PR 4).
+
+The cohort engine (:mod:`repro.gpusim.cohort`) must be *bit-for-bit*
+equivalent to the per-warp reference interpreter: identical results,
+identical storage mutations, identical aggregate cost counters
+(transactions, lock acquisitions/conflicts, rounds, evictions), and an
+identical telemetry stream.  These tests drive both engines over twin
+tables — deterministic trouble-spot scenarios first, then a Hypothesis
+property test over random mixed batches with resize storms and fault
+plans.
+
+``REPRO_FUZZ_EXAMPLES`` scales the property-test example budget.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_ops import (OP_DELETE, OP_FIND, OP_INSERT,
+                                  EncodedBatch, execute_mixed)
+from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
+from repro.errors import InvalidConfigError
+from repro.faults import default_chaos_plan
+from repro.kernels import (run_delete_kernel, run_find_kernel,
+                           run_spin_insert_kernel, run_voter_insert_kernel)
+from repro.shard import ShardedDyCuckoo
+from repro.telemetry import Telemetry
+
+from .conftest import unique_keys
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+
+
+def twin_tables(buckets=64, capacity=8, seed=3, **kw):
+    """Two identically configured, identically seeded tables."""
+    def make():
+        return DyCuckooTable(DyCuckooConfig(
+            initial_buckets=buckets, bucket_capacity=capacity,
+            auto_resize=False, seed=seed, **kw))
+    return make(), make()
+
+
+def assert_tables_identical(tw: DyCuckooTable, tc: DyCuckooTable) -> None:
+    """Storage arrays, sizes, and victim counter all bit-equal."""
+    assert tw._victim_counter == tc._victim_counter
+    for sw, sc in zip(tw.subtables, tc.subtables):
+        assert sw.size == sc.size
+        assert np.array_equal(sw.keys, sc.keys)
+        assert np.array_equal(sw.values, sc.values)
+
+
+class TestKernelEntryPoints:
+    def test_insert_find_delete_identical(self):
+        tw, tc = twin_tables()
+        keys = unique_keys(1200, seed=21)
+        values = keys * np.uint64(7)
+        rw = run_voter_insert_kernel(tw, keys, values)
+        rc = run_voter_insert_kernel(tc, keys, values, engine="cohort")
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+        vw, fw, rw = run_find_kernel(tw, keys)
+        vc, fc, rc = run_find_kernel(tc, keys, engine="cohort")
+        assert np.array_equal(vw, vc) and np.array_equal(fw, fc)
+        assert rw == rc
+
+        dw, rw = run_delete_kernel(tw, keys[::3])
+        dc, rc = run_delete_kernel(tc, keys[::3], engine="cohort")
+        assert np.array_equal(dw, dc)
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+    def test_spin_variant_identical(self):
+        tw, tc = twin_tables(buckets=16)
+        keys = unique_keys(400, seed=22)
+        rw = run_spin_insert_kernel(tw, keys, keys)
+        rc = run_spin_insert_kernel(tc, keys, keys, engine="cohort")
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+    def test_high_fill_eviction_chains_identical(self):
+        """~97% fill maximizes eviction chains and lock contention."""
+        tw, tc = twin_tables(buckets=8, capacity=8)
+        keys = unique_keys(248, seed=23)
+        rw = run_voter_insert_kernel(tw, keys, keys)
+        rc = run_voter_insert_kernel(tc, keys, keys, engine="cohort")
+        assert rw == rc
+        assert rw.evictions > 0  # the scenario must exercise eviction
+        assert_tables_identical(tw, tc)
+
+    def test_duplicate_heavy_batch_identical(self):
+        """Duplicates inside a batch hit the scalar-replay hazard path."""
+        base = unique_keys(60, seed=24)
+        keys = np.concatenate([base, base[:30], base[:15]])
+        values = np.arange(len(keys), dtype=np.uint64)
+        tw, tc = twin_tables(buckets=8, capacity=8)
+        rw = run_voter_insert_kernel(tw, keys, values)
+        rc = run_voter_insert_kernel(tc, keys, values, engine="cohort")
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+    def test_unknown_engine_rejected(self):
+        table, _ = twin_tables()
+        with pytest.raises(InvalidConfigError):
+            run_find_kernel(table, unique_keys(4), engine="simd")
+        with pytest.raises(InvalidConfigError):
+            execute_mixed(table, [OP_FIND], [1], engine="simd")
+
+    def test_fault_plans_delegate_to_warp_path(self):
+        """Fault-bearing inserts run per-warp under both engine labels."""
+        tw, tc = twin_tables()
+        tw.set_fault_plan(default_chaos_plan(seed=5))
+        tc.set_fault_plan(default_chaos_plan(seed=5))
+        keys = unique_keys(300, seed=25)
+        rw = run_voter_insert_kernel(tw, keys, keys)
+        rc = run_voter_insert_kernel(tc, keys, keys, engine="cohort")
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+
+class TestTelemetryStream:
+    def _stream(self, telemetry):
+        spans = [(e.name, e.category, e.args) for e in
+                 telemetry.tracer.spans()]
+        counters = {name: c.value for name, c in
+                    telemetry.metrics.counters.items()}
+        return spans, counters
+
+    def test_identical_span_and_counter_streams(self):
+        tw, tc = twin_tables()
+        mw = tw.set_telemetry(Telemetry())
+        mc = tc.set_telemetry(Telemetry())
+        keys = unique_keys(500, seed=26)
+        run_voter_insert_kernel(tw, keys, keys)
+        run_find_kernel(tw, keys)
+        run_delete_kernel(tw, keys[::2])
+        run_voter_insert_kernel(tc, keys, keys, engine="cohort")
+        run_find_kernel(tc, keys, engine="cohort")
+        run_delete_kernel(tc, keys[::2], engine="cohort")
+        spans_w, counters_w = self._stream(mw)
+        spans_c, counters_c = self._stream(mc)
+        assert counters_w == counters_c
+        assert len(spans_w) == len(spans_c)
+        for (nw, cw, aw), (nc, cc, ac) in zip(spans_w, spans_c):
+            assert (nw, cw) == (nc, cc)
+            assert aw.get("n") == ac.get("n")
+            assert aw["engine"] == "warp" and ac["engine"] == "cohort"
+
+
+class TestMixedBatchDispatch:
+    def _workload(self, n=3000, seed=27):
+        rng = np.random.default_rng(seed)
+        ops = rng.choice([OP_INSERT, OP_FIND, OP_DELETE], size=n,
+                         p=[0.5, 0.3, 0.2])
+        keys = rng.integers(1, n // 3, size=n).astype(np.uint64)
+        values = rng.integers(1, 1 << 32, size=n).astype(np.uint64)
+        return ops, keys, values
+
+    def test_engine_none_has_no_kernel_result(self):
+        table, _ = twin_tables()
+        ops, keys, values = self._workload()
+        result = execute_mixed(table, ops, keys, values)
+        assert result.kernel is None
+
+    def test_engines_match_each_other_and_host_path(self):
+        th, _ = twin_tables()
+        tw, tc = twin_tables()
+        ops, keys, values = self._workload()
+        rh = execute_mixed(th, ops, keys, values)
+        rw = execute_mixed(tw, ops, keys, values, engine="warp")
+        rc = tc.execute_mixed(ops, keys, values, engine="cohort")
+        for field in ("values", "found", "removed"):
+            assert np.array_equal(getattr(rw, field), getattr(rc, field))
+            assert np.array_equal(getattr(rh, field), getattr(rw, field))
+        assert rw.kernel is not None and rw.kernel == rc.kernel
+        assert rw.runs == rc.runs == rh.runs
+        assert_tables_identical(tw, tc)
+        assert th.to_dict() == tw.to_dict()
+
+    def test_encoded_batch_caches_hashes(self):
+        table, _ = twin_tables()
+        keys = unique_keys(100, seed=28)
+        batch = EncodedBatch(table, keys)
+        assert batch.raw(0) is batch.raw(0)  # cached, not recomputed
+        np.testing.assert_array_equal(
+            table.table_hashes[2].bucket_from_raw(
+                batch.raw(2), table.subtables[2].n_buckets),
+            table.table_hashes[2].bucket(batch.codes,
+                                         table.subtables[2].n_buckets))
+
+    def test_sharded_mixed_engine_dispatch(self):
+        def make_sharded():
+            return ShardedDyCuckoo(num_shards=2, config=DyCuckooConfig(
+                initial_buckets=32, bucket_capacity=8, auto_resize=False))
+        sw, sc = make_sharded(), make_sharded()
+        ops, keys, values = self._workload(n=2000, seed=29)
+        rw = sw.execute_mixed(ops, keys, values, engine="warp")
+        rc = sc.execute_mixed(ops, keys, values, engine="cohort")
+        for field in ("values", "found", "removed"):
+            assert np.array_equal(getattr(rw, field), getattr(rc, field))
+        assert rw.kernel is not None and rw.kernel == rc.kernel
+        for shard_w, shard_c in zip(sw.shards, sc.shards):
+            assert_tables_identical(shard_w, shard_c)
+
+
+# ---------------------------------------------------------------------------
+# Property-based conformance
+# ---------------------------------------------------------------------------
+
+KEY = st.integers(min_value=1, max_value=200)
+VALUE = st.integers(min_value=1, max_value=1 << 32)
+
+# One step: a homogeneous batch, optionally followed by a resize.  Key
+# range 1..200 against a 512-slot table keeps fill under ~40%, so the
+# kernels (which never resize) always converge.
+step_strategy = st.tuples(
+    st.sampled_from(("insert", "find", "delete")),
+    st.lists(KEY, min_size=1, max_size=60),
+    st.lists(VALUE, min_size=60, max_size=60),
+    st.sampled_from((None, None, None, "upsize", "downsize")),
+)
+
+
+class TestPropertyConformance:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(steps=st.lists(step_strategy, min_size=1, max_size=8),
+           faulty=st.booleans())
+    def test_random_mixed_batches_conform(self, steps, faulty):
+        tw, tc = twin_tables(buckets=16, capacity=8)
+        if faulty:
+            tw.set_fault_plan(default_chaos_plan(seed=9))
+            tc.set_fault_plan(default_chaos_plan(seed=9))
+        for kind, raw_keys, raw_values, resize in steps:
+            keys = np.array(raw_keys, dtype=np.uint64)
+            if kind == "insert":
+                values = np.array(raw_values[:len(raw_keys)],
+                                  dtype=np.uint64)
+                rw = run_voter_insert_kernel(tw, keys, values)
+                rc = run_voter_insert_kernel(tc, keys, values,
+                                             engine="cohort")
+            elif kind == "find":
+                vw, fw, rw = run_find_kernel(tw, keys)
+                vc, fc, rc = run_find_kernel(tc, keys, engine="cohort")
+                assert np.array_equal(vw, vc) and np.array_equal(fw, fc)
+            else:
+                dw, rw = run_delete_kernel(tw, keys)
+                dc, rc = run_delete_kernel(tc, keys, engine="cohort")
+                assert np.array_equal(dw, dc)
+            assert dataclasses.asdict(rw) == dataclasses.asdict(rc)
+            assert_tables_identical(tw, tc)
+            if resize in ("upsize", "downsize"):
+                outcomes = []
+                for t in (tw, tc):
+                    try:
+                        t.upsize() if resize == "upsize" else t.downsize()
+                        outcomes.append(None)
+                    except Exception as exc:  # noqa: BLE001 - compared below
+                        outcomes.append(type(exc))
+                assert outcomes[0] == outcomes[1]
+            assert_tables_identical(tw, tc)

@@ -40,11 +40,17 @@ INSERT_PATHS = {
     "vectorized": lambda table, keys, values: table.insert(keys, values),
     "voter": run_voter_insert_kernel,
     "spin": run_spin_insert_kernel,
+    "voter-cohort": lambda table, keys, values: run_voter_insert_kernel(
+        table, keys, values, engine="cohort"),
+    "spin-cohort": lambda table, keys, values: run_spin_insert_kernel(
+        table, keys, values, engine="cohort"),
 }
 
 DELETE_PATHS = {
     "vectorized": lambda table, keys: table.delete(keys),
     "kernel": lambda table, keys: run_delete_kernel(table, keys)[0],
+    "kernel-cohort": lambda table, keys: run_delete_kernel(
+        table, keys, engine="cohort")[0],
 }
 
 
@@ -60,11 +66,17 @@ def assert_conforms(table, model: dict) -> None:
         expected = np.fromiter((model[int(k)] for k in model_keys),
                                dtype=np.uint64)
         assert np.array_equal(values, expected)
-        # The kernel FIND must agree with the vectorized FIND.
-        kernel_values, kernel_found, _stats = run_find_kernel(
+        # The kernel FIND must agree with the vectorized FIND — through
+        # both execution engines, with identical cost counters.
+        kernel_values, kernel_found, warp_stats = run_find_kernel(
             table, model_keys)
         assert np.array_equal(kernel_found, found)
         assert np.array_equal(kernel_values, values)
+        cohort_values, cohort_found, cohort_stats = run_find_kernel(
+            table, model_keys, engine="cohort")
+        assert np.array_equal(cohort_found, found)
+        assert np.array_equal(cohort_values, values)
+        assert cohort_stats == warp_stats
 
 
 class TestIdenticalBatches:
@@ -164,7 +176,8 @@ class TestDuplicateKeys:
         table.insert(keys, values)
         assert_conforms(table, {7: 4, 8: 5})
 
-    @pytest.mark.parametrize("insert_path", ["voter", "spin"])
+    @pytest.mark.parametrize(
+        "insert_path", ["voter", "spin", "voter-cohort", "spin-cohort"])
     def test_kernel_duplicates_single_copy(self, insert_path):
         """The kernel path stores exactly one copy per duplicated key.
 
