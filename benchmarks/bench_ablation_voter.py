@@ -8,7 +8,6 @@ lock.  Expected shape: the voter scheme suffers fewer lock conflicts
 (and therefore less of Figure 5's atomic serialization cost).
 """
 
-import numpy as np
 
 from repro.bench import format_table, shape_check
 from repro.core.config import DyCuckooConfig

@@ -38,11 +38,8 @@ def _run_all():
     }
     results = {}
     for name, table in tables.items():
-        before_all = table.stats.snapshot()
         run = run_static(table, keys, values, num_finds=STATIC_FINDS,
                          cost_model=COST_MODEL)
-        # Probe count of the FIND phase specifically.
-        delta = table.stats.delta(before_all)
         results[name] = (run, table)
     return results
 

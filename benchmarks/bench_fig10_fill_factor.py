@@ -12,7 +12,6 @@ Expected shapes:
   a wide margin (the paper reports >2x insert, >2.5x find).
 """
 
-import numpy as np
 
 from repro.bench import format_table, run_static, shape_check
 from repro.workloads import RAND

@@ -17,7 +17,6 @@ With ``REPRO_BENCH_JSON`` set, results are also dumped as
 ``BENCH_kernel_engine.json`` for regression tracking.
 """
 
-import dataclasses
 import time
 
 import numpy as np

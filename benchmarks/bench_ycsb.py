@@ -12,7 +12,6 @@ directly from the paper's analysis:
   filled factor.
 """
 
-import numpy as np
 
 from repro.bench import execute_operations, format_table, shape_check
 from repro.gpusim.metrics import CostModel

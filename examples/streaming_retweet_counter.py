@@ -33,7 +33,6 @@ def main() -> None:
     recent_minutes: list[np.ndarray] = []
     fills, sizes = [], []
 
-    rng = np.random.default_rng(0)
     for minute in range(MINUTES):
         # A fresh burst of retweet events: heavy Zipf skew means a few
         # celebrity accounts dominate the batch (hot keys).

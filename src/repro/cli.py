@@ -648,6 +648,89 @@ def _cmd_faults(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.sanitizer.audit import run_clean_audit, run_fixture_suite
+    from repro.sanitizer.lint import lint_paths
+
+    run_all = not (args.lint or args.fixtures)
+    smoke = args.smoke
+    report: dict = {"command": "sanitize"}
+    problems: list[str] = []
+
+    if run_all or args.fixtures:
+        fixtures = run_fixture_suite()
+        report["fixtures"] = fixtures
+        if not fixtures["ok"]:
+            for name, res in fixtures["fixtures"].items():
+                if not res["ok"]:
+                    problems.append(
+                        f"fixture '{name}' expected {res['expected']} "
+                        f"but detected {res['detected']}")
+
+    if run_all:
+        engines = (("warp", "cohort") if args.engine == "both"
+                   else (args.engine,))
+        ops = 256 if smoke else args.ops
+        audit = run_clean_audit(ops=ops, seed=args.seed, engines=engines)
+        report["audit"] = audit
+        if not audit["ok"]:
+            for phase, res in audit["phases"].items():
+                for v in res["violations"]:
+                    problems.append(f"{phase}: {v['pass']}:{v['kind']} "
+                                    f"{v['message']}")
+                if res["subtable_locks_held"]:
+                    problems.append(
+                        f"{phase}: {res['subtable_locks_held']} subtable "
+                        "lock(s) still held after the audit")
+        if audit["injected_events"] == 0:
+            problems.append("fault phase injected nothing — the "
+                            "intentional-fault classification went "
+                            "unexercised")
+
+    if run_all or args.lint:
+        findings = lint_paths()
+        report["lint"] = {
+            "findings": [str(f) for f in findings],
+            "ok": not findings,
+        }
+        problems.extend(str(f) for f in findings)
+
+    report["problems"] = problems
+    report["ok"] = not problems
+
+    if args.json:
+        _emit_json(report)
+    else:
+        if "fixtures" in report:
+            n = len(report["fixtures"]["fixtures"])
+            good = sum(1 for r in report["fixtures"]["fixtures"].values()
+                       if r["ok"])
+            print(f"fixtures: {good}/{n} seeded violations detected "
+                  "with round/warp attribution")
+        if "audit" in report:
+            audit = report["audit"]
+            for phase, res in audit["phases"].items():
+                stats = res["stats"]
+                print(f"{phase}: {stats['accesses']} accesses over "
+                      f"{stats['rounds']} rounds, "
+                      f"{stats['lock_acquires']} lock acquires, "
+                      f"{len(res['violations'])} violations")
+            print(f"fault classification: "
+                  f"{audit['injected_events']} injected events counted "
+                  "as intentional")
+        if "lint" in report:
+            n_lint = len(report["lint"]["findings"])
+            print(f"determinism lint: {n_lint} finding(s) in src/repro")
+        if problems:
+            print("SANITIZE FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+        else:
+            print("sanitize ok: zero violations, all seeded fixtures "
+                  "detected, lint clean")
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DyCuckoo reproduction toolkit")
@@ -756,6 +839,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(fault-bearing inserts always execute "
                              "per-warp; see repro.gpusim.cohort)")
 
+    sanitize = sub.add_parser(
+        "sanitize", help="SIMT sanitizer: racecheck + lockcheck audit, "
+                         "seeded fixtures, determinism lint")
+    sanitize.add_argument("--ops", type=int, default=512,
+                          help="operations per audited kernel workload")
+    sanitize.add_argument("--seed", type=int, default=0,
+                          help="RNG seed for exact reproducibility")
+    sanitize.add_argument("--engine", choices=("warp", "cohort", "both"),
+                          default="both",
+                          help="kernel engine(s) to audit")
+    sanitize.add_argument("--lint", action="store_true",
+                          help="run only the determinism lint over "
+                               "src/repro")
+    sanitize.add_argument("--fixtures", action="store_true",
+                          help="run only the seeded-violation fixtures")
+    sanitize.add_argument("--smoke", action="store_true",
+                          help="fast fixed configuration (CI check)")
+    sanitize.add_argument("--json", action="store_true",
+                          help="machine-readable JSON on stdout")
+
     return parser
 
 
@@ -769,6 +872,7 @@ _COMMANDS = {
     "shard": _cmd_shard,
     "kernel": _cmd_kernel,
     "faults": _cmd_faults,
+    "sanitize": _cmd_sanitize,
 }
 
 

@@ -14,7 +14,7 @@ and tests can reference the exact published settings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import InvalidConfigError
 

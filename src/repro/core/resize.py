@@ -36,9 +36,13 @@ import numpy as np
 
 from repro.core.grouping import rank_within_group
 from repro.errors import ResizeError
+from repro.sanitizer import NULL_SANITIZER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.table import DyCuckooTable
+
+_SITE_UPSIZE = "repro/core/resize.py:ResizeController.upsize"
+_SITE_DOWNSIZE = "repro/core/resize.py:ResizeController.downsize"
 
 
 class ResizeController:
@@ -190,20 +194,32 @@ class ResizeController:
             if faulty:
                 self._fire_abort("plan")
             snapshot = _TableSnapshot(table) if faulty else None
-            with tracer.span("resize.rehash", "resize", subtable=target,
-                             old_buckets=st.n_buckets,
-                             new_buckets=st.n_buckets * 2):
-                codes, values, _old_buckets = st.export_entries()
-                new_n = st.n_buckets * 2
-                new_buckets = table.table_hashes[target].bucket(codes, new_n)
-                st.rebuild(new_n, codes, values, new_buckets)
-                if faulty:
-                    self._fire_abort("rehash", snapshot=snapshot)
-            table.stats.upsizes += 1
-            table.stats.rehashed_entries += len(codes)
-            # One coalesced read + write per touched bucket pair.
-            table.stats.bucket_reads += st.n_buckets // 2
-            table.stats.bucket_writes += st.n_buckets
+            # The paper's one-subtable guarantee: a resize locks exactly
+            # its target subtable for the mutating stages.  The bracket
+            # is try/finally so an injected rehash abort still releases
+            # — a leak here wedges the subtable for every later resize.
+            san = getattr(table, "sanitizer", NULL_SANITIZER)
+            if san.enabled:
+                san.on_subtable_lock(target, "upsize", site=_SITE_UPSIZE)
+            try:
+                with tracer.span("resize.rehash", "resize", subtable=target,
+                                 old_buckets=st.n_buckets,
+                                 new_buckets=st.n_buckets * 2):
+                    codes, values, _old_buckets = st.export_entries()
+                    new_n = st.n_buckets * 2
+                    new_buckets = table.table_hashes[target].bucket(codes,
+                                                                    new_n)
+                    st.rebuild(new_n, codes, values, new_buckets)
+                    if faulty:
+                        self._fire_abort("rehash", snapshot=snapshot)
+                table.stats.upsizes += 1
+                table.stats.rehashed_entries += len(codes)
+                # One coalesced read + write per touched bucket pair.
+                table.stats.bucket_reads += st.n_buckets // 2
+                table.stats.bucket_writes += st.n_buckets
+            finally:
+                if san.enabled:
+                    san.on_subtable_unlock(target, site=_SITE_UPSIZE)
             if table.telemetry.enabled:
                 table.telemetry.metrics.counter("resize.upsizes").inc()
                 table.telemetry.metrics.counter(
@@ -238,44 +254,61 @@ class ResizeController:
                 stats_before = table.stats.snapshot()
             if faulty:
                 self._fire_abort("plan")
-            with tracer.span("resize.rehash", "resize", subtable=target,
-                             old_buckets=st.n_buckets,
-                             new_buckets=st.n_buckets // 2):
-                codes, values, _old_buckets = st.export_entries()
-                new_n = st.n_buckets // 2
-                new_buckets = table.table_hashes[target].bucket(codes, new_n)
-                ranks, _unique, _inverse = rank_within_group(new_buckets)
-                keep = ranks < st.bucket_capacity
-                st.rebuild(new_n, codes[keep], values[keep], new_buckets[keep])
-                if faulty:
-                    self._fire_abort("rehash", snapshot=snapshot)
-            table.stats.bucket_reads += new_n * 2
-            table.stats.bucket_writes += new_n
+            # One-subtable guarantee (Section IV-D): only the downsizing
+            # subtable is locked; the residual spill targets the *other*
+            # subtables, which stay unlocked and service queries.  The
+            # try/finally covers rehash, spill, and rollback so every
+            # abort path releases.
+            san = getattr(table, "sanitizer", NULL_SANITIZER)
+            if san.enabled:
+                san.on_subtable_lock(target, "downsize",
+                                     site=_SITE_DOWNSIZE)
+            try:
+                with tracer.span("resize.rehash", "resize", subtable=target,
+                                 old_buckets=st.n_buckets,
+                                 new_buckets=st.n_buckets // 2):
+                    codes, values, _old_buckets = st.export_entries()
+                    new_n = st.n_buckets // 2
+                    new_buckets = table.table_hashes[target].bucket(codes,
+                                                                    new_n)
+                    ranks, _unique, _inverse = rank_within_group(new_buckets)
+                    keep = ranks < st.bucket_capacity
+                    st.rebuild(new_n, codes[keep], values[keep],
+                               new_buckets[keep])
+                    if faulty:
+                        self._fire_abort("rehash", snapshot=snapshot)
+                table.stats.bucket_reads += new_n * 2
+                table.stats.bucket_writes += new_n
 
-            residual_codes = codes[~keep]
-            residual_values = values[~keep]
-            table.stats.downsizes += 1
-            table.stats.rehashed_entries += len(codes)
-            table.stats.residuals += len(residual_codes)
-            with tracer.span("resize.spill", "resize", subtable=target,
-                             residuals=len(residual_codes)):
-                if len(residual_codes):
-                    current = np.full(len(residual_codes), target,
-                                      dtype=np.int64)
-                    alternates = table.pair_hash.alternate_table(
-                        residual_codes, current)
-                    try:
-                        if faulty:
-                            self._fire_abort("spill")
-                        table._insert_pending(residual_codes, residual_values,
-                                              alternates, excluded=target)
-                    except ResizeError:
-                        snapshot.restore(table)
-                        self._restore_stats(stats_before)
-                        tracer.instant("resize.rollback", "resize",
-                                       subtable=target,
-                                       residuals=len(residual_codes))
-                        raise
+                residual_codes = codes[~keep]
+                residual_values = values[~keep]
+                table.stats.downsizes += 1
+                table.stats.rehashed_entries += len(codes)
+                table.stats.residuals += len(residual_codes)
+                with tracer.span("resize.spill", "resize", subtable=target,
+                                 residuals=len(residual_codes)):
+                    if len(residual_codes):
+                        current = np.full(len(residual_codes), target,
+                                          dtype=np.int64)
+                        alternates = table.pair_hash.alternate_table(
+                            residual_codes, current)
+                        try:
+                            if faulty:
+                                self._fire_abort("spill")
+                            table._insert_pending(residual_codes,
+                                                  residual_values,
+                                                  alternates,
+                                                  excluded=target)
+                        except ResizeError:
+                            snapshot.restore(table)
+                            self._restore_stats(stats_before)
+                            tracer.instant("resize.rollback", "resize",
+                                           subtable=target,
+                                           residuals=len(residual_codes))
+                            raise
+            finally:
+                if san.enabled:
+                    san.on_subtable_unlock(target, site=_SITE_DOWNSIZE)
             # Telemetry counters are monotonic (no decrement exists), so
             # they are only published once the spill — the last stage
             # that can roll the downsize back — has succeeded.

@@ -39,6 +39,7 @@ from repro.errors import (CapacityError, InvalidKeyError, ResizeError,
                           StashOverflowError)
 from repro.faults import NO_FAULTS, FaultPlan
 from repro.gpusim.kernel import estimate_lock_conflicts
+from repro.sanitizer import NULL_SANITIZER, Sanitizer
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: Bucket upper bounds for the cuckoo-chain-depth histogram (evictions a
@@ -104,6 +105,8 @@ class DyCuckooTable:
         self.telemetry = NULL_TELEMETRY
         #: Fault-injection hooks; same gating discipline as telemetry.
         self.faults = NO_FAULTS
+        #: SIMT sanitizer hooks; same gating discipline as telemetry.
+        self.sanitizer = NULL_SANITIZER
         #: Bounded overflow stash (the CUDA reference's error table);
         #: empty in every fault-free run.
         self.stash = Stash(self.config.stash_capacity)
@@ -131,6 +134,17 @@ class DyCuckooTable:
         """
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         return self.telemetry
+
+    def set_sanitizer(self, sanitizer: Sanitizer | None) -> Sanitizer:
+        """Attach a SIMT sanitizer (``None`` detaches); returns it.
+
+        While attached, the kernel engines log lock operations and
+        bucket accesses into it and the resize controller brackets its
+        subtable locks (see :mod:`repro.sanitizer`).  The null default
+        keeps every hook a single attribute check.
+        """
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
+        return self.sanitizer
 
     # ------------------------------------------------------------------
     # Introspection

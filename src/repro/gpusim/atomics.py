@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
+from repro.sanitizer import NULL_SANITIZER
 from repro.telemetry.tracer import NULL_TRACER
+
+_SITE_CAS = "repro/gpusim/atomics.py:AtomicMemory.atomic_cas"
+_SITE_EXCH = "repro/gpusim/atomics.py:AtomicMemory.atomic_exch"
 
 #: Relative cost multiplier of atomicCAS over atomicExch (read-compare-write
 #: versus blind write; consistent with the gap in the paper's Figure 5).
@@ -40,7 +44,8 @@ class AtomicMemory:
     scheduler chose, which is a legal GPU interleaving.
     """
 
-    def __init__(self, num_words: int, tracer=None, faults=None) -> None:
+    def __init__(self, num_words: int, tracer=None, faults=None,
+                 sanitizer=None) -> None:
         self.words = np.zeros(num_words, dtype=np.int64)
         #: Total atomic operations executed.
         self.ops = 0
@@ -51,6 +56,8 @@ class AtomicMemory:
         self._round_addresses: list[int] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults if faults is not None else NO_FAULTS
+        self.sanitizer = (sanitizer if sanitizer is not None
+                          else NULL_SANITIZER)
 
     def atomic_cas(self, address: int, compare: int, value: int) -> int:
         """``old = mem[address]; if old == compare: mem[address] = value``.
@@ -62,8 +69,13 @@ class AtomicMemory:
         """
         self.ops += 1
         self._round_addresses.append(address)
+        if self.sanitizer.enabled:
+            # Atomics are ordered by definition: stats only, no pairing.
+            self.sanitizer.on_atomic(address, site=_SITE_CAS)
         if self.faults.enabled and self.faults.fire("atomics.cas") is not None:
             self.injected_failures += 1
+            if self.sanitizer.enabled:
+                self.sanitizer.note_injected("atomics.cas")
             if self.tracer.enabled:
                 self.tracer.instant("fault.inject", "fault",
                                     site="atomics.cas", address=address)
@@ -77,6 +89,8 @@ class AtomicMemory:
         """Atomically write ``value``; return the previous word."""
         self.ops += 1
         self._round_addresses.append(address)
+        if self.sanitizer.enabled:
+            self.sanitizer.on_atomic(address, site=_SITE_EXCH)
         old = int(self.words[address])
         self.words[address] = value
         return old
@@ -86,6 +100,8 @@ class AtomicMemory:
         counts: dict[int, int] = {}
         for address in self._round_addresses:
             counts[address] = counts.get(address, 0) + 1
+        if self.sanitizer.enabled and counts:
+            self.sanitizer.on_atomic_round(counts)
         if self.tracer.enabled and counts:
             self.tracer.instant(
                 "atomic.round", "atomic",

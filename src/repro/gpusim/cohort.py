@@ -64,9 +64,16 @@ import numpy as np
 
 from repro.core.subtable import EMPTY
 from repro.errors import CapacityError
+from repro.sanitizer import NULL_SANITIZER
 
 #: Lane count of a warp (fixed by the reference kernels).
 WARP_WIDTH = 32
+
+_SITE_PH1 = "repro/gpusim/cohort.py:_phase_one"
+_SITE_PH2 = "repro/gpusim/cohort.py:_phase_two"
+_SITE_SCALAR = "repro/gpusim/cohort.py:_complete_one_scalar"
+_SITE_DELETE = "repro/gpusim/cohort.py:cohort_delete"
+_SITE_UNWIND = "repro/gpusim/cohort.py:cohort_insert"
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 _ONE = np.uint64(1)
@@ -189,6 +196,15 @@ def cohort_delete(table, codes: np.ndarray, first=None, second=None,
                 removed[dest] = True
                 if hit_out is not None:
                     hit_out[dest] = True
+                san = getattr(table, "sanitizer", NULL_SANITIZER)
+                if san.enabled:
+                    # Same access log as the per-warp engine: one
+                    # lock-free slot-clear write per removal (exempt
+                    # from the locking contract — see run_delete_kernel).
+                    for b in buckets[hit]:
+                        san.record_access(0, "write", "bucket",
+                                          (t << 40) | int(b),
+                                          site=_SITE_DELETE)
 
     clear(unique_idx, first[unique_idx], hit_first)
     pending = unique_idx[~removed[unique_idx]]
@@ -266,26 +282,48 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
     rng = np.random.default_rng(0)
     W = state.num_warps
     rounds = 0
-    while bool(state.locked.any()) or bool(state.active.any()):
-        if rounds >= max_rounds:
-            raise RuntimeError(
-                f"kernel did not converge within {max_rounds} rounds"
-            )
-        perm = rng.permutation(W)
-        pos = np.empty(W, dtype=np.int64)
-        pos[perm] = np.arange(W)
-        ph2 = np.flatnonzero(state.locked)
-        ph1 = np.flatnonzero(~state.locked & (state.active != 0))
-        # Lock holders at round start: they complete and release at
-        # their permutation position, which phase-one arbitration needs.
-        holder_ids = state.lk_lockid[ph2]
-        holder_pos = pos[ph2]
-        if len(ph2):
-            _phase_two(table, state, result, ph2, pos)
-        if len(ph1):
-            _phase_one(table, state, result, ph1, pos, holder_ids,
-                       holder_pos, voter, max_rounds_per_op)
-        rounds += 1
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    if san.enabled:
+        san.begin_kernel("insert", locking=True)
+    try:
+        while bool(state.locked.any()) or bool(state.active.any()):
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"kernel did not converge within {max_rounds} rounds"
+                )
+            if san.enabled:
+                san.begin_round(rounds)
+            perm = rng.permutation(W)
+            pos = np.empty(W, dtype=np.int64)
+            pos[perm] = np.arange(W)
+            ph2 = np.flatnonzero(state.locked)
+            ph1 = np.flatnonzero(~state.locked & (state.active != 0))
+            # Lock holders at round start: they complete and release at
+            # their permutation position, which phase-one arbitration
+            # needs.
+            holder_ids = state.lk_lockid[ph2]
+            holder_pos = pos[ph2]
+            if len(ph2):
+                _phase_two(table, state, result, ph2, pos, san)
+            if len(ph1):
+                _phase_one(table, state, result, ph1, pos, holder_ids,
+                           holder_pos, voter, max_rounds_per_op, san)
+            rounds += 1
+    except BaseException:
+        # Release-on-exception: _phase_one raises CapacityError *after*
+        # the same round's winners entered phase two, and the
+        # non-convergence abort fires with warps mid-critical-section.
+        # Their bucket locks must be cleared on the way out (the warp
+        # engine does the same via _InsertWarp.unwind_locks).
+        for w in np.flatnonzero(state.locked):
+            if san.enabled:
+                san.on_unwind_release(int(w), int(state.lk_lockid[w]),
+                                      site=_SITE_UNWIND)
+        state.locked[:] = False
+        raise
+    finally:
+        if san.enabled:
+            san.end_kernel()
     result.rounds = rounds
     return result
 
@@ -293,7 +331,7 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
 def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
                pos: np.ndarray, holder_ids: np.ndarray,
                holder_pos: np.ndarray, voter: bool,
-               max_stall: int) -> None:
+               max_stall: int, san=NULL_SANITIZER) -> None:
     """Elect leaders, hash buckets, arbitrate locks — all warps at once."""
     m = state.active[ph1]
     result.votes += len(ph1)
@@ -361,6 +399,12 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
     state.lk_bucket[w_idx] = bucket[win]
     state.lk_lockid[w_idx] = lock_id[win]
     state.stalled[w_idx] = 0
+    if san.enabled:
+        won_ids = lock_id[win]
+        for i, w in enumerate(w_idx):
+            san.on_lock_acquire(int(w), int(won_ids[i]), site=_SITE_PH1)
+            san.record_access(int(w), "read", "bucket", int(won_ids[i]),
+                              site=_SITE_PH1)
 
     l_idx = ph1[~win]
     if len(l_idx):
@@ -375,7 +419,7 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
 
 
 def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
-               pos: np.ndarray) -> None:
+               pos: np.ndarray, san=NULL_SANITIZER) -> None:
     """Complete every held lock: upsert, place, or evict, then release.
 
     Classifies all locked warps from a start-of-round snapshot and
@@ -449,7 +493,7 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
 
     if hazard:
         for w in ph2[np.argsort(pos[ph2], kind="stable")]:
-            _complete_one_scalar(table, state, int(w), result)
+            _complete_one_scalar(table, state, int(w), result, san)
         return
 
     # ---- vectorized apply (no observable ordering inside the round) --
@@ -508,11 +552,35 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
         d_lane = ldr[done]
         state.active[d_warp] &= ~(_ONE << d_lane.astype(np.uint64))
         state.next_start[d_warp] = (d_lane + 1) % WARP_WIDTH
+    if san.enabled:
+        # Mirror the warp engine's per-warp access log for this round:
+        # upsert/place/evict are bucket writes under the warp's own
+        # lock; an alternate-bucket probe is a sanctioned lock-free
+        # read, and an alternate hit is a single-word value update.
+        lids = state.lk_lockid[ph2]
+        for i in range(mcount):
+            w = int(ph2[i])
+            lid = int(lids[i])
+            if has_exist[i]:
+                san.record_access(w, "write", "bucket", lid,
+                                  site=_SITE_PH2)
+            else:
+                j = int(np.searchsorted(miss, i))
+                a_lock = (int(alt_t[j]) << 40) | int(alt_b[j])
+                san.record_access(w, "probe", "bucket", a_lock,
+                                  site=_SITE_PH2)
+                if a_hit[j]:
+                    san.record_access(w, "atomic", "value", a_lock,
+                                      site=_SITE_PH2)
+                else:
+                    san.record_access(w, "write", "bucket", lid,
+                                      site=_SITE_PH2)
+            san.on_lock_release(w, lid, site=_SITE_PH2)
     state.locked[ph2] = False
 
 
 def _complete_one_scalar(table, state: _CohortState, w: int,
-                         result) -> None:
+                         result, san=NULL_SANITIZER) -> None:
     """Reference-exact phase two for one warp against live storage.
 
     Mirrors :meth:`repro.kernels.insert._InsertWarp._complete_locked`
@@ -522,6 +590,7 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
     ldr = int(state.lk_leader[w])
     tgt = int(state.lk_target[w])
     bkt = int(state.lk_bucket[w])
+    lid = int(state.lk_lockid[w])
     key = np.uint64(state.keys[w, ldr])
     val = np.uint64(state.values[w, ldr])
     st = table.subtables[tgt]
@@ -536,11 +605,18 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
         ab = int(table.table_hashes[alt].bucket(
             np.asarray([key], dtype=np.uint64), ast.n_buckets)[0])
         result.memory_transactions += 1
+        if san.enabled:
+            san.record_access(w, "probe", "bucket", (alt << 40) | ab,
+                              site=_SITE_SCALAR)
         ahits = np.flatnonzero(ast.keys[ab] == key)
         if len(ahits):
             ast.values[ab, int(ahits[0])] = val
             result.memory_transactions += 1
             result.completed_ops += 1
+            if san.enabled:
+                san.record_access(w, "atomic", "value", (alt << 40) | ab,
+                                  site=_SITE_SCALAR)
+                san.on_lock_release(w, lid, site=_SITE_SCALAR)
             state.active[w] &= ~(_ONE << np.uint64(ldr))
             state.next_start[w] = (ldr + 1) % WARP_WIDTH
             state.locked[w] = False
@@ -555,6 +631,10 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
             st.size += 1
         result.memory_transactions += 1
         result.completed_ops += 1
+        if san.enabled:
+            san.record_access(w, "write", "bucket", lid,
+                              site=_SITE_SCALAR)
+            san.on_lock_release(w, lid, site=_SITE_SCALAR)
         state.active[w] &= ~(_ONE << np.uint64(ldr))
         state.next_start[w] = (ldr + 1) % WARP_WIDTH
         state.locked[w] = False
@@ -567,6 +647,9 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
     st.values[bkt, vslot] = val
     result.memory_transactions += 1
     result.evictions += 1
+    if san.enabled:
+        san.record_access(w, "write", "bucket", lid, site=_SITE_SCALAR)
+        san.on_lock_release(w, lid, site=_SITE_SCALAR)
     state.keys[w, ldr] = victim_key
     state.values[w, ldr] = victim_val
     state.targets[w, ldr] = int(table.pair_hash.alternate_table(

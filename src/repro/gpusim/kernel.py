@@ -20,7 +20,11 @@ from typing import Callable, Iterable
 from repro.errors import InvalidConfigError
 from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
+from repro.sanitizer import NULL_SANITIZER
 from repro.telemetry.tracer import NULL_TRACER
+
+_SITE_ACQUIRE = "repro/gpusim/kernel.py:LockArbiter.try_acquire"
+_SITE_RELEASE = "repro/gpusim/kernel.py:LockArbiter.release"
 
 
 @dataclass(frozen=True)
@@ -109,11 +113,13 @@ class RoundScheduler:
     """
 
     def __init__(self, warps: Iterable, max_rounds: int = 1_000_000,
-                 seed: int = 0, tracer=None) -> None:
+                 seed: int = 0, tracer=None, sanitizer=None) -> None:
         self.warps = list(warps)
         self.max_rounds = max_rounds
         self.rounds_executed = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.sanitizer = (sanitizer if sanitizer is not None
+                          else NULL_SANITIZER)
         self._rng = __import__("numpy").random.default_rng(seed)
 
     def run(self, before_round: Callable[[int], None] | None = None,
@@ -137,6 +143,8 @@ class RoundScheduler:
                 raise RuntimeError(
                     f"kernel did not converge within {self.max_rounds} rounds"
                 )
+            if self.sanitizer.enabled:
+                self.sanitizer.begin_round(round_index)
             if before_round is not None:
                 before_round(round_index)
             if tracer.enabled:
@@ -164,7 +172,7 @@ class LockArbiter:
     counts the failed attempts (the spinning the voter scheme avoids).
     """
 
-    def __init__(self, tracer=None, faults=None) -> None:
+    def __init__(self, tracer=None, faults=None, sanitizer=None) -> None:
         self._held: set[int] = set()
         #: Resources camped on by an injected stalled holder, mapped to
         #: the device rounds the stall has left (aged by :meth:`tick`).
@@ -177,9 +185,15 @@ class LockArbiter:
         self.injected_stalls = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults if faults is not None else NO_FAULTS
+        self.sanitizer = (sanitizer if sanitizer is not None
+                          else NULL_SANITIZER)
 
-    def try_acquire(self, resource: int) -> bool:
-        """Attempt to lock ``resource``; False means revote/spin."""
+    def try_acquire(self, resource: int, warp: int = -1) -> bool:
+        """Attempt to lock ``resource``; False means revote/spin.
+
+        ``warp`` identifies the acquiring warp for the sanitizer's
+        lockcheck pass; callers without warp identity may omit it.
+        """
         if self._stalled and resource in self._stalled:
             # A stalled holder (injected fault) is camping on the lock.
             self.conflicts += 1
@@ -199,6 +213,10 @@ class LockArbiter:
                 # model — the caller must revote, like any conflict.
                 self.conflicts += 1
                 self.injected_failures += 1
+                if self.sanitizer.enabled:
+                    # Intentional: the acquisition never happened, so
+                    # there is nothing for lockcheck to pair.
+                    self.sanitizer.note_injected("lock.acquire")
                 if self.tracer.enabled:
                     self.tracer.instant("fault.inject", "fault",
                                         site="lock.acquire",
@@ -212,6 +230,10 @@ class LockArbiter:
                 self._stalled[resource] = max(1, fault.param)
                 self.conflicts += 1
                 self.injected_stalls += 1
+                if self.sanitizer.enabled:
+                    # Intentional: the phantom holder is not a tracked
+                    # warp, so it cannot be reported as a leak.
+                    self.sanitizer.note_injected("lock.stall")
                 if self.tracer.enabled:
                     self.tracer.instant("fault.inject", "fault",
                                         site="lock.stall", resource=resource,
@@ -219,13 +241,29 @@ class LockArbiter:
                 return False
         self._held.add(resource)
         self.acquisitions += 1
+        if self.sanitizer.enabled:
+            self.sanitizer.on_lock_acquire(warp, resource,
+                                           site=_SITE_ACQUIRE)
         if self.tracer.enabled:
             self.tracer.instant("lock.acquire", "lock", resource=resource)
         return True
 
-    def release(self, resource: int) -> None:
-        """Unlock ``resource`` (atomicExch(&lock, 0))."""
+    def release(self, resource: int, warp: int = -1,
+                unwind: bool = False) -> None:
+        """Unlock ``resource`` (atomicExch(&lock, 0)).
+
+        ``unwind=True`` marks a release performed while propagating an
+        exception out of a kernel: the sanitizer accounts it separately
+        instead of pairing it against a normal acquire.
+        """
         self._held.discard(resource)
+        if self.sanitizer.enabled:
+            if unwind:
+                self.sanitizer.on_unwind_release(warp, resource,
+                                                 site=_SITE_RELEASE)
+            else:
+                self.sanitizer.on_lock_release(warp, resource,
+                                               site=_SITE_RELEASE)
 
     def tick(self) -> None:
         """Age injected lock-holder stalls by one device round.
@@ -254,4 +292,6 @@ class LockArbiter:
         fault being modelled — but their stalls age by one round.
         """
         self._held.clear()
+        if self.sanitizer.enabled:
+            self.sanitizer.on_round_release()
         self.tick()

@@ -49,6 +49,9 @@ class MemoryTracker:
     device: DeviceSpec = field(default_factory=lambda: GTX_1080)
     transactions: int = 0
     bytes_moved: int = 0
+    #: Optional :class:`repro.sanitizer.Sanitizer` receiving per-call
+    #: transaction accounting (None, the default, costs one check).
+    sanitizer: object = None
 
     def access(self, addresses: np.ndarray, access_bytes: int = 4) -> int:
         """Record one warp-wide access; returns transactions issued."""
@@ -56,12 +59,16 @@ class MemoryTracker:
                                     self.device.cache_line_bytes)
         self.transactions += tx
         self.bytes_moved += tx * self.device.cache_line_bytes
+        if self.sanitizer is not None and self.sanitizer.enabled:
+            self.sanitizer.on_transactions(tx)
         return tx
 
     def bucket_access(self, count: int = 1) -> None:
         """Record ``count`` fully-coalesced bucket transactions."""
         self.transactions += count
         self.bytes_moved += count * self.device.cache_line_bytes
+        if self.sanitizer is not None and self.sanitizer.enabled:
+            self.sanitizer.on_transactions(count)
 
     def random_access(self, count: int = 1, access_bytes: int = 16) -> None:
         """Record ``count`` isolated accesses (chain hops, slab pointers).
@@ -73,6 +80,8 @@ class MemoryTracker:
         del access_bytes  # the line is fetched regardless
         self.transactions += count
         self.bytes_moved += count * self.device.cache_line_bytes
+        if self.sanitizer is not None and self.sanitizer.enabled:
+            self.sanitizer.on_transactions(count)
 
     @property
     def seconds(self) -> float:

@@ -20,6 +20,9 @@ from repro.kernels.engine import (kernel_span, record_kernel_counters,
                                   resolve_engine)
 from repro.kernels.find import _ballot_match
 from repro.kernels.insert import KernelRunResult
+from repro.sanitizer import NULL_SANITIZER
+
+_SITE_CLEAR = "repro/kernels/delete.py:_warp_delete"
 
 
 def run_delete_kernel(table, keys, engine: str = "warp", *,
@@ -41,14 +44,26 @@ def run_delete_kernel(table, keys, engine: str = "warp", *,
     if codes is None:
         codes = encode_keys(np.asarray(keys, dtype=np.uint64))
     n = len(codes)
-    with kernel_span(table, "delete", n, engine):
-        if engine == "cohort":
-            from repro.gpusim.cohort import cohort_delete
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    if san.enabled:
+        # DELETE's slot clear is intentionally lock-free: at most one
+        # lane can match a unique key, so no write conflict is possible
+        # (Section V-B).  locking=False records that contract; the
+        # clears are still logged as writes for the access log.
+        san.begin_kernel("delete", locking=False)
+    try:
+        with kernel_span(table, "delete", n, engine):
+            if engine == "cohort":
+                from repro.gpusim.cohort import cohort_delete
 
-            removed, result = cohort_delete(table, codes, first, second,
-                                            raw_of)
-        else:
-            removed, result = _warp_delete(table, codes, first, second)
+                removed, result = cohort_delete(table, codes, first,
+                                                second, raw_of)
+            else:
+                removed, result = _warp_delete(table, codes, first,
+                                               second)
+    finally:
+        if san.enabled:
+            san.end_kernel()
     record_kernel_counters(table, result)
     return removed, result
 
@@ -58,7 +73,8 @@ def _warp_delete(table, codes: np.ndarray, first=None, second=None
     n = len(codes)
     removed = np.zeros(n, dtype=bool)
     result = KernelRunResult()
-    tracker = MemoryTracker()
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    tracker = MemoryTracker(sanitizer=san if san.enabled else None)
     ctx = WarpContext(warp_id=0)
     if n == 0:
         return removed, result
@@ -79,6 +95,10 @@ def _warp_delete(table, codes: np.ndarray, first=None, second=None
                 st.size -= 1
                 tracker.bucket_access()
                 result.memory_transactions += 1
+                if san.enabled:
+                    san.record_access(0, "write", "bucket",
+                                      (target << 40) | bucket,
+                                      site=_SITE_CLEAR)
                 removed[i] = True
                 break
     result.completed_ops = int(removed.sum())

@@ -21,6 +21,7 @@ from repro.gpusim.warp import WarpContext
 from repro.kernels.engine import (kernel_span, record_kernel_counters,
                                   resolve_engine)
 from repro.kernels.insert import KernelRunResult
+from repro.sanitizer import NULL_SANITIZER
 
 
 def _ballot_match(ctx: WarpContext, bucket_keys: np.ndarray,
@@ -58,14 +59,25 @@ def run_find_kernel(table, keys, engine: str = "warp", *,
     if codes is None:
         codes = encode_keys(np.asarray(keys, dtype=np.uint64))
     n = len(codes)
-    with kernel_span(table, "find", n, engine):
-        if engine == "cohort":
-            from repro.gpusim.cohort import cohort_find
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    if san.enabled:
+        # FIND is read-only and lock-free by design (Section V-B):
+        # locking=False exempts it from the unlocked-write contract and
+        # its probes are recorded as "probe" kind (exempt from pairing).
+        san.begin_kernel("find", locking=False)
+    try:
+        with kernel_span(table, "find", n, engine):
+            if engine == "cohort":
+                from repro.gpusim.cohort import cohort_find
 
-            values, found, result = cohort_find(table, codes, first,
-                                                second, raw_of)
-        else:
-            values, found, result = _warp_find(table, codes, first, second)
+                values, found, result = cohort_find(table, codes, first,
+                                                    second, raw_of)
+            else:
+                values, found, result = _warp_find(table, codes, first,
+                                                   second)
+    finally:
+        if san.enabled:
+            san.end_kernel()
     record_kernel_counters(table, result)
     return values, found, result
 
@@ -76,7 +88,8 @@ def _warp_find(table, codes: np.ndarray, first=None, second=None
     values = np.zeros(n, dtype=np.uint64)
     found = np.zeros(n, dtype=bool)
     result = KernelRunResult()
-    tracker = MemoryTracker()
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    tracker = MemoryTracker(sanitizer=san if san.enabled else None)
     ctx = WarpContext(warp_id=0)
     if n == 0:
         return values, found, result

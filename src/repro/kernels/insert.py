@@ -34,6 +34,12 @@ from repro.errors import CapacityError
 from repro.gpusim.kernel import LockArbiter, RoundScheduler
 from repro.gpusim.memory import MemoryTracker
 from repro.gpusim.warp import WarpContext
+from repro.sanitizer import NULL_SANITIZER
+
+_SITE_PHASE1 = "repro/kernels/insert.py:_InsertWarp.step"
+_SITE_PHASE2 = "repro/kernels/insert.py:_InsertWarp._complete_locked"
+_SITE_ALT = "repro/kernels/insert.py:_InsertWarp._update_in_alternate"
+_SITE_UNWIND = "repro/kernels/insert.py:_InsertWarp.unwind_locks"
 
 
 @dataclass
@@ -88,6 +94,7 @@ class _InsertWarp:
         self.tracker = tracker
         self.result = result
         self.voter = voter
+        self.san = arbiter.sanitizer
         self._next_start_lane = 0
         self._stalled_rounds = 0
         self._max_stall = max_rounds_per_op
@@ -126,14 +133,14 @@ class _InsertWarp:
             return
         # broadcast(l'): every lane receives the leader's op.
         key = int(self.ctx.shfl(self.keys, leader))
-        value = int(self.ctx.shfl(self.values, leader))
+        _value = int(self.ctx.shfl(self.values, leader))
         target = int(self.ctx.shfl(self.targets, leader))
 
         st = self.table.subtables[target]
         bucket = int(self.table.table_hashes[target].bucket(
             np.asarray([key], dtype=np.uint64), st.n_buckets)[0])
         lock_id = self._lock_id(target, bucket)
-        if not self.arbiter.try_acquire(lock_id):
+        if not self.arbiter.try_acquire(lock_id, warp=self.ctx.warp_id):
             # Voter scheme: next election starts after the failed lane,
             # so the warp tries a different bucket instead of spinning.
             if self.voter:
@@ -150,7 +157,25 @@ class _InsertWarp:
         # next round while competitors observe the held lock.
         self.result.memory_transactions += 1
         self.tracker.bucket_access()
+        if self.san.enabled:
+            self.san.record_access(self.ctx.warp_id, "read", "bucket",
+                                   lock_id, site=_SITE_PHASE1)
         self._locked = (leader, target, bucket, lock_id)
+
+    def unwind_locks(self) -> None:
+        """Release the held lock while an exception propagates.
+
+        A real kernel that traps mid-critical-section must still clear
+        its bucket lock (``atomicExch(&lock, 0)`` in the cleanup path)
+        or the bucket is wedged for every later kernel.  Called by
+        :func:`_run_insert_warps` for every warp when the scheduler
+        aborts; a warp between phases simply has nothing to release.
+        """
+        if self._locked is None:
+            return
+        _leader, _target, _bucket, lock_id = self._locked
+        self._locked = None
+        self.arbiter.release(lock_id, warp=self.ctx.warp_id, unwind=True)
 
     def _ballot_first_slot(self, lane_matches: np.ndarray,
                            capacity: int) -> int:
@@ -191,7 +216,7 @@ class _InsertWarp:
             # that bucket before claiming a free slot here, or the
             # table ends up with one copy per pair member.
             if self._update_in_alternate(key, value, target):
-                self.arbiter.release(lock_id)
+                self.arbiter.release(lock_id, warp=self.ctx.warp_id)
                 self.ctx.active[leader] = False
                 self.result.completed_ops += 1
                 self._next_start_lane = (leader + 1) % self.ctx.width
@@ -206,7 +231,11 @@ class _InsertWarp:
                 st.size += 1
             self.tracker.bucket_access()
             self.result.memory_transactions += 1
-            self.arbiter.release(lock_id)
+            if self.san.enabled:
+                self.san.record_access(self.ctx.warp_id, "write",
+                                       "bucket", lock_id,
+                                       site=_SITE_PHASE2)
+            self.arbiter.release(lock_id, warp=self.ctx.warp_id)
             self.ctx.active[leader] = False
             self.result.completed_ops += 1
             self._next_start_lane = (leader + 1) % self.ctx.width
@@ -222,7 +251,10 @@ class _InsertWarp:
         self.tracker.bucket_access()
         self.result.memory_transactions += 1
         self.result.evictions += 1
-        self.arbiter.release(lock_id)
+        if self.san.enabled:
+            self.san.record_access(self.ctx.warp_id, "write", "bucket",
+                                   lock_id, site=_SITE_PHASE2)
+        self.arbiter.release(lock_id, warp=self.ctx.warp_id)
 
         alternate = int(self.table.pair_hash.alternate_table(
             np.asarray([victim_key], dtype=np.uint64),
@@ -248,6 +280,12 @@ class _InsertWarp:
             np.asarray([key], dtype=np.uint64), st.n_buckets)[0])
         self.tracker.bucket_access()
         self.result.memory_transactions += 1
+        alt_lock = self._lock_id(alternate, bucket)
+        if self.san.enabled:
+            # Protocol-sanctioned lock-free read: the probe holds only
+            # its *own* bucket's lock ("probe" kind, exempt).
+            self.san.record_access(self.ctx.warp_id, "probe", "bucket",
+                                   alt_lock, site=_SITE_ALT)
         slot = self._ballot_first_slot(st.keys[bucket] == np.uint64(key),
                                        st.bucket_capacity)
         if slot < 0:
@@ -255,6 +293,11 @@ class _InsertWarp:
         st.values[bucket, slot] = np.uint64(value)
         self.tracker.bucket_access()
         self.result.memory_transactions += 1
+        if self.san.enabled:
+            # Single-word value update, intentionally lock-free (matches
+            # the vectorized path): "atomic" kind, ordered by definition.
+            self.san.record_access(self.ctx.warp_id, "atomic", "value",
+                                   alt_lock, site=_SITE_ALT)
         return True
 
     def _choose_victim_slot(self, target: int, bucket: int,
@@ -310,10 +353,12 @@ def _run_insert(table, keys, values, voter: bool, engine: str = "warp",
 
 
 def _run_insert_warps(table, codes, values, targets, voter: bool,
-                      faults) -> KernelRunResult:
+                      faults,
+                      max_rounds_per_op: int = 4096) -> KernelRunResult:
     """Reference engine: one `_InsertWarp` object per warp, stepped."""
-    arbiter = LockArbiter(faults=faults)
-    tracker = MemoryTracker()
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    arbiter = LockArbiter(faults=faults, sanitizer=san)
+    tracker = MemoryTracker(sanitizer=san if san.enabled else None)
     result = KernelRunResult()
     warps = []
     width = 32
@@ -322,14 +367,30 @@ def _run_insert_warps(table, codes, values, targets, voter: bool,
         warps.append(_InsertWarp(
             warp_id=len(warps), table=table, keys=codes[start:stop],
             values=values[start:stop], targets=targets[start:stop],
-            arbiter=arbiter, tracker=tracker, result=result, voter=voter))
-    scheduler = RoundScheduler(warps)
-    if arbiter.faults.enabled:
-        # The insert kernel holds locks across rounds (two-phase), so it
-        # never calls end_round(); injected stalls still have to age.
-        result.rounds = scheduler.run(after_round=lambda _i: arbiter.tick())
-    else:
-        result.rounds = scheduler.run()
+            arbiter=arbiter, tracker=tracker, result=result, voter=voter,
+            max_rounds_per_op=max_rounds_per_op))
+    scheduler = RoundScheduler(warps, sanitizer=san)
+    if san.enabled:
+        san.begin_kernel("insert", locking=True)
+    try:
+        if arbiter.faults.enabled:
+            # The insert kernel holds locks across rounds (two-phase), so
+            # it never calls end_round(); injected stalls still must age.
+            result.rounds = scheduler.run(
+                after_round=lambda _i: arbiter.tick())
+        else:
+            result.rounds = scheduler.run()
+    except BaseException:
+        # Release-on-exception: a CapacityError (stall exhaustion) or a
+        # non-convergence abort leaves other warps mid-critical-section;
+        # their bucket locks must be cleared on the way out or the lock
+        # table is wedged for every later kernel on this arbiter.
+        for warp in warps:
+            warp.unwind_locks()
+        raise
+    finally:
+        if san.enabled:
+            san.end_kernel()
     result.lock_acquisitions = arbiter.acquisitions
     result.lock_conflicts = arbiter.conflicts
     return result

@@ -1,0 +1,478 @@
+"""Compute-sanitizer analogue for the simulated GPU (``repro.gpusim``).
+
+The paper's correctness story rests on two machine-checkable disciplines:
+
+* every **bucket mutation** happens under the bucket's ``atomicCAS``
+  lock (Algorithm 1), and
+* a **resize** locks exactly *one* subtable (Section IV-B), so the other
+  subtables stay online.
+
+Nothing in the simulator enforced either — a kernel that forgot a
+``release()`` or wrote a bucket without holding its lock would only
+surface as a flaky differential-fuzz failure.  This package is the
+``compute-sanitizer`` of the simulator: three passes, each reporting
+:class:`Violation` records with file/round/warp attribution.
+
+racecheck (dynamic)
+    The kernels log every storage access — ``(warp, kind, space,
+    address, held-locks, site)`` — into a per-device-round window.  At
+    each round boundary the pass flags any write/write or read/write
+    pair on the same word from different warps whose locksets are
+    disjoint: a dynamic lockset (Eraser-style) check over the
+    simulator's round-based happens-before.  Kernels additionally
+    declare a *locking contract* (``begin_kernel(..., locking=True)``);
+    under it, a structural bucket write whose writer does not hold that
+    bucket's lock is flagged immediately (``unlocked-write``).
+
+lockcheck (dynamic)
+    Acquire/release pairing per warp across
+    :class:`~repro.gpusim.kernel.LockArbiter`, the cohort engine and
+    :class:`~repro.core.resize.ResizeController`: double acquire,
+    double release, locks still held at kernel exit (``leaked-lock``),
+    and the one-subtable resize guarantee (``second-subtable-lock``).
+    Exception unwinds that *do* release their locks are accounted as
+    ``unwind_releases`` instead of violations.
+
+determinism lint (static)
+    :mod:`repro.sanitizer.lint` — an AST pass over ``src/repro``
+    forbidding nondeterminism sources in kernel/gpusim/core code.
+
+Access kinds and intentional exemptions
+---------------------------------------
+The protocol itself performs lock-free reads (FIND/DELETE probe without
+locks; the insert kernel's alternate-bucket probe reads a bucket it has
+not locked) and lock-free single-word value updates (the upsert path,
+matching the vectorized engine).  Those are *protocol-sanctioned* and
+must not drown the report, so accesses carry a kind:
+
+``write``
+    A structural key-slot write.  Participates in racecheck pairing and
+    the ``unlocked-write`` check.
+``read``
+    A locked bucket read (the insert kernel's phase-one inspection).
+    Participates in read/write pairing.
+``probe``
+    A protocol-sanctioned lock-free read (FIND/DELETE probes, the
+    alternate-bucket upsert probe).  Exempt from pairing.
+``atomic``
+    A word that is only ever touched atomically (lock words via
+    :class:`~repro.gpusim.atomics.AtomicMemory`, single-word value
+    updates).  Ordered by definition; exempt from pairing.
+
+Kernels without a locking contract (FIND and DELETE declare
+``locking=False``; DELETE's slot clear is lock-free by design — at most
+one lane can match a unique key) are exempt from ``unlocked-write``.
+
+Injected faults (:mod:`repro.faults`) are *intentional* events: an
+injected ``lock.acquire`` failure never acquires (nothing to pair), an
+injected ``lock.stall`` camps a phantom holder that is not a tracked
+warp, and both are tallied under ``stats["injected_events"]`` rather
+than reported as violations.
+
+Zero-overhead gating follows :data:`repro.telemetry.NULL_TELEMETRY` and
+:data:`repro.faults.NO_FAULTS`: every hook site checks a single
+``enabled`` attribute, and the default :data:`NULL_SANITIZER` makes the
+instrumented build bit-identical to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Sanitizer",
+    "NULL_SANITIZER",
+    "Violation",
+    "ACCESS_KINDS",
+    "VIOLATION_KINDS",
+]
+
+#: Every access kind the dynamic passes understand (see module docs).
+ACCESS_KINDS = ("read", "write", "probe", "atomic")
+
+#: Violation taxonomy, by pass.
+VIOLATION_KINDS = {
+    "racecheck": ("race", "unlocked-write"),
+    "lockcheck": ("double-acquire", "double-release", "leaked-lock",
+                  "lock-not-exclusive", "second-subtable-lock"),
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One sanitizer finding, attributed to file/round/warp."""
+
+    #: Which pass produced it: ``"racecheck"`` or ``"lockcheck"``.
+    pass_name: str
+    #: Taxonomy entry (see :data:`VIOLATION_KINDS`).
+    kind: str
+    #: Human-readable description of the specific event.
+    message: str
+    #: ``path:function`` of the instrumented code that observed it.
+    site: str = ""
+    #: Device round the event happened in (-1 outside any round).
+    round_index: int = -1
+    #: Warp id of the offender (-1 when not warp-attributable).
+    warp: int = -1
+    #: The other warp of a racing pair (-1 when not applicable).
+    other_warp: int = -1
+    #: Address space of the word involved ("bucket", "value", "lock").
+    space: str = ""
+    #: Word address (bucket lock id for bucket/value space).
+    address: int = -1
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        where = f" at {self.site}" if self.site else ""
+        when = (f" [round {self.round_index}]"
+                if self.round_index >= 0 else "")
+        return (f"{self.pass_name}:{self.kind}{when} "
+                f"{self.message}{where}")
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name, "kind": self.kind,
+            "message": self.message, "site": self.site,
+            "round": self.round_index, "warp": self.warp,
+            "other_warp": self.other_warp, "space": self.space,
+            "address": self.address,
+        }
+
+
+_EMPTY_LOCKSET: frozenset = frozenset()
+
+
+@dataclass
+class _Access:
+    """One logged storage access inside the current device round."""
+
+    warp: int
+    kind: str
+    space: str
+    address: int
+    lockset: frozenset
+    site: str = field(default="")
+
+
+class Sanitizer:
+    """Dynamic racecheck + lockcheck state for one audited execution.
+
+    Attach to a table with
+    :meth:`repro.core.table.DyCuckooTable.set_sanitizer`; every kernel
+    launch and resize on that table is then audited.  One instance can
+    observe many kernels — state that must not leak across launches is
+    reset by :meth:`begin_kernel`/:meth:`end_kernel`.
+    """
+
+    #: Gate checked by every hook; the null subclass overrides to False.
+    enabled = True
+
+    def __init__(self, *, racecheck: bool = True, lockcheck: bool = True,
+                 max_violations: int = 1000) -> None:
+        self.racecheck = racecheck
+        self.lockcheck = lockcheck
+        self.max_violations = max_violations
+        self.violations: list[Violation] = []
+        self.stats = {
+            "kernels": 0,
+            "rounds": 0,
+            "accesses": 0,
+            "words_checked": 0,
+            "lock_acquires": 0,
+            "lock_releases": 0,
+            "round_releases": 0,
+            "unwind_releases": 0,
+            "subtable_locks": 0,
+            "injected_events": 0,
+            "atomic_ops": 0,
+            "memory_transactions": 0,
+        }
+        #: Current device round (-1 between kernels).
+        self._round = -1
+        #: Access log of the current round.
+        self._log: list[_Access] = []
+        #: Per-warp locksets (resource ids currently held).
+        self._held: dict[int, set[int]] = {}
+        #: Active kernel context, ``(name, locking_contract)`` or None.
+        self._kernel: tuple[str, bool] | None = None
+        #: Subtable resize locks currently held: index -> operation.
+        self._subtable_locks: dict[int, str] = {}
+        #: Dedup keys of already-reported violations.
+        self._reported: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True iff no violation has been recorded."""
+        return not self.violations
+
+    def report(self) -> dict:
+        """Machine-readable summary of everything observed so far."""
+        return {
+            "ok": self.ok,
+            "stats": dict(self.stats),
+            "subtable_locks_held": len(self._subtable_locks),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def _violate(self, pass_name: str, kind: str, message: str, *,
+                 site: str = "", warp: int = -1, other_warp: int = -1,
+                 space: str = "", address: int = -1,
+                 dedup: tuple | None = None) -> None:
+        if len(self.violations) >= self.max_violations:
+            return
+        if dedup is not None:
+            key = (pass_name, kind) + dedup
+            if key in self._reported:
+                return
+            self._reported.add(key)
+        self.violations.append(Violation(
+            pass_name=pass_name, kind=kind, message=message, site=site,
+            round_index=self._round, warp=warp, other_warp=other_warp,
+            space=space, address=address))
+
+    # ------------------------------------------------------------------
+    # Kernel and round lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_kernel(self, name: str, locking: bool = True) -> None:
+        """Open a kernel scope.
+
+        ``locking`` declares the kernel's contract: True means every
+        structural bucket write must happen under that bucket's lock
+        (the insert kernels); False exempts the kernel from the
+        ``unlocked-write`` check (FIND/DELETE are lock-free by design).
+        """
+        self.stats["kernels"] += 1
+        self._kernel = (name, locking)
+        self._round = -1
+        self._log.clear()
+        self._held.clear()
+
+    def end_kernel(self) -> None:
+        """Close the kernel scope; flag locks that outlived the kernel."""
+        self._flush_round()
+        if self._kernel is None:
+            return
+        name, _locking = self._kernel
+        if self.lockcheck:
+            for warp in sorted(self._held):
+                for resource in sorted(self._held[warp]):
+                    self._violate(
+                        "lockcheck", "leaked-lock",
+                        f"warp {warp} exited kernel '{name}' still "
+                        f"holding lock {resource:#x}",
+                        site=f"kernel:{name}", warp=warp, space="lock",
+                        address=resource)
+        self._held.clear()
+        self._kernel = None
+        self._round = -1
+
+    def begin_round(self, index: int) -> None:
+        """Start device round ``index``; closes the previous round."""
+        self._flush_round()
+        self._round = index
+        self.stats["rounds"] += 1
+
+    # ------------------------------------------------------------------
+    # racecheck
+    # ------------------------------------------------------------------
+
+    def record_access(self, warp: int, kind: str, space: str,
+                      address: int, site: str = "") -> None:
+        """Log one storage access of the current round.
+
+        ``address`` is the word identity used for same-word pairing;
+        bucket-space accesses use the bucket's lock id, so "holds the
+        word's lock" is exactly ``address in lockset``.
+        """
+        self.stats["accesses"] += 1
+        held = self._held.get(warp)
+        lockset = frozenset(held) if held else _EMPTY_LOCKSET
+        if self.racecheck:
+            self._log.append(_Access(warp, kind, space, address,
+                                     lockset, site))
+            if (kind == "write" and space == "bucket"
+                    and self._kernel is not None and self._kernel[1]
+                    and address not in lockset):
+                self._violate(
+                    "racecheck", "unlocked-write",
+                    f"warp {warp} wrote bucket word {address:#x} without "
+                    f"holding its lock (kernel '{self._kernel[0]}' "
+                    "declares a locking contract)",
+                    site=site, warp=warp, space=space, address=address)
+
+    def _flush_round(self) -> None:
+        """Lockset-pair the closing round's access log."""
+        log = self._log
+        if not self.racecheck or len(log) < 2:
+            log.clear()
+            return
+        by_word: dict[tuple[str, int], list[_Access]] = {}
+        for acc in log:
+            if acc.kind in ("read", "write"):
+                by_word.setdefault((acc.space, acc.address),
+                                   []).append(acc)
+        self.stats["words_checked"] += len(by_word)
+        for (space, address), accs in by_word.items():
+            if len(accs) < 2:
+                continue
+            for i, a in enumerate(accs):
+                for b in accs[i + 1:]:
+                    if a.warp == b.warp:
+                        continue
+                    if a.kind != "write" and b.kind != "write":
+                        continue
+                    if a.lockset & b.lockset:
+                        continue  # ordered by a common lock
+                    self._violate(
+                        "racecheck", "race",
+                        f"warps {a.warp} and {b.warp} touched word "
+                        f"{address:#x} in the same round "
+                        f"({a.kind}/{b.kind}) with no common lock",
+                        site=b.site or a.site, warp=a.warp,
+                        other_warp=b.warp, space=space, address=address,
+                        dedup=(space, address, self._round))
+        log.clear()
+
+    # ------------------------------------------------------------------
+    # lockcheck: warp-level bucket locks
+    # ------------------------------------------------------------------
+
+    def on_lock_acquire(self, warp: int, resource: int,
+                        site: str = "") -> None:
+        self.stats["lock_acquires"] += 1
+        if not self.lockcheck:
+            self._held.setdefault(warp, set()).add(resource)
+            return
+        for holder, locks in self._held.items():
+            if resource in locks:
+                if holder == warp:
+                    self._violate(
+                        "lockcheck", "double-acquire",
+                        f"warp {warp} re-acquired lock {resource:#x} it "
+                        "already holds",
+                        site=site, warp=warp, space="lock",
+                        address=resource)
+                else:
+                    self._violate(
+                        "lockcheck", "lock-not-exclusive",
+                        f"warp {warp} acquired lock {resource:#x} while "
+                        f"warp {holder} still holds it",
+                        site=site, warp=warp, other_warp=holder,
+                        space="lock", address=resource)
+        self._held.setdefault(warp, set()).add(resource)
+
+    def on_lock_release(self, warp: int, resource: int,
+                        site: str = "") -> None:
+        self.stats["lock_releases"] += 1
+        locks = self._held.get(warp)
+        if locks is not None and resource in locks:
+            locks.remove(resource)
+            return
+        if self.lockcheck:
+            self._violate(
+                "lockcheck", "double-release",
+                f"warp {warp} released lock {resource:#x} it does not "
+                "hold",
+                site=site, warp=warp, space="lock", address=resource)
+
+    def on_unwind_release(self, warp: int, resource: int,
+                          site: str = "") -> None:
+        """A lock released while unwinding from an exception.
+
+        Not a violation — it is the *fix* for the release-on-exception
+        gap — but it is accounted separately so tests can assert the
+        unwind actually ran.
+        """
+        self.stats["unwind_releases"] += 1
+        locks = self._held.get(warp)
+        if locks is not None:
+            locks.discard(resource)
+
+    def on_round_release(self) -> None:
+        """All locks released at a round boundary (``end_round()``).
+
+        Kernels built on :meth:`LockArbiter.end_round` release every
+        lock when the round's ``atomicExch`` unlocks land; that bulk
+        release pairs with every outstanding acquire by construction.
+        """
+        self.stats["round_releases"] += 1
+        for locks in self._held.values():
+            locks.clear()
+
+    # ------------------------------------------------------------------
+    # lockcheck: subtable resize locks
+    # ------------------------------------------------------------------
+
+    def on_subtable_lock(self, subtable: int, op: str,
+                         site: str = "") -> None:
+        self.stats["subtable_locks"] += 1
+        if self.lockcheck:
+            if subtable in self._subtable_locks:
+                self._violate(
+                    "lockcheck", "double-acquire",
+                    f"{op} re-locked subtable {subtable} already locked "
+                    f"by {self._subtable_locks[subtable]}",
+                    site=site, space="subtable", address=subtable)
+            elif self._subtable_locks:
+                held = ", ".join(
+                    f"{idx} ({what})"
+                    for idx, what in self._subtable_locks.items())
+                self._violate(
+                    "lockcheck", "second-subtable-lock",
+                    f"{op} locked subtable {subtable} while holding "
+                    f"subtable lock(s) {held} — a resize must touch "
+                    "exactly one subtable",
+                    site=site, space="subtable", address=subtable)
+        self._subtable_locks[subtable] = op
+
+    def on_subtable_unlock(self, subtable: int, site: str = "") -> None:
+        if subtable in self._subtable_locks:
+            del self._subtable_locks[subtable]
+            return
+        if self.lockcheck:
+            self._violate(
+                "lockcheck", "double-release",
+                f"released subtable lock {subtable} that is not held",
+                site=site, space="subtable", address=subtable)
+
+    # ------------------------------------------------------------------
+    # Classification hooks (never violations)
+    # ------------------------------------------------------------------
+
+    def note_injected(self, site: str) -> None:
+        """An injected fault fired at ``site`` — intentional, not a bug."""
+        del site
+        self.stats["injected_events"] += 1
+
+    def on_atomic(self, address: int, site: str = "") -> None:
+        """One atomic op executed (ordered by definition; stats only)."""
+        del address, site
+        self.stats["atomic_ops"] += 1
+
+    def on_atomic_round(self, counts: dict) -> None:
+        """Per-address conflict counts from an AtomicMemory round."""
+        del counts
+
+    def on_transactions(self, count: int) -> None:
+        """Memory transactions observed by a MemoryTracker."""
+        self.stats["memory_transactions"] += count
+
+
+class _NullSanitizer(Sanitizer):
+    """Disabled singleton: every hook gates on ``enabled`` and skips."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(racecheck=False, lockcheck=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SANITIZER"
+
+
+#: The default, disabled sanitizer (see module docs for the pattern).
+NULL_SANITIZER = _NullSanitizer()

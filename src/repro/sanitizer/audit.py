@@ -1,0 +1,169 @@
+"""Self-contained audit drives for ``python -m repro sanitize``.
+
+:func:`run_clean_audit` executes a representative correct workload —
+insert/find/delete kernels on *both* execution engines, a resize storm
+through the core table path, and a fault-injection phase — under an
+attached :class:`~repro.sanitizer.Sanitizer`, and returns the combined
+report.  A healthy tree produces **zero** violations: every bucket
+write is lock-ordered, every lock pairs, every resize locks exactly one
+subtable, and every injected fault is classified as intentional.
+
+:func:`run_fixture_suite` runs the seeded intentional-violation
+fixtures (:mod:`repro.sanitizer.fixtures`) and checks each produces
+exactly its expected violation kinds — the detector's own test: a
+sanitizer that cannot see a planted bug proves nothing by staying
+silent on real code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sanitizer import Sanitizer
+from repro.sanitizer.fixtures import FIXTURES
+
+
+def _keys(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    drawn = np.unique(rng.integers(1, 1 << 62, int(n * 1.3) + 16,
+                                   dtype=np.int64).astype(np.uint64))
+    while len(drawn) < n:
+        more = rng.integers(1, 1 << 62, n, dtype=np.int64)
+        drawn = np.unique(np.concatenate([drawn,
+                                          more.astype(np.uint64)]))
+    return drawn[:n]
+
+
+def _audit_kernels(engine: str, ops: int, seed: int) -> Sanitizer:
+    """Insert/find/delete kernel workload on one engine, audited."""
+    from repro.core.config import DyCuckooConfig
+    from repro.core.table import DyCuckooTable
+    from repro.kernels import (run_delete_kernel, run_find_kernel,
+                               run_spin_insert_kernel,
+                               run_voter_insert_kernel)
+
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=64, bucket_capacity=8, auto_resize=False,
+        seed=seed))
+    san = table.set_sanitizer(Sanitizer())
+    keys = _keys(ops, seed + 1)
+    values = keys * np.uint64(3)
+    run_voter_insert_kernel(table, keys, values, engine=engine)
+    # Upserts + alternate-bucket updates (the lock-free value path).
+    run_voter_insert_kernel(table, keys[::2], values[::2] + np.uint64(1),
+                            engine=engine)
+    run_find_kernel(table, keys, engine=engine)
+    run_delete_kernel(table, keys[::3], engine=engine)
+    # The spin ablation holds locks across failed rounds — the hottest
+    # pairing path the lockcheck pass sees.
+    fresh = _keys(ops // 4, seed + 2)
+    run_spin_insert_kernel(table, fresh, fresh, engine=engine)
+    return san
+
+
+def _audit_resize(ops: int, seed: int) -> Sanitizer:
+    """Resize storm through the core table path, audited."""
+    from repro.core.config import DyCuckooConfig
+    from repro.core.table import DyCuckooTable
+
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=16, bucket_capacity=8, min_buckets=8,
+        seed=seed))
+    san = table.set_sanitizer(Sanitizer())
+    keys = _keys(ops, seed + 3)
+    # Grow through repeated upsizes, then shrink through downsizes
+    # (residual spills included) — every resize brackets its one
+    # subtable lock.
+    table.insert(keys, keys)
+    table.delete(keys[: (len(keys) * 9) // 10])
+    table.insert(keys[:ops // 4], keys[:ops // 4])
+    return san
+
+
+def _audit_faults(ops: int, seed: int) -> Sanitizer:
+    """Fault-injection phase: injected events classify, never violate."""
+    from repro.core.config import DyCuckooConfig
+    from repro.core.table import DyCuckooTable
+    from repro.errors import ResizeError
+    from repro.faults import FaultPlan
+    from repro.kernels import run_voter_insert_kernel
+
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=64, bucket_capacity=8, auto_resize=False,
+        seed=seed))
+    san = table.set_sanitizer(Sanitizer())
+    table.set_fault_plan(FaultPlan(seed=seed, rates={
+        "lock.acquire": 0.05, "lock.stall": 0.02, "atomics.cas": 0.05,
+    }))
+    keys = _keys(ops, seed + 4)
+    run_voter_insert_kernel(table, keys, keys)
+
+    # Resize aborts at every stage: each must roll back *and* release
+    # its subtable lock on the way out.
+    for stage in ("trigger", "plan", "rehash", "spill"):
+        rtable = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=16, bucket_capacity=8, min_buckets=8,
+            seed=seed))
+        rtable.set_sanitizer(san)
+        rkeys = _keys(ops // 2, seed + 5)
+        rtable.insert(rkeys, rkeys)
+        rtable.set_fault_plan(FaultPlan(
+            seed=seed, rates={f"resize.abort.{stage}": 1.0}))
+        try:
+            rtable._resizer.downsize()
+        except ResizeError:
+            pass
+        rtable.set_fault_plan(None)
+    return san
+
+
+def run_clean_audit(ops: int = 512, seed: int = 0,
+                    engines: tuple = ("warp", "cohort")) -> dict:
+    """Audit a correct workload end to end; returns a combined report.
+
+    ``report["ok"]`` is True iff no pass flagged anything across any
+    phase.  Phases: per-engine kernel workloads, a resize storm, and a
+    fault-injection phase whose injected events must classify as
+    intentional (``stats["injected_events"] > 0``, zero violations).
+    """
+    phases: dict[str, dict] = {}
+    for engine in engines:
+        phases[f"kernels[{engine}]"] = _audit_kernels(
+            engine, ops, seed).report()
+    phases["resize"] = _audit_resize(ops, seed).report()
+    faults = _audit_faults(ops, seed)
+    phases["faults"] = faults.report()
+    ok = all(p["ok"] and p["subtable_locks_held"] == 0
+             for p in phases.values())
+    return {
+        "ok": ok,
+        "injected_events": faults.stats["injected_events"],
+        "phases": phases,
+    }
+
+
+def run_fixture_suite() -> dict:
+    """Run every seeded-violation fixture; returns per-fixture results.
+
+    ``report["ok"]`` is True iff every fixture produced exactly its
+    expected violation-kind set and every dynamic violation carries
+    round/warp attribution.
+    """
+    results: dict[str, dict] = {}
+    ok = True
+    for name, (build, expected_kinds) in FIXTURES.items():
+        san = build()
+        got_kinds = {v.kind for v in san.violations}
+        attributed = all(
+            v.round_index >= 0 and v.warp >= 0
+            for v in san.violations
+            if v.space in ("bucket", "lock"))
+        passed = got_kinds == expected_kinds and attributed
+        ok = ok and passed
+        results[name] = {
+            "ok": passed,
+            "expected": sorted(expected_kinds),
+            "detected": sorted(got_kinds),
+            "violations": [v.to_dict() for v in san.violations],
+        }
+    return {"ok": ok, "fixtures": results}

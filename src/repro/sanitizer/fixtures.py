@@ -1,0 +1,179 @@
+"""Seeded intentional-violation fixtures for the sanitizer passes.
+
+Every fixture builds a tiny *buggy* kernel — the bug class named in its
+key — and runs it through the real simulator machinery
+(:class:`~repro.gpusim.kernel.RoundScheduler`,
+:class:`~repro.gpusim.kernel.LockArbiter`) with a
+:class:`~repro.sanitizer.Sanitizer` attached, then returns the
+sanitizer.  Tests (and ``python -m repro sanitize --fixtures``) assert
+each fixture produces *exactly* its expected violation kinds with
+file/round/warp attribution — the sanitizer's own regression suite, in
+the spirit of compute-sanitizer's demo suite of intentionally broken
+kernels.
+
+:data:`BAD_KERNEL_SOURCE` is the static counterpart: a snippet tripping
+every determinism-lint rule, linted in-memory via
+:func:`repro.sanitizer.lint.lint_source`.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.kernel import LockArbiter, RoundScheduler
+from repro.sanitizer import Sanitizer
+
+_SITE = "repro/sanitizer/fixtures.py"
+
+
+class _ScriptWarp:
+    """A warp that replays a per-round script of sanitizer-visible ops.
+
+    Each round's entry is a list of ``(op, *args)`` steps:
+    ``("acquire", lock)``, ``("release", lock)``,
+    ``("access", kind, space, address)``, or ``("noop",)``.
+    """
+
+    def __init__(self, warp_id: int, script, arbiter: LockArbiter,
+                 san: Sanitizer) -> None:
+        self.warp_id = warp_id
+        self.script = script
+        self.arbiter = arbiter
+        self.san = san
+
+    def finished(self) -> bool:
+        return not self.script
+
+    def step(self, _round_index: int) -> None:
+        if not self.script:
+            return
+        for op, *args in self.script.pop(0):
+            if op == "acquire":
+                self.arbiter.try_acquire(args[0], warp=self.warp_id)
+            elif op == "release":
+                self.arbiter.release(args[0], warp=self.warp_id)
+            elif op == "access":
+                kind, space, address = args
+                self.san.record_access(self.warp_id, kind, space,
+                                       address, site=_SITE)
+
+
+def _run_script_kernel(san: Sanitizer, scripts, name: str,
+                       locking: bool = True) -> None:
+    arbiter = LockArbiter(sanitizer=san)
+    warps = [_ScriptWarp(i, list(script), arbiter, san)
+             for i, script in enumerate(scripts)]
+    san.begin_kernel(name, locking=locking)
+    try:
+        RoundScheduler(warps, sanitizer=san).run()
+    finally:
+        san.end_kernel()
+
+
+def fixture_unlocked_write() -> Sanitizer:
+    """Two warps write the same bucket word, neither holding its lock.
+
+    Expected: one ``race`` (write/write pair, disjoint locksets) plus an
+    ``unlocked-write`` per writer — the exact signature of an insert
+    kernel that skipped its ``atomicCAS``.
+    """
+    san = Sanitizer()
+    word = (1 << 40) | 7
+    _run_script_kernel(san, [
+        [[("access", "write", "bucket", word)]],
+        [[("access", "write", "bucket", word)]],
+    ], "fixture-unlocked-write")
+    return san
+
+
+def fixture_race_read_write() -> Sanitizer:
+    """A locked writer races an unlocked reader on one word.
+
+    The writer holds the word's lock but the reader holds nothing, so
+    the pair's locksets are disjoint: expected exactly one ``race`` (no
+    ``unlocked-write`` — the write itself is properly locked).
+    """
+    san = Sanitizer()
+    word = (1 << 40) | 3
+    _run_script_kernel(san, [
+        [[("acquire", word), ("access", "write", "bucket", word)],
+         [("release", word)]],
+        [[("access", "read", "bucket", word)]],
+    ], "fixture-race-read-write")
+    return san
+
+
+def fixture_double_release() -> Sanitizer:
+    """A warp releases the same lock twice (round 0 then round 1).
+
+    Expected: exactly one ``double-release`` attributed to round 1.
+    """
+    san = Sanitizer()
+    lock = (0 << 40) | 12
+    _run_script_kernel(san, [
+        [[("acquire", lock), ("release", lock)],
+         [("release", lock)]],
+    ], "fixture-double-release")
+    return san
+
+
+def fixture_leaked_lock() -> Sanitizer:
+    """A warp acquires and never releases; the kernel then exits.
+
+    Expected: exactly one ``leaked-lock`` naming the warp and resource —
+    the forgotten-``atomicExch`` bug class.
+    """
+    san = Sanitizer()
+    lock = (1 << 40) | 5
+    _run_script_kernel(san, [
+        [[("acquire", lock)], [("noop",)]],
+    ], "fixture-leaked-lock")
+    return san
+
+
+def fixture_second_subtable_lock() -> Sanitizer:
+    """A buggy resize locks a second subtable mid-operation.
+
+    Models a resize implementation that rehashes one subtable while
+    holding another's lock — precisely what Section IV-B's one-subtable
+    guarantee forbids.  Expected: exactly one ``second-subtable-lock``.
+    """
+    san = Sanitizer()
+    san.on_subtable_lock(0, "downsize", site=_SITE)
+    san.on_subtable_lock(1, "spill", site=_SITE)  # the bug
+    san.on_subtable_unlock(1, site=_SITE)
+    san.on_subtable_unlock(0, site=_SITE)
+    return san
+
+
+#: name -> (builder, expected violation kinds as a set).
+FIXTURES = {
+    "unlocked-write": (fixture_unlocked_write,
+                       {"unlocked-write", "race"}),
+    "race-read-write": (fixture_race_read_write, {"race"}),
+    "double-release": (fixture_double_release, {"double-release"}),
+    "leaked-lock": (fixture_leaked_lock, {"leaked-lock"}),
+    "second-subtable-lock": (fixture_second_subtable_lock,
+                             {"second-subtable-lock"}),
+}
+
+
+#: Static-fixture snippet: trips every determinism-lint rule exactly
+#: once per marked line (tests pin the line numbers).
+BAD_KERNEL_SOURCE = '''\
+import random
+import time
+
+import numpy as np
+
+
+def schedule(warps):
+    rng = np.random.default_rng()          # unseeded-rng (line 8)
+    started = time.time()                  # wall-clock (line 9)
+    pending = {w.warp_id for w in warps}
+    order = []
+    for w in pending:                      # set-iteration (line 12)
+        order.append(w)
+    try:
+        return rng.permutation(order), started
+    except:                                # bare-except (line 16)
+        return random.sample(order, len(order)), started
+'''

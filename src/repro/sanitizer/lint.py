@@ -1,0 +1,334 @@
+"""Determinism lint: an AST pass over ``src/repro`` (static pass 3).
+
+The simulator's whole conformance story — bit-for-bit warp/cohort
+equality, scripted fault replay, differential fuzzing against a dict
+model — depends on every run being a pure function of its seeds.  This
+pass forbids the nondeterminism sources that would silently break that:
+
+``unseeded-rng``
+    ``np.random.default_rng()`` with no (or ``None``) seed, any legacy
+    global-state ``*.random.<fn>`` call (``rand``, ``seed``,
+    ``shuffle``, …), and any use of the stdlib :mod:`random` module.
+    Enforced everywhere under ``src/repro``.
+``bare-except``
+    ``except:`` swallows *everything* — including the injected-fault
+    exceptions the robustness layer relies on propagating — and around
+    a lock region it can hide a missed release.  Enforced everywhere.
+``wall-clock``
+    ``time.*()`` / ``datetime.now()`` reads.  Kernel and device code
+    must use the simulated clock; host-side tooling (CLI, benchmarks)
+    legitimately measures wall time.  Enforced only in strict scope.
+``set-iteration``
+    Iterating a ``set`` lets hash order reach results.  (Python dicts
+    are insertion-ordered, hence deterministic, and are not flagged.)
+    Enforced only in strict scope; wrap in ``sorted(...)`` to fix.
+
+*Strict scope* is the kernel/device/core code whose outputs feed
+conformance checks: any module under ``repro/gpusim/``,
+``repro/kernels/`` or ``repro/core/``.
+
+Suppression: append ``# sanitize: allow(<rule>)`` to the offending
+line.  Use it only with a justification comment — the suppression is
+the audit trail.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths",
+           "RULES", "STRICT_DIRS"]
+
+#: Every rule this pass can emit.
+RULES = ("unseeded-rng", "wall-clock", "set-iteration", "bare-except")
+
+#: Package directories (under ``repro``) held to the strict rule set.
+STRICT_DIRS = ("gpusim", "kernels", "core")
+
+#: Legacy numpy global-RNG entry points (all draw from hidden state).
+_LEGACY_RANDOM_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "seed", "shuffle", "permutation", "choice", "uniform",
+    "normal", "standard_normal", "bytes", "get_state", "set_state",
+})
+
+#: Wall-clock reads on the stdlib ``time`` module.
+_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "clock",
+})
+
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+_ALLOW_MARKER = "sanitize: allow("
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism-lint finding."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_strict_path(path: str) -> bool:
+    """True when ``path`` belongs to the strict (kernel/device) scope."""
+    parts = path.replace(os.sep, "/").split("/")
+    if "repro" not in parts:
+        return False
+    tail = parts[parts.index("repro") + 1:]
+    return bool(tail) and tail[0] in STRICT_DIRS
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """Dotted attribute chain of a call target, outermost last."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+    chain.reverse()
+    return chain
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Does this expression certainly build a ``set``?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and not node.keywords:
+        chain = _attr_chain(node.func)
+        return chain[-1:] == ["set"] and len(chain) == 1
+    return False
+
+
+def _target_name(node: ast.AST) -> str | None:
+    """Name (or ``self.attr``) an assignment binds, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, strict: bool) -> None:
+        self.path = path
+        self.strict = strict
+        self.findings: list[LintFinding] = []
+        #: Module names bound to stdlib ``random`` / ``time``.
+        self.random_aliases: set[str] = set()
+        self.time_aliases: set[str] = set()
+        self.datetime_aliases: set[str] = set()
+        #: Names known to hold sets, per enclosing function scope.
+        self._set_scopes: list[set[str]] = [set()]
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(LintFinding(self.path, node.lineno, rule,
+                                         message))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name == "time":
+                self.time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._flag(node, "unseeded-rng",
+                       "stdlib random draws from hidden global state; "
+                       "use np.random.default_rng(seed)")
+        if node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self.datetime_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _visit_scope(self, node) -> None:
+        self._set_scopes.append(set())
+        self.generic_visit(node)
+        self._set_scopes.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+
+    # -- assignments feeding set-iteration tracking --------------------
+
+    def _record_set_binding(self, target: ast.AST,
+                            value: ast.AST | None) -> None:
+        name = _target_name(target)
+        if name is None or value is None:
+            return
+        if _is_set_expr(value):
+            self._set_scopes[-1].add(name)
+        else:
+            self._set_scopes[-1].discard(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_set_binding(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_set_binding(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- rule checks ---------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(node, "bare-except",
+                       "bare 'except:' swallows injected faults and "
+                       "lock-region failures; name the exception type")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        tail = chain[-1] if chain else ""
+
+        # unseeded-rng: default_rng() with no/None seed, any dotted
+        # ``*.random.<legacy>`` access, any stdlib-random call.
+        if tail == "default_rng":
+            seedless = (not node.args and not node.keywords) or (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None)
+            if seedless:
+                self._flag(node, "unseeded-rng",
+                           "default_rng() without a seed is entropy-"
+                           "seeded; pass an explicit seed")
+        elif (len(chain) >= 2 and chain[-2] == "random"
+                and tail in _LEGACY_RANDOM_FNS):
+            self._flag(node, "unseeded-rng",
+                       f"legacy global-state RNG call "
+                       f"'{'.'.join(chain)}'; use a seeded "
+                       "np.random.default_rng generator")
+        elif chain and chain[0] in self.random_aliases:
+            self._flag(node, "unseeded-rng",
+                       f"stdlib random call '{'.'.join(chain)}'; use a "
+                       "seeded np.random.default_rng generator")
+
+        if self.strict:
+            # wall-clock: time.<fn>() and datetime.now()/utcnow().
+            if (len(chain) == 2 and chain[0] in self.time_aliases
+                    and chain[1] in _TIME_FNS):
+                self._flag(node, "wall-clock",
+                           f"'{'.'.join(chain)}()' reads the host "
+                           "clock; kernel/device code must use the "
+                           "simulated clock")
+            elif (len(chain) >= 2 and tail in _DATETIME_FNS
+                    and (chain[0] in self.datetime_aliases
+                         or (len(chain) >= 3
+                             and chain[-2] == "datetime"))):
+                self._flag(node, "wall-clock",
+                           f"'{'.'.join(chain)}()' reads the host "
+                           "clock; kernel/device code must use the "
+                           "simulated clock")
+            # set-iteration escaping through list()/tuple()/enumerate().
+            if (len(chain) == 1
+                    and chain[0] in ("list", "tuple", "enumerate")
+                    and node.args):
+                name = _target_name(node.args[0])
+                if name is not None and self._is_set_name(name):
+                    self._flag(node, "set-iteration",
+                               f"'{chain[0]}({name})' exposes set "
+                               "iteration order; use sorted(...)")
+        self.generic_visit(node)
+
+    def _is_set_name(self, name: str) -> bool:
+        return any(name in scope for scope in self._set_scopes)
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if not self.strict:
+            return
+        name = _target_name(iter_node)
+        if name is not None and self._is_set_name(name):
+            self.findings.append(LintFinding(
+                self.path, iter_node.lineno, "set-iteration",
+                f"iterating set '{name}' lets hash order reach "
+                "results; use sorted(...)"))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_iters(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_iters
+    visit_SetComp = visit_comprehension_iters
+    visit_DictComp = visit_comprehension_iters
+    visit_GeneratorExp = visit_comprehension_iters
+
+
+def _apply_suppressions(findings: list[LintFinding],
+                        source: str) -> list[LintFinding]:
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if _ALLOW_MARKER + finding.rule + ")" in line:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(source: str, path: str = "<string>",
+                strict: bool | None = None) -> list[LintFinding]:
+    """Lint one module's source; ``strict`` defaults to path-derived."""
+    if strict is None:
+        strict = is_strict_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 0, "parse-error",
+                            f"could not parse: {exc.msg}")]
+    linter = _Linter(path, strict)
+    linter.visit(tree)
+    findings = _apply_suppressions(linter.findings, source)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def lint_file(path: str, strict: bool | None = None) -> list[LintFinding]:
+    with open(path, encoding="utf-8") as handle:
+        return lint_source(handle.read(), path, strict)
+
+
+def lint_paths(paths=None) -> list[LintFinding]:
+    """Lint every ``*.py`` under each path (default: ``src/repro``)."""
+    if paths is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        paths = [os.path.dirname(here)]  # src/repro
+    findings: list[LintFinding] = []
+    for root in paths:
+        if os.path.isfile(root):
+            findings.extend(lint_file(root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("__pycache__", ".git")]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    findings.extend(
+                        lint_file(os.path.join(dirpath, filename)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

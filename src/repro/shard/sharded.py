@@ -351,6 +351,18 @@ class ShardedDyCuckoo(GpuHashTable):
                                 else None)
         return self.telemetry
 
+    def set_sanitizer(self, sanitizer):
+        """Attach one sanitizer shared by every shard (``None`` detaches).
+
+        Shards execute their kernels sequentially within a batch, so a
+        single shared access log keeps cross-shard lock ids (already
+        disjoint: shards own disjoint tables) and violation dedup in
+        one report.  Returns the attached sanitizer.
+        """
+        for shard in self.shards:
+            shard.set_sanitizer(sanitizer)
+        return self.shards[0].sanitizer
+
     def merged_metrics(self):
         """Labelled + aggregated metrics across shards.
 

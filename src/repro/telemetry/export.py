@@ -17,7 +17,7 @@ import re
 from pathlib import Path
 
 from repro.telemetry.metrics import MetricsRegistry
-from repro.telemetry.tracer import (PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN,
+from repro.telemetry.tracer import (PHASE_INSTANT, PHASE_SPAN,
                                     TraceEvent)
 
 #: pid/tid stamped on every exported event (single simulated device).

@@ -1,7 +1,6 @@
 """Tests for the measurement harness and report formatting."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import DyCuckooAdapter, MegaKVTable, SlabHashTable
 from repro.bench import (format_series, format_table, run_dynamic,

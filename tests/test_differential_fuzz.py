@@ -20,6 +20,7 @@ from repro.core.analysis import check_invariants
 from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable
 from repro.faults import FaultPlan, default_chaos_plan
+from repro.sanitizer import Sanitizer
 
 MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
 
@@ -68,6 +69,14 @@ def apply_batch(table: DyCuckooTable, model: dict, op) -> None:
                 assert int(values[i]) == model[k]
 
 
+def assert_sanitizer_clean(table: DyCuckooTable) -> None:
+    """No race/lock-discipline violations, no subtable lock left held."""
+    san = table.sanitizer
+    if san.enabled:
+        assert san.ok, [str(v) for v in san.violations]
+        assert not san.report()["subtable_locks_held"]
+
+
 def assert_model_agreement(table: DyCuckooTable, model: dict) -> None:
     assert len(table) == len(model)
     if model:
@@ -83,6 +92,7 @@ class TestFaultFreeFuzz:
               suppress_health_check=[HealthCheck.too_slow])
     def test_resize_storm_matches_dict(self, ops):
         table = DyCuckooTable(storm_config())
+        table.set_sanitizer(Sanitizer())
         model: dict = {}
         mutated = False
         for op in ops:
@@ -92,6 +102,7 @@ class TestFaultFreeFuzz:
             # given enforce_bounds a chance to run.
             check_invariants(table, check_fill=mutated)
         assert_model_agreement(table, model)
+        assert_sanitizer_clean(table)
 
 
 class TestFaultInjectedFuzz:
@@ -102,6 +113,7 @@ class TestFaultInjectedFuzz:
               suppress_health_check=[HealthCheck.too_slow])
     def test_chaos_matches_dict(self, ops, fault_seed, intensity):
         table = DyCuckooTable(storm_config())
+        table.set_sanitizer(Sanitizer())
         plan = default_chaos_plan(seed=fault_seed, intensity=intensity)
         table.set_fault_plan(plan)
         model: dict = {}
@@ -110,6 +122,9 @@ class TestFaultInjectedFuzz:
                 apply_batch(table, model, op)
                 check_invariants(table)
             assert_model_agreement(table, model)
+            # Injected faults must classify as intentional, not as
+            # races or lock-discipline violations.
+            assert_sanitizer_clean(table)
         except AssertionError as exc:
             raise AssertionError(
                 f"{exc}\nREPLAY: FaultPlan.from_script("
@@ -143,6 +158,7 @@ class TestDeterministicAcceptance:
         zero divergences, invariants after every batch."""
         table = DyCuckooTable(DyCuckooConfig(
             initial_buckets=16, bucket_capacity=8, min_buckets=8))
+        table.set_sanitizer(Sanitizer())
         plan = default_chaos_plan(seed=2021)
         table.set_fault_plan(plan)
         model: dict = {}
@@ -178,3 +194,4 @@ class TestDeterministicAcceptance:
 
         assert table.to_dict() == model
         assert plan.fired, "chaos plan never fired — rates are dead"
+        assert_sanitizer_clean(table)

@@ -28,6 +28,7 @@ from repro.errors import InvalidConfigError
 from repro.faults import default_chaos_plan
 from repro.kernels import (run_delete_kernel, run_find_kernel,
                            run_spin_insert_kernel, run_voter_insert_kernel)
+from repro.sanitizer import Sanitizer
 from repro.shard import ShardedDyCuckoo
 from repro.telemetry import Telemetry
 
@@ -37,21 +38,33 @@ MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
 
 
 def twin_tables(buckets=64, capacity=8, seed=3, **kw):
-    """Two identically configured, identically seeded tables."""
+    """Two identically configured, identically seeded tables.
+
+    Both carry a live :class:`~repro.sanitizer.Sanitizer`, so every
+    conformance scenario doubles as a race/lock-discipline audit of
+    both engines.
+    """
     def make():
-        return DyCuckooTable(DyCuckooConfig(
+        table = DyCuckooTable(DyCuckooConfig(
             initial_buckets=buckets, bucket_capacity=capacity,
             auto_resize=False, seed=seed, **kw))
+        table.set_sanitizer(Sanitizer())
+        return table
     return make(), make()
 
 
 def assert_tables_identical(tw: DyCuckooTable, tc: DyCuckooTable) -> None:
-    """Storage arrays, sizes, and victim counter all bit-equal."""
+    """Storage arrays, sizes, victim counter bit-equal; sanitizers clean."""
     assert tw._victim_counter == tc._victim_counter
     for sw, sc in zip(tw.subtables, tc.subtables):
         assert sw.size == sc.size
         assert np.array_equal(sw.keys, sc.keys)
         assert np.array_equal(sw.values, sc.values)
+    for table in (tw, tc):
+        san = table.sanitizer
+        if san.enabled:
+            assert san.ok, [str(v) for v in san.violations]
+            assert not san.report()["subtable_locks_held"]
 
 
 class TestKernelEntryPoints:

@@ -261,3 +261,57 @@ class TestCostModel:
         model = CostModel()
         rate = model.mops({"bucket_reads": 1_100_000}, 1_000_000)
         assert 200 < rate < 5000
+
+
+class TestAtomicRoundAccounting:
+    """Round-conflict accounting: grouping, clearing, and the injected
+    vs real CAS-loss distinction the fault layer depends on."""
+
+    def test_round_addresses_group_and_clear_per_round(self):
+        mem = AtomicMemory(8)
+        mem.atomic_cas(1, 0, 1)
+        mem.atomic_exch(1, 0)
+        mem.atomic_cas(5, 0, 1)
+        assert mem._round_addresses == [1, 1, 5]
+        assert mem.end_round() == {1: 2, 5: 1}
+        assert mem._round_addresses == []
+        # A new round accumulates from scratch.
+        mem.atomic_cas(5, 1, 2)
+        assert mem.end_round() == {5: 1}
+        assert mem.ops == 4
+
+    def test_injected_cas_failure_does_not_mutate(self):
+        from repro.faults import FaultPlan
+        mem = AtomicMemory(4, faults=FaultPlan(
+            seed=0, rates={"atomics.cas": 1.0}))
+        old = mem.atomic_cas(2, 0, 7)
+        assert old != 0            # observed "someone else's" write
+        assert mem.words[2] == 0   # ...but wrote nothing itself
+        assert mem.injected_failures == 1
+        assert mem.ops == 1
+        # The failed op still lands in the round's conflict group.
+        assert mem.end_round() == {2: 1}
+
+    def test_real_cas_loss_is_not_an_injected_failure(self):
+        mem = AtomicMemory(4)
+        assert mem.atomic_cas(2, 0, 7) == 0   # winner
+        assert mem.atomic_cas(2, 0, 9) == 7   # genuine lost race
+        assert mem.injected_failures == 0
+        assert mem.words[2] == 7
+        assert mem.end_round() == {2: 2}
+
+    def test_sanitizer_classifies_injected_and_counts_atomics(self):
+        from repro.faults import FaultPlan
+        from repro.sanitizer import Sanitizer
+        san = Sanitizer()
+        san.begin_kernel("atomics", locking=False)
+        mem = AtomicMemory(4, faults=FaultPlan(
+            seed=0, rates={"atomics.cas": 1.0}), sanitizer=san)
+        mem.atomic_cas(0, 0, 1)
+        mem.atomic_exch(0, 0)
+        mem.end_round()
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["atomic_ops"] == 2
+        assert san.stats["injected_events"] == 1
+        assert mem.injected_failures == 1

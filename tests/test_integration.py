@@ -13,7 +13,7 @@ from repro.baselines import (CudppHashTable, DyCuckooAdapter, MegaKVTable,
                              SlabHashTable)
 from repro.baselines.slab import slab_buckets_for_fill
 from repro.bench import run_dynamic, run_static
-from repro.core.config import DyCuckooConfig, replace_config
+from repro.core.config import DyCuckooConfig
 from repro.gpusim.metrics import CostModel
 from repro.workloads import COM, DynamicWorkload
 

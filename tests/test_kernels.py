@@ -1,7 +1,6 @@
 """Tests for the lane-level kernels against the vectorized fast path."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable

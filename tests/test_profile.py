@@ -1,6 +1,5 @@
 """Tests for the kernel profiling reports."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import DyCuckooConfig

@@ -6,12 +6,11 @@ and content preservation across resize sequences.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import DyCuckooConfig
-from repro.core.subtable import EMPTY, Subtable
+from repro.core.subtable import Subtable
 from repro.core.table import DyCuckooTable
 
 

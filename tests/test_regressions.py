@@ -148,3 +148,76 @@ class TestDownsizeRollbackAccounting:
         # residuals inflated by the rolled-back rehash.
         assert delta == {"resize_aborts": 1}
         table.validate()
+
+
+class TestUnwindReleasesLocks:
+    """Release-on-exception: a kernel abort must not wedge the lock
+    table or leak bucket locks (audited by the SIMT sanitizer)."""
+
+    def _contended_batch(self, table, lanes=128):
+        """Four warps, every lane the same key: one lock, all contend."""
+        from repro.core.table import encode_keys
+        keys = np.full(lanes, 12345, dtype=np.uint64)
+        codes = encode_keys(keys)
+        first, second = table.pair_hash.tables_for(codes)
+        targets = table._router.choose(codes, first, second,
+                                       table.subtable_sizes(),
+                                       table.subtable_loads())
+        return codes, keys, targets
+
+    def test_warp_engine_unwinds_on_stall_exhaustion(self):
+        from repro.errors import CapacityError
+        from repro.faults import NO_FAULTS
+        from repro.kernels.insert import _run_insert_warps
+        from repro.sanitizer import Sanitizer
+
+        table = fresh_table()
+        san = table.set_sanitizer(Sanitizer())
+        codes, values, targets = self._contended_batch(table)
+        with pytest.raises(CapacityError):
+            _run_insert_warps(table, codes, values, targets, voter=True,
+                              faults=NO_FAULTS, max_rounds_per_op=1)
+        assert san.ok, [str(v) for v in san.violations]
+        assert san.stats["unwind_releases"] >= 1
+        # The lock table is usable again: a fresh batch completes.
+        fresh = unique_keys(64, seed=77)
+        run_voter_insert_kernel(table, fresh, fresh)
+        assert san.ok, [str(v) for v in san.violations]
+
+    def test_cohort_engine_unwinds_on_stall_exhaustion(self):
+        from repro.errors import CapacityError
+        from repro.gpusim.cohort import cohort_insert
+        from repro.sanitizer import Sanitizer
+
+        table = fresh_table()
+        san = table.set_sanitizer(Sanitizer())
+        codes, values, targets = self._contended_batch(table)
+        with pytest.raises(CapacityError):
+            cohort_insert(table, codes, values, targets, voter=True,
+                          max_rounds_per_op=1)
+        assert san.ok, [str(v) for v in san.violations]
+        assert san.stats["unwind_releases"] >= 1
+        run_voter_insert_kernel(table, unique_keys(64, seed=78),
+                                unique_keys(64, seed=78),
+                                engine="cohort")
+        assert san.ok, [str(v) for v in san.violations]
+
+    def test_resize_abort_releases_subtable_lock(self):
+        from repro.sanitizer import Sanitizer
+
+        table = fresh_table(buckets=16, capacity=8, min_buckets=8,
+                            auto_resize=True)
+        san = table.set_sanitizer(Sanitizer())
+        keys = unique_keys(96, seed=79)
+        table.insert(keys, keys)
+        table.delete(keys[:80])  # make the downsize viable
+        for stage in ("rehash", "spill"):
+            table.set_fault_plan(FaultPlan(
+                seed=0, rates={f"resize.abort.{stage}": 1.0}))
+            with pytest.raises(ResizeError):
+                table._resizer.downsize()
+            table.set_fault_plan(None)
+            report = san.report()
+            assert report["subtable_locks_held"] == 0, stage
+            assert san.ok, [str(v) for v in san.violations]
+        table.validate()

@@ -156,9 +156,8 @@ class TestBoundEnforcement:
         _, found = table.find(keys)
         assert found.all()
         table.validate()
-        midpoint = (config.alpha + config.beta) / 2
-        # After an anticipatory upsize run, fill sits at/below midpoint
-        # or within bounds; it must never exceed beta.
+        # After an anticipatory upsize run, fill sits at/below the
+        # [alpha, beta] midpoint or within bounds; never above beta.
         assert table.load_factor <= config.beta + 1e-9
 
 

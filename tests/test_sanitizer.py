@@ -1,0 +1,378 @@
+"""SIMT sanitizer: racecheck, lockcheck, determinism lint, audits.
+
+Three layers of coverage:
+
+* unit tests of the :class:`~repro.sanitizer.Sanitizer` state machine —
+  lockset pairing, the locking contract, dedup, the null-object gate;
+* the seeded intentional-violation fixtures
+  (:mod:`repro.sanitizer.fixtures`): each must produce *exactly* its
+  expected violation kinds with round/warp/site attribution;
+* end-to-end audits: a clean workload on both engines yields zero
+  violations (``run_clean_audit``), and the determinism lint is clean
+  over ``src/repro`` while flagging every rule in
+  :data:`~repro.sanitizer.fixtures.BAD_KERNEL_SOURCE`.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.sanitizer import (ACCESS_KINDS, NULL_SANITIZER,
+                             VIOLATION_KINDS, Sanitizer)
+from repro.sanitizer.audit import run_clean_audit, run_fixture_suite
+from repro.sanitizer.fixtures import BAD_KERNEL_SOURCE, FIXTURES
+from repro.sanitizer.lint import (is_strict_path, lint_paths,
+                                  lint_source)
+
+
+def kernel(san, name="k", locking=True):
+    san.begin_kernel(name, locking=locking)
+    san.begin_round(0)
+    return san
+
+
+class TestRacecheckUnit:
+    def test_write_write_disjoint_locksets_is_race(self):
+        san = kernel(Sanitizer())
+        san.record_access(0, "write", "bucket", 7, site="a")
+        san.record_access(1, "write", "bucket", 7, site="b")
+        san.end_kernel()
+        races = [v for v in san.violations if v.kind == "race"]
+        assert len(races) == 1
+        assert races[0].pass_name == "racecheck"
+        assert {races[0].warp, races[0].other_warp} == {0, 1}
+        assert races[0].round_index == 0
+        assert races[0].address == 7
+
+    def test_common_lock_orders_the_pair(self):
+        san = kernel(Sanitizer())
+        for warp in (0, 1):
+            san.on_lock_acquire(warp, 7)
+            san.record_access(warp, "write", "bucket", 7)
+            san.on_lock_release(warp, 7)
+        san.end_kernel()
+        assert san.ok, [str(v) for v in san.violations]
+
+    def test_read_read_never_races(self):
+        san = kernel(Sanitizer())
+        san.record_access(0, "read", "bucket", 7)
+        san.record_access(1, "read", "bucket", 7)
+        san.end_kernel()
+        assert san.ok
+
+    def test_same_warp_never_races_itself(self):
+        san = kernel(Sanitizer())
+        san.record_access(0, "write", "bucket", 7)
+        san.record_access(0, "read", "bucket", 7)
+        san.end_kernel()
+        races = [v for v in san.violations if v.kind == "race"]
+        assert not races
+
+    def test_different_rounds_are_ordered(self):
+        """Round boundaries are the simulator's happens-before edges."""
+        san = kernel(Sanitizer())
+        san.record_access(0, "write", "bucket", 7)
+        san.begin_round(1)
+        san.record_access(1, "write", "bucket", 7)
+        san.end_kernel()
+        races = [v for v in san.violations if v.kind == "race"]
+        assert not races
+
+    def test_probe_and_atomic_kinds_exempt_from_pairing(self):
+        san = kernel(Sanitizer())
+        san.record_access(0, "write", "bucket", 7)
+        san.record_access(1, "probe", "bucket", 7)
+        san.record_access(2, "atomic", "value", 7)
+        san.end_kernel()
+        races = [v for v in san.violations if v.kind == "race"]
+        assert not races
+
+    def test_race_dedup_one_report_per_word_per_round(self):
+        san = kernel(Sanitizer())
+        for warp in range(4):
+            san.record_access(warp, "write", "bucket", 9)
+        san.end_kernel()
+        races = [v for v in san.violations if v.kind == "race"]
+        assert len(races) == 1
+
+    def test_unlocked_write_under_locking_contract(self):
+        san = kernel(Sanitizer(), locking=True)
+        san.record_access(3, "write", "bucket", 11, site="ph2")
+        [v] = [v for v in san.violations if v.kind == "unlocked-write"]
+        assert v.warp == 3 and v.address == 11 and v.site == "ph2"
+
+    def test_lock_free_kernels_exempt_from_unlocked_write(self):
+        san = kernel(Sanitizer(), name="delete", locking=False)
+        san.record_access(3, "write", "bucket", 11)
+        san.end_kernel()
+        assert san.ok
+
+    def test_locked_write_is_clean(self):
+        san = kernel(Sanitizer())
+        san.on_lock_acquire(3, 11)
+        san.record_access(3, "write", "bucket", 11)
+        san.on_lock_release(3, 11)
+        san.end_kernel()
+        assert san.ok
+
+
+class TestLockcheckUnit:
+    def test_double_acquire(self):
+        san = kernel(Sanitizer())
+        san.on_lock_acquire(0, 5)
+        san.on_lock_acquire(0, 5)
+        [v] = san.violations
+        assert v.kind == "double-acquire" and v.warp == 0
+
+    def test_lock_not_exclusive(self):
+        san = kernel(Sanitizer())
+        san.on_lock_acquire(0, 5)
+        san.on_lock_acquire(1, 5)
+        [v] = san.violations
+        assert v.kind == "lock-not-exclusive"
+        assert v.warp == 1 and v.other_warp == 0
+
+    def test_double_release(self):
+        san = kernel(Sanitizer())
+        san.on_lock_acquire(0, 5)
+        san.on_lock_release(0, 5)
+        san.on_lock_release(0, 5)
+        [v] = san.violations
+        assert v.kind == "double-release"
+
+    def test_leaked_lock_at_kernel_exit(self):
+        san = kernel(Sanitizer(), name="leaky")
+        san.on_lock_acquire(2, 5)
+        san.end_kernel()
+        [v] = san.violations
+        assert v.kind == "leaked-lock" and v.warp == 2
+        assert "leaky" in v.message
+
+    def test_round_release_pairs_everything(self):
+        san = kernel(Sanitizer())
+        san.on_lock_acquire(0, 5)
+        san.on_lock_acquire(1, 6)
+        san.on_round_release()
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["round_releases"] == 1
+
+    def test_unwind_release_accounts_not_violates(self):
+        san = kernel(Sanitizer())
+        san.on_lock_acquire(0, 5)
+        san.on_unwind_release(0, 5)
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["unwind_releases"] == 1
+
+    def test_one_subtable_resize_guarantee(self):
+        san = Sanitizer()
+        san.on_subtable_lock(0, "upsize")
+        san.on_subtable_lock(1, "spill")
+        [v] = san.violations
+        assert v.kind == "second-subtable-lock"
+        san2 = Sanitizer()
+        san2.on_subtable_lock(0, "upsize")
+        san2.on_subtable_unlock(0)
+        san2.on_subtable_lock(1, "downsize")
+        san2.on_subtable_unlock(1)
+        assert san2.ok
+        assert san2.report()["subtable_locks_held"] == 0
+
+
+class TestSanitizerPlumbing:
+    def test_null_sanitizer_is_disabled_and_shared(self):
+        assert NULL_SANITIZER.enabled is False
+        assert Sanitizer.enabled is True
+        from repro.core.config import DyCuckooConfig
+        from repro.core.table import DyCuckooTable
+        table = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=8, bucket_capacity=4, auto_resize=False))
+        assert table.sanitizer is NULL_SANITIZER
+        san = table.set_sanitizer(Sanitizer())
+        assert table.sanitizer is san
+        assert table.set_sanitizer(None) is NULL_SANITIZER
+
+    def test_sharded_front_end_shares_one_sanitizer(self):
+        import numpy as np
+        from repro.core.config import DyCuckooConfig
+        from repro.shard import ShardedDyCuckoo
+        sharded = ShardedDyCuckoo(num_shards=2, config=DyCuckooConfig(
+            initial_buckets=32, bucket_capacity=8, auto_resize=False))
+        san = sharded.set_sanitizer(Sanitizer())
+        for shard in sharded.shards:
+            assert shard.sanitizer is san
+        keys = np.arange(1, 257, dtype=np.uint64)
+        sharded.execute_mixed(
+            np.zeros(len(keys), dtype=np.int8), keys, keys,
+            engine="warp")
+        assert san.stats["kernels"] > 0
+        assert san.ok, [str(v) for v in san.violations]
+
+    def test_report_shape(self):
+        san = kernel(Sanitizer())
+        san.record_access(0, "write", "bucket", 7)
+        san.end_kernel()
+        report = san.report()
+        assert set(report) == {"ok", "stats", "subtable_locks_held",
+                               "violations"}
+        assert report["ok"] is san.ok is False
+        [v] = report["violations"]
+        assert set(v) == {"pass", "kind", "message", "site", "round",
+                          "warp", "other_warp", "space", "address"}
+        assert v["kind"] in VIOLATION_KINDS[v["pass"]]
+
+    def test_max_violations_caps_the_report(self):
+        san = kernel(Sanitizer(max_violations=3))
+        for address in range(10):
+            san.record_access(0, "write", "bucket", address)
+        assert len(san.violations) == 3
+
+    def test_passes_can_be_disabled_independently(self):
+        san = kernel(Sanitizer(racecheck=False))
+        san.record_access(0, "write", "bucket", 7)
+        san.record_access(1, "write", "bucket", 7)
+        san.end_kernel()
+        assert san.ok  # racecheck off; lockcheck still on
+        san = kernel(Sanitizer(lockcheck=False))
+        san.on_lock_acquire(0, 5)
+        san.on_lock_acquire(0, 5)
+        san.end_kernel()
+        assert san.ok
+
+    def test_injected_faults_classify_not_violate(self):
+        san = kernel(Sanitizer())
+        san.note_injected("lock.acquire")
+        san.note_injected("atomics.cas")
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["injected_events"] == 2
+
+    def test_access_kind_taxonomy_is_closed(self):
+        assert set(ACCESS_KINDS) == {"read", "write", "probe", "atomic"}
+        assert set(VIOLATION_KINDS) == {"racecheck", "lockcheck"}
+
+
+class TestSeededFixtures:
+    """Each fixture's planted bug must be detected — exactly."""
+
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_fixture_detected_with_attribution(self, name):
+        build, expected_kinds = FIXTURES[name]
+        san = build()
+        assert {v.kind for v in san.violations} == expected_kinds
+        for v in san.violations:
+            assert v.site, str(v)
+            if v.space in ("bucket", "lock"):
+                assert v.round_index >= 0, str(v)
+                assert v.warp >= 0, str(v)
+
+    def test_double_release_attributed_to_second_round(self):
+        build, _ = FIXTURES["double-release"]
+        [v] = build().violations
+        assert v.round_index == 1
+        assert "LockArbiter.release" in v.site
+
+    def test_race_names_both_warps(self):
+        build, _ = FIXTURES["race-read-write"]
+        [v] = build().violations
+        assert {v.warp, v.other_warp} == {0, 1}
+        assert "no common lock" in v.message
+
+    def test_fixture_suite_aggregate(self):
+        report = run_fixture_suite()
+        assert report["ok"], report
+        assert set(report["fixtures"]) == set(FIXTURES)
+        for result in report["fixtures"].values():
+            assert result["ok"]
+            assert result["detected"] == result["expected"]
+
+
+class TestDeterminismLint:
+    def test_bad_kernel_source_trips_every_rule(self):
+        findings = lint_source(BAD_KERNEL_SOURCE,
+                               path="repro/gpusim/bad.py")
+        got = [(f.line, f.rule) for f in findings]
+        assert got == [
+            (8, "unseeded-rng"),
+            (9, "wall-clock"),
+            (12, "set-iteration"),
+            (16, "bare-except"),
+            (17, "unseeded-rng"),
+        ]
+        assert {f.rule for f in findings} == {
+            "unseeded-rng", "wall-clock", "set-iteration", "bare-except"}
+
+    def test_non_strict_scope_relaxes_clock_and_sets(self):
+        findings = lint_source(BAD_KERNEL_SOURCE,
+                               path="repro/bench/tool.py")
+        rules = {f.rule for f in findings}
+        assert "wall-clock" not in rules
+        assert "set-iteration" not in rules
+        assert "unseeded-rng" in rules
+        assert "bare-except" in rules
+
+    def test_strict_path_classification(self):
+        assert is_strict_path("src/repro/gpusim/kernel.py")
+        assert is_strict_path("src/repro/kernels/insert.py")
+        assert is_strict_path("/abs/src/repro/core/table.py")
+        assert not is_strict_path("src/repro/cli.py")
+        assert not is_strict_path("src/repro/telemetry/export.py")
+        assert not is_strict_path("tests/test_sanitizer.py")
+
+    def test_suppression_marker_silences_one_rule(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng()"
+                  "  # sanitize: allow(unseeded-rng)\n")
+        assert lint_source(source, strict=True) == []
+        unsuppressed = ("import numpy as np\n"
+                        "rng = np.random.default_rng()\n")
+        [f] = lint_source(unsuppressed, strict=True)
+        assert f.rule == "unseeded-rng" and f.line == 2
+
+    def test_seeded_generator_methods_not_flagged(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng(7)\n"
+                  "order = rng.permutation(8)\n")
+        assert lint_source(source, strict=True) == []
+
+    def test_syntax_error_becomes_parse_error_finding(self):
+        [f] = lint_source("def broken(:\n", path="x.py")
+        assert f.rule == "parse-error"
+
+    def test_finding_str_format(self):
+        [f] = lint_source("try:\n    pass\nexcept:\n    pass\n",
+                          path="m.py", strict=False)
+        assert str(f).startswith("m.py:3: [bare-except]")
+
+    def test_src_repro_is_lint_clean(self):
+        findings = lint_paths()
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+
+class TestAudits:
+    def test_clean_audit_zero_violations_both_engines(self):
+        report = run_clean_audit(ops=128, seed=0)
+        assert report["ok"], report
+        assert report["injected_events"] > 0
+        assert {"kernels[warp]", "kernels[cohort]", "resize",
+                "faults"} <= set(report["phases"])
+        for phase in report["phases"].values():
+            assert phase["ok"] and not phase["violations"]
+            assert phase["subtable_locks_held"] == 0
+
+    def test_engines_see_identical_access_streams(self):
+        """Conformance dividend: both engines log identical counts."""
+        report = run_clean_audit(ops=128, seed=3,
+                                 engines=("warp", "cohort"))
+        sw = report["phases"]["kernels[warp]"]["stats"]
+        sc = report["phases"]["kernels[cohort]"]["stats"]
+        for key in ("accesses", "words_checked", "lock_acquires",
+                    "lock_releases", "rounds", "kernels"):
+            assert sw[key] == sc[key], key
+
+    def test_cli_fixture_and_lint_phases(self, capsys):
+        assert main(["sanitize", "--fixtures"]) == 0
+        assert main(["sanitize", "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "seeded violations detected" in out
+        assert "determinism lint" in out

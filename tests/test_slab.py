@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines.slab import (MAX_SLAB_KEY, SLAB_CAPACITY, SlabHashTable,
-                                  TOMBSTONE)
+from repro.baselines.slab import MAX_SLAB_KEY, SlabHashTable
 from repro.errors import InvalidConfigError, InvalidKeyError
 
 from .conftest import unique_keys

@@ -10,7 +10,6 @@ the stash losslessly.
 """
 
 import numpy as np
-import pytest
 
 from .conftest import unique_keys
 from repro.core.config import DyCuckooConfig

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.subtable import EMPTY, Subtable
+from repro.core.subtable import Subtable
 from repro.errors import InvalidConfigError
 
 

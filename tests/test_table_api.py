@@ -1,7 +1,6 @@
 """Tests for the convenience API surface of DyCuckooTable."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable

@@ -26,7 +26,7 @@ from repro.errors import InvalidConfigError
 from repro.gpusim.metrics import CostModel
 from repro.telemetry import (NULL_TELEMETRY, NULL_TRACER, MetricsRegistry,
                              Telemetry, Tracer)
-from repro.telemetry.export import (chrome_trace, prometheus_text,
+from repro.telemetry.export import (prometheus_text,
                                     write_chrome_trace, write_jsonl)
 from repro.telemetry.metrics import Histogram
 from repro.workloads import DynamicWorkload, dataset_by_name
