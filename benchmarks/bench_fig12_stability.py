@@ -10,12 +10,20 @@ shapes:
 * SlabHash decays as symbolic deletions accumulate — below 25% by the
   end on COM (the paper reports <20%) — and its allocated memory never
   shrinks, which is the "up to 4x memory" headline.
+
+Besides the fill series, the run reports batch-latency percentiles on
+the simulated clock (p50/p99/worst batch via
+:mod:`repro.telemetry.latency`) — the SLO view of the same stability
+story: resizes show up as tail batches, and DyCuckoo's one-subtable
+resizing keeps that tail short.  With ``REPRO_BENCH_JSON`` set the
+latency summaries land in ``BENCH_fig12_stability.json``.
 """
 
 import numpy as np
 
 from repro.bench import format_series, maybe_dump_trace, run_dynamic, shape_check
-from repro.telemetry import Telemetry
+from repro.bench.artifacts import maybe_dump
+from repro.telemetry import Telemetry, format_summary, summarize_batches
 from repro.workloads import ALL_DATASETS, DynamicWorkload
 
 from benchmarks.common import (BATCH_SIZE, COST_MODEL, SCALE,
@@ -55,6 +63,12 @@ def _run_all():
 def test_fig12_fill_factor_stability(benchmark):
     results = once(benchmark, _run_all)
 
+    latencies = {key: summarize_batches(run.batches)
+                 for key, (run, _table) in results.items()}
+    maybe_dump("BENCH_fig12_stability", {
+        f"{ds}/{name}": {"mops": run.mops, "latency": latencies[(ds, name)]}
+        for (ds, name), (run, _table) in results.items()})
+
     checks = []
     for spec in ALL_DATASETS:
         ds = spec.name
@@ -64,6 +78,10 @@ def test_fig12_fill_factor_stability(benchmark):
             {name: results[(ds, name)][0].fill_series
              for name in APPROACHES},
             lo=0.0, hi=1.0))
+
+        for name in APPROACHES:
+            print(f"  {name:>8} batch latency: "
+                  + format_summary(latencies[(ds, name)]))
 
         dy_run, dy_table = results[(ds, "DyCuckoo")]
         mega_run, _ = results[(ds, "MegaKV")]

@@ -1,20 +1,28 @@
-"""Warn-only performance gate over dumped ``BENCH_*.json`` artifacts.
+"""Performance gate over dumped ``BENCH_*.json`` artifacts.
 
 Compares the current bench-artifact directory against a baseline
-directory (CI restores it from the previous run's cache) with
-:func:`repro.bench.regression.compare_dirs` and prints the report.
+directory with :func:`repro.bench.regression.compare_dirs` and prints
+the report.  Two deployment styles:
+
+* **Warn-only trajectory** (the default, baseline restored from the
+  previous CI run's cache): perf drift is visible in CI logs without
+  blocking unrelated changes on noisy shared runners.
+* **Enforcing** (``--strict`` against the committed baseline in
+  ``benchmarks/baselines/``): deterministic simulated-cost leaves must
+  match; wall-clock and throughput leaves are excluded with ``--skip``
+  because they depend on host speed.
 
 Exit status:
 
 * ``0`` — clean, baseline missing/empty (first run), or deviations
-  found while warn-only (the default): perf drift should be visible in
-  CI logs, not block unrelated changes on noisy shared runners.
+  found while warn-only.
 * ``1`` — deviations found and ``--strict`` was passed.
 
 Usage::
 
     python benchmarks/perf_gate.py BASELINE_DIR CURRENT_DIR [--strict]
-        [--tolerance 0.05]
+        [--tolerance 0.05] [--only 'BENCH_kernel_engine*']
+        [--skip '*seconds*'] [--skip '*ops_per_sec*']
 """
 
 from __future__ import annotations
@@ -34,6 +42,14 @@ def main(argv=None) -> int:
                         help="relative tolerance per numeric result")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on deviations instead of warning")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="PATTERN",
+                        help="restrict to artifact file names matching "
+                             "this fnmatch pattern (repeatable)")
+    parser.add_argument("--skip", action="append", default=[],
+                        metavar="PATTERN",
+                        help="ignore leaves whose 'artifact:path' matches "
+                             "this fnmatch pattern (repeatable)")
     args = parser.parse_args(argv)
 
     baseline = Path(args.baseline)
@@ -47,7 +63,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 1
 
-    report = compare_dirs(baseline, current, rel_tolerance=args.tolerance)
+    report = compare_dirs(baseline, current, rel_tolerance=args.tolerance,
+                          only=args.only, skip=args.skip)
     print(format_report(report))
     if report.clean:
         return 0

@@ -45,6 +45,22 @@ class DyCuckooAdapter(GpuHashTable):
         return self.table.set_telemetry(telemetry)
 
     @property
+    def profiler(self):
+        """The inner table's deep-profiler handle (shared, not duplicated)."""
+        return self.table.profiler
+
+    def set_profiler(self, profiler):
+        return self.table.set_profiler(profiler)
+
+    @property
+    def recorder(self):
+        """The inner table's flight-recorder handle."""
+        return self.table.recorder
+
+    def set_recorder(self, recorder):
+        return self.table.set_recorder(recorder)
+
+    @property
     def subtable_load_factors(self) -> list[float]:
         return self.table.subtable_load_factors
 

@@ -16,6 +16,7 @@ surfaced rather than ignored.
 
 from __future__ import annotations
 
+import fnmatch
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,10 +65,20 @@ def _walk(value, prefix: str = ""):
         yield prefix, value
 
 
+def _matches(name: str, patterns) -> bool:
+    return any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+
+
 def compare_payloads(artifact: str, baseline, current,
-                     rel_tolerance: float, report: RegressionReport) -> None:
+                     rel_tolerance: float, report: RegressionReport,
+                     skip=()) -> None:
     base_leaves = dict(_walk(baseline))
     curr_leaves = dict(_walk(current))
+    if skip:
+        base_leaves = {path: leaf for path, leaf in base_leaves.items()
+                       if not _matches(f"{artifact}:{path}", skip)}
+        curr_leaves = {path: leaf for path, leaf in curr_leaves.items()
+                       if not _matches(f"{artifact}:{path}", skip)}
     for path in sorted(set(base_leaves) - set(curr_leaves)):
         report.missing_in_current.append(f"{artifact}:{path}")
     for path in sorted(set(curr_leaves) - set(base_leaves)):
@@ -90,13 +101,27 @@ def compare_payloads(artifact: str, baseline, current,
 
 
 def compare_dirs(baseline_dir, current_dir,
-                 rel_tolerance: float = 0.05) -> RegressionReport:
-    """Compare every ``*.json`` artifact shared by the two directories."""
+                 rel_tolerance: float = 0.05,
+                 only=(), skip=()) -> RegressionReport:
+    """Compare every ``*.json`` artifact shared by the two directories.
+
+    ``only`` restricts the comparison to artifact file names matching
+    any of the given fnmatch patterns (use it to enforce a curated
+    committed baseline without flagging every other artifact as
+    missing).  ``skip`` drops leaves whose qualified name
+    (``artifact:path``) matches any pattern — typically wall-clock and
+    throughput leaves that are too noisy to gate on.
+    """
     baseline_dir = Path(baseline_dir)
     current_dir = Path(current_dir)
     report = RegressionReport()
     base_files = {p.name: p for p in baseline_dir.glob("*.json")}
     curr_files = {p.name: p for p in current_dir.glob("*.json")}
+    if only:
+        base_files = {n: p for n, p in base_files.items()
+                      if _matches(n, only)}
+        curr_files = {n: p for n, p in curr_files.items()
+                      if _matches(n, only)}
     for name in sorted(set(base_files) - set(curr_files)):
         report.missing_in_current.append(name)
     for name in sorted(set(curr_files) - set(base_files)):
@@ -104,7 +129,8 @@ def compare_dirs(baseline_dir, current_dir,
     for name in sorted(set(base_files) & set(curr_files)):
         baseline = json.loads(base_files[name].read_text())
         current = json.loads(curr_files[name].read_text())
-        compare_payloads(name, baseline, current, rel_tolerance, report)
+        compare_payloads(name, baseline, current, rel_tolerance, report,
+                         skip=skip)
     return report
 
 

@@ -23,7 +23,7 @@ import numpy as np
 from repro.baselines.base import GpuHashTable
 from repro.errors import UnsupportedOperationError
 from repro.gpusim.metrics import CostModel
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import NULL_PROFILER, NULL_TELEMETRY
 from repro.workloads.batches import DynamicWorkload
 
 
@@ -164,10 +164,12 @@ def run_dynamic(table: GpuHashTable, workload: DynamicWorkload,
     is wrapped in a ``batch`` span whose duration is the batch's
     *simulated* GPU time — the exported trace timeline is laid out in
     simulated time — and per-subtable fill-factor gauges are sampled
-    after every batch.
+    after every batch.  A table carrying an enabled deep profiler
+    additionally gets a per-batch ``batch`` fill-timeline sample.
     """
     cost_model = cost_model or CostModel()
     telemetry = getattr(table, "telemetry", NULL_TELEMETRY)
+    profiler = getattr(table, "profiler", NULL_PROFILER)
     result = DynamicRunResult(table_name=table.NAME)
     for batch in workload.batches():
         if max_batches is not None and batch.index >= max_batches:
@@ -189,6 +191,8 @@ def run_dynamic(table: GpuHashTable, workload: DynamicWorkload,
                 # Lay the batch out over its simulated duration so the
                 # span's width in the trace is the simulated GPU time.
                 telemetry.tracer.advance(seconds)
+            if profiler.enabled and hasattr(table, "subtable_load_factors"):
+                profiler.sample_fill("batch", table)
         result.batches.append(BatchResult(
             index=batch.index,
             phase=batch.phase,

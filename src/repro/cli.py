@@ -16,8 +16,13 @@ Commands
     on one dataset and print throughput, fill-factor tracking, and peak
     memory — a one-command version of Figures 11/12.
 ``profile``
-    Profile one insert+find+delete cycle of DyCuckoo with the kernel
-    profiler.
+    Deep-profile DyCuckoo: derived per-batch kernel metrics, a
+    lane-faithful deep pass on both execution engines (occupancy and
+    divergence timelines, lock-contention heatmap, probe/chain
+    histograms, cross-checked for identity), a dynamic pass with
+    resizes (fill timeline, batch-latency percentiles), and a seeded
+    flight-recorder demonstration.  ``--html`` writes a self-contained
+    report; ``--smoke`` is CI's profiler health check.
 ``trace``
     Run a dynamic workload on DyCuckoo with telemetry enabled and write
     a Chrome-trace JSON (``chrome://tracing`` / Perfetto), optionally a
@@ -193,29 +198,159 @@ def _cmd_dynamic(args) -> int:
     return 0
 
 
+def _profile_deep_pass(engine: str, seed: int, n: int) -> dict:
+    """One deep-profiler pass: a mixed kernel batch on a pre-sized table."""
+    from repro import DyCuckooConfig, DyCuckooTable
+    from repro.telemetry import Profiler
+
+    rng = np.random.default_rng(seed)
+    ops, keys, values = _make_mixed_workload(rng, n)
+    # Pre-size so the kernels (which never resize) stay below ~50% fill.
+    capacity = 16
+    buckets = 8
+    while 4 * buckets * capacity < n:
+        buckets *= 2
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=buckets, bucket_capacity=capacity,
+        auto_resize=False, seed=seed))
+    profiler = table.set_profiler(Profiler())
+    table.execute_mixed(ops, keys, values, engine=engine)
+    return profiler.snapshot()
+
+
 def _cmd_profile(args) -> int:
     from repro import DyCuckooConfig, DyCuckooTable
-    from repro.gpusim.profile import profile_operation
+    from repro.baselines import DyCuckooAdapter
+    from repro.bench import run_dynamic
+    from repro.faults import FaultPlan
+    from repro.gpusim.metrics import CostModel
+    from repro.telemetry import (FlightRecorder, Profiler, format_summary,
+                                 summarize_batches)
+    from repro.telemetry.profiler import profile_operation
+    from repro.telemetry.report import write_html_report
+    from repro.workloads import DynamicWorkload, dataset_by_name
 
+    smoke = args.smoke
+    keys_n = 2_000 if smoke else args.keys
+    deep_ops = 1_200 if smoke else args.ops
+    scale, batch = (0.0005, 250) if smoke else (0.001, 500)
+
+    # Phase 0 — derived per-batch metrics (the classic report).
     table = DyCuckooTable(DyCuckooConfig())
     rng = np.random.default_rng(args.seed)
-    keys = rng.permutation(np.arange(args.keys, dtype=np.uint64))
+    keys = rng.permutation(np.arange(keys_n, dtype=np.uint64))
     profiles = [
         profile_operation(table, "insert", table.insert, keys, keys),
         profile_operation(table, "find", table.find, keys),
         profile_operation(table, "delete", table.delete, keys),
     ]
+
+    # Phase 1 — deep pass through the lane-faithful kernel engines:
+    # occupancy/divergence timelines, lock heatmap, probe and chain
+    # histograms.  With both engines the snapshots are cross-checked.
+    engines = (["warp", "cohort"] if args.engine == "both"
+               else [args.engine])
+    snapshots = {engine: _profile_deep_pass(engine, args.seed, deep_ops)
+                 for engine in engines}
+
+    # Phase 2 — dynamic pass with resizes: per-subtable fill timeline,
+    # stash samples, and batch-latency percentiles on the simulated
+    # clock.
+    spec = dataset_by_name("COM")
+    dyn_keys, dyn_values = spec.generate(scale=scale, seed=args.seed)
+    adapter = DyCuckooAdapter(DyCuckooConfig(initial_buckets=8))
+    dyn_profiler = adapter.set_profiler(Profiler())
+    workload = DynamicWorkload(dyn_keys, dyn_values, batch_size=batch,
+                               ratio_r=0.2, seed=args.seed)
+    run = run_dynamic(adapter, workload,
+                      cost_model=CostModel(overhead_scale=scale))
+    latency = summarize_batches(run.batches)
+    dynamic = dyn_profiler.snapshot()
+
+    # Phase 3 — flight-recorder demonstration: a seeded fault plan that
+    # aborts every resize trips the recorder and dumps bundles.
+    rec_table = DyCuckooTable(DyCuckooConfig(initial_buckets=8))
+    rec_table.set_profiler(Profiler())
+    recorder = rec_table.set_recorder(FlightRecorder())
+    rec_table.set_fault_plan(FaultPlan(
+        seed=args.seed, rates={"resize.abort.trigger": 1.0}))
+    slots = rec_table.total_slots
+    rec_keys = rng.permutation(
+        np.arange(1, int(slots * 0.88) + 1, dtype=np.uint64))
+    rec_table.insert(rec_keys, rec_keys)
+    recorder_summary = recorder.summary()
+
+    report = {
+        "command": "profile",
+        "seed": args.seed,
+        "keys": keys_n,
+        "ops": deep_ops,
+        "profiles": [dataclasses.asdict(p) for p in profiles],
+        "engines": snapshots,
+        "dynamic": dynamic,
+        "latency": latency,
+        "recorder": recorder_summary,
+    }
+    if len(engines) == 2:
+        report["conformant"] = snapshots["warp"] == snapshots["cohort"]
+
+    written = None
+    if args.html:
+        written = write_html_report(args.html, report)
+        report["html"] = written
+
     if args.json:
-        _emit_json({
-            "command": "profile",
-            "seed": args.seed,
-            "keys": args.keys,
-            "profiles": [dataclasses.asdict(p) for p in profiles],
-        })
-        return 0
-    for profile in profiles:
-        print(profile)
-    return 0
+        _emit_json(report)
+    else:
+        for profile in profiles:
+            print(profile)
+        for engine in engines:
+            snap = snapshots[engine]
+            rounds = sum(len(k["rounds"]) for k in snap["kernels"])
+            conflicts = sum(c["conflicts"] for c in snap["lock_heatmap"])
+            print(f"deep pass [{engine}]: {len(snap['kernels'])} kernels, "
+                  f"{rounds} occupancy samples, "
+                  f"{len(snap['lock_heatmap'])} heatmap cells "
+                  f"({conflicts} conflicts), "
+                  f"probe lengths {snap['probe_lengths']}, "
+                  f"chain depths {snap['chain_depths']}")
+        if "conformant" in report:
+            print("engine snapshots: "
+                  + ("identical" if report["conformant"] else "DIVERGENT"))
+        print(f"dynamic pass: {len(run.batches)} batches, "
+              f"{len(dynamic['fill_timeline'])} fill samples "
+              f"({sum(1 for p in dynamic['fill_timeline'] if p['event'] != 'batch')} resizes)")
+        print("batch latency: " + format_summary(latency))
+        print(f"flight recorder: {recorder_summary['trips']} trips, "
+              f"{recorder_summary['bundles']} bundles retained")
+        if written:
+            print(f"wrote {written}")
+
+    problems: list[str] = []
+    if smoke:
+        for engine in engines:
+            snap = snapshots[engine]
+            if not any(k["rounds"] for k in snap["kernels"]):
+                problems.append(f"{engine}: empty divergence timeline")
+            if not snap["lock_heatmap"]:
+                problems.append(f"{engine}: empty lock heatmap")
+            if not snap["probe_lengths"]:
+                problems.append(f"{engine}: empty probe-length histogram")
+        if report.get("conformant") is False:
+            problems.append("engine snapshots diverged")
+        if not dynamic["fill_timeline"]:
+            problems.append("dynamic pass recorded no fill timeline")
+        if not latency["count"]:
+            problems.append("no batch latency samples")
+        if not recorder_summary["trips"]:
+            problems.append("seeded fault plan never tripped the recorder")
+        if problems:
+            print("profile smoke check FAILED: " + "; ".join(problems),
+                  file=sys.stderr)
+            return 1
+        if not args.json:
+            print("profile smoke check ok")
+    return 1 if problems else 0
 
 
 def _cmd_trace(args) -> int:
@@ -759,8 +894,21 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--json", action="store_true",
                          help="machine-readable JSON on stdout")
 
-    profile = sub.add_parser("profile", help="profile DyCuckoo kernels")
-    profile.add_argument("--keys", type=int, default=100_000)
+    profile = sub.add_parser(
+        "profile", help="deep-profile DyCuckoo kernels; write a report")
+    profile.add_argument("--keys", type=int, default=100_000,
+                         help="keys for the per-batch derived metrics pass")
+    profile.add_argument("--ops", type=int, default=4_000,
+                         help="mixed operations for the deep kernel pass")
+    profile.add_argument("--engine", choices=["warp", "cohort", "both"],
+                         default="both",
+                         help="execution engine(s) for the deep pass; "
+                              "'both' cross-checks the snapshots")
+    profile.add_argument("--html", default=None, metavar="PATH",
+                         help="write a self-contained HTML report")
+    profile.add_argument("--smoke", action="store_true",
+                         help="fast built-in configuration; fail unless "
+                              "the report has the expected structure")
     profile.add_argument("--seed", type=int, default=0,
                          help="RNG seed for exact reproducibility")
     profile.add_argument("--json", action="store_true",

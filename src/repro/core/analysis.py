@@ -170,7 +170,21 @@ def check_invariants(table, check_fill: bool = False) -> None:
     fault-injection plan attached / stash occupied (injected resize
     aborts legitimately strand ``theta`` out of bounds until a later
     batch retries).
+
+    When the table has an enabled flight recorder attached, a failing
+    check trips it (dumping a post-mortem bundle) before the
+    ``AssertionError`` propagates.
     """
+    try:
+        _check_invariants(table, check_fill=check_fill)
+    except AssertionError as exc:
+        recorder = getattr(table, "recorder", None)
+        if recorder is not None and recorder.enabled:
+            recorder.trip("invariant_failure", message=str(exc))
+        raise
+
+
+def _check_invariants(table, check_fill: bool) -> None:
     all_codes = []
     for idx, st in enumerate(table.subtables):
         st.validate()

@@ -224,6 +224,12 @@ class ResizeController:
                 table.telemetry.metrics.counter("resize.upsizes").inc()
                 table.telemetry.metrics.counter(
                     "resize.rehashed_entries").inc(len(codes))
+            if table.profiler.enabled:
+                table.profiler.sample_fill("upsize", table)
+            if table.recorder.enabled:
+                table.recorder.record("resize.upsize", subtable=target,
+                                      new_buckets=st.n_buckets,
+                                      rehashed=len(codes))
         return target
 
     def downsize(self) -> int:
@@ -318,6 +324,13 @@ class ResizeController:
                     "resize.rehashed_entries").inc(len(codes))
                 table.telemetry.metrics.counter(
                     "resize.residuals").inc(len(residual_codes))
+            if table.profiler.enabled:
+                table.profiler.sample_fill("downsize", table)
+            if table.recorder.enabled:
+                table.recorder.record("resize.downsize", subtable=target,
+                                      new_buckets=st.n_buckets,
+                                      rehashed=len(codes),
+                                      residuals=len(residual_codes))
         return target
 
     def _restore_stats(self, stats_before: dict) -> None:

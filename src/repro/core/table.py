@@ -41,6 +41,8 @@ from repro.faults import NO_FAULTS, FaultPlan
 from repro.gpusim.kernel import estimate_lock_conflicts
 from repro.sanitizer import NULL_SANITIZER, Sanitizer
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.profiler import NULL_PROFILER, Profiler
+from repro.telemetry.recorder import NULL_RECORDER, FlightRecorder
 
 #: Bucket upper bounds for the cuckoo-chain-depth histogram (evictions a
 #: key's placement chain went through before settling).
@@ -107,6 +109,10 @@ class DyCuckooTable:
         self.faults = NO_FAULTS
         #: SIMT sanitizer hooks; same gating discipline as telemetry.
         self.sanitizer = NULL_SANITIZER
+        #: Deep kernel profiler; same gating discipline as telemetry.
+        self.profiler = NULL_PROFILER
+        #: Flight recorder (post-mortem ring); same gating discipline.
+        self.recorder = NULL_RECORDER
         #: Bounded overflow stash (the CUDA reference's error table);
         #: empty in every fault-free run.
         self.stash = Stash(self.config.stash_capacity)
@@ -124,6 +130,8 @@ class DyCuckooTable:
         stays empty.
         """
         self.faults = plan if plan is not None else NO_FAULTS
+        if self.recorder.enabled and self.faults.enabled:
+            self.faults.recorder = self.recorder
         return self.faults
 
     def set_telemetry(self, telemetry: Telemetry | None) -> Telemetry:
@@ -144,7 +152,48 @@ class DyCuckooTable:
         keeps every hook a single attribute check.
         """
         self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
+        if self.recorder.enabled and self.sanitizer.enabled:
+            self.sanitizer.recorder = self.recorder
         return self.sanitizer
+
+    def set_profiler(self, profiler: Profiler | None) -> Profiler:
+        """Attach a deep kernel profiler (``None`` detaches); returns it.
+
+        While attached, the kernel engines feed it per-round occupancy
+        snapshots, lock grant/conflict events, probe-length and
+        eviction-chain-depth observations, and the resize controller
+        samples fill factors into it (see
+        :mod:`repro.telemetry.profiler`).  The null default keeps every
+        hook a single attribute check.
+        """
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        return self.profiler
+
+    def set_recorder(self, recorder: FlightRecorder | None) -> FlightRecorder:
+        """Attach a flight recorder (``None`` detaches); returns it.
+
+        The recorder keeps a bounded ring of recent events and dumps a
+        post-mortem bundle (ring + profiler snapshot + table state) when
+        a fault fires, a sanitizer violation is raised, or
+        :func:`repro.core.analysis.check_invariants` fails.  Attaching
+        also wires the table's current fault plan and sanitizer (if
+        enabled) to trip it.
+        """
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if self.recorder.enabled:
+            self.recorder.attach(self)
+            # Never mutate the shared NO_FAULTS / NULL_SANITIZER
+            # singletons — that would leak the recorder globally.
+            if self.faults.enabled:
+                self.faults.recorder = self.recorder
+            if self.sanitizer.enabled:
+                self.sanitizer.recorder = self.recorder
+        else:
+            if self.faults.enabled:
+                self.faults.recorder = NULL_RECORDER
+            if self.sanitizer.enabled:
+                self.sanitizer.recorder = NULL_RECORDER
+        return self.recorder
 
     # ------------------------------------------------------------------
     # Introspection
@@ -600,11 +649,16 @@ class DyCuckooTable:
         targets = np.asarray(targets, dtype=np.int64)
         tel = self.telemetry
         traced = tel.enabled
+        prof = self.profiler
+        # The chain-depth bookkeeping serves both the metrics histogram
+        # and the deep profiler; track it when either consumer is live.
+        track_depths = traced or prof.enabled
         if traced:
             chain_hist = tel.metrics.histogram("cuckoo_chain_depth",
                                                CHAIN_DEPTH_BUCKETS)
             retry_hist = tel.metrics.histogram(
                 "atomic_retries", (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0))
+        if track_depths:
             # Evictions a key's placement chain has gone through so far;
             # victims inherit their evictor's depth plus one.
             depths = np.zeros(len(codes), dtype=np.int64)
@@ -680,6 +734,11 @@ class DyCuckooTable:
                     retry_hist.observe(conflicts)
                     tel.tracer.instant("lock.acquire", "lock", subtable=t,
                                        requests=len(sel), conflicts=conflicts)
+                if prof.enabled:
+                    # Attribute the per-bucket lock grants to the
+                    # contention heatmap (bucket < 2^40, so + == |).
+                    prof.lock_grants_many(buckets.astype(np.int64)
+                                          + (t << 40))
                 updated, placed, full_leader = st.place_round(
                     buckets, sel_codes, sel_values)
                 self.stats.bucket_writes += int(placed.sum() + updated.sum())
@@ -701,7 +760,7 @@ class DyCuckooTable:
                         next_codes.append(old_codes)
                         next_values.append(old_values)
                         next_targets.append(victim_alts[good])
-                        if traced:
+                        if track_depths:
                             next_depths.append(depths[sel[ev[good]]] + 1)
                     # Eviction leaders without an eligible victim retry.
                     full_leader[ev[~ok]] = False
@@ -712,12 +771,15 @@ class DyCuckooTable:
                     next_values.append(sel_values[retry])
                     next_targets.append(np.full(int(retry.sum()), t,
                                                 dtype=np.int64))
-                    if traced:
+                    if track_depths:
                         next_depths.append(depths[sel[retry]])
-                if traced:
+                if track_depths:
                     done = updated | placed | full_leader
                     if np.any(done):
-                        chain_hist.observe_many(depths[sel[done]])
+                        if traced:
+                            chain_hist.observe_many(depths[sel[done]])
+                        if prof.enabled:
+                            prof.observe_chains(depths[sel[done]])
             if traced:
                 tel.metrics.counter("eviction.rounds").inc()
                 tel.metrics.counter("evictions").inc(round_evictions)
@@ -729,14 +791,14 @@ class DyCuckooTable:
                 codes = np.concatenate(next_codes)
                 values = np.concatenate(next_values)
                 targets = np.concatenate(next_targets)
-                if traced:
+                if track_depths:
                     depths = (np.concatenate(next_depths) if next_depths
                               else np.zeros(0, dtype=np.int64))
             else:
                 codes = np.zeros(0, dtype=np.uint64)
                 values = np.zeros(0, dtype=np.uint64)
                 targets = np.zeros(0, dtype=np.int64)
-                if traced:
+                if track_depths:
                     depths = np.zeros(0, dtype=np.int64)
 
             if len(codes) >= before_pending:
@@ -780,6 +842,11 @@ class DyCuckooTable:
         absorbed = self.stash.push(codes, values)
         n_absorbed = int(absorbed.sum())
         self.stats.stash_pushes += n_absorbed
+        if self.profiler.enabled:
+            self.profiler.sample_stash(len(self.stash))
+        if self.recorder.enabled:
+            self.recorder.record("stash.push", n=n_absorbed,
+                                 occupancy=len(self.stash), reason=reason)
         tel = self.telemetry
         if tel.enabled:
             tel.tracer.instant("stash.push", "stash", n=n_absorbed,
@@ -842,6 +909,12 @@ class DyCuckooTable:
             self._drain_epoch = self.stats.upsizes + self.stats.downsizes
         drained = before - len(self.stash)
         self.stats.stash_drained += drained
+        if self.profiler.enabled:
+            self.profiler.sample_stash(len(self.stash))
+        if self.recorder.enabled:
+            self.recorder.record("stash.drain", attempted=before,
+                                 drained=drained,
+                                 remaining=len(self.stash))
         if self.telemetry.enabled:
             self.telemetry.tracer.instant("stash.drain", "stash",
                                           attempted=before, drained=drained,

@@ -62,6 +62,7 @@ import json
 from dataclasses import dataclass
 
 from repro.errors import InvalidConfigError
+from repro.telemetry.recorder import NULL_RECORDER
 
 #: Every site the library can inject at, in documentation order.
 FAULT_SITES = (
@@ -137,6 +138,12 @@ class FaultPlan:
 
     #: Gate checked by every hook; the null subclass overrides to False.
     enabled = True
+
+    #: Flight recorder tripped on every fired fault.  Class attribute so
+    #: existing plans (and replay scripts) need no constructor change;
+    #: :meth:`repro.core.table.DyCuckooTable.set_recorder` sets it on
+    #: the *instance* of an enabled plan, never on :data:`NO_FAULTS`.
+    recorder = NULL_RECORDER
 
     def __init__(self, seed: int = 0,
                  rates: dict[str, float] | None = None,
@@ -245,6 +252,9 @@ class FaultPlan:
             if storm > 1:
                 self._armed[site] = self._armed.get(site, 0) + storm - 1
         self.fired.append(fault)
+        if self.recorder.enabled:
+            self.recorder.trip("fault", site=fault.site, index=fault.index,
+                               param=fault.param)
         return fault
 
     # ------------------------------------------------------------------

@@ -65,6 +65,7 @@ import numpy as np
 from repro.core.subtable import EMPTY
 from repro.errors import CapacityError
 from repro.sanitizer import NULL_SANITIZER
+from repro.telemetry.profiler import NULL_PROFILER
 
 #: Lane count of a warp (fixed by the reference kernels).
 WARP_WIDTH = 32
@@ -142,6 +143,11 @@ def cohort_find(table, codes: np.ndarray, first=None, second=None,
     result.memory_transactions = n + len(missing)
     result.completed_ops = n
     result.rounds = n  # one warp processes queries sequentially
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    if prof.enabled:
+        # Ops resolved on the first bucket probed length 1; the rest
+        # read the second bucket too — identical to the per-warp walk.
+        prof.observe_probes(n, n - len(missing))
     return values, found, result
 
 
@@ -219,6 +225,9 @@ def cohort_delete(table, codes: np.ndarray, first=None, second=None,
                                   + n_removed)
     result.completed_ops = n_removed
     result.rounds = n
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    if prof.enabled:
+        prof.observe_probes(n, int(hit_first.sum()))
     return removed, result
 
 
@@ -257,6 +266,9 @@ class _CohortState:
         self.lk_target = np.zeros(W, dtype=np.int64)
         self.lk_bucket = np.zeros(W, dtype=np.int64)
         self.lk_lockid = np.zeros(W, dtype=np.int64)
+        #: Per-lane eviction-chain depth; allocated only when a profiler
+        #: is attached (see :func:`cohort_insert`), ``None`` otherwise.
+        self.depth: np.ndarray | None = None
 
 
 def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
@@ -283,6 +295,9 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
     W = state.num_warps
     rounds = 0
     san = getattr(table, "sanitizer", NULL_SANITIZER)
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    if prof.enabled:
+        state.depth = np.zeros((W, WARP_WIDTH), dtype=np.int64)
     if san.enabled:
         san.begin_kernel("insert", locking=True)
     try:
@@ -293,6 +308,17 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
                 )
             if san.enabled:
                 san.begin_round(rounds)
+            if prof.enabled:
+                # Same round-boundary snapshot the reference engine's
+                # before_round hook takes: a warp is resident while it
+                # holds a lock or has live lanes.
+                resident = state.locked | (state.active != 0)
+                active_lanes = sum(int(m).bit_count()
+                                   for m in state.active.tolist())
+                prof.record_round(int(resident.sum()), active_lanes,
+                                  int(state.locked.sum()),
+                                  evictions=result.evictions,
+                                  completed=result.completed_ops)
             perm = rng.permutation(W)
             pos = np.empty(W, dtype=np.int64)
             pos[perm] = np.arange(W)
@@ -304,10 +330,11 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
             holder_ids = state.lk_lockid[ph2]
             holder_pos = pos[ph2]
             if len(ph2):
-                _phase_two(table, state, result, ph2, pos, san)
+                _phase_two(table, state, result, ph2, pos, san, prof)
             if len(ph1):
                 _phase_one(table, state, result, ph1, pos, holder_ids,
-                           holder_pos, voter, max_rounds_per_op, san)
+                           holder_pos, voter, max_rounds_per_op, san,
+                           prof)
             rounds += 1
     except BaseException:
         # Release-on-exception: _phase_one raises CapacityError *after*
@@ -331,7 +358,8 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
 def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
                pos: np.ndarray, holder_ids: np.ndarray,
                holder_pos: np.ndarray, voter: bool,
-               max_stall: int, san=NULL_SANITIZER) -> None:
+               max_stall: int, san=NULL_SANITIZER,
+               prof=NULL_PROFILER) -> None:
     """Elect leaders, hash buckets, arbitrate locks — all warps at once."""
     m = state.active[ph1]
     result.votes += len(ph1)
@@ -391,6 +419,12 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
     result.lock_conflicts += len(ph1) - n_win
     # Phase one of a won lock: one coalesced bucket read issued.
     result.memory_transactions += n_win
+    if prof.enabled:
+        # Same grant/conflict attribution the LockArbiter hook makes on
+        # the reference path: winners acquired their leader's bucket
+        # lock, losers conflicted on theirs.
+        prof.lock_grants_many(lock_id[win])
+        prof.lock_conflicts_many(lock_id[~win])
 
     w_idx = ph1[win]
     state.locked[w_idx] = True
@@ -419,7 +453,8 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
 
 
 def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
-               pos: np.ndarray, san=NULL_SANITIZER) -> None:
+               pos: np.ndarray, san=NULL_SANITIZER,
+               prof=NULL_PROFILER) -> None:
     """Complete every held lock: upsert, place, or evict, then release.
 
     Classifies all locked warps from a start-of-round snapshot and
@@ -493,7 +528,7 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
 
     if hazard:
         for w in ph2[np.argsort(pos[ph2], kind="stable")]:
-            _complete_one_scalar(table, state, int(w), result, san)
+            _complete_one_scalar(table, state, int(w), result, san, prof)
         return
 
     # ---- vectorized apply (no observable ordering inside the round) --
@@ -545,6 +580,9 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
         state.values[e_warp, e_lane] = victim_val
         state.targets[e_warp, e_lane] = table.pair_hash.alternate_table(
             victim_key, tgt[evict])
+        if state.depth is not None:
+            # The victims continue on their lanes one eviction deeper.
+            state.depth[e_warp, e_lane] += 1
 
     done = np.concatenate([exist, miss[a_hit], place])
     if len(done):
@@ -552,6 +590,8 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
         d_lane = ldr[done]
         state.active[d_warp] &= ~(_ONE << d_lane.astype(np.uint64))
         state.next_start[d_warp] = (d_lane + 1) % WARP_WIDTH
+        if state.depth is not None:
+            prof.observe_chains(state.depth[d_warp, d_lane])
     if san.enabled:
         # Mirror the warp engine's per-warp access log for this round:
         # upsert/place/evict are bucket writes under the warp's own
@@ -580,7 +620,8 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
 
 
 def _complete_one_scalar(table, state: _CohortState, w: int,
-                         result, san=NULL_SANITIZER) -> None:
+                         result, san=NULL_SANITIZER,
+                         prof=NULL_PROFILER) -> None:
     """Reference-exact phase two for one warp against live storage.
 
     Mirrors :meth:`repro.kernels.insert._InsertWarp._complete_locked`
@@ -617,6 +658,8 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
                 san.record_access(w, "atomic", "value", (alt << 40) | ab,
                                   site=_SITE_SCALAR)
                 san.on_lock_release(w, lid, site=_SITE_SCALAR)
+            if state.depth is not None:
+                prof.observe_chain(state.depth[w, ldr])
             state.active[w] &= ~(_ONE << np.uint64(ldr))
             state.next_start[w] = (ldr + 1) % WARP_WIDTH
             state.locked[w] = False
@@ -635,6 +678,8 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
             san.record_access(w, "write", "bucket", lid,
                               site=_SITE_SCALAR)
             san.on_lock_release(w, lid, site=_SITE_SCALAR)
+        if state.depth is not None:
+            prof.observe_chain(state.depth[w, ldr])
         state.active[w] &= ~(_ONE << np.uint64(ldr))
         state.next_start[w] = (ldr + 1) % WARP_WIDTH
         state.locked[w] = False
@@ -650,6 +695,8 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
     if san.enabled:
         san.record_access(w, "write", "bucket", lid, site=_SITE_SCALAR)
         san.on_lock_release(w, lid, site=_SITE_SCALAR)
+    if state.depth is not None:
+        state.depth[w, ldr] += 1
     state.keys[w, ldr] = victim_key
     state.values[w, ldr] = victim_val
     state.targets[w, ldr] = int(table.pair_hash.alternate_table(

@@ -21,6 +21,7 @@ from repro.errors import InvalidConfigError
 from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
 from repro.sanitizer import NULL_SANITIZER
+from repro.telemetry.profiler import NULL_PROFILER
 from repro.telemetry.tracer import NULL_TRACER
 
 _SITE_ACQUIRE = "repro/gpusim/kernel.py:LockArbiter.try_acquire"
@@ -172,7 +173,8 @@ class LockArbiter:
     counts the failed attempts (the spinning the voter scheme avoids).
     """
 
-    def __init__(self, tracer=None, faults=None, sanitizer=None) -> None:
+    def __init__(self, tracer=None, faults=None, sanitizer=None,
+                 profiler=None) -> None:
         self._held: set[int] = set()
         #: Resources camped on by an injected stalled holder, mapped to
         #: the device rounds the stall has left (aged by :meth:`tick`).
@@ -187,6 +189,7 @@ class LockArbiter:
         self.faults = faults if faults is not None else NO_FAULTS
         self.sanitizer = (sanitizer if sanitizer is not None
                           else NULL_SANITIZER)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     def try_acquire(self, resource: int, warp: int = -1) -> bool:
         """Attempt to lock ``resource``; False means revote/spin.
@@ -197,12 +200,16 @@ class LockArbiter:
         if self._stalled and resource in self._stalled:
             # A stalled holder (injected fault) is camping on the lock.
             self.conflicts += 1
+            if self.profiler.enabled:
+                self.profiler.lock_conflict(resource)
             if self.tracer.enabled:
                 self.tracer.instant("lock.retry", "lock", resource=resource,
                                     stalled=True)
             return False
         if resource in self._held:
             self.conflicts += 1
+            if self.profiler.enabled:
+                self.profiler.lock_conflict(resource)
             if self.tracer.enabled:
                 self.tracer.instant("lock.retry", "lock", resource=resource)
             return False
@@ -213,6 +220,8 @@ class LockArbiter:
                 # model — the caller must revote, like any conflict.
                 self.conflicts += 1
                 self.injected_failures += 1
+                if self.profiler.enabled:
+                    self.profiler.lock_conflict(resource)
                 if self.sanitizer.enabled:
                     # Intentional: the acquisition never happened, so
                     # there is nothing for lockcheck to pair.
@@ -230,6 +239,8 @@ class LockArbiter:
                 self._stalled[resource] = max(1, fault.param)
                 self.conflicts += 1
                 self.injected_stalls += 1
+                if self.profiler.enabled:
+                    self.profiler.lock_conflict(resource)
                 if self.sanitizer.enabled:
                     # Intentional: the phantom holder is not a tracked
                     # warp, so it cannot be reported as a leak.
@@ -241,6 +252,8 @@ class LockArbiter:
                 return False
         self._held.add(resource)
         self.acquisitions += 1
+        if self.profiler.enabled:
+            self.profiler.lock_grant(resource)
         if self.sanitizer.enabled:
             self.sanitizer.on_lock_acquire(warp, resource,
                                            site=_SITE_ACQUIRE)

@@ -1,113 +1,15 @@
-"""Kernel profiling reports — the paper's profiling methodology.
+"""Compatibility shim — the profiling report moved to the telemetry
+layer (:mod:`repro.telemetry.profiler`), where the deep per-round
+profiler lives, so there is exactly one profiling path.
 
-The paper's evaluation draft profiles three hardware counters per
-kernel: *warp efficiency* (useful lanes over issued lanes), *cache/memory
-bandwidth utilization*, and atomic behaviour.  This module derives the
-same style of report from our event counters, so any table run can be
-inspected the way ``nvprof`` output would be.
-
-The derivations:
-
-* **warp efficiency** — batched ops run one op per lane; lanes idle when
-  their op finished but the warp still loops (eviction rounds) or when a
-  vote loses.  We estimate the useful-lane fraction from completed ops
-  versus (rounds x resident lanes) style accounting.
-* **memory utilization** — achieved bytes/second over the device's
-  sustained bandwidth for the simulated duration.
-* **atomic intensity** — atomics per operation and the conflict rate.
+Import :class:`KernelProfile`, :func:`profile_batch` and
+:func:`profile_operation` from :mod:`repro.telemetry.profiler` (or from
+:mod:`repro.gpusim`, which keeps re-exporting them) in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from repro.telemetry.profiler import (KernelProfile, profile_batch,
+                                      profile_operation)
 
-from repro.gpusim.metrics import CostModel
-
-
-@dataclass(frozen=True)
-class KernelProfile:
-    """Profiling counters for one batch execution."""
-
-    name: str
-    num_ops: int
-    simulated_seconds: float
-    warp_efficiency: float
-    memory_utilization: float
-    atomics_per_op: float
-    atomic_conflict_rate: float
-    transactions_per_op: float
-
-    def __str__(self) -> str:
-        return (f"{self.name}: {self.num_ops} ops in "
-                f"{self.simulated_seconds * 1e6:.1f} us | "
-                f"warp eff {self.warp_efficiency:.0%} | "
-                f"mem util {self.memory_utilization:.0%} | "
-                f"{self.atomics_per_op:.2f} atomics/op "
-                f"({self.atomic_conflict_rate:.1%} conflicted) | "
-                f"{self.transactions_per_op:.2f} tx/op")
-
-
-def profile_batch(name: str, delta: Mapping[str, int], num_ops: int,
-                  cost_model: CostModel | None = None,
-                  compute_ns_per_op: float = 0.3) -> KernelProfile:
-    """Build a :class:`KernelProfile` from a stats delta.
-
-    ``delta`` is a counter snapshot difference
-    (:meth:`repro.core.stats.TableStats.delta`).
-    """
-    cost_model = cost_model or CostModel()
-    device = cost_model.device
-    seconds = cost_model.batch_seconds(delta, num_ops, compute_ns_per_op)
-
-    transactions = (delta.get("bucket_reads", 0)
-                    + delta.get("bucket_writes", 0)
-                    + delta.get("random_accesses", 0))
-    bytes_moved = transactions * device.cache_line_bytes
-    memory_utilization = 0.0
-    if seconds > 0:
-        memory_utilization = min(1.0, (bytes_moved / seconds)
-                                 / device.effective_bandwidth_bytes_per_s)
-
-    atomics = (delta.get("lock_acquisitions", 0)
-               + delta.get("atomic_exchanges", 0))
-    conflicts = delta.get("lock_conflicts", 0)
-    atomics_per_op = atomics / num_ops if num_ops else 0.0
-    conflict_rate = conflicts / atomics if atomics else 0.0
-
-    # Useful lane-ops: one per operation plus one per eviction (the
-    # displaced pair is real work).  Wasted lane-ops: failed lock
-    # attempts (revotes) and retry rounds.  Warp efficiency is the
-    # useful fraction.
-    evictions = delta.get("evictions", 0)
-    retries = conflicts + max(0, delta.get("eviction_rounds", 0) - 1)
-    useful = num_ops + evictions
-    issued = useful + evictions + retries
-    warp_efficiency = min(1.0, useful / issued) if issued else 1.0
-
-    return KernelProfile(
-        name=name,
-        num_ops=num_ops,
-        simulated_seconds=seconds,
-        warp_efficiency=warp_efficiency,
-        memory_utilization=memory_utilization,
-        atomics_per_op=atomics_per_op,
-        atomic_conflict_rate=conflict_rate,
-        transactions_per_op=transactions / num_ops if num_ops else 0.0,
-    )
-
-
-def profile_operation(table, name: str, operation, *args,
-                      cost_model: CostModel | None = None) -> KernelProfile:
-    """Profile one batched call on a stats-carrying table.
-
-    Example::
-
-        profile = profile_operation(table, "insert", table.insert,
-                                    keys, values)
-    """
-    before = table.stats.snapshot()
-    operation(*args)
-    delta = table.stats.delta(before)
-    num_ops = len(args[0]) if args else 0
-    return profile_batch(name, delta, num_ops, cost_model)
+__all__ = ["KernelProfile", "profile_batch", "profile_operation"]

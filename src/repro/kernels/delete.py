@@ -11,6 +11,8 @@ and transaction counts.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.subtable import EMPTY
@@ -21,6 +23,7 @@ from repro.kernels.engine import (kernel_span, record_kernel_counters,
 from repro.kernels.find import _ballot_match
 from repro.kernels.insert import KernelRunResult
 from repro.sanitizer import NULL_SANITIZER
+from repro.telemetry.profiler import NULL_PROFILER
 
 _SITE_CLEAR = "repro/kernels/delete.py:_warp_delete"
 
@@ -45,12 +48,15 @@ def run_delete_kernel(table, keys, engine: str = "warp", *,
         codes = encode_keys(np.asarray(keys, dtype=np.uint64))
     n = len(codes)
     san = getattr(table, "sanitizer", NULL_SANITIZER)
+    prof = getattr(table, "profiler", NULL_PROFILER)
     if san.enabled:
         # DELETE's slot clear is intentionally lock-free: at most one
         # lane can match a unique key, so no write conflict is possible
         # (Section V-B).  locking=False records that contract; the
         # clears are still logged as writes for the access log.
         san.begin_kernel("delete", locking=False)
+    if prof.enabled:
+        prof.begin_kernel("delete", n)
     try:
         with kernel_span(table, "delete", n, engine):
             if engine == "cohort":
@@ -61,9 +67,15 @@ def run_delete_kernel(table, keys, engine: str = "warp", *,
             else:
                 removed, result = _warp_delete(table, codes, first,
                                                second)
+    except BaseException:
+        if prof.enabled:
+            prof.end_kernel()
+        raise
     finally:
         if san.enabled:
             san.end_kernel()
+    if prof.enabled:
+        prof.end_kernel(dataclasses.asdict(result))
     record_kernel_counters(table, result)
     return removed, result
 
@@ -81,9 +93,11 @@ def _warp_delete(table, codes: np.ndarray, first=None, second=None
 
     if first is None or second is None:
         first, second = table.pair_hash.tables_for(codes)
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    first_hits = 0
     for i in range(n):
         code = int(codes[i])
-        for target in (int(first[i]), int(second[i])):
+        for probe, target in enumerate((int(first[i]), int(second[i]))):
             st = table.subtables[target]
             bucket = int(table.table_hashes[target].bucket(
                 np.asarray([code], dtype=np.uint64), st.n_buckets)[0])
@@ -100,7 +114,11 @@ def _warp_delete(table, codes: np.ndarray, first=None, second=None
                                       (target << 40) | bucket,
                                       site=_SITE_CLEAR)
                 removed[i] = True
+                if probe == 0:
+                    first_hits += 1
                 break
+    if prof.enabled:
+        prof.observe_probes(n, first_hits)
     result.completed_ops = int(removed.sum())
     result.rounds = n
     return removed, result

@@ -14,6 +14,8 @@ with identical results and transaction counts.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.gpusim.memory import MemoryTracker
@@ -22,6 +24,7 @@ from repro.kernels.engine import (kernel_span, record_kernel_counters,
                                   resolve_engine)
 from repro.kernels.insert import KernelRunResult
 from repro.sanitizer import NULL_SANITIZER
+from repro.telemetry.profiler import NULL_PROFILER
 
 
 def _ballot_match(ctx: WarpContext, bucket_keys: np.ndarray,
@@ -60,11 +63,14 @@ def run_find_kernel(table, keys, engine: str = "warp", *,
         codes = encode_keys(np.asarray(keys, dtype=np.uint64))
     n = len(codes)
     san = getattr(table, "sanitizer", NULL_SANITIZER)
+    prof = getattr(table, "profiler", NULL_PROFILER)
     if san.enabled:
         # FIND is read-only and lock-free by design (Section V-B):
         # locking=False exempts it from the unlocked-write contract and
         # its probes are recorded as "probe" kind (exempt from pairing).
         san.begin_kernel("find", locking=False)
+    if prof.enabled:
+        prof.begin_kernel("find", n)
     try:
         with kernel_span(table, "find", n, engine):
             if engine == "cohort":
@@ -75,9 +81,15 @@ def run_find_kernel(table, keys, engine: str = "warp", *,
             else:
                 values, found, result = _warp_find(table, codes, first,
                                                    second)
+    except BaseException:
+        if prof.enabled:
+            prof.end_kernel()
+        raise
     finally:
         if san.enabled:
             san.end_kernel()
+    if prof.enabled:
+        prof.end_kernel(dataclasses.asdict(result))
     record_kernel_counters(table, result)
     return values, found, result
 
@@ -96,9 +108,11 @@ def _warp_find(table, codes: np.ndarray, first=None, second=None
 
     if first is None or second is None:
         first, second = table.pair_hash.tables_for(codes)
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    first_hits = 0
     for i in range(n):
         code = int(codes[i])
-        for target in (int(first[i]), int(second[i])):
+        for probe, target in enumerate((int(first[i]), int(second[i]))):
             st = table.subtables[target]
             bucket = int(table.table_hashes[target].bucket(
                 np.asarray([code], dtype=np.uint64), st.n_buckets)[0])
@@ -108,7 +122,11 @@ def _warp_find(table, codes: np.ndarray, first=None, second=None
             if slot >= 0:
                 values[i] = st.values[bucket, slot]
                 found[i] = True
+                if probe == 0:
+                    first_hits += 1
                 break
+    if prof.enabled:
+        prof.observe_probes(n, first_hits)
     result.completed_ops = n
     result.rounds = n  # one warp processes queries sequentially
     return values, found, result

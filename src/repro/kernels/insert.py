@@ -25,6 +25,7 @@ comparable (and testable) against the vectorized path.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.gpusim.kernel import LockArbiter, RoundScheduler
 from repro.gpusim.memory import MemoryTracker
 from repro.gpusim.warp import WarpContext
 from repro.sanitizer import NULL_SANITIZER
+from repro.telemetry.profiler import NULL_PROFILER
 
 _SITE_PHASE1 = "repro/kernels/insert.py:_InsertWarp.step"
 _SITE_PHASE2 = "repro/kernels/insert.py:_InsertWarp._complete_locked"
@@ -95,6 +97,11 @@ class _InsertWarp:
         self.result = result
         self.voter = voter
         self.san = arbiter.sanitizer
+        self.prof = arbiter.profiler
+        # Per-lane eviction-chain depth, profiler-only bookkeeping: the
+        # lane's current op has displaced this many victims so far.
+        self.depths = (np.zeros(width, dtype=np.int64)
+                       if self.prof.enabled else None)
         self._next_start_lane = 0
         self._stalled_rounds = 0
         self._max_stall = max_rounds_per_op
@@ -219,6 +226,8 @@ class _InsertWarp:
                 self.arbiter.release(lock_id, warp=self.ctx.warp_id)
                 self.ctx.active[leader] = False
                 self.result.completed_ops += 1
+                if self.depths is not None:
+                    self.prof.observe_chain(self.depths[leader])
                 self._next_start_lane = (leader + 1) % self.ctx.width
                 return
             slot = self._ballot_first_slot(bucket_keys == EMPTY,
@@ -238,6 +247,8 @@ class _InsertWarp:
             self.arbiter.release(lock_id, warp=self.ctx.warp_id)
             self.ctx.active[leader] = False
             self.result.completed_ops += 1
+            if self.depths is not None:
+                self.prof.observe_chain(self.depths[leader])
             self._next_start_lane = (leader + 1) % self.ctx.width
             return
 
@@ -251,6 +262,9 @@ class _InsertWarp:
         self.tracker.bucket_access()
         self.result.memory_transactions += 1
         self.result.evictions += 1
+        if self.depths is not None:
+            # The victim continues on this lane one eviction deeper.
+            self.depths[leader] += 1
         if self.san.enabled:
             self.san.record_access(self.ctx.warp_id, "write", "bucket",
                                    lock_id, site=_SITE_PHASE2)
@@ -335,19 +349,29 @@ def _run_insert(table, keys, values, voter: bool, engine: str = "warp",
                                    table.subtable_loads())
     faults = getattr(table, "faults", None)
     faulty = faults is not None and faults.enabled
-    with kernel_span(table, "insert", len(codes), engine):
-        if engine == "cohort" and not faulty:
-            from repro.gpusim.cohort import cohort_insert
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    if prof.enabled:
+        prof.begin_kernel("insert", len(codes))
+    try:
+        with kernel_span(table, "insert", len(codes), engine):
+            if engine == "cohort" and not faulty:
+                from repro.gpusim.cohort import cohort_insert
 
-            result = cohort_insert(table, codes, values, targets,
-                                   voter=voter)
-        else:
-            # Fault-plan decisions hash the per-site *invocation index*,
-            # which only the sequential per-warp engine reproduces; a
-            # fault-enabled run delegates to it so injected behaviour
-            # stays byte-identical across engines.
-            result = _run_insert_warps(table, codes, values, targets,
-                                       voter, faults)
+                result = cohort_insert(table, codes, values, targets,
+                                       voter=voter)
+            else:
+                # Fault-plan decisions hash the per-site *invocation
+                # index*, which only the sequential per-warp engine
+                # reproduces; a fault-enabled run delegates to it so
+                # injected behaviour stays byte-identical across engines.
+                result = _run_insert_warps(table, codes, values, targets,
+                                           voter, faults)
+    except BaseException:
+        if prof.enabled:
+            prof.end_kernel()
+        raise
+    if prof.enabled:
+        prof.end_kernel(dataclasses.asdict(result))
     record_kernel_counters(table, result)
     return result
 
@@ -357,7 +381,8 @@ def _run_insert_warps(table, codes, values, targets, voter: bool,
                       max_rounds_per_op: int = 4096) -> KernelRunResult:
     """Reference engine: one `_InsertWarp` object per warp, stepped."""
     san = getattr(table, "sanitizer", NULL_SANITIZER)
-    arbiter = LockArbiter(faults=faults, sanitizer=san)
+    prof = getattr(table, "profiler", NULL_PROFILER)
+    arbiter = LockArbiter(faults=faults, sanitizer=san, profiler=prof)
     tracker = MemoryTracker(sanitizer=san if san.enabled else None)
     result = KernelRunResult()
     warps = []
@@ -372,14 +397,33 @@ def _run_insert_warps(table, codes, values, targets, voter: bool,
     scheduler = RoundScheduler(warps, sanitizer=san)
     if san.enabled:
         san.begin_kernel("insert", locking=True)
+    before_round = None
+    if prof.enabled:
+        def before_round(_round_index):
+            # Occupancy snapshot at the round boundary: resident warps,
+            # live lanes, and warps holding a lock across the phases.
+            # Both engines see identical values here because storage and
+            # counters conform at every round boundary.
+            active_warps = active_lanes = locked_warps = 0
+            for warp in warps:
+                if warp.finished():
+                    continue
+                active_warps += 1
+                active_lanes += int(warp.ctx.active.sum())
+                if warp._locked is not None:
+                    locked_warps += 1
+            prof.record_round(active_warps, active_lanes, locked_warps,
+                              evictions=result.evictions,
+                              completed=result.completed_ops)
     try:
         if arbiter.faults.enabled:
             # The insert kernel holds locks across rounds (two-phase), so
             # it never calls end_round(); injected stalls still must age.
             result.rounds = scheduler.run(
+                before_round=before_round,
                 after_round=lambda _i: arbiter.tick())
         else:
-            result.rounds = scheduler.run()
+            result.rounds = scheduler.run(before_round=before_round)
     except BaseException:
         # Release-on-exception: a CapacityError (stall exhaustion) or a
         # non-convergence abort leaves other warps mid-critical-section;

@@ -79,6 +79,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.recorder import NULL_RECORDER
+
 __all__ = [
     "Sanitizer",
     "NULL_SANITIZER",
@@ -166,6 +168,13 @@ class Sanitizer:
     #: Gate checked by every hook; the null subclass overrides to False.
     enabled = True
 
+    #: Flight recorder tripped on every recorded violation.  A class
+    #: attribute so attaching one needs no constructor change;
+    #: :meth:`repro.core.table.DyCuckooTable.set_recorder` sets it on
+    #: the *instance* of an enabled sanitizer, never on
+    #: :data:`NULL_SANITIZER`.
+    recorder = NULL_RECORDER
+
     def __init__(self, *, racecheck: bool = True, lockcheck: bool = True,
                  max_violations: int = 1000) -> None:
         self.racecheck = racecheck
@@ -232,6 +241,9 @@ class Sanitizer:
             pass_name=pass_name, kind=kind, message=message, site=site,
             round_index=self._round, warp=warp, other_warp=other_warp,
             space=space, address=address))
+        if self.recorder.enabled:
+            self.recorder.trip("sanitizer_violation",
+                               **self.violations[-1].to_dict())
 
     # ------------------------------------------------------------------
     # Kernel and round lifecycle

@@ -363,6 +363,31 @@ class ShardedDyCuckoo(GpuHashTable):
             shard.set_sanitizer(sanitizer)
         return self.shards[0].sanitizer
 
+    def set_profiler(self, profiler):
+        """Attach one profiler shared by every shard (``None`` detaches).
+
+        Shards run sequentially within a batch, so one shared profiler
+        aggregates naturally: kernel records, lock-heatmap cells (shard
+        tables have disjoint lock ids only within a shard, so cells mix
+        across shards by design — the heatmap is a contention view, not
+        an address map), probe/chain histograms and stash samples all
+        roll up into the single instance.  Returns it.
+        """
+        for shard in self.shards:
+            shard.set_profiler(profiler)
+        return self.shards[0].profiler
+
+    def set_recorder(self, recorder):
+        """Attach one flight recorder shared by every shard.
+
+        One ring, one bundle stream: a trip on any shard dumps a single
+        post-mortem covering the shard that tripped.  Returns the
+        attached recorder.
+        """
+        for shard in self.shards:
+            shard.set_recorder(recorder)
+        return self.shards[0].recorder
+
     def merged_metrics(self):
         """Labelled + aggregated metrics across shards.
 

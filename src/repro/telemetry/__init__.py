@@ -1,18 +1,31 @@
 """Observability for table runs: tracing, metrics, and exporters.
 
-Three pieces:
+The observability stack has three layers:
 
-* :class:`~repro.telemetry.tracer.Tracer` — structured span / instant /
-  counter events on a logical simulated-time clock,
-* :class:`~repro.telemetry.metrics.MetricsRegistry` — counters, gauges,
-  and fixed-bucket histograms updated from the hot paths,
-* :mod:`repro.telemetry.export` — JSON-lines, Chrome ``trace_event``,
-  and Prometheus text exporters.
+* **telemetry** (this package's original core) —
+  :class:`~repro.telemetry.tracer.Tracer` span / instant / counter
+  events on a logical simulated-time clock, plus
+  :class:`~repro.telemetry.metrics.MetricsRegistry` counters, gauges
+  and fixed-bucket histograms, with JSON-lines / Chrome ``trace_event``
+  / Prometheus exporters in :mod:`repro.telemetry.export`;
+* **profiler** — :class:`~repro.telemetry.profiler.Profiler`, a deep
+  Nsight-Compute-style pass over the kernel engines (per-round
+  occupancy timelines, lock-contention heatmaps, probe/chain-depth
+  histograms, fill time series);
+* **flight recorder** — :class:`~repro.telemetry.recorder.FlightRecorder`,
+  a bounded ring of recent events that auto-dumps a post-mortem bundle
+  on fault trips, sanitizer violations and invariant failures.
+
+:mod:`repro.telemetry.latency` supplies the shared deterministic
+latency-percentile analysis (p50/p99/worst-batch on simulated time).
 
 Instrumented code holds a :class:`Telemetry` handle bundling one tracer
 and one registry.  The default is :data:`NULL_TELEMETRY`, whose
 ``enabled`` is ``False``: every hook site gates on that one attribute,
-so an uninstrumented run does no telemetry work beyond the check.
+so an uninstrumented run does no telemetry work beyond the check.  The
+profiler and recorder follow the same idiom with
+:data:`~repro.telemetry.profiler.NULL_PROFILER` and
+:data:`~repro.telemetry.recorder.NULL_RECORDER`.
 
 Example
 -------
@@ -35,8 +48,12 @@ from __future__ import annotations
 from repro.telemetry.aggregate import merge_registries
 from repro.telemetry.export import (chrome_trace, prometheus_text,
                                     write_chrome_trace, write_jsonl)
+from repro.telemetry.latency import (format_summary, percentile, summarize,
+                                     summarize_batches)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
                                      MetricsRegistry)
+from repro.telemetry.profiler import NULL_PROFILER, Profiler
+from repro.telemetry.recorder import NULL_RECORDER, FlightRecorder
 from repro.telemetry.tracer import (NULL_TRACER, NullTracer, TraceEvent,
                                     Tracer)
 
@@ -85,4 +102,12 @@ __all__ = [
     "write_jsonl",
     "prometheus_text",
     "merge_registries",
+    "Profiler",
+    "NULL_PROFILER",
+    "FlightRecorder",
+    "NULL_RECORDER",
+    "percentile",
+    "summarize",
+    "summarize_batches",
+    "format_summary",
 ]

@@ -1,0 +1,96 @@
+"""Latency percentiles over the simulated clock.
+
+Every batch the harness runs carries a ``simulated_seconds`` cost from
+the :class:`~repro.gpusim.metrics.CostModel`, so latency analysis is
+fully deterministic: the same workload always yields the same p50/p99.
+This module is the one shared implementation of that analysis — the
+stability benchmark (`bench_fig12_stability.py`), the perf gate, the
+``repro profile`` report, and any future serving front-end all consume
+it, so "p99" means the same thing everywhere.
+
+Percentiles use the *nearest-rank* method (ceil(q/100 * N)-th smallest
+sample).  Nearest-rank returns an actual observed sample — never an
+interpolated value — which keeps artifacts byte-stable across numpy
+versions and makes "the worst batch" a real, inspectable batch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "percentile",
+    "summarize",
+    "summarize_batches",
+    "format_summary",
+]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` (0 < q <= 100) of ``samples``.
+
+    Raises ``ValueError`` on an empty sample set or out-of-range ``q``
+    — callers deal in real batches, so an empty set is a logic error,
+    not a value to paper over.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    ordered = sorted(float(s) for s in samples)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(rank, 1) - 1]
+
+
+def summarize(samples: Iterable[float]) -> dict:
+    """p50/p90/p99/worst/mean summary of a latency sample set.
+
+    Returns a plain-JSON dict; all values are in the samples' own unit
+    (the callers pass simulated seconds).  An empty iterable yields a
+    ``count: 0`` stub so artifact schemas stay stable.
+    """
+    values = [float(s) for s in samples]
+    if not values:
+        return {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                "worst": 0.0, "mean": 0.0, "total": 0.0}
+    total = sum(values)
+    return {
+        "count": len(values),
+        "p50": percentile(values, 50.0),
+        "p90": percentile(values, 90.0),
+        "p99": percentile(values, 99.0),
+        "worst": max(values),
+        "mean": total / len(values),
+        "total": total,
+    }
+
+
+def summarize_batches(batches) -> dict:
+    """Latency summary over ``BatchResult``-like objects.
+
+    Consumes any sequence with per-item ``simulated_seconds`` (e.g.
+    :class:`repro.bench.runner.BatchResult`).  Adds ``worst_batch``,
+    the index of the slowest batch, so a regression report can point at
+    the exact batch that blew the budget.
+    """
+    seconds = [float(b.simulated_seconds) for b in batches]
+    out = summarize(seconds)
+    out["worst_batch"] = (int(max(range(len(seconds)),
+                                  key=seconds.__getitem__))
+                          if seconds else -1)
+    return out
+
+
+def format_summary(summary: dict, unit_scale: float = 1e6,
+                   unit: str = "us") -> str:
+    """One-line human rendering (defaults to microseconds)."""
+    if not summary.get("count"):
+        return "no latency samples"
+    parts = [f"p50 {summary['p50'] * unit_scale:.1f}{unit}",
+             f"p90 {summary['p90'] * unit_scale:.1f}{unit}",
+             f"p99 {summary['p99'] * unit_scale:.1f}{unit}",
+             f"worst {summary['worst'] * unit_scale:.1f}{unit}"]
+    if "worst_batch" in summary and summary["worst_batch"] >= 0:
+        parts[-1] += f" (batch {summary['worst_batch']})"
+    return " | ".join(parts)

@@ -1,0 +1,267 @@
+"""Self-contained HTML rendering of a profiler report.
+
+One static artifact, no external assets: inline CSS, div-based bar
+charts, an HTML-table heatmap and inline-SVG fill timelines, so the
+file opens anywhere (CI artifact viewers included) without a network.
+
+The input is the plain-JSON report dict assembled by ``repro profile``
+(see :mod:`repro.cli`): profiler snapshots per engine plus latency and
+derived per-batch metrics.  Rendering never mutates the report.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+__all__ = ["render_html", "write_html_report"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1b2733; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em;
+     border-bottom: 1px solid #d8dee4; padding-bottom: .25em; }
+table { border-collapse: collapse; font-size: .85em; }
+td, th { border: 1px solid #d8dee4; padding: .25em .6em; text-align: right; }
+th { background: #f3f5f7; }
+.meta { color: #5a6a7a; font-size: .9em; }
+.bar { display: inline-block; background: #4c8dd6; height: .75em; }
+.bar.alt { background: #d6794c; }
+.barrow { white-space: nowrap; font-size: .8em; line-height: 1.35; }
+.barrow code { display: inline-block; width: 9em; color: #5a6a7a; }
+.cell { min-width: 2.2em; }
+.ok { color: #1a7f37; font-weight: 600; }
+.bad { color: #b42318; font-weight: 600; }
+svg { background: #fbfcfd; border: 1px solid #d8dee4; }
+"""
+
+
+def render_html(report: dict, title: str = "repro profile") -> str:
+    """Render the profile report dict as one self-contained HTML page."""
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        _meta_block(report),
+    ]
+    snapshot = _primary_snapshot(report)
+    if snapshot:
+        parts.append(_divergence_section(snapshot))
+        parts.append(_heatmap_section(snapshot))
+        parts.append(_histogram_section(
+            "Probe lengths", snapshot.get("probe_lengths", {}),
+            "bucket probes per FIND/DELETE op"))
+        parts.append(_histogram_section(
+            "Eviction chain depth", snapshot.get("chain_depths", {}),
+            "evictions endured before an op completed"))
+    fill_snapshot = report.get("dynamic") or snapshot or {}
+    parts.append(_fill_section(fill_snapshot))
+    parts.append(_stash_section(fill_snapshot))
+    parts.append(_latency_section(report.get("latency", {})))
+    parts.append(_profiles_section(report.get("profiles", [])))
+    parts.append(_recorder_section(report.get("recorder", {})))
+    parts.append("</body></html>")
+    return "\n".join(p for p in parts if p)
+
+
+def write_html_report(path: str, report: dict,
+                      title: str = "repro profile") -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_html(report, title=title))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+
+def _primary_snapshot(report: dict) -> dict:
+    engines = report.get("engines", {})
+    for name in ("warp", "cohort"):
+        if name in engines:
+            return engines[name]
+    return next(iter(engines.values()), {})
+
+
+def _meta_block(report: dict) -> str:
+    bits = []
+    for key in ("seed", "ops", "keys"):
+        if key in report:
+            bits.append(f"{key}={report[key]}")
+    engines = sorted(report.get("engines", {}))
+    if engines:
+        bits.append("engines=" + "+".join(engines))
+    if "conformant" in report:
+        cls = "ok" if report["conformant"] else "bad"
+        word = "identical" if report["conformant"] else "DIVERGENT"
+        bits.append(f"<span class='{cls}'>engine snapshots {word}</span>")
+    return f"<p class='meta'>{' | '.join(bits)}</p>" if bits else ""
+
+
+def _bar(value: float, scale: float, alt: bool = False) -> str:
+    width = 0.0 if scale <= 0 else 280.0 * value / scale
+    cls = "bar alt" if alt else "bar"
+    return f"<span class='{cls}' style='width:{width:.1f}px'></span>"
+
+
+def _divergence_section(snapshot: dict, max_rounds: int = 120) -> str:
+    rows = []
+    for kernel in snapshot.get("kernels", []):
+        rounds = kernel.get("rounds", [])
+        if not rounds:
+            continue
+        n = kernel.get("n", 0)
+        rows.append(f"<h3>{html.escape(str(kernel.get('op')))} "
+                    f"(n={n}, {len(rounds)} rounds)</h3>")
+        peak = max(r["active_lanes"] for r in rounds) or 1
+        for i, r in enumerate(rounds[:max_rounds]):
+            warps = r["active_warps"]
+            lanes = r["active_lanes"]
+            occ = lanes / (warps * 32) if warps else 0.0
+            rows.append(
+                "<div class='barrow'>"
+                f"<code>round {i:>4} {occ:>6.1%}</code>"
+                f"{_bar(lanes, peak)} {lanes} lanes / {warps} warps"
+                f" / {r['locked_warps']} locked</div>")
+        if len(rounds) > max_rounds:
+            rows.append(f"<p class='meta'>… {len(rounds) - max_rounds} "
+                        "more rounds elided</p>")
+    if not rows:
+        return ""
+    return ("<h2>Lane occupancy &amp; divergence timelines</h2>"
+            "<p class='meta'>occupancy = live lanes / (resident warps x 32);"
+            " the decay shape is the eviction-chain divergence the paper's"
+            " warp-cooperative design targets.</p>" + "".join(rows))
+
+
+def _heatmap_section(snapshot: dict) -> str:
+    cells = snapshot.get("lock_heatmap", [])
+    if not cells:
+        return ""
+    stripe = snapshot.get("stripe_width", 0)
+    subtables = sorted({c["subtable"] for c in cells})
+    stripes = sorted({c["stripe"] for c in cells})
+    by_key = {(c["subtable"], c["stripe"]): c for c in cells}
+    peak = max(c["conflicts"] for c in cells) or 1
+    head = "".join(f"<th>stripe {s}</th>" for s in stripes)
+    body = []
+    for sub in subtables:
+        row = [f"<th>subtable {sub}</th>"]
+        for s in stripes:
+            cell = by_key.get((sub, s))
+            if cell is None:
+                row.append("<td class='cell'></td>")
+                continue
+            heat = cell["conflicts"] / peak
+            row.append(
+                f"<td class='cell' style='background:rgba(214,80,60,"
+                f"{0.08 + 0.8 * heat:.2f})' title='grants "
+                f"{cell['grants']}, conflicts {cell['conflicts']}'>"
+                f"{cell['conflicts']}</td>")
+        body.append("<tr>" + "".join(row) + "</tr>")
+    return (f"<h2>Lock-contention heatmap</h2><p class='meta'>conflicts per "
+            f"(subtable, {stripe}-bucket stripe); hover a cell for grants."
+            "</p><table><tr><th></th>" + head + "</tr>"
+            + "".join(body) + "</table>")
+
+
+def _histogram_section(title: str, counts: dict, caption: str) -> str:
+    if not counts:
+        return ""
+    items = sorted(counts.items(), key=lambda kv: float(kv[0]))
+    peak = max(v for _, v in items) or 1
+    rows = ["<div class='barrow'>"
+            f"<code>{html.escape(str(k))}</code>{_bar(v, peak, alt=True)} "
+            f"{v}</div>" for k, v in items]
+    return (f"<h2>{html.escape(title)}</h2>"
+            f"<p class='meta'>{html.escape(caption)}</p>" + "".join(rows))
+
+
+def _fill_section(snapshot: dict, width: int = 640, height: int = 160) -> str:
+    timeline = snapshot.get("fill_timeline", [])
+    if not timeline:
+        return ""
+    num_subtables = len(timeline[0].get("subtables", []))
+    palette = ("#4c8dd6", "#d6794c", "#59a86c", "#9268c6", "#c0a030")
+    lines = []
+    series = [[p["global"] for p in timeline]]
+    names = ["global"]
+    for i in range(num_subtables):
+        series.append([p["subtables"][i] for p in timeline])
+        names.append(f"subtable {i}")
+    for idx, values in enumerate(series):
+        step = width / max(len(values) - 1, 1)
+        points = " ".join(
+            f"{i * step:.1f},{height - v * height:.1f}"
+            for i, v in enumerate(values))
+        color = palette[idx % len(palette)]
+        dash = "" if idx == 0 else " stroke-dasharray='4 3'"
+        lines.append(f"<polyline fill='none' stroke='{color}'"
+                     f" stroke-width='1.5'{dash} points='{points}'/>")
+    legend = " | ".join(
+        f"<span style='color:{palette[i % len(palette)]}'>"
+        f"{html.escape(n)}</span>" for i, n in enumerate(names))
+    events = [f"{i}:{p['event']}" for i, p in enumerate(timeline)
+              if p["event"] not in ("batch",)]
+    events_note = (f"<p class='meta'>resize events at samples: "
+                   f"{html.escape(', '.join(events[:40]))}</p>"
+                   if events else "")
+    return (f"<h2>Per-subtable fill-factor timeline</h2>"
+            f"<p class='meta'>{legend} — y: 0..1 fill, x: samples</p>"
+            f"<svg width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>" + "".join(lines)
+            + "</svg>" + events_note)
+
+
+def _stash_section(snapshot: dict) -> str:
+    stash = snapshot.get("stash", {})
+    if not stash.get("samples"):
+        return ""
+    return ("<h2>Stash</h2><p>high water "
+            f"<b>{stash['high_water']}</b> entries over "
+            f"{len(stash['samples'])} samples</p>")
+
+
+def _latency_section(latency: dict) -> str:
+    if not latency or not latency.get("count"):
+        return ""
+    cells = "".join(
+        f"<td>{latency[k] * 1e6:.2f}</td>"
+        for k in ("p50", "p90", "p99", "worst", "mean"))
+    extra = (f" (worst batch index {latency['worst_batch']})"
+             if latency.get("worst_batch", -1) >= 0 else "")
+    return ("<h2>Batch latency (simulated clock)</h2>"
+            "<table><tr><th>p50 us</th><th>p90 us</th><th>p99 us</th>"
+            "<th>worst us</th><th>mean us</th></tr>"
+            f"<tr>{cells}</tr></table>"
+            f"<p class='meta'>{latency['count']} batches{extra}</p>")
+
+
+def _profiles_section(profiles: list) -> str:
+    if not profiles:
+        return ""
+    rows = []
+    for p in profiles:
+        rows.append(
+            "<tr>"
+            f"<td style='text-align:left'>{html.escape(str(p['name']))}</td>"
+            f"<td>{p['num_ops']}</td>"
+            f"<td>{p['simulated_seconds'] * 1e6:.1f}</td>"
+            f"<td>{p['warp_efficiency']:.0%}</td>"
+            f"<td>{p['memory_utilization']:.0%}</td>"
+            f"<td>{p['atomics_per_op']:.2f}</td>"
+            f"<td>{p['transactions_per_op']:.2f}</td></tr>")
+    return ("<h2>Derived per-batch metrics</h2>"
+            "<table><tr><th>kernel</th><th>ops</th><th>us</th>"
+            "<th>warp eff</th><th>mem util</th><th>atomics/op</th>"
+            "<th>tx/op</th></tr>" + "".join(rows) + "</table>")
+
+
+def _recorder_section(recorder: dict) -> str:
+    if not recorder:
+        return ""
+    detail = html.escape(json.dumps(recorder, default=str)[:2000])
+    return ("<h2>Flight recorder</h2>"
+            f"<p class='meta'>{detail}</p>")

@@ -6,10 +6,16 @@ constantly) and, in the fault-injected variant, under a seeded chaos
 plan.  Any divergence shrinks to a minimal operation sequence plus a
 replayable fault script, printed in the failure message.
 
+Every fuzz table also carries a :class:`~repro.telemetry.FlightRecorder`,
+so a counterexample ships with its post-mortem bundle: the failure
+message includes the recorder digest (recent events, trip reason, table
+state) alongside the REPLAY script.
+
 ``REPRO_FUZZ_EXAMPLES`` scales the per-test example budget (CI raises
 it; the default keeps local runs quick).
 """
 
+import json
 import os
 
 import numpy as np
@@ -21,6 +27,7 @@ from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable
 from repro.faults import FaultPlan, default_chaos_plan
 from repro.sanitizer import Sanitizer
+from repro.telemetry import FlightRecorder
 
 MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
 
@@ -69,11 +76,25 @@ def apply_batch(table: DyCuckooTable, model: dict, op) -> None:
                 assert int(values[i]) == model[k]
 
 
+def recorder_digest(table: DyCuckooTable) -> str:
+    """The flight-recorder bundle digest for a failure message."""
+    recorder = getattr(table, "recorder", None)
+    if recorder is None or not recorder.enabled:
+        return ""
+    return "\nFLIGHT RECORDER: " + json.dumps(recorder.summary())
+
+
 def assert_sanitizer_clean(table: DyCuckooTable) -> None:
-    """No race/lock-discipline violations, no subtable lock left held."""
+    """No race/lock-discipline violations, no subtable lock left held.
+
+    A violation's failure message carries the flight-recorder digest
+    when the table has one attached (the violation itself already
+    tripped the recorder, so the bundle frames the offending events).
+    """
     san = table.sanitizer
     if san.enabled:
-        assert san.ok, [str(v) for v in san.violations]
+        assert san.ok, (
+            f"{[str(v) for v in san.violations]}{recorder_digest(table)}")
         assert not san.report()["subtable_locks_held"]
 
 
@@ -93,16 +114,21 @@ class TestFaultFreeFuzz:
     def test_resize_storm_matches_dict(self, ops):
         table = DyCuckooTable(storm_config())
         table.set_sanitizer(Sanitizer())
+        table.set_recorder(FlightRecorder())
         model: dict = {}
         mutated = False
-        for op in ops:
-            apply_batch(table, model, op)
-            mutated = mutated or op[0] != "find"
-            # Fill bounds are only enforceable once a mutating batch has
-            # given enforce_bounds a chance to run.
-            check_invariants(table, check_fill=mutated)
-        assert_model_agreement(table, model)
-        assert_sanitizer_clean(table)
+        try:
+            for op in ops:
+                apply_batch(table, model, op)
+                mutated = mutated or op[0] != "find"
+                # Fill bounds are only enforceable once a mutating batch
+                # has given enforce_bounds a chance to run.
+                check_invariants(table, check_fill=mutated)
+            assert_model_agreement(table, model)
+            assert_sanitizer_clean(table)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{exc}{recorder_digest(table)}") from exc
 
 
 class TestFaultInjectedFuzz:
@@ -114,6 +140,7 @@ class TestFaultInjectedFuzz:
     def test_chaos_matches_dict(self, ops, fault_seed, intensity):
         table = DyCuckooTable(storm_config())
         table.set_sanitizer(Sanitizer())
+        table.set_recorder(FlightRecorder())
         plan = default_chaos_plan(seed=fault_seed, intensity=intensity)
         table.set_fault_plan(plan)
         model: dict = {}
@@ -128,7 +155,8 @@ class TestFaultInjectedFuzz:
         except AssertionError as exc:
             raise AssertionError(
                 f"{exc}\nREPLAY: FaultPlan.from_script("
-                f"{plan.script_json()!r})") from exc
+                f"{plan.script_json()!r})"
+                f"{recorder_digest(table)}") from exc
 
     @given(st.lists(op_strategy, min_size=1, max_size=25),
            st.integers(min_value=0, max_value=2 ** 16))

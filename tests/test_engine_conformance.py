@@ -277,3 +277,66 @@ class TestPropertyConformance:
                         outcomes.append(type(exc))
                 assert outcomes[0] == outcomes[1]
             assert_tables_identical(tw, tc)
+
+
+class TestProfilerStream:
+    """The deep profiler is part of the conformance contract: both
+    engines must emit identical snapshots — same round-by-round
+    occupancy, same lock-contention heatmap, same probe and chain
+    histograms — on fault-free workloads."""
+
+    def _profiled_mixed(self, engine: str) -> dict:
+        from repro.telemetry import Profiler
+
+        table = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=64, bucket_capacity=8, auto_resize=False,
+            seed=3))
+        table.set_sanitizer(Sanitizer())
+        prof = table.set_profiler(Profiler())
+        keys = unique_keys(900, seed=31)
+        ops = np.concatenate([
+            np.full(900, OP_INSERT), np.full(450, OP_FIND),
+            np.full(300, OP_DELETE)]).astype(np.int64)
+        all_keys = np.concatenate([keys, keys[:450], keys[:300]])
+        values = np.concatenate(
+            [keys * np.uint64(3),
+             np.zeros(750, dtype=np.uint64)])
+        execute_mixed(table, ops, all_keys, values, engine=engine)
+        san = table.sanitizer
+        assert san.ok, [str(v) for v in san.violations]
+        return prof.snapshot()
+
+    def test_mixed_batch_snapshots_identical(self):
+        warp = self._profiled_mixed("warp")
+        cohort = self._profiled_mixed("cohort")
+        assert warp == cohort
+        assert [k["op"] for k in warp["kernels"]] == \
+            ["insert", "find", "delete"]
+        assert warp["probe_lengths"], "find/delete must observe probes"
+
+    def test_high_fill_snapshots_identical_with_chains(self):
+        """~97% fill: eviction chains and lock contention must conform
+        not just in aggregate but in the full profiler stream."""
+        from repro.telemetry import Profiler
+
+        snapshots = {}
+        for engine in ("warp", "cohort"):
+            table = DyCuckooTable(DyCuckooConfig(
+                initial_buckets=8, bucket_capacity=8, auto_resize=False,
+                seed=3))
+            table.set_sanitizer(Sanitizer())
+            prof = table.set_profiler(Profiler())
+            keys = unique_keys(248, seed=23)
+            result = run_voter_insert_kernel(table, keys, keys,
+                                             engine=engine)
+            assert result.evictions > 0
+            snapshots[engine] = prof.snapshot()
+
+        assert snapshots["warp"] == snapshots["cohort"]
+        snap = snapshots["warp"]
+        insert, = snap["kernels"]
+        assert insert["rounds"], "occupancy timeline must be populated"
+        assert any(int(depth) > 0 for depth in snap["chain_depths"]), \
+            "high fill must record eviction chains deeper than zero"
+        assert sum(c["conflicts"] for c in snap["lock_heatmap"]) >= 0
+        assert snap["lock_heatmap"], "heatmap must attribute lock grants"

@@ -91,3 +91,64 @@ class TestEndToEndWithArtifacts:
         monkeypatch.setenv(ENV_VAR, str(curr))
         maybe_dump("run", {("COM", "DyCuckoo"): 123.0})
         assert compare_dirs(base, curr).clean
+
+
+class TestFilters:
+    """``only`` restricts artifacts; ``skip`` drops noisy leaves."""
+
+    def make_dirs(self, tmp_path):
+        base = tmp_path / "base"
+        curr = tmp_path / "curr"
+        base.mkdir()
+        curr.mkdir()
+        write(base / "BENCH_kernel_engine.json",
+              {"rounds": 10, "seconds": 1.0})
+        write(curr / "BENCH_kernel_engine.json",
+              {"rounds": 10, "seconds": 3.0})
+        write(base / "BENCH_other.json", {"mops": 100.0})
+        # BENCH_other missing from curr — would normally be flagged.
+        return base, curr
+
+    def test_skip_drops_noisy_leaves(self, tmp_path):
+        base, curr = self.make_dirs(tmp_path)
+        report = compare_dirs(base, curr, only=["BENCH_kernel_engine*"],
+                              skip=["*seconds*"])
+        assert report.clean
+        assert report.compared_leaves == 1  # just "rounds"
+
+    def test_without_skip_the_noise_is_flagged(self, tmp_path):
+        base, curr = self.make_dirs(tmp_path)
+        report = compare_dirs(base, curr, only=["BENCH_kernel_engine*"])
+        assert [d.path for d in report.deviations] == ["seconds"]
+
+    def test_only_restricts_artifact_set(self, tmp_path):
+        base, curr = self.make_dirs(tmp_path)
+        unrestricted = compare_dirs(base, curr, skip=["*seconds*"])
+        assert unrestricted.missing_in_current == ["BENCH_other.json"]
+        restricted = compare_dirs(base, curr,
+                                  only=["BENCH_kernel_engine*"],
+                                  skip=["*seconds*"])
+        assert restricted.clean
+
+    def test_skip_matches_qualified_name(self, tmp_path):
+        base = tmp_path / "base"
+        curr = tmp_path / "curr"
+        base.mkdir()
+        curr.mkdir()
+        write(base / "a.json", {"x": 1.0})
+        write(curr / "a.json", {"x": 2.0})
+        write(base / "b.json", {"x": 1.0})
+        write(curr / "b.json", {"x": 2.0})
+        # Patterns see "artifact:path", so a skip can target one file.
+        report = compare_dirs(base, curr, skip=["a.json:*"])
+        assert [f"{d.artifact}:{d.path}" for d in report.deviations] == \
+            ["b.json:x"]
+
+    def test_perf_gate_cli_flags(self, tmp_path, capsys):
+        from benchmarks import perf_gate
+
+        base, curr = self.make_dirs(tmp_path)
+        strict = ["--strict", "--only", "BENCH_kernel_engine*"]
+        assert perf_gate.main([str(base), str(curr), *strict,
+                               "--skip", "*seconds*"]) == 0
+        assert perf_gate.main([str(base), str(curr), *strict]) == 1

@@ -484,3 +484,97 @@ class TestMixedBatchTracing:
         kinds = [e.args["kind"]
                  for e in telemetry.tracer.instants("mixed.run")]
         assert kinds == ["insert", "find", "delete"]
+
+
+class TestMergeRegistries:
+    """Edge cases of the multi-registry roll-up."""
+
+    def test_empty_mapping_yields_empty_registry(self):
+        from repro.telemetry import merge_registries
+
+        merged = merge_registries({})
+        assert merged.counters == {}
+        assert merged.gauges == {}
+        assert merged.histograms == {}
+        # Exporters must accept the empty merge unchanged.
+        assert isinstance(prometheus_text(merged), str)
+        assert merged.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_divergent_histogram_layouts_skip_rollup(self):
+        from repro.telemetry import merge_registries
+
+        a = MetricsRegistry()
+        a.histogram("probe.length", buckets=(1.0, 2.0, 4.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("probe.length", buckets=(1.0, 8.0)).observe(5.0)
+
+        merged = merge_registries({"s0": a, "s1": b})
+        # Labelled copies preserve each source's own layout and counts.
+        copy_a = merged.histograms["s0.probe.length"]
+        copy_b = merged.histograms["s1.probe.length"]
+        assert copy_a.buckets == (1.0, 2.0, 4.0)
+        assert copy_b.buckets == (1.0, 8.0)
+        assert copy_a.total == 1 and copy_b.total == 1
+        # The roll-up keeps the first layout it saw and skips the
+        # divergent source instead of silently mixing bucket meanings.
+        roll = merged.histograms["probe.length"]
+        assert roll.buckets == (1.0, 2.0, 4.0)
+        assert roll.total == 1
+        assert roll.sum == pytest.approx(1.5)
+
+    def test_matching_histogram_layouts_sum(self):
+        from repro.telemetry import merge_registries
+
+        a = MetricsRegistry()
+        a.histogram("chain.depth", buckets=(1.0, 2.0)).observe_many([0.5, 1.5])
+        b = MetricsRegistry()
+        b.histogram("chain.depth", buckets=(1.0, 2.0)).observe(3.0)
+
+        merged = merge_registries({"s0": a, "s1": b})
+        roll = merged.histograms["chain.depth"]
+        assert roll.total == 3
+        assert roll.sum == pytest.approx(5.0)
+        assert list(roll.counts) == [1, 1, 1]
+
+    def test_gauge_rollup_sums_across_sources(self):
+        from repro.telemetry import merge_registries
+
+        a = MetricsRegistry()
+        a.gauge("fill.global").set(0.4)
+        b = MetricsRegistry()
+        b.gauge("fill.global").set(0.3)
+        c = MetricsRegistry()
+        c.gauge("fill.global").set(0.0)
+
+        merged = merge_registries({"s0": a, "s1": b, "s2": c})
+        # Labelled copies keep the per-source values...
+        assert merged.gauges["s0.fill.global"].value == pytest.approx(0.4)
+        assert merged.gauges["s1.fill.global"].value == pytest.approx(0.3)
+        assert merged.gauges["s2.fill.global"].value == pytest.approx(0.0)
+        # ...while the roll-up is the fleet-wide sum, including the
+        # zero-valued source (sum semantics, not last-writer-wins).
+        assert merged.gauges["fill.global"].value == pytest.approx(0.7)
+
+    def test_gauge_single_source_rollup_equals_source(self):
+        from repro.telemetry import merge_registries
+
+        a = MetricsRegistry()
+        a.gauge("stash.occupancy").set(5.0)
+        merged = merge_registries({"only": a})
+        assert merged.gauges["stash.occupancy"].value == pytest.approx(5.0)
+
+    def test_counter_rollup_and_disjoint_names(self):
+        from repro.telemetry import merge_registries
+
+        a = MetricsRegistry()
+        a.counter("find.hits").inc(3)
+        b = MetricsRegistry()
+        b.counter("find.hits").inc(4)
+        b.counter("insert.evictions").inc(2)
+
+        merged = merge_registries({"s0": a, "s1": b})
+        assert merged.counters["find.hits"].value == 7
+        # A name present in only one source still gets a roll-up.
+        assert merged.counters["insert.evictions"].value == 2
+        assert "s0.insert.evictions" not in merged.counters
