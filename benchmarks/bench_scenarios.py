@@ -1,0 +1,75 @@
+"""Scenario soaks — latency scorecards for the composed stress matrix.
+
+Runs a representative slice of the scenario registry (a clean YCSB
+mix, the chaos soak, and the fully composed kitchen sink) through
+:func:`~repro.scenarios.run_scenario` at a reduced scale and reports
+the simulated latency profile plus the activity counters the scorecard
+grades: fault fires, resize aborts, stash high-water, and memory-budget
+evictions.
+
+Expected shapes: every scenario passes its scaled SLO; chaos scenarios
+actually fire faults (a chaos soak with zero fires grades nothing);
+the kitchen sink exercises storms, churn, pressure, and chaos in one
+run.  With ``REPRO_BENCH_JSON`` set, results are also dumped as
+``BENCH_scenarios.json`` for regression tracking.
+"""
+
+from repro.bench import format_table, shape_check
+from repro.bench.artifacts import maybe_dump
+from repro.scenarios import get_scenario, run_scenario
+
+from benchmarks.common import once
+
+#: Registry slice benchmarked: clean baseline, pure chaos, everything.
+SCENARIOS = ("ycsb_a_update_heavy", "chaos_soak", "kitchen_sink")
+
+#: Fraction of the full-scale op counts driven per scenario.
+SCALE = 0.05
+
+
+def _run_all() -> dict:
+    return {name: run_scenario(get_scenario(name), scale=SCALE)
+            for name in SCENARIOS}
+
+
+def test_scenario_soak(benchmark):
+    cards = once(benchmark, _run_all)
+    maybe_dump("BENCH_scenarios", cards)
+
+    print()
+    print(format_table(
+        ["scenario", "verdict", "p50 ns", "p99 ns", "worst ns",
+         "faults", "aborts", "stash hw", "evicted"],
+        [[name, card["verdict"], card["latency"]["p50"],
+          card["latency"]["p99"], card["latency"]["worst"],
+          card["faults"]["fired"], card["resizes"]["aborts"],
+          card["stash"]["high_water"], card["memory"]["evictions"]]
+         for name, card in cards.items()],
+        title=f"Scenario soaks at scale={SCALE}", float_fmt="{:.1f}"))
+
+    chaos = cards["chaos_soak"]
+    kitchen = cards["kitchen_sink"]
+    checks = [
+        ("every scenario passes its scaled SLO",
+         all(card["verdict"] == "pass" for card in cards.values())),
+        (f"chaos soak fires faults ({chaos['faults']['fired']} fired)",
+         chaos["faults"]["fired"] > 0),
+        (f"chaos degrades into the stash "
+         f"(high-water {chaos['stash']['high_water']})",
+         chaos["stash"]["high_water"] > 0),
+        (f"kitchen sink composes storm+churn "
+         f"({kitchen['ops']['storm_batches']} storm, "
+         f"{kitchen['ops']['churn_batches']} churn batches)",
+         kitchen["ops"]["storm_batches"] > 0
+         and kitchen["ops"]["churn_batches"] > 0),
+        (f"kitchen sink evicts under its budget "
+         f"({kitchen['memory']['evictions']} entries)",
+         kitchen["memory"]["evictions"] > 0
+         and kitchen["memory"]["budget_ok"]),
+        ("sanitizer stays clean through the chaos",
+         chaos["sanitizer"]["ok"] and kitchen["sanitizer"]["ok"]),
+    ]
+    print()
+    for label, ok in checks:
+        print(shape_check(label, ok))
+        assert ok, label

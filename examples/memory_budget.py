@@ -8,26 +8,37 @@ DyCuckoo, MegaKV (with the naive double/half strategy) and SlabHash
 (symbolic deletion), and reports each structure's peak and final device
 memory — reproducing the paper's headline "up to 4x memory saved".
 
+It then turns the measurement into a *policy*: the same session runs
+under :class:`repro.core.MemoryBudget`, which evicts seeded victim
+batches whenever the footprint crosses a hard byte budget (the table
+degrades to a cache under pressure; see ``docs/scenarios.md``).
+
 Run:  python examples/memory_budget.py
+Seed: honors ``REPRO_SEED`` (default 3) — same seed, same output.
 """
+
+import os
 
 import numpy as np
 
 from repro.baselines import DyCuckooAdapter, MegaKVTable, SlabHashTable
 from repro.baselines.slab import slab_buckets_for_fill
 from repro.bench import format_table, run_dynamic
+from repro.core import MemoryBudget
 from repro.core.config import DyCuckooConfig
+from repro.core.table import DyCuckooTable
 from repro.gpusim.metrics import CostModel
 from repro.workloads import COM, DynamicWorkload
 
 SCALE = 0.004  # 1/250 of the paper's COM dataset
+SEED = int(os.environ.get("REPRO_SEED", "3"))
 
 
 def main() -> None:
-    keys, values = COM.generate(scale=SCALE, seed=3)
+    keys, values = COM.generate(scale=SCALE, seed=SEED)
     unique = len(np.unique(keys))
     print(f"COM surrogate: {len(keys):,} events over "
-          f"{unique:,} customers (heavy skew)\n")
+          f"{unique:,} customers (heavy skew), seed {SEED}\n")
 
     cost_model = CostModel(overhead_scale=SCALE)
     rows = []
@@ -41,8 +52,10 @@ def main() -> None:
             lambda: SlabHashTable(
                 n_buckets=slab_buckets_for_fill(unique // 2, 0.85))):
         table = factory()
+        # SEED ^ 2 keeps the historical workload stream (seed 1) for
+        # the default dataset seed 3 while still tracking REPRO_SEED.
         workload = DynamicWorkload(keys, values, batch_size=4000,
-                                   ratio_r=0.2, seed=1)
+                                   ratio_r=0.2, seed=SEED ^ 2)
         result = run_dynamic(table, workload, cost_model=cost_model)
         footprint = table.memory_footprint()
         rows.append([
@@ -64,6 +77,31 @@ def main() -> None:
           f"{worst_peak / dy_peak:.1f}x saved")
     print("A second structure sharing the GPU gets that headroom back —")
     print("no PCIe round-trips to evict the hash table.")
+
+    # ------------------------------------------------------------------
+    # The policy version: hold the same session under a hard budget.
+    # ------------------------------------------------------------------
+    budget_bytes = int(dy_peak * 1e6 * 0.6)
+    policy = MemoryBudget(budget_bytes, seed=SEED)
+    table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                         bucket_capacity=16))
+    peak_under_policy = 0
+    for start in range(0, len(keys), 4000):
+        table.insert(keys[start:start + 4000].astype(np.uint64),
+                     values[start:start + 4000].astype(np.uint64))
+        if policy.over_budget(table):
+            policy.enforce(table)
+        peak_under_policy = max(peak_under_policy,
+                                table.memory_footprint().total_bytes)
+    summary = policy.summary()
+    respected = "yes" if summary["violations"] == 0 else "NO"
+    print(f"\nmemory-budget policy demo "
+          f"(budget {budget_bytes / 1e6:.2f} MB = 60% of peak):")
+    print(f"  evicted {summary['evictions']:,} entries over "
+          f"{summary['enforcements']} enforcements")
+    print(f"  peak under policy {peak_under_policy / 1e6:.2f} MB "
+          f"(unconstrained peak {dy_peak:.2f} MB)")
+    print(f"  budget respected: {respected}")
 
 
 if __name__ == "__main__":

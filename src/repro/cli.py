@@ -52,6 +52,16 @@ Commands
     replay or capture the exact fault sequence; ``--smoke`` is CI's fast
     robustness health check.
 
+``scenarios``
+    Run composed soak scenarios — YCSB mixes with hot-key storms,
+    delete/reinsert churn under tight resize bands, seeded chaos fault
+    plans with stash degradation, the sanitizer attached, and
+    memory-budget eviction — and grade each against its latency SLO
+    and structural invariants.  Every run emits a
+    ``SCORECARD_<name>.json``; ``--list`` shows the registry,
+    ``--matrix`` runs it all, ``--smoke`` is CI's scaled-down check
+    with the dict oracle attached.
+
 ``demo``, ``dynamic``, and ``profile`` all take ``--seed`` (exact
 reproducibility) and ``--json`` (machine-readable results on stdout
 instead of the human-readable rendering).
@@ -866,6 +876,86 @@ def _cmd_sanitize(args) -> int:
     return 1 if problems else 0
 
 
+def _scenario_row(card: dict) -> str:
+    lat = card["latency"]
+    extras = []
+    if card["faults"]["enabled"]:
+        extras.append(f"faults={card['faults']['fired']}")
+    if card["stash"]["high_water"]:
+        extras.append(f"stash_hw={card['stash']['high_water']}")
+    if card["memory"]["budget_bytes"] is not None:
+        extras.append(f"evicted={card['memory']['evictions']}")
+    if card["sanitizer"]["enabled"]:
+        extras.append("san=" + ("ok" if card["sanitizer"]["ok"]
+                                else "VIOLATED"))
+    resizes = card["resizes"]
+    extras.append(f"resizes={resizes['upsizes']}+{resizes['downsizes']}"
+                  f"/{resizes['aborts']}ab")
+    return (f"{card['name']:<24} {card['verdict']:<4} "
+            f"p50 {lat['p50']:6.1f}  p99 {lat['p99']:7.1f}  "
+            f"worst {lat['worst']:8.1f} ns/op  " + "  ".join(extras))
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import (REGISTRY, get_scenario, run_scenario,
+                                 validate_scorecard)
+
+    if args.list or not (args.run or args.matrix or args.smoke):
+        if args.json:
+            _emit_json([{"name": s.name,
+                         "description": s.description,
+                         "composition": s.composition()}
+                        for s in REGISTRY.values()])
+            return 0
+        print(f"{len(REGISTRY)} registered scenarios "
+              f"(axes: storm/churn/faults/sanitizer/budget/shards)")
+        for spec in REGISTRY.values():
+            axes = [axis for axis, on in spec.composition().items()
+                    if on and axis != "skew"]
+            tag = f" [{', '.join(axes)}]" if axes else ""
+            print(f"  {spec.name:<24} {spec.description}{tag}")
+        return 0
+
+    if args.smoke:
+        specs = list(REGISTRY.values())
+        scale = args.scale if args.scale is not None else 0.02
+        differential = True
+        out_dir = args.out_dir  # smoke writes only when asked
+    else:
+        specs = ([get_scenario(args.run)] if args.run
+                 else list(REGISTRY.values()))
+        scale = args.scale if args.scale is not None else 1.0
+        differential = args.differential
+        out_dir = args.out_dir or "scorecards"
+
+    problems: list[str] = []
+    cards = []
+    for spec in specs:
+        card = run_scenario(spec, scale=scale, out_dir=out_dir,
+                            differential=differential)
+        cards.append(card)
+        schema_problems = validate_scorecard(card)
+        problems.extend(f"{spec.name}: {p}" for p in schema_problems)
+        if card["verdict"] != "pass":
+            problems.extend(f"{spec.name}: {p}"
+                            for p in card["problems"])
+        if not args.json:
+            print(_scenario_row(card))
+
+    if args.json:
+        _emit_json(cards if len(cards) > 1 else cards[0])
+    else:
+        passed = sum(1 for c in cards if c["verdict"] == "pass")
+        print(f"\n{passed}/{len(cards)} scenarios passed "
+              f"at scale {scale}"
+              + (f"; scorecards in {out_dir}/" if out_dir else ""))
+        if problems:
+            print("SCENARIOS FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DyCuckoo reproduction toolkit")
@@ -987,6 +1077,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "(fault-bearing inserts always execute "
                              "per-warp; see repro.gpusim.cohort)")
 
+    scenarios = sub.add_parser(
+        "scenarios", help="composed soak scenarios with JSON scorecards "
+                          "(chaos + skew + churn + memory pressure)")
+    scenarios.add_argument("--list", action="store_true",
+                           help="list the registered scenarios")
+    scenarios.add_argument("--run", metavar="NAME", default=None,
+                           help="run one named scenario")
+    scenarios.add_argument("--matrix", action="store_true",
+                           help="run every registered scenario")
+    scenarios.add_argument("--smoke", action="store_true",
+                           help="scaled-down matrix with the dict oracle "
+                                "attached (CI health check)")
+    scenarios.add_argument("--scale", type=float, default=None,
+                           help="workload scale factor "
+                                "(default 1.0; --smoke defaults to 0.02)")
+    scenarios.add_argument("--out-dir", default=None,
+                           help="directory for SCORECARD_<name>.json "
+                                "(default scorecards/; --smoke writes "
+                                "only when set)")
+    scenarios.add_argument("--differential", action="store_true",
+                           help="mirror every op into a dict oracle "
+                                "(slow at full scale)")
+    scenarios.add_argument("--json", action="store_true",
+                           help="machine-readable scorecards on stdout")
+
     sanitize = sub.add_parser(
         "sanitize", help="SIMT sanitizer: racecheck + lockcheck audit, "
                          "seeded fixtures, determinism lint")
@@ -1021,6 +1136,7 @@ _COMMANDS = {
     "kernel": _cmd_kernel,
     "faults": _cmd_faults,
     "sanitize": _cmd_sanitize,
+    "scenarios": _cmd_scenarios,
 }
 
 

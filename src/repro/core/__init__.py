@@ -19,6 +19,7 @@ from repro.core.batch_ops import (OP_DELETE, OP_FIND, OP_INSERT,
 from repro.core.config import (DEFAULT_BUCKET_CAPACITY, DEFAULT_NUM_TABLES,
                                PAPER_PARAMETERS, DyCuckooConfig,
                                replace_config)
+from repro.core.memory_budget import EvictionReport, MemoryBudget
 from repro.core.persistence import load_table, save_table
 from repro.core.stash import Stash
 from repro.core.stats import MemoryFootprint, TableStats
@@ -43,6 +44,8 @@ __all__ = [
     "OP_FIND",
     "OP_DELETE",
     "Stash",
+    "MemoryBudget",
+    "EvictionReport",
     "check_invariants",
     "expected_conflicts",
     "optimal_distribution",

@@ -1,0 +1,142 @@
+"""Memory-budget eviction policy: cap a table's device footprint.
+
+The paper's introduction motivates dynamic tables with coexisting
+structures: several indexes share one GPU, so a hash table that hogs
+device memory forces PCIe shuffling.  ``examples/memory_budget.py``
+demonstrates the *measurement* side of that story; this module is the
+*policy* side, promoted into core so scenario soaks (and users) can run
+a table under a hard byte budget.
+
+:class:`MemoryBudget` watches ``table.memory_footprint().total_bytes``
+and, when the budget is exceeded, deletes seeded-random victim batches
+until the footprint fits again.  Deleting entries lowers the filled
+factor below ``alpha``, so the table's own ``enforce_bounds`` downsizes
+a subtable and actually returns the memory — the policy only chooses
+victims; reclamation is the table's normal resize path.  Under a budget
+the table degrades to a *cache*: evicted keys simply miss afterwards.
+
+Victim selection is a seeded uniform sample over the live key set in
+canonical (sorted) order, so a run is bit-reproducible for a given
+seed regardless of insertion order.  No wall-clock, no global RNG —
+the determinism lint (``python -m repro sanitize --lint``) holds for
+this module like the rest of ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+
+@dataclass(frozen=True)
+class EvictionReport:
+    """What one :meth:`MemoryBudget.enforce` call did."""
+
+    bytes_before: int
+    bytes_after: int
+    evicted: int
+    rounds: int
+    within_budget: bool
+    #: The exact victim keys, so differential harnesses can mirror the
+    #: eviction into their model.
+    evicted_keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64))
+
+
+class MemoryBudget:
+    """Hold a table's memory footprint under ``budget_bytes``.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Hard ceiling on ``memory_footprint().total_bytes``.
+    evict_fraction:
+        Fraction of live entries deleted per round while over budget.
+        Rounds repeat (up to ``max_rounds``) because freeing slots is
+        indirect: deletions must drag the filled factor under ``alpha``
+        before a downsize returns memory.
+    max_rounds:
+        Safety bound per enforcement; a budget below the table's
+        minimum geometry (``min_buckets`` floors) can never be met.
+    seed:
+        Victim-selection seed; same seed + same table state = same
+        victims.
+    """
+
+    def __init__(self, budget_bytes: int, *, evict_fraction: float = 0.25,
+                 max_rounds: int = 8, seed: int = 0) -> None:
+        if budget_bytes <= 0:
+            raise InvalidConfigError(
+                f"budget_bytes must be > 0, got {budget_bytes}")
+        if not 0.0 < evict_fraction <= 1.0:
+            raise InvalidConfigError(
+                f"evict_fraction must be in (0, 1], got {evict_fraction}")
+        if max_rounds < 1:
+            raise InvalidConfigError(
+                f"max_rounds must be >= 1, got {max_rounds}")
+        self.budget_bytes = int(budget_bytes)
+        self.evict_fraction = float(evict_fraction)
+        self.max_rounds = int(max_rounds)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        #: Cumulative counters across enforcements (scorecard fodder).
+        self.enforcements = 0
+        self.total_evicted = 0
+        self.total_rounds = 0
+        self.peak_bytes = 0
+        self.violations = 0  # enforcements that ended still over budget
+
+    def over_budget(self, table) -> bool:
+        return table.memory_footprint().total_bytes > self.budget_bytes
+
+    def enforce(self, table) -> EvictionReport:
+        """Evict until ``table`` fits the budget (or give up).
+
+        Works on anything with ``memory_footprint()``, ``keys()``,
+        ``delete()`` and ``__len__`` — both :class:`DyCuckooTable` and
+        :class:`~repro.shard.ShardedDyCuckoo`.
+        """
+        bytes_before = int(table.memory_footprint().total_bytes)
+        self.enforcements += 1
+        self.peak_bytes = max(self.peak_bytes, bytes_before)
+        evicted_parts: list[np.ndarray] = []
+        rounds = 0
+        current = bytes_before
+        while (current > self.budget_bytes and len(table) > 0
+               and rounds < self.max_rounds):
+            live = np.sort(table.keys())
+            count = max(1, int(len(live) * self.evict_fraction))
+            count = min(count, len(live))
+            picks = self._rng.choice(len(live), size=count, replace=False)
+            victims = live[np.sort(picks)]
+            table.delete(victims)
+            evicted_parts.append(victims)
+            rounds += 1
+            current = int(table.memory_footprint().total_bytes)
+        evicted_keys = (np.concatenate(evicted_parts) if evicted_parts
+                        else np.empty(0, dtype=np.uint64))
+        within = current <= self.budget_bytes
+        self.total_evicted += int(evicted_keys.size)
+        self.total_rounds += rounds
+        if not within:
+            self.violations += 1
+        return EvictionReport(bytes_before=bytes_before,
+                              bytes_after=current,
+                              evicted=int(evicted_keys.size),
+                              rounds=rounds,
+                              within_budget=within,
+                              evicted_keys=evicted_keys)
+
+    def summary(self) -> dict:
+        """Cumulative policy counters as a plain-JSON dict."""
+        return {
+            "budget_bytes": self.budget_bytes,
+            "enforcements": self.enforcements,
+            "evictions": self.total_evicted,
+            "rounds": self.total_rounds,
+            "peak_bytes": self.peak_bytes,
+            "violations": self.violations,
+        }

@@ -1,0 +1,35 @@
+"""Scenario soak subsystem: composed chaos/skew/churn/memory soaks.
+
+* :mod:`repro.scenarios.spec` — declarative scenario specifications,
+* :mod:`repro.scenarios.registry` — the built-in named scenarios,
+* :mod:`repro.scenarios.runner` — execute a spec, grade it,
+* :mod:`repro.scenarios.scorecard` — the ``SCORECARD_<name>.json``
+  schema and validator.
+
+See ``docs/scenarios.md`` for the registry, the scorecard schema, and
+how to add a scenario.
+"""
+
+from repro.scenarios.registry import (REGISTRY, get_scenario,
+                                      scenario_names)
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.scorecard import (SCHEMA, scorecard_filename,
+                                       validate_scorecard,
+                                       write_scorecard)
+from repro.scenarios.spec import (ChurnSpec, ScenarioSpec, SloSpec,
+                                  StormSpec)
+
+__all__ = [
+    "ScenarioSpec",
+    "StormSpec",
+    "ChurnSpec",
+    "SloSpec",
+    "REGISTRY",
+    "scenario_names",
+    "get_scenario",
+    "run_scenario",
+    "SCHEMA",
+    "validate_scorecard",
+    "write_scorecard",
+    "scorecard_filename",
+]

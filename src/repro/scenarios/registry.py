@@ -1,0 +1,148 @@
+"""The built-in scenario registry.
+
+Ten named soaks covering every composition axis, individually and —
+in ``kitchen_sink`` — all at once.  Op counts sit at 10x the YCSB
+microbenchmark (``benchmarks/bench_ycsb.py`` runs 60k ops; scenarios
+run 600k) so the full matrix is a genuine soak while the tier-1 suite
+runs every scenario at ``scale=0.02`` through the same code path.
+
+SLO targets are simulated ns/op (see :mod:`repro.scenarios.spec`):
+clean traffic lands around 4-8 ns/op on the modeled GTX 1080, so the
+default targets grade steady-state behaviour while leaving headroom
+for resize spikes; chaos scenarios get looser tails because aborted
+resizes and stash traffic are the *point* of those runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidConfigError
+from repro.scenarios.spec import ChurnSpec, ScenarioSpec, SloSpec, StormSpec
+
+#: Chaos rates tuned to the sites the batch path actually invokes:
+#: ``insert.evict`` fires only when an eviction chain runs and
+#: ``resize.abort.*`` once per resize stage, so rates are high enough
+#: that every soak sees real fires while the (bumped) stash absorbs
+#: the eviction failures between drain-back epochs.
+CHAOS_RATES = {
+    "insert.evict": 0.15,
+    "resize.abort.trigger": 0.08,
+    "resize.abort.plan": 0.05,
+    "resize.abort.rehash": 0.10,
+    "resize.abort.spill": 0.20,
+}
+
+#: Once a fault fires, the next few invocations of the same site fire
+#: too — degradation arrives in bursts, not single events.
+CHAOS_STORMS = {"insert.evict": 3}
+
+_SCENARIOS = (
+    ScenarioSpec(
+        name="ycsb_a_update_heavy",
+        description="YCSB-A 50/50 read-update soak, zipfian skew",
+        mix="A",
+        slo=SloSpec(p50_ns=30.0, p99_ns=200.0, worst_ns=1200.0),
+    ),
+    ScenarioSpec(
+        name="ycsb_b_read_mostly",
+        description="YCSB-B 95/5 read-mostly soak, zipfian skew",
+        mix="B",
+        slo=SloSpec(p50_ns=25.0, p99_ns=150.0, worst_ns=800.0),
+    ),
+    ScenarioSpec(
+        name="ycsb_c_sharded_scatter",
+        description="YCSB-C read-only scatter across 4 shards",
+        mix="C",
+        shards=4,
+        slo=SloSpec(p50_ns=25.0, p99_ns=120.0, worst_ns=600.0),
+    ),
+    ScenarioSpec(
+        name="ycsb_d_insert_growth",
+        description="YCSB-D latest-distribution growth (steady upsizes)",
+        mix="D",
+        slo=SloSpec(p50_ns=30.0, p99_ns=250.0, worst_ns=1500.0),
+    ),
+    ScenarioSpec(
+        name="ycsb_f_rmw",
+        description="YCSB-F read-modify-write soak",
+        mix="F",
+        slo=SloSpec(p50_ns=30.0, p99_ns=200.0, worst_ns=1200.0),
+    ),
+    ScenarioSpec(
+        name="hot_key_storm",
+        description="YCSB-B with periodic celebrity-key storms, "
+                    "sanitizer attached",
+        mix="B",
+        storm=StormSpec(every=4, ops=4_000, num_hot=64, exponent=1.3),
+        sanitizer=True,
+        slo=SloSpec(p50_ns=30.0, p99_ns=200.0, worst_ns=1200.0),
+    ),
+    ScenarioSpec(
+        name="resize_thrash",
+        description="tight [alpha, beta] band with delete/reinsert "
+                    "churn waves (Fig. 12 sawtooth)",
+        mix="A",
+        alpha=0.45,
+        beta=0.65,
+        initial_buckets=16,
+        bucket_capacity=16,
+        churn=ChurnSpec(every=6, fraction=0.5),
+        sanitizer=True,
+        slo=SloSpec(p50_ns=40.0, p99_ns=400.0, worst_ns=4000.0),
+    ),
+    ScenarioSpec(
+        name="chaos_soak",
+        description="YCSB-A under the chaos fault plan with stash "
+                    "degradation, sanitizer attached",
+        mix="A",
+        fault_rates=CHAOS_RATES,
+        fault_storms=CHAOS_STORMS,
+        stash_capacity=16384,
+        sanitizer=True,
+        slo=SloSpec(p50_ns=40.0, p99_ns=400.0, worst_ns=4000.0),
+    ),
+    ScenarioSpec(
+        name="memory_pressure",
+        description="YCSB-D growth against a hard memory budget "
+                    "(eviction policy active)",
+        mix="D",
+        # ~55% of the unconstrained peak (1.59 MB at full scale), so
+        # the eviction policy must keep firing as the workload grows.
+        memory_budget_bytes=900_000,
+        slo=SloSpec(p50_ns=40.0, p99_ns=400.0, worst_ns=6000.0),
+    ),
+    ScenarioSpec(
+        name="kitchen_sink",
+        description="everything at once: chaos faults + hot-key storms "
+                    "+ churn in a tight band + memory budget + "
+                    "sanitizer",
+        mix="A",
+        alpha=0.40,
+        beta=0.70,
+        initial_buckets=16,
+        bucket_capacity=16,
+        storm=StormSpec(every=5, ops=3_000, num_hot=64, exponent=1.2),
+        churn=ChurnSpec(every=8, fraction=0.4),
+        fault_rates=CHAOS_RATES,
+        fault_storms=CHAOS_STORMS,
+        stash_capacity=16384,
+        sanitizer=True,
+        # ~60% of the unconstrained peak (1.33 MB at full scale).
+        memory_budget_bytes=800_000,
+        slo=SloSpec(p50_ns=60.0, p99_ns=600.0, worst_ns=8000.0),
+    ),
+)
+
+REGISTRY: dict[str, ScenarioSpec] = {s.name: s for s in _SCENARIOS}
+
+
+def scenario_names() -> list[str]:
+    return list(REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise InvalidConfigError(
+            f"unknown scenario {name!r}; "
+            f"have {', '.join(REGISTRY)}") from None

@@ -1,0 +1,140 @@
+"""Scorecard schema: one JSON verdict document per scenario run.
+
+Every scenario run emits one scorecard — ``SCORECARD_<name>.json`` —
+with a fixed schema so CI artifacts, the soak matrix and tier-1 tests
+all grade runs the same way.  :func:`validate_scorecard` is the single
+source of truth for that schema; the CLI smoke mode and the test suite
+both call it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA = "repro.scenarios.scorecard/v1"
+
+#: Required top-level sections and the keys each must carry.  Values
+#: are type tuples accepted for the key (bool before int: bool is an
+#: int subclass, so bool-typed fields list bool alone).
+_SECTIONS: dict[str, dict[str, tuple]] = {
+    "workload": {
+        "mix": (str,),
+        "num_records": (int,),
+        "num_operations": (int,),
+        "batch_size": (int,),
+        "shards": (int,),
+    },
+    "ops": {
+        "executed": (int,),
+        "batches": (int,),
+        "load_batches": (int,),
+        "storm_batches": (int,),
+        "churn_batches": (int,),
+    },
+    "latency": {
+        "count": (int,),
+        "p50": (float, int),
+        "p90": (float, int),
+        "p99": (float, int),
+        "worst": (float, int),
+        "mean": (float, int),
+        "worst_batch": (int,),
+    },
+    "slo": {
+        "targets": (dict,),
+        "attained": (bool,),
+        "violations": (list,),
+    },
+    "invariants": {
+        "checks": (int,),
+        "ok": (bool,),
+        "error": (str, type(None)),
+    },
+    "stash": {
+        "high_water": (int,),
+        "final": (int,),
+        "pushes": (int,),
+        "drained": (int,),
+    },
+    "resizes": {
+        "upsizes": (int,),
+        "downsizes": (int,),
+        "aborts": (int,),
+    },
+    "faults": {
+        "enabled": (bool,),
+        "fired": (int,),
+        "by_site": (dict,),
+    },
+    "sanitizer": {
+        "enabled": (bool,),
+        "ok": (bool,),
+        "violations": (int,),
+    },
+    "memory": {
+        "budget_bytes": (int, type(None)),
+        "peak_bytes": (int,),
+        "final_bytes": (int,),
+        "evictions": (int,),
+        "budget_ok": (bool,),
+    },
+}
+
+_TOP_LEVEL: dict[str, tuple] = {
+    "schema": (str,),
+    "name": (str,),
+    "seed": (int,),
+    "scale": (float, int),
+    "verdict": (str,),
+    "problems": (list,),
+}
+
+
+def validate_scorecard(card: dict) -> list[str]:
+    """Schema problems in ``card`` (empty list = schema-valid)."""
+    problems: list[str] = []
+    if not isinstance(card, dict):
+        return [f"scorecard must be a dict, got {type(card).__name__}"]
+    for key, types in _TOP_LEVEL.items():
+        if key not in card:
+            problems.append(f"missing top-level key {key!r}")
+        elif not isinstance(card[key], types):
+            problems.append(
+                f"{key!r} has type {type(card[key]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}")
+    if card.get("schema") not in (None, SCHEMA):
+        problems.append(
+            f"schema is {card.get('schema')!r}, expected {SCHEMA!r}")
+    if card.get("verdict") not in (None, "pass", "fail"):
+        problems.append(
+            f"verdict is {card.get('verdict')!r}, expected pass/fail")
+    for section, keys in _SECTIONS.items():
+        body = card.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key, types in keys.items():
+            if key not in body:
+                problems.append(f"missing {section}.{key}")
+            elif not isinstance(body[key], types):
+                problems.append(
+                    f"{section}.{key} has type "
+                    f"{type(body[key]).__name__}, expected "
+                    f"{'/'.join(t.__name__ for t in types)}")
+    if card.get("verdict") == "fail" and not card.get("problems"):
+        problems.append("verdict is fail but problems is empty")
+    return problems
+
+
+def scorecard_filename(name: str) -> str:
+    return f"SCORECARD_{name}.json"
+
+
+def write_scorecard(card: dict, out_dir) -> Path:
+    """Write ``card`` as ``SCORECARD_<name>.json`` under ``out_dir``."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / scorecard_filename(card["name"])
+    path.write_text(json.dumps(card, indent=2, sort_keys=True) + "\n")
+    return path

@@ -363,6 +363,18 @@ class ShardedDyCuckoo(GpuHashTable):
             shard.set_sanitizer(sanitizer)
         return self.shards[0].sanitizer
 
+    def set_fault_plan(self, plan):
+        """Attach one fault plan shared by every shard (``None`` detaches).
+
+        Shards execute sequentially within a batch, so a single plan's
+        per-site invocation counters stay deterministic: the same keys
+        route to the same shards in the same order, hence the same
+        fault decisions on replay.  Returns the attached plan.
+        """
+        for shard in self.shards:
+            shard.set_fault_plan(plan)
+        return self.shards[0].faults
+
     def set_profiler(self, profiler):
         """Attach one profiler shared by every shard (``None`` detaches).
 

@@ -9,6 +9,23 @@ from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable
 
 
+def pytest_collection_modifyitems(config, items):
+    """Keep ``soak``-marked tests out of tier-1 unless asked for.
+
+    Full-scale scenario soaks run minutes of simulated traffic; they
+    are opt-in via ``pytest -m soak`` (any ``-m`` expression naming
+    the marker enables them) while their scaled-down twins stay in the
+    default run.
+    """
+    if "soak" in (config.getoption("-m") or ""):
+        return
+    skip_soak = pytest.mark.skip(
+        reason="soak scenarios are opt-in: run with -m soak")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)
+
+
 @pytest.fixture
 def small_config() -> DyCuckooConfig:
     """A small table configuration exercising resizes quickly."""

@@ -1,5 +1,6 @@
 """Smoke tests: the shipped examples run cleanly end to end."""
 
+import os
 import sys
 from pathlib import Path
 
@@ -36,6 +37,22 @@ def test_memory_budget_shapes():
         timeout=240)
     assert "DyCuckoo" in result.stdout
     assert "saved" in result.stdout
+    # The default run is seeded (REPRO_SEED unset -> seed 3) and the
+    # eviction-policy demo must hold the budget.
+    assert "seed 3" in result.stdout
+    assert "budget respected: yes" in result.stdout
+
+
+def test_memory_budget_honors_repro_seed():
+    """Same REPRO_SEED, same bytes on stdout — the example is fully
+    reproducible, so its output can be asserted on."""
+    env = {**os.environ, "REPRO_SEED": "11"}
+    cmd = [sys.executable, str(EXAMPLES_DIR / "memory_budget.py")]
+    first = run_quiet(cmd, timeout=240, env=env)
+    second = run_quiet(cmd, timeout=240, env=env)
+    assert first.returncode == 0, first.stderr
+    assert "seed 11" in first.stdout
+    assert first.stdout == second.stdout
 
 
 def test_multi_tenant_story():

@@ -1,0 +1,286 @@
+"""Scenario soak subsystem: registry, runner, scorecards, eviction.
+
+The full matrix runs at ``scale=0.02`` with the dict oracle attached,
+so every registered scenario is tier-1-verified through exactly the
+code path the soak CLI uses.  Full-scale runs are opt-in via
+``pytest -m soak``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import DyCuckooConfig
+from repro.core.memory_budget import MemoryBudget
+from repro.core.table import DyCuckooTable
+from repro.errors import InvalidConfigError
+from repro.scenarios import (REGISTRY, ScenarioSpec, SloSpec,
+                             get_scenario, run_scenario,
+                             scenario_names, validate_scorecard,
+                             write_scorecard)
+from repro.scenarios.spec import (MIN_BATCH, MIN_OPERATIONS,
+                                  MIN_RECORDS)
+
+SMALL = 0.02
+RICH = 0.05  # enough ops that chaos/storm/budget activity is visible
+
+
+@pytest.fixture(scope="module")
+def small_cards():
+    """Every registered scenario once, at tier-1 scale, with oracle."""
+    return {name: run_scenario(spec, scale=SMALL, differential=True)
+            for name, spec in REGISTRY.items()}
+
+
+class TestRegistry:
+    def test_ten_named_scenarios(self):
+        assert len(REGISTRY) == 10
+        assert scenario_names() == [s.name for s in REGISTRY.values()]
+
+    def test_specs_validate(self):
+        for spec in REGISTRY.values():
+            spec.validate()
+
+    def test_every_axis_is_covered(self):
+        axes = {axis for spec in REGISTRY.values()
+                for axis, on in spec.composition().items() if on}
+        assert {"storm", "churn", "faults", "sanitizer",
+                "memory_budget", "sharded"} <= axes
+
+    def test_kitchen_sink_composes_everything(self):
+        composition = get_scenario("kitchen_sink").composition()
+        missing = [axis for axis, on in composition.items()
+                   if not on and axis != "sharded"]
+        assert not missing, f"kitchen_sink misses axes: {missing}"
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(InvalidConfigError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_scaled_is_proportional_with_floors(self):
+        spec = get_scenario("kitchen_sink")
+        tiny = spec.scaled(0.001)
+        assert tiny.num_records == max(MIN_RECORDS,
+                                       int(spec.num_records * 0.001))
+        assert tiny.num_operations >= MIN_OPERATIONS
+        assert tiny.batch_size >= MIN_BATCH
+        assert tiny.storm is not None and tiny.storm.ops >= 32
+        assert tiny.memory_budget_bytes < spec.memory_budget_bytes
+        half = spec.scaled(0.5)
+        assert half.num_operations == spec.num_operations // 2
+        assert spec.scaled(1.0) is spec
+        with pytest.raises(InvalidConfigError):
+            spec.scaled(0)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(InvalidConfigError, match="unknown YCSB mix"):
+            ScenarioSpec(name="x", description="x", mix="Z").validate()
+        with pytest.raises(InvalidConfigError, match="fault site"):
+            ScenarioSpec(name="x", description="x",
+                         fault_rates={"bogus.site": 0.5}).validate()
+
+
+class TestMatrix:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_scenario_passes_at_small_scale(self, name, small_cards,
+                                            tmp_path):
+        card = small_cards[name]
+        assert card["verdict"] == "pass", card["problems"]
+        assert validate_scorecard(card) == []
+        assert card["invariants"]["ok"]
+        assert card["invariants"]["checks"] > 0
+        assert card["slo"]["attained"]
+        path = write_scorecard(card, tmp_path)
+        assert path.name == f"SCORECARD_{name}.json"
+        assert json.loads(path.read_text()) == card
+
+    def test_runs_are_deterministic(self):
+        spec = get_scenario("ycsb_a_update_heavy")
+        first = run_scenario(spec, scale=SMALL)
+        second = run_scenario(spec, scale=SMALL)
+        assert first == second
+
+    def test_sharded_scenario_echoes_shards(self, small_cards):
+        card = small_cards["ycsb_c_sharded_scatter"]
+        assert card["workload"]["shards"] == 4
+
+
+class TestComposedActivity:
+    """The composition axes must actually *do* something, not just be
+    configured — a chaos soak with zero fires grades nothing."""
+
+    @pytest.fixture(scope="class")
+    def kitchen(self):
+        return run_scenario(get_scenario("kitchen_sink"), scale=RICH,
+                            differential=True)
+
+    def test_kitchen_sink_passes_fully_composed(self, kitchen):
+        assert kitchen["verdict"] == "pass", kitchen["problems"]
+        assert kitchen["slo"]["attained"]
+        assert kitchen["invariants"]["ok"]
+        assert kitchen["sanitizer"]["enabled"]
+        assert kitchen["sanitizer"]["ok"]
+
+    def test_kitchen_sink_faults_fired(self, kitchen):
+        assert kitchen["faults"]["enabled"]
+        assert kitchen["faults"]["fired"] > 0
+        assert kitchen["resizes"]["aborts"] > 0
+
+    def test_kitchen_sink_stash_degradation(self, kitchen):
+        assert kitchen["stash"]["high_water"] > 0
+        assert kitchen["stash"]["drained"] > 0
+
+    def test_kitchen_sink_storm_and_churn_batches(self, kitchen):
+        assert kitchen["ops"]["storm_batches"] > 0
+        assert kitchen["ops"]["churn_batches"] > 0
+        assert kitchen["resizes"]["upsizes"] > 0
+        assert kitchen["resizes"]["downsizes"] > 0
+
+    def test_kitchen_sink_memory_pressure(self, kitchen):
+        assert kitchen["memory"]["budget_bytes"] is not None
+        assert kitchen["memory"]["evictions"] > 0
+        assert kitchen["memory"]["budget_ok"]
+
+    def test_chaos_soak_fires(self):
+        card = run_scenario(get_scenario("chaos_soak"), scale=RICH,
+                            differential=True)
+        assert card["verdict"] == "pass", card["problems"]
+        assert card["faults"]["fired"] > 0
+
+    def test_memory_pressure_evicts(self):
+        card = run_scenario(get_scenario("memory_pressure"),
+                            scale=RICH, differential=True)
+        assert card["verdict"] == "pass", card["problems"]
+        assert card["memory"]["evictions"] > 0
+        assert card["memory"]["peak_bytes"] > 0
+
+
+class TestFailurePaths:
+    def test_impossible_slo_fails_with_recorder_digest(self):
+        spec = get_scenario("ycsb_b_read_mostly")
+        strict = ScenarioSpec(**{**spec.__dict__, "name": "strict",
+                                 "slo": SloSpec(p50_ns=0.001,
+                                                p99_ns=0.001,
+                                                worst_ns=0.001)})
+        card = run_scenario(strict, scale=SMALL)
+        assert card["verdict"] == "fail"
+        assert not card["slo"]["attained"]
+        assert card["slo"]["violations"]
+        assert card["problems"]
+        assert "flight_recorder" in card
+        assert validate_scorecard(card) == []
+
+    def test_unsatisfiable_budget_reported(self):
+        # scale=1.0 so ``scaled()`` cannot floor the budget back up.
+        spec = get_scenario("ycsb_a_update_heavy")
+        squeezed = ScenarioSpec(**{**spec.__dict__, "name": "squeezed",
+                                   "num_records": 1_000,
+                                   "num_operations": 4_000,
+                                   "batch_size": 200,
+                                   "memory_budget_bytes": 1})
+        card = run_scenario(squeezed)
+        assert card["verdict"] == "fail"
+        assert not card["memory"]["budget_ok"]
+        assert validate_scorecard(card) == []
+
+
+class TestScorecardValidation:
+    def good(self):
+        return run_scenario(get_scenario("ycsb_b_read_mostly"),
+                            scale=SMALL)
+
+    def test_good_card_is_clean(self):
+        assert validate_scorecard(self.good()) == []
+
+    def test_missing_section_detected(self):
+        card = self.good()
+        del card["stash"]
+        assert any("stash" in p for p in validate_scorecard(card))
+
+    def test_missing_key_detected(self):
+        card = self.good()
+        del card["latency"]["p99"]
+        assert any("latency.p99" in p for p in validate_scorecard(card))
+
+    def test_type_mismatch_detected(self):
+        card = self.good()
+        card["resizes"]["upsizes"] = "three"
+        assert any("resizes.upsizes" in p
+                   for p in validate_scorecard(card))
+
+    def test_fail_without_problems_detected(self):
+        card = self.good()
+        card["verdict"] = "fail"
+        assert any("problems is empty" in p
+                   for p in validate_scorecard(card))
+
+    def test_non_dict_rejected(self):
+        assert validate_scorecard([]) != []
+
+
+class TestMemoryBudgetPolicy:
+    def filled_table(self, n=4000):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=16,
+                                             bucket_capacity=8,
+                                             min_buckets=8))
+        keys = np.arange(1, n + 1, dtype=np.uint64)
+        table.insert(keys, keys * np.uint64(3))
+        return table
+
+    def test_enforce_meets_budget(self):
+        table = self.filled_table()
+        over = int(table.memory_footprint().total_bytes)
+        policy = MemoryBudget(over // 2, seed=7)
+        report = policy.enforce(table)
+        assert report.within_budget
+        assert report.evicted > 0
+        assert report.bytes_after <= over // 2
+        assert int(table.memory_footprint().total_bytes) <= over // 2
+        # Evicted keys really are gone (the table degrades to a cache).
+        _, found = table.find(report.evicted_keys)
+        assert not found.any()
+
+    def test_noop_when_under_budget(self):
+        table = self.filled_table(100)
+        policy = MemoryBudget(10 ** 9)
+        report = policy.enforce(table)
+        assert report.evicted == 0 and report.rounds == 0
+        assert report.within_budget
+
+    def test_victims_deterministic_by_seed(self):
+        reports = []
+        for _ in range(2):
+            table = self.filled_table()
+            policy = MemoryBudget(
+                int(table.memory_footprint().total_bytes) // 2, seed=11)
+            reports.append(policy.enforce(table))
+        assert np.array_equal(reports[0].evicted_keys,
+                              reports[1].evicted_keys)
+
+    def test_unsatisfiable_budget_counts_violation(self):
+        table = self.filled_table(200)
+        policy = MemoryBudget(1, max_rounds=3)
+        report = policy.enforce(table)
+        assert not report.within_budget
+        assert policy.violations == 1
+        assert policy.summary()["violations"] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(InvalidConfigError):
+            MemoryBudget(0)
+        with pytest.raises(InvalidConfigError):
+            MemoryBudget(100, evict_fraction=0.0)
+        with pytest.raises(InvalidConfigError):
+            MemoryBudget(100, max_rounds=0)
+
+
+@pytest.mark.soak
+class TestFullScaleSoak:
+    """Opt-in (``pytest -m soak``): the matrix at full op counts."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_full_scale_scenario_passes(self, name):
+        card = run_scenario(get_scenario(name), scale=1.0)
+        assert card["verdict"] == "pass", card["problems"]
+        assert validate_scorecard(card) == []

@@ -161,6 +161,82 @@ class TestSkewGenerators:
             hot_cold_keys(10, 2, hot_fraction=1.5)
 
 
+def chi_square_critical(df: int, z: float = 2.326) -> float:
+    """Wilson-Hilferty approximation of the chi-square 99th percentile.
+
+    Accurate to a fraction of a percent for df >= 10 — scipy-free, and
+    these tests run fixed seeds so the comparison is deterministic
+    anyway; the critical value just documents *how* close the fit is.
+    """
+    h = 2.0 / (9.0 * df)
+    return df * (1.0 - h + z * np.sqrt(h)) ** 3
+
+
+class TestSkewGoodnessOfFit:
+    """The generated hot-key distribution matches its nominal Zipf law.
+
+    ``zipf_keys`` shuffles which key gets which rank, so the fit is
+    checked on the *sorted* count profile against the sorted expected
+    profile: near-equal tail ranks may swap labels, but that barely
+    moves the statistic, while a wrong exponent or a broken weight
+    normalization moves it by orders of magnitude.
+    """
+
+    NUM_OPS = 60_000
+    NUM_DISTINCT = 50
+
+    def observed_profile(self, exponent: float, seed: int) -> np.ndarray:
+        keys = zipf_keys(self.NUM_OPS, self.NUM_DISTINCT,
+                         exponent=exponent, seed=seed)
+        _, counts = np.unique(keys, return_counts=True)
+        profile = np.zeros(self.NUM_DISTINCT)
+        profile[:len(counts)] = np.sort(counts)[::-1]
+        return profile
+
+    def expected_profile(self, exponent: float) -> np.ndarray:
+        ranks = np.arange(1, self.NUM_DISTINCT + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        return self.NUM_OPS * weights / weights.sum()
+
+    @pytest.mark.parametrize("exponent", [1.05, 1.2, 1.5])
+    def test_zipf_fits_nominal_parameters(self, exponent):
+        observed = self.observed_profile(exponent, seed=42)
+        expected = self.expected_profile(exponent)
+        statistic = ((observed - expected) ** 2 / expected).sum()
+        assert statistic < chi_square_critical(self.NUM_DISTINCT - 1), (
+            f"chi2={statistic:.1f} for exponent {exponent}")
+
+    def test_wrong_exponent_is_rejected(self):
+        """The same statistic must *detect* a mismatched law, or the
+        goodness-of-fit test above proves nothing."""
+        observed = self.observed_profile(1.5, seed=42)
+        expected = self.expected_profile(1.05)
+        statistic = ((observed - expected) ** 2 / expected).sum()
+        assert statistic > chi_square_critical(self.NUM_DISTINCT - 1)
+
+    def test_hot_cold_fraction_fits_binomial(self):
+        """Hot-op share within 3 sigma of the nominal fraction."""
+        num_ops, fraction = 40_000, 0.3
+        keys = hot_cold_keys(num_ops, num_hot=8, hot_fraction=fraction,
+                             seed=9)
+        hot_share = (keys <= 8).mean()
+        sigma = np.sqrt(fraction * (1 - fraction) / num_ops)
+        assert abs(hot_share - fraction) < 3 * sigma + 1 / num_ops
+
+    def test_deterministic_under_fixed_seed(self):
+        a = zipf_keys(5_000, 100, exponent=1.1, seed=123)
+        b = zipf_keys(5_000, 100, exponent=1.1, seed=123)
+        assert np.array_equal(a, b)
+        c = hot_cold_keys(5_000, 10, hot_fraction=0.5, seed=123)
+        d = hot_cold_keys(5_000, 10, hot_fraction=0.5, seed=123)
+        assert np.array_equal(c, d)
+
+    def test_seed_changes_stream(self):
+        a = zipf_keys(5_000, 100, exponent=1.1, seed=1)
+        b = zipf_keys(5_000, 100, exponent=1.1, seed=2)
+        assert not np.array_equal(a, b)
+
+
 class TestLivePoolProtocol:
     """The delete targets of phase 1 come from the live key pool."""
 
