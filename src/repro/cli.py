@@ -409,8 +409,10 @@ def _cmd_trace(args) -> int:
         "mops": run.mops,
         "events": len(tracer.events),
         "spans": len(tracer.spans()),
-        "resize_upsizes": len(tracer.spans("resize.upsize")),
-        "resize_downsizes": len(tracer.spans("resize.downsize")),
+        "resize_upsizes": (len(tracer.spans("resize.upsize"))
+                           + len(tracer.spans("resize.upsize_epoch"))),
+        "resize_downsizes": (len(tracer.spans("resize.downsize"))
+                             + len(tracer.spans("resize.downsize_epoch"))),
         "resize_triggers": len(tracer.instants("resize.trigger")),
         "fill_samples": len(tracer.counters("fill.subtable")),
         "written": written,

@@ -84,6 +84,22 @@ class DyCuckooConfig:
         a single doubling is insufficient): when enabled, an insert-failure
         triggered upsize keeps doubling the smallest subtable until the
         projected filled factor falls below ``beta``.
+    incremental_resize:
+        When enabled (the default), automatic resizes (``enforce_bounds``
+        and the insert-stall path) open a DHash-style *migration epoch*
+        instead of rehashing the whole subtable inside the triggering
+        batch: the subtable adopts its new geometry immediately, entries
+        migrate bucket-pair by bucket-pair via migrate-on-access plus a
+        bounded per-batch budget, and probes consult the entry's pre- or
+        post-resize bucket through an epoch check.  Manual
+        :meth:`~repro.core.table.DyCuckooTable.upsize` /
+        ``downsize`` calls still complete synchronously.  Disabling
+        restores the paper's stop-the-world one-shot rehash everywhere.
+    migration_budget:
+        Maximum bucket pairs migrated by the batch-end drain of an open
+        epoch.  0 (the default) auto-sizes the budget to one eighth of
+        the epoch's pairs (at least 32), so a resize completes within
+        roughly eight batches plus whatever migrate-on-access moved.
     stash_capacity:
         Size of the bounded overflow stash (the CUDA reference's
         ``error_table_t``).  The stash absorbs inserts whose eviction
@@ -106,6 +122,8 @@ class DyCuckooConfig:
     min_buckets: int = 8
     max_total_slots: int = 0
     anticipatory_upsize: bool = False
+    incremental_resize: bool = True
+    migration_budget: int = 0
     stash_capacity: int = 256
     seed: int = 0x5EED
 
@@ -155,6 +173,10 @@ class DyCuckooConfig:
         if self.max_total_slots < 0:
             raise InvalidConfigError(
                 f"max_total_slots must be >= 0, got {self.max_total_slots}"
+            )
+        if self.migration_budget < 0:
+            raise InvalidConfigError(
+                f"migration_budget must be >= 0, got {self.migration_budget}"
             )
         if self.stash_capacity < 0:
             raise InvalidConfigError(

@@ -35,8 +35,15 @@ def _hash_from_constants(constants) -> UniversalHash:
 
 
 def save_table(table: DyCuckooTable, path) -> None:
-    """Serialize ``table`` to ``path`` (a ``.npz`` archive)."""
+    """Serialize ``table`` to ``path`` (a ``.npz`` archive).
+
+    Any open incremental-resize epoch is drained first: the archive
+    format stores settled storage (bucket count inferred from the key
+    array's shape), so a dual-view subtable must finish migrating
+    before its arrays are written out.
+    """
     path = Path(path)
+    table.finalize_resizes()
     payload = {
         "version": np.asarray([FORMAT_VERSION]),
         "config": np.frombuffer(

@@ -79,6 +79,13 @@ class TableStats:
     stash_hits: int = 0
     #: Resizes aborted mid-lifecycle (fault injection) and rolled back.
     resize_aborts: int = 0
+    #: Bounded migration slices executed for incremental-resize epochs.
+    migration_slices: int = 0
+    #: Bucket pairs moved to their post-resize view by migration slices.
+    migrated_pairs: int = 0
+    #: Automatic upsizes blocked by the ``max_total_slots`` ceiling
+    #: (theta stays above beta until deletes make room).
+    capacity_blocked: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -29,6 +29,70 @@ from repro.errors import InvalidConfigError
 EMPTY = np.uint64(0)
 
 
+class MigrationState:
+    """Dual-view bookkeeping for one in-flight incremental resize epoch.
+
+    While a subtable is mid-migration its *logical* geometry
+    (``Subtable.n_buckets``) is already the post-resize one, but entries
+    of not-yet-migrated bucket pairs still sit at their pre-resize
+    bucket.  Because bucket indices are low hash bits, the pre- and
+    post-resize buckets of a key differ only in one masked bit, and both
+    are addressed by the key's *pair index* ``raw % min(old_n, new_n)``:
+
+    * upsize ``old_n -> 2*old_n``: pair ``s`` covers buckets ``s`` (old
+      view) and ``{s, s + old_n}`` (new view);
+    * downsize ``old_n -> old_n/2``: pair ``s`` covers buckets
+      ``{s, s + new_n}`` (old view) and ``s`` (new view).
+
+    ``migrated[s]`` says which view pair ``s`` currently lives in, so
+    :meth:`effective_buckets` resolves any key to the single bucket it
+    can occupy — the epoch check that preserves the paper's two-bucket
+    FIND/DELETE guarantee at the cost of one extra masked index
+    computation.
+    """
+
+    __slots__ = ("kind", "old_n", "new_n", "migrated", "pending")
+
+    def __init__(self, kind: str, old_n: int, new_n: int) -> None:
+        if kind not in ("upsize", "downsize"):
+            raise InvalidConfigError(f"unknown migration kind {kind!r}")
+        self.kind = kind
+        self.old_n = old_n
+        self.new_n = new_n
+        pairs = min(old_n, new_n)
+        #: Which bucket pairs have moved to the new view.
+        self.migrated = np.zeros(pairs, dtype=bool)
+        #: Count of pairs still in the old view.
+        self.pending = pairs
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.migrated)
+
+    @property
+    def complete(self) -> bool:
+        return self.pending == 0
+
+    def pair_of(self, buckets: np.ndarray) -> np.ndarray:
+        """Pair index for bucket indices of *either* view."""
+        return (np.asarray(buckets, dtype=np.int64)
+                & np.int64(self.num_pairs - 1))
+
+    def effective_buckets(self, raw: np.ndarray) -> np.ndarray:
+        """Resolve raw hashes to each key's current (per-pair) bucket."""
+        raw = np.asarray(raw, dtype=np.uint64)
+        pair = (raw & np.uint64(self.num_pairs - 1)).astype(np.int64)
+        mask = np.where(self.migrated[pair],
+                        np.uint64(self.new_n - 1), np.uint64(self.old_n - 1))
+        return (raw & mask).astype(np.int64)
+
+    def copy(self) -> "MigrationState":
+        clone = MigrationState(self.kind, self.old_n, self.new_n)
+        clone.migrated = self.migrated.copy()
+        clone.pending = self.pending
+        return clone
+
+
 class Subtable:
     """One cuckoo subtable: ``n_buckets`` buckets of fixed capacity."""
 
@@ -47,6 +111,10 @@ class Subtable:
         self.values = np.zeros((n_buckets, bucket_capacity), dtype=np.uint64)
         #: Number of live (non-empty) slots.
         self.size = 0
+        #: Open incremental-resize epoch, or ``None`` (the common case).
+        #: While set, ``n_buckets`` is the *logical* (post-resize)
+        #: geometry; the physical arrays hold ``max(old_n, new_n)`` rows.
+        self.migration: MigrationState | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -240,6 +308,63 @@ class Subtable:
         return self.keys[np.asarray(buckets, dtype=np.int64)]
 
     # ------------------------------------------------------------------
+    # Incremental-resize epochs (dual-view storage)
+    # ------------------------------------------------------------------
+
+    def begin_upsize_epoch(self) -> MigrationState:
+        """Open a doubling epoch: new geometry now, entries migrate later.
+
+        The physical arrays grow to ``2 * old_n`` rows with the existing
+        buckets in the lower half, so every old-view bucket keeps its
+        index and the upper half starts empty.  (On device this models
+        allocating the upper half next to the existing buckets — no
+        entry moves yet, which is the whole point.)
+        """
+        if self.migration is not None:
+            raise InvalidConfigError("subtable already has an open epoch")
+        old_n = self.n_buckets
+        new_n = old_n * 2
+        grown_keys = np.zeros((new_n, self.bucket_capacity), dtype=np.uint64)
+        grown_values = np.zeros((new_n, self.bucket_capacity),
+                                dtype=np.uint64)
+        grown_keys[:old_n] = self.keys
+        grown_values[:old_n] = self.values
+        self.keys = grown_keys
+        self.values = grown_values
+        self.n_buckets = new_n
+        self.migration = MigrationState("upsize", old_n, new_n)
+        return self.migration
+
+    def begin_downsize_epoch(self) -> MigrationState:
+        """Open a halving epoch: logical geometry halves, storage stays.
+
+        The physical arrays keep their ``old_n`` rows until every upper
+        bucket has merged down; :meth:`finish_migration` releases them.
+        """
+        if self.migration is not None:
+            raise InvalidConfigError("subtable already has an open epoch")
+        old_n = self.n_buckets
+        new_n = old_n // 2
+        if new_n < 1:
+            raise InvalidConfigError("cannot downsize a one-bucket subtable")
+        self.n_buckets = new_n
+        self.migration = MigrationState("downsize", old_n, new_n)
+        return self.migration
+
+    def finish_migration(self) -> None:
+        """Close a completed epoch, releasing any surplus physical rows."""
+        mig = self.migration
+        if mig is None:
+            return
+        if mig.pending:
+            raise InvalidConfigError(
+                f"epoch still has {mig.pending} unmigrated pairs")
+        if mig.kind == "downsize":
+            self.keys = self.keys[:mig.new_n].copy()
+            self.values = self.values[:mig.new_n].copy()
+        self.migration = None
+
+    # ------------------------------------------------------------------
     # Bulk rebuild (resize support)
     # ------------------------------------------------------------------
 
@@ -269,3 +394,4 @@ class Subtable:
         self.keys[buckets, ranks] = codes
         self.values[buckets, ranks] = values
         self.size = len(codes)
+        self.migration = None

@@ -293,6 +293,8 @@ class DyCuckooTable:
             dst.keys = src.keys.copy()
             dst.values = src.values.copy()
             dst.size = src.size
+            dst.migration = (src.migration.copy()
+                             if src.migration is not None else None)
         clone.stash = self.stash.copy()
         clone._victim_counter = self._victim_counter
         return clone
@@ -392,6 +394,8 @@ class DyCuckooTable:
             hist.observe_count(2.0, len(missing))
             self.telemetry.metrics.counter("find.hits").inc(hits)
             self.telemetry.metrics.counter("find.misses").inc(n - hits)
+        if self.config.auto_resize:
+            self._drain_migration()
         return values, found
 
     def contains(self, keys) -> np.ndarray:
@@ -461,6 +465,7 @@ class DyCuckooTable:
                                  excluded=None)
         if self.config.auto_resize:
             self._resizer.enforce_bounds()
+            self._drain_migration()
         if len(self.stash):
             self._drain_stash()
 
@@ -515,11 +520,9 @@ class DyCuckooTable:
                     continue
                 st = self.subtables[t]
                 if raw_of is not None:
-                    buckets = self.table_hashes[t].bucket_from_raw(
-                        raw_of(t)[unique_idx[sel]], st.n_buckets)
+                    buckets = self.bucket_for(t, raw=raw_of(t)[unique_idx[sel]])
                 else:
-                    buckets = self.table_hashes[t].bucket(codes[sel],
-                                                          st.n_buckets)
+                    buckets = self.bucket_for(t, codes[sel])
                 self.stats.bucket_reads += len(sel)
                 erased = st.erase(buckets, codes[sel])
                 self.stats.bucket_writes += int(erased.sum())
@@ -533,6 +536,7 @@ class DyCuckooTable:
         self.stats.delete_hits += int(removed_unique.sum())
         if self.config.auto_resize:
             self._resizer.enforce_bounds()
+            self._drain_migration()
         if len(self.stash):
             self._drain_stash()
         return removed
@@ -566,6 +570,43 @@ class DyCuckooTable:
     # Internal machinery
     # ------------------------------------------------------------------
 
+    def bucket_for(self, t: int, codes: np.ndarray | None = None,
+                   raw: np.ndarray | None = None) -> np.ndarray:
+        """Bucket indices for ``codes`` in subtable ``t``, epoch-aware.
+
+        The single bucket-resolution point for the host path and both
+        kernel engines.  Outside a migration epoch this is the plain
+        power-of-two mask; while subtable ``t`` is mid-migration it is
+        the epoch check — one extra masked index computation routing
+        each key to its pre- or post-resize bucket — so FIND/DELETE
+        keep the paper's two-bucket guarantee throughout.  ``raw``
+        (geometry-independent hashes) may be passed instead of
+        ``codes`` to reuse :class:`~repro.core.batch_ops.EncodedBatch`
+        caches.
+        """
+        st = self.subtables[t]
+        h = self.table_hashes[t]
+        mig = st.migration
+        if mig is None:
+            if raw is not None:
+                return h.bucket_from_raw(raw, st.n_buckets)
+            return h.bucket(codes, st.n_buckets)
+        if raw is None:
+            raw = h.raw(codes)
+        return mig.effective_buckets(raw)
+
+    def _drain_migration(self) -> int:
+        """Batch-end hook: advance any open resize epoch by one slice."""
+        return self._resizer.drain_migration()
+
+    def finalize_resizes(self) -> int:
+        """Complete any open migration epoch now; returns pairs moved.
+
+        Needed before operations that assume settled geometry
+        (persistence snapshots); harmless no-op otherwise.
+        """
+        return self._resizer.finalize_migration()
+
     def _probe(self, codes: np.ndarray, targets: np.ndarray,
                out_indices: np.ndarray, values: np.ndarray,
                found: np.ndarray, raw_of=None) -> None:
@@ -581,11 +622,9 @@ class DyCuckooTable:
                 continue
             st = self.subtables[t]
             if raw_of is not None:
-                buckets = self.table_hashes[t].bucket_from_raw(
-                    raw_of(t)[out_indices[sel]], st.n_buckets)
+                buckets = self.bucket_for(t, raw=raw_of(t)[out_indices[sel]])
             else:
-                buckets = self.table_hashes[t].bucket(codes[sel],
-                                                      st.n_buckets)
+                buckets = self.bucket_for(t, codes[sel])
             self.stats.bucket_reads += len(sel)
             hit, vals = st.lookup(buckets, codes[sel])
             dest = out_indices[sel[hit]]
@@ -618,11 +657,9 @@ class DyCuckooTable:
                 st = self.subtables[t]
                 if raw_of is not None:
                     src = sel if abs_idx is None else abs_idx[sel]
-                    buckets = self.table_hashes[t].bucket_from_raw(
-                        raw_of(t)[src], st.n_buckets)
+                    buckets = self.bucket_for(t, raw=raw_of(t)[src])
                 else:
-                    buckets = self.table_hashes[t].bucket(codes[sel],
-                                                          st.n_buckets)
+                    buckets = self.bucket_for(t, codes[sel])
                 self.stats.bucket_reads += len(sel)
                 upd = st.update_existing(buckets, codes[sel], values[sel])
                 self.stats.bucket_writes += int(upd.sum())
@@ -635,14 +672,17 @@ class DyCuckooTable:
         return updated
 
     def _insert_pending(self, codes: np.ndarray, values: np.ndarray,
-                        targets: np.ndarray, excluded: int | None) -> None:
+                        targets: np.ndarray, excluded: int | None,
+                        stall_to_stash: bool = False) -> None:
         """Round-synchronous cuckoo insertion of fresh keys.
 
         ``targets[i]`` is the subtable each key currently attempts.  When
         ``excluded`` is set (downsize residual spill), eviction victims
         whose alternate is the excluded subtable are never chosen and the
         eviction budget exhaustion raises :class:`ResizeError` instead of
-        upsizing.
+        upsizing — unless ``stall_to_stash`` is also set (migration-slice
+        spill), in which case the pending keys are parked in the overflow
+        stash so an incremental slice never unwinds table state.
         """
         codes = np.asarray(codes, dtype=np.uint64)
         values = np.asarray(values, dtype=np.uint64)
@@ -673,6 +713,12 @@ class DyCuckooTable:
                                            pending=len(codes))
                         tel.metrics.counter("faults.injected").inc()
                     if excluded is not None:
+                        if stall_to_stash:
+                            self._stash_pending(
+                                codes, values,
+                                reason="injected eviction-chain exhaustion "
+                                       "during migration-slice spill")
+                            return
                         raise ResizeError(
                             "injected eviction-chain exhaustion during "
                             "residual spill"
@@ -702,10 +748,11 @@ class DyCuckooTable:
                             "resize.trigger", "resize", reason="beta_bound",
                             theta=self.load_factor, pending=len(codes))
                     try:
-                        self._resizer.upsize()
-                    except ResizeError:
-                        # Injected abort: run the round over-full and let
-                        # the stall path decide what to do next.
+                        self._resizer.upsize_under_pressure()
+                    except (ResizeError, CapacityError):
+                        # Injected abort or slot ceiling: run the round
+                        # over-full and let the stall path decide what to
+                        # do next.
                         break
             self.stats.eviction_rounds += 1
             before_pending = len(codes)
@@ -721,7 +768,7 @@ class DyCuckooTable:
                 st = self.subtables[t]
                 sel_codes = codes[sel]
                 sel_values = values[sel]
-                buckets = self.table_hashes[t].bucket(sel_codes, st.n_buckets)
+                buckets = self.bucket_for(t, sel_codes)
                 self.stats.bucket_reads += len(sel)
                 # One bucket-lock CAS per operation; collisions estimated
                 # from device occupancy (only resident warps contend).
@@ -744,6 +791,21 @@ class DyCuckooTable:
                 self.stats.bucket_writes += int(placed.sum() + updated.sum())
 
                 ev = np.flatnonzero(full_leader)
+                mig = st.migration
+                if (len(ev) and excluded is None and mig is not None
+                        and mig.kind == "upsize"):
+                    # Migrate-on-access: a full bucket in an upsizing
+                    # subtable gets split to its post-resize view instead
+                    # of evicting — the blocked keys retry next round
+                    # against the (half-empty) migrated pair.
+                    ev_pairs = (buckets[ev].astype(np.int64)
+                                & np.int64(mig.num_pairs - 1))
+                    unmig = ~mig.migrated[ev_pairs]
+                    if np.any(unmig):
+                        self._resizer.migrate_on_access(
+                            t, np.unique(ev_pairs[unmig]))
+                        full_leader[ev[unmig]] = False
+                        ev = ev[~unmig]
                 good = np.zeros(0, dtype=np.int64)
                 if len(ev):
                     ev_buckets = buckets[ev]
@@ -807,6 +869,12 @@ class DyCuckooTable:
                 rounds_since_progress = 0
             if rounds_since_progress >= self.config.max_eviction_rounds:
                 if excluded is not None:
+                    if stall_to_stash:
+                        self._stash_pending(
+                            codes, values,
+                            reason="migration-slice spill stalled while the "
+                                   "downsizing subtable is excluded")
+                        return
                     raise ResizeError(
                         "residual spill stalled while a subtable is locked "
                         "for downsizing"
@@ -885,7 +953,6 @@ class DyCuckooTable:
         from repro.core.resize import _TableSnapshot
 
         snapshot = _TableSnapshot(self)
-        stash_backup = self.stash.copy()
         codes, values = self.stash.pop_all()
         before = len(codes)
         self._draining = True
@@ -897,9 +964,9 @@ class DyCuckooTable:
             self._insert_pending(codes, values, targets, excluded=None)
         except CapacityError:
             # Hard failure mid-drain (e.g. max_total_slots): no key may
-            # be lost, so restore the pre-drain state and stay degraded.
+            # be lost, so restore the pre-drain state (the snapshot
+            # covers the stash) and stay degraded.
             snapshot.restore(self)
-            self.stash = stash_backup
             if self.telemetry.enabled:
                 self.telemetry.tracer.instant("stash.drain_failed", "stash",
                                               attempted=before)

@@ -125,11 +125,10 @@ def cohort_find(table, codes: np.ndarray, first=None, second=None,
             if len(sel) == 0:
                 continue
             st = table.subtables[t]
-            h = table.table_hashes[t]
             if raw_of is None:
-                buckets = h.bucket(codes[sel], st.n_buckets)
+                buckets = table.bucket_for(t, codes[sel])
             else:
-                buckets = h.bucket_from_raw(raw_of(t)[sel], st.n_buckets)
+                buckets = table.bucket_for(t, raw=raw_of(t)[sel])
             hit, slots = _first_slot(st.keys[buckets] == codes[sel][:, None])
             dest = sel[hit]
             values[dest] = st.values[buckets[hit], slots[hit]]
@@ -189,11 +188,10 @@ def cohort_delete(table, codes: np.ndarray, first=None, second=None,
             if len(sel) == 0:
                 continue
             st = table.subtables[t]
-            h = table.table_hashes[t]
             if raw_of is None:
-                buckets = h.bucket(codes[sel], st.n_buckets)
+                buckets = table.bucket_for(t, codes[sel])
             else:
-                buckets = h.bucket_from_raw(raw_of(t)[sel], st.n_buckets)
+                buckets = table.bucket_for(t, raw=raw_of(t)[sel])
             hit, slots = _first_slot(st.keys[buckets] == codes[sel][:, None])
             if np.any(hit):
                 st.keys[buckets[hit], slots[hit]] = EMPTY
@@ -377,8 +375,7 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
     for t in range(table.num_tables):
         g = np.flatnonzero(target == t)
         if len(g):
-            bucket[g] = table.table_hashes[t].bucket(
-                key[g], table.subtables[t].n_buckets)
+            bucket[g] = table.bucket_for(t, key[g])
     lock_id = (target << 40) | bucket
     my_pos = pos[ph1]
 
@@ -490,8 +487,7 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
             g = np.flatnonzero(alt_t == t)
             if len(g):
                 st = table.subtables[t]
-                alt_b[g] = table.table_hashes[t].bucket(
-                    key[miss][g], st.n_buckets)
+                alt_b[g] = table.bucket_for(t, key[miss][g])
                 hit, slots = _first_slot(
                     st.keys[alt_b[g]] == key[miss][g][:, None])
                 a_hit[g] = hit
@@ -643,8 +639,8 @@ def _complete_one_scalar(table, state: _CohortState, w: int,
             np.asarray([key], dtype=np.uint64),
             np.asarray([tgt], dtype=np.int64))[0])
         ast = table.subtables[alt]
-        ab = int(table.table_hashes[alt].bucket(
-            np.asarray([key], dtype=np.uint64), ast.n_buckets)[0])
+        ab = int(table.bucket_for(
+            alt, np.asarray([key], dtype=np.uint64))[0])
         result.memory_transactions += 1
         if san.enabled:
             san.record_access(w, "probe", "bucket", (alt << 40) | ab,

@@ -99,8 +99,8 @@ def _warp_delete(table, codes: np.ndarray, first=None, second=None
         code = int(codes[i])
         for probe, target in enumerate((int(first[i]), int(second[i]))):
             st = table.subtables[target]
-            bucket = int(table.table_hashes[target].bucket(
-                np.asarray([code], dtype=np.uint64), st.n_buckets)[0])
+            bucket = int(table.bucket_for(
+                target, np.asarray([code], dtype=np.uint64))[0])
             tracker.bucket_access()
             result.memory_transactions += 1
             slot = _ballot_match(ctx, st.keys[bucket], code)

@@ -144,8 +144,8 @@ class _InsertWarp:
         target = int(self.ctx.shfl(self.targets, leader))
 
         st = self.table.subtables[target]
-        bucket = int(self.table.table_hashes[target].bucket(
-            np.asarray([key], dtype=np.uint64), st.n_buckets)[0])
+        bucket = int(self.table.bucket_for(
+            target, np.asarray([key], dtype=np.uint64))[0])
         lock_id = self._lock_id(target, bucket)
         if not self.arbiter.try_acquire(lock_id, warp=self.ctx.warp_id):
             # Voter scheme: next election starts after the failed lane,
@@ -290,8 +290,8 @@ class _InsertWarp:
             np.asarray([key], dtype=np.uint64),
             np.asarray([target], dtype=np.int64))[0])
         st = self.table.subtables[alternate]
-        bucket = int(self.table.table_hashes[alternate].bucket(
-            np.asarray([key], dtype=np.uint64), st.n_buckets)[0])
+        bucket = int(self.table.bucket_for(
+            alternate, np.asarray([key], dtype=np.uint64))[0])
         self.tracker.bucket_access()
         self.result.memory_transactions += 1
         alt_lock = self._lock_id(alternate, bucket)

@@ -123,6 +123,7 @@ class ScenarioSpec:
     bucket_capacity: int = 32
     min_buckets: int = 8
     stash_capacity: int = 256
+    incremental_resize: bool = True
     shards: int = 1
     # Composition axes (None/False = axis off).
     storm: StormSpec | None = None
@@ -167,6 +168,7 @@ class ScenarioSpec:
             alpha=self.alpha,
             beta=self.beta,
             stash_capacity=self.stash_capacity,
+            incremental_resize=self.incremental_resize,
             seed=self.seed,
         )
 

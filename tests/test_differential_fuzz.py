@@ -329,3 +329,86 @@ class TestDeterministicAcceptance:
         assert table.to_dict() == model
         assert plan.fired, "chaos plan never fired — rates are dead"
         assert_sanitizer_clean(table)
+
+class TestMigrationEpochFuzz:
+    """Fault-injected fuzzing with epochs held open across batches.
+
+    ``migration_budget=1`` is the adversarial drain setting: every
+    batch moves at most one bucket pair, so a resize epoch opened by
+    one batch stays open across many subsequent batches and nearly
+    every operation probes the dual old/new view.  Fault aborts fire
+    at epoch open (trigger/plan/rehash) while earlier epochs are still
+    draining — the table must stay dict-equivalent throughout, and
+    again after a final synchronous drain.
+    """
+
+    def _trickle_config(self) -> DyCuckooConfig:
+        return DyCuckooConfig(initial_buckets=8, bucket_capacity=4,
+                              min_buckets=4, alpha=0.45, beta=0.55,
+                              migration_budget=1)
+
+    @given(ops=st.lists(op_strategy, min_size=2, max_size=25),
+           fault_seed=st.integers(min_value=0, max_value=2 ** 16),
+           abort_rate=st.floats(min_value=0.05, max_value=0.5),
+           evict_rate=st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_open_epochs_match_dict(self, ops, fault_seed, abort_rate,
+                                    evict_rate):
+        table = DyCuckooTable(self._trickle_config())
+        table.set_sanitizer(Sanitizer())
+        table.set_recorder(FlightRecorder())
+        plan = FaultPlan(seed=fault_seed,
+                         rates={"insert.evict": evict_rate,
+                                "resize.abort.trigger": abort_rate,
+                                "resize.abort.plan": abort_rate,
+                                "resize.abort.rehash": abort_rate})
+        table.set_fault_plan(plan)
+        model: dict = {}
+        mutated = False
+        try:
+            for op in ops:
+                apply_batch(table, model, op)
+                mutated = mutated or op[0] != "find"
+                check_invariants(table, check_fill=mutated)
+                assert len(table) == len(model)
+            assert_model_agreement(table, model)
+            # Close every epoch the trickle budget left open, then the
+            # settled table must still agree with the model.
+            table.finalize_resizes()
+            assert all(st_.migration is None for st_ in table.subtables)
+            check_invariants(table, check_fill=mutated)
+            assert_model_agreement(table, model)
+            assert_sanitizer_clean(table)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"{exc}\nREPLAY: FaultPlan.from_script("
+                f"{plan.script_json()!r})"
+                f"{recorder_digest(table)}") from exc
+
+    def test_trickle_drain_holds_epochs_open(self):
+        """Deterministic witness that the budget really trickles.
+
+        Fault-free, so the only nondeterminism is the key stream: the
+        growth phase must leave at least one epoch open at some batch
+        boundary (the property test above is vacuous otherwise).
+        """
+        table = DyCuckooTable(self._trickle_config())
+        table.set_sanitizer(Sanitizer())
+        model: dict = {}
+        keys = np.arange(1, 241, dtype=np.uint64)
+        saw_open_epoch = False
+        for start in range(0, 240, 24):
+            wave = keys[start:start + 24]
+            table.insert(wave, wave * np.uint64(3))
+            for k in wave.tolist():
+                model[k] = k * 3
+            if any(st_.migration is not None for st_ in table.subtables):
+                saw_open_epoch = True
+            check_invariants(table, check_fill=True)
+            assert len(table) == len(model)
+        assert saw_open_epoch, \
+            "migration_budget=1 never left an epoch open at a batch end"
+        table.finalize_resizes()
+        assert_model_agreement(table, model)
+        assert_sanitizer_clean(table)

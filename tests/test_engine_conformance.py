@@ -340,3 +340,99 @@ class TestProfilerStream:
             "high fill must record eviction chains deeper than zero"
         assert sum(c["conflicts"] for c in snap["lock_heatmap"]) >= 0
         assert snap["lock_heatmap"], "heatmap must attribute lock grants"
+
+
+# ---------------------------------------------------------------------------
+# Mid-epoch conformance
+# ---------------------------------------------------------------------------
+
+
+class TestMidEpochConformance:
+    """Bit-for-bit engine equality while a migration epoch is open.
+
+    An open epoch makes bucket resolution per-key state-dependent
+    (``bucket_for`` picks the pre- or post-resize view per pair), so
+    the dual view is exactly the kind of divergence hazard this suite
+    exists to catch: both engines must route every probe through the
+    same epoch check.  The partial drain leaves migrated and
+    unmigrated pairs coexisting in the target subtable.
+    """
+
+    def _twin_mid_epoch(self, kind="upsize"):
+        tw, tc = twin_tables(buckets=16, capacity=8)  # 512 slots
+        keys = unique_keys(320, seed=41)
+        run_voter_insert_kernel(tw, keys, keys)
+        run_voter_insert_kernel(tc, keys, keys, engine="cohort")
+        if kind == "downsize":
+            run_delete_kernel(tw, keys[120:])
+            run_delete_kernel(tc, keys[120:], engine="cohort")
+            keys = keys[:120]
+        for t in (tw, tc):
+            if kind == "upsize":
+                t._resizer.open_upsize_epoch()
+            else:
+                t._resizer.open_downsize_epoch()
+            t._resizer.drain_migration(max_pairs=3)  # mixed views
+        assert any(st.migration is not None for st in tw.subtables)
+        assert_tables_identical(tw, tc)
+        return tw, tc, keys
+
+    @pytest.mark.parametrize("kind", ["upsize", "downsize"])
+    def test_find_mid_epoch_identical(self, kind):
+        tw, tc, keys = self._twin_mid_epoch(kind)
+        vw, fw, rw = run_find_kernel(tw, keys)
+        vc, fc, rc = run_find_kernel(tc, keys, engine="cohort")
+        assert fw.all() and fc.all()
+        assert np.array_equal(vw, vc) and np.array_equal(fw, fc)
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+    @pytest.mark.parametrize("kind", ["upsize", "downsize"])
+    def test_insert_mid_epoch_identical(self, kind):
+        tw, tc, _keys = self._twin_mid_epoch(kind)
+        fresh = unique_keys(60, seed=42, low=1 << 40)
+        rw = run_voter_insert_kernel(tw, fresh, fresh)
+        rc = run_voter_insert_kernel(tc, fresh, fresh, engine="cohort")
+        assert rw == rc
+        vw, fw, _ = run_find_kernel(tw, fresh)
+        assert fw.all() and np.array_equal(vw, fresh)
+        assert_tables_identical(tw, tc)
+
+    @pytest.mark.parametrize("kind", ["upsize", "downsize"])
+    def test_delete_mid_epoch_identical(self, kind):
+        tw, tc, keys = self._twin_mid_epoch(kind)
+        dw, rw = run_delete_kernel(tw, keys[::2])
+        dc, rc = run_delete_kernel(tc, keys[::2], engine="cohort")
+        assert dw.all() and dc.all()
+        assert np.array_equal(dw, dc)
+        assert rw == rc
+        assert_tables_identical(tw, tc)
+
+    @pytest.mark.parametrize("kind", ["upsize", "downsize"])
+    def test_mixed_batch_mid_epoch_identical(self, kind):
+        tw, tc, keys = self._twin_mid_epoch(kind)
+        rng = np.random.default_rng(44)
+        n = 600
+        ops = rng.choice([OP_INSERT, OP_FIND, OP_DELETE], size=n,
+                         p=[0.3, 0.5, 0.2])
+        pool = np.concatenate(
+            [keys, unique_keys(60, seed=43, low=1 << 40)])
+        batch_keys = rng.choice(pool, size=n)
+        values = rng.integers(1, 1 << 32, size=n).astype(np.uint64)
+        rw = execute_mixed(tw, ops, batch_keys, values, engine="warp")
+        rc = execute_mixed(tc, ops, batch_keys, values, engine="cohort")
+        for field in ("values", "found", "removed"):
+            assert np.array_equal(getattr(rw, field), getattr(rc, field))
+        assert rw.kernel is not None and rw.kernel == rc.kernel
+        assert_tables_identical(tw, tc)
+
+    def test_finalize_after_kernels_settles_identically(self):
+        tw, tc, keys = self._twin_mid_epoch("upsize")
+        run_find_kernel(tw, keys)
+        run_find_kernel(tc, keys, engine="cohort")
+        tw.finalize_resizes()
+        tc.finalize_resizes()
+        assert all(st.migration is None for st in tw.subtables)
+        assert_tables_identical(tw, tc)
+        tw.validate()
+        tc.validate()

@@ -247,15 +247,23 @@ class TestFlightRecorder:
         assert rec.last_bundle()["reason"] == "invariant_failure"
 
     def test_resize_and_stash_events_recorded(self):
+        # Automatic resizes open incremental epochs by default, so the
+        # recorder sees epoch-open events (with a direction) instead of
+        # the one-shot resize events.
         table = small_table(initial_buckets=8)
         rec = table.set_recorder(FlightRecorder(capacity=512))
         keys = unique_keys(3000, seed=4)
         table.insert(keys, keys)
-        kinds = {e["kind"] for e in rec.events}
-        assert "resize.upsize" in kinds
+        directions = {e.get("direction") for e in rec.events
+                      if e["kind"] == "resize.epoch_open"}
+        assert "upsize" in directions
         table.delete(keys[:2700])
+        directions = {e.get("direction") for e in rec.events
+                      if e["kind"] == "resize.epoch_open"}
+        assert "downsize" in directions
         kinds = {e["kind"] for e in rec.events}
-        assert "resize.downsize" in kinds
+        assert "resize.migrate" in kinds
+        assert "resize.epoch_complete" in kinds
 
     def test_summary_shape(self):
         rec = FlightRecorder()

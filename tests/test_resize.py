@@ -5,8 +5,9 @@ import pytest
 
 from repro.core.config import DyCuckooConfig
 from repro.core.resize import _TableSnapshot
-from repro.core.table import DyCuckooTable
+from repro.core.table import DyCuckooTable, encode_keys
 from repro.errors import ResizeError
+from repro.faults import FaultPlan
 
 from .conftest import unique_keys
 
@@ -172,3 +173,222 @@ class TestSnapshot:
         values, found = table.find(keys)
         assert found.all()
         assert len(table) == 500
+
+    def test_snapshot_restores_stash(self):
+        """The snapshot must cover the overflow stash, not just storage.
+
+        Regression: resize rollbacks taken while keys sat in the stash
+        (e.g. an injected abort during a stash drain's upsize) used to
+        restore subtable arrays only, resurrecting or dropping stashed
+        keys relative to the captured moment.
+        """
+        table, keys = filled_table(n_keys=300)
+        extra = unique_keys(40, seed=77, low=1 << 40)
+        codes = encode_keys(extra)
+        table.stash.push(codes, extra)
+        snapshot = _TableSnapshot(table)
+        table.stash.pop_all()
+        assert len(table.stash) == 0
+        snapshot.restore(table)
+        assert len(table.stash) == 40
+        _, found = table.find(extra)
+        assert found.all()
+
+    def test_snapshot_discards_stash_pushed_after_capture(self):
+        table, _keys = filled_table(n_keys=300)
+        snapshot = _TableSnapshot(table)
+        extra = unique_keys(8, seed=78, low=1 << 40)
+        table.stash.push(encode_keys(extra), extra)
+        snapshot.restore(table)
+        assert len(table.stash) == 0
+
+
+class TestErrorHandlingRegressions:
+    """The three resize-path error-handling fixes of this PR."""
+
+    def test_ceiling_blocked_bound_enforcement_keeps_batch(self):
+        """A ceiling-blocked upsize must not fail a landed batch.
+
+        Regression: ``enforce_bounds`` caught :class:`ResizeError` but
+        let :class:`CapacityError` propagate, reporting failure for an
+        insert batch whose keys were all stored successfully.  The
+        ceiling block is recorded and the table simply stays above
+        ``beta`` until deletes make room.
+        """
+        table = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=16, bucket_capacity=8, min_buckets=8,
+            max_total_slots=512))
+        assert table.total_slots == 512  # no doubling can ever fit
+        keys = unique_keys(450, seed=31)
+        table.insert(keys, keys)  # must not raise
+        assert table.stats.capacity_blocked >= 1
+        assert table.load_factor > table.config.beta
+        _, found = table.find(keys)
+        assert found.all()
+        # Deletes make room again; bounds enforcement resumes cleanly.
+        table.delete(keys[:200])
+        assert table.load_factor <= table.config.beta + 1e-9
+
+    def test_anticipatory_upsize_stops_at_ceiling(self):
+        """An anticipatory extra doubling hitting the ceiling is benign.
+
+        Regression: only :class:`ResizeError` stopped the anticipation
+        loop; a ``max_total_slots`` ceiling propagated out of
+        ``upsize_for_insert_failure`` even though the mandatory first
+        doubling had already created the capacity the insert needed.
+        """
+        table = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=8, bucket_capacity=8, min_buckets=8,
+            anticipatory_upsize=True, max_total_slots=320))
+        keys = unique_keys(190, seed=32)
+        table.insert(keys, keys)
+        assert table.stats.upsizes == 0  # still inside the band
+        table._resizer.upsize_for_insert_failure()  # must not raise
+        # The mandatory doubling fit (256 -> 320); the anticipatory
+        # extra would exceed the ceiling and is abandoned.
+        assert table.stats.upsizes == 1
+        assert table.total_slots == 320
+        table.finalize_resizes()
+        table.validate()
+        _, found = table.find(keys)
+        assert found.all()
+
+    def test_abort_mid_stash_drain_loses_no_key(self):
+        """Resize aborts firing around a stash drain keep every key.
+
+        Exercises the snapshot-covers-stash fix end to end: every
+        resize attempt aborts at the rehash stage, inserts degrade to
+        the stash, and drains retried across resize epochs roll back
+        without losing or resurrecting keys.
+        """
+        table = DyCuckooTable(DyCuckooConfig(
+            initial_buckets=8, bucket_capacity=4, min_buckets=4,
+            alpha=0.45, beta=0.55, stash_capacity=4096))
+        table.set_fault_plan(FaultPlan(seed=9, rates={
+            "resize.abort.rehash": 1.0, "insert.evict": 0.2}))
+        model = {}
+        rng = np.random.default_rng(33)
+        for wave in range(6):
+            keys = rng.integers(1, 400, 60).astype(np.uint64)
+            table.insert(keys, keys * np.uint64(2))
+            for k in keys.tolist():
+                model[k] = k * 2
+            dels = rng.integers(1, 400, 20).astype(np.uint64)
+            table.delete(dels)
+            for k in dels.tolist():
+                model.pop(k, None)
+            probe = np.array(sorted(model), dtype=np.uint64)
+            values, found = table.find(probe)
+            assert found.all(), f"lost keys in wave {wave}"
+            assert np.array_equal(values,
+                                  probe * np.uint64(2))
+        missing = np.array([k for k in range(1, 400)
+                            if k not in model], dtype=np.uint64)
+        _, found = table.find(missing)
+        assert not found.any()
+
+
+class TestMigrationEpochs:
+    def test_epoch_open_grows_capacity_before_any_entry_moves(self):
+        table, keys = filled_table()
+        slots_before = table.total_slots
+        migrated_before = table.stats.migrated_pairs
+        target = table._resizer.open_upsize_epoch()
+        st = table.subtables[target]
+        assert st.migration is not None
+        assert st.migration.kind == "upsize"
+        assert table.total_slots == slots_before + st.total_slots // 2
+        assert table.stats.migrated_pairs == migrated_before
+        # Dual view: every key reachable while nothing has migrated.
+        values, found = table.find(keys)
+        assert found.all()
+        assert np.array_equal(values, keys * np.uint64(2))
+
+    def test_drain_respects_budget_and_completes(self):
+        table, keys = filled_table()
+        table._resizer.open_upsize_epoch()
+        moved_total = 0
+        for _ in range(1000):
+            moved = table._resizer.drain_migration(max_pairs=8)
+            assert moved <= 8
+            moved_total += moved
+            if not any(st.migration is not None
+                       for st in table.subtables):
+                break
+        else:  # pragma: no cover - would mean the epoch never closed
+            raise AssertionError("epoch did not complete")
+        assert moved_total > 0
+        table.validate()
+        _, found = table.find(keys)
+        assert found.all()
+
+    def test_concurrent_epochs_share_one_batch_budget(self):
+        """A batch never pays more than one budget, however many epochs."""
+        table, _keys = filled_table()
+        first = table._resizer.open_upsize_epoch()
+        second = table._resizer.open_upsize_epoch()
+        assert first != second  # smallest-subtable pick moves on
+        assert len(table._resizer._open_epochs()) == 2
+        assert table._resizer.drain_migration(max_pairs=6) <= 6
+        assert table._resizer.drain_migration(max_pairs=6) <= 6
+
+    def test_reopening_a_subtable_finalizes_its_own_epoch_only(self):
+        table, keys = filled_table()
+        first = table._resizer.open_upsize_epoch()
+        # Force the same subtable to be smallest again by doubling the
+        # others... instead simply reopen until the pick cycles back.
+        opened = {first}
+        for _ in range(len(table.subtables)):
+            nxt = table._resizer.open_upsize_epoch()
+            if nxt == first:
+                break
+            opened.add(nxt)
+        st = table.subtables[first]
+        # Its first epoch was finalized before the geometry doubled
+        # again; others may still be mid-flight.
+        assert st.migration is None or st.migration.kind == "upsize"
+        table.finalize_resizes()
+        table.validate()
+        _, found = table.find(keys)
+        assert found.all()
+
+    def test_downsize_epoch_halves_logical_size_immediately(self):
+        table, keys = filled_table(n_keys=400)
+        table.delete(keys[200:])
+        table.finalize_resizes()
+        slots_before = table.total_slots
+        target = table._resizer.open_downsize_epoch()
+        st = table.subtables[target]
+        assert st.migration is not None
+        assert st.migration.kind == "downsize"
+        assert table.total_slots == slots_before - st.total_slots
+        values, found = table.find(keys[:200])
+        assert found.all()
+        table.finalize_resizes()
+        table.validate()
+        _, found = table.find(keys[:200])
+        assert found.all()
+
+    def test_delete_mid_epoch_hits_both_views(self):
+        table, keys = filled_table()
+        table._resizer.open_upsize_epoch()
+        table._resizer.drain_migration(max_pairs=4)  # mixed views
+        removed = table.delete(keys)
+        assert removed.all()
+        table.finalize_resizes()
+        assert len(table) == 0
+
+    def test_stall_path_upsize_is_synchronous(self):
+        """An insert-stall doubling leaves no open epoch behind."""
+        table, _keys = filled_table()
+        table._resizer.upsize_for_insert_failure()
+        assert table._resizer._open_epochs() == []
+
+    def test_manual_resizes_finalize_open_epochs_first(self):
+        table, keys = filled_table()
+        table._resizer.open_upsize_epoch()
+        table.upsize()  # one-shot keeps all-or-nothing semantics
+        assert table._resizer._open_epochs() == []
+        table.validate()
+        _, found = table.find(keys)
+        assert found.all()

@@ -20,6 +20,7 @@ import pytest
 from repro.baselines import DyCuckooAdapter
 from repro.bench import maybe_dump_trace, run_dynamic
 from repro.bench.artifacts import ENV_VAR
+from repro.core.analysis import check_invariants
 from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable
 from repro.errors import InvalidConfigError
@@ -316,10 +317,13 @@ class TestZeroOverhead:
 
 
 class TestResizeLifecycle:
+    """One-shot resize lifecycle (``incremental_resize=False``)."""
+
     def test_upsize_lifecycle_spans(self):
         table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
                                              bucket_capacity=8,
-                                             min_buckets=8))
+                                             min_buckets=8,
+                                             incremental_resize=False))
         telemetry = table.set_telemetry(Telemetry())
         keys = unique_keys(4000, seed=7)
         table.insert(keys, keys)
@@ -334,7 +338,8 @@ class TestResizeLifecycle:
     def test_downsize_lifecycle_with_spill(self):
         table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
                                              bucket_capacity=8,
-                                             min_buckets=8))
+                                             min_buckets=8,
+                                             incremental_resize=False))
         telemetry = table.set_telemetry(Telemetry())
         keys = unique_keys(6000, seed=9)
         table.insert(keys, keys)
@@ -364,6 +369,53 @@ class TestResizeLifecycle:
         assert counters["lock.conflicts"].value == table.stats.lock_conflicts
         hist = telemetry.metrics.histograms["probe_length"]
         assert hist.total == table.stats.finds
+
+
+class TestEpochLifecycle:
+    """Incremental (default) resize lifecycle: epoch spans and slices."""
+
+    def test_upsize_epoch_spans_and_slices(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                             bucket_capacity=8,
+                                             min_buckets=8))
+        telemetry = table.set_telemetry(Telemetry())
+        keys = unique_keys(4000, seed=7)
+        table.insert(keys, keys)
+        tracer = telemetry.tracer
+        epochs = tracer.spans("resize.upsize_epoch")
+        assert len(epochs) == table.stats.upsizes > 0
+        assert len(tracer.spans("resize.plan")) >= len(epochs)
+        # No one-shot rehash span: entries moved in bounded slices.
+        assert not tracer.spans("resize.rehash")
+        assert table.stats.migration_slices > 0
+        migrates = tracer.instants("resize.migrate")
+        assert len(migrates) == table.stats.migration_slices
+        # Every epoch except possibly the newest (still draining across
+        # future batches) has completed and closed its dual view.
+        completes = tracer.instants("resize.epoch_complete")
+        assert len(completes) >= len(epochs) - 1
+        open_epochs = sum(st.migration is not None
+                          for st in table.subtables)
+        assert len(completes) + open_epochs == len(epochs)
+        table.finalize_resizes()
+        assert all(st.migration is None for st in table.subtables)
+        check_invariants(table)
+
+    def test_downsize_epoch_completes(self):
+        table = DyCuckooTable(DyCuckooConfig(initial_buckets=8,
+                                             bucket_capacity=8,
+                                             min_buckets=8))
+        telemetry = table.set_telemetry(Telemetry())
+        keys = unique_keys(6000, seed=9)
+        table.insert(keys, keys)
+        table.delete(keys[:5500])
+        tracer = telemetry.tracer
+        opens = [e for e in tracer.instants("resize.epoch_open")
+                 if e.args.get("kind") == "downsize"]
+        assert len(opens) == table.stats.downsizes > 0
+        table.finalize_resizes()
+        assert all(st.migration is None for st in table.subtables)
+        check_invariants(table)
 
 
 class TestDynamicWorkloadTrace:
@@ -405,8 +457,12 @@ class TestDynamicWorkloadTrace:
         tracer = telemetry.tracer
         assert table.stats.upsizes > 0 and table.stats.downsizes > 0
         assert tracer.instants("resize.trigger")
-        assert tracer.spans("resize.rehash")
-        assert tracer.spans("resize.spill")
+        # Automatic resizes run as incremental epochs: open events,
+        # bounded migrate slices, and a completion marker per epoch.
+        opens = tracer.instants("resize.epoch_open")
+        assert len(opens) == table.stats.upsizes + table.stats.downsizes
+        assert tracer.instants("resize.migrate")
+        assert tracer.instants("resize.epoch_complete")
 
     def test_chrome_artifact_written_via_env_var(self, fig12_trace,
                                                  tmp_path, monkeypatch):
@@ -416,8 +472,8 @@ class TestDynamicWorkloadTrace:
         assert path is not None and path.exists()
         parsed = json.loads(path.read_text())
         names = {e["name"] for e in parsed["traceEvents"]}
-        assert {"batch", "resize.trigger", "resize.rehash", "resize.spill",
-                "fill.subtable"} <= names
+        assert {"batch", "resize.trigger", "resize.epoch_open",
+                "resize.migrate", "fill.subtable"} <= names
 
     def test_artifact_skipped_without_env_var(self, fig12_trace,
                                               monkeypatch):
