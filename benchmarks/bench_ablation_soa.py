@@ -16,20 +16,36 @@ This ablation prices the same measured workload under both layouts:
 
 The counterfactual is computed from the same event counts (a layout
 change does not alter the algorithm), so the comparison is exact.
+
+Two workload families are priced: the classic coincidence-free sweep
+(unique keys through the host path) and a **duplicate-heavy** leg —
+a high-fill, duplicate-majority upsert stream through the cohort
+kernels, where evictions retarget duplicate carriers and the
+vectorized key-coincidence (hazard) resolver runs.  The leg asserts
+that it actually exercised the resolver, so this ablation can never
+silently regress to pricing only the coincidence-free fast path.
 """
 
 import numpy as np
 
 from repro.bench import format_table, shape_check
+from repro.core.batch_ops import OP_FIND, OP_INSERT
 from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable
 from repro.gpusim import GTX_1080
+from repro.telemetry import Profiler
 
 from benchmarks.common import once
 
 N_KEYS = 40_000
 LINE = GTX_1080.cache_line_bytes
 BANDWIDTH = GTX_1080.effective_bandwidth_bytes_per_s
+
+#: Duplicate-heavy leg geometry: 4 x 16 x 8 = 512 slots at ~75% fill,
+#: with a keyspace small enough that every warp is duplicate-majority.
+DUP_OPS = 8_000
+DUP_BUCKETS = 16
+DUP_CAPACITY = 8
 
 
 def _measure(value_bytes_per_slot: int):
@@ -76,18 +92,70 @@ def _measure(value_bytes_per_slot: int):
     return results
 
 
+def _measure_duplicate_heavy(value_bytes_per_slot: int):
+    """Price the layouts on a duplicate-majority cohort-kernel stream.
+
+    An upsert-heavy batch where most keys repeat within a warp: under
+    SoA an upsert that matches an existing key touches the value line
+    once; under AoS every probed bucket drags value bytes along.  The
+    stream runs at ~75% fill so evictions retarget duplicate carriers
+    — the condition that drives the vectorized hazard resolver — and
+    the traffic is taken from the kernel's own transaction counter.
+    """
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=DUP_BUCKETS, bucket_capacity=DUP_CAPACITY,
+        auto_resize=False, seed=2))
+    prof = table.set_profiler(Profiler())
+    rng = np.random.default_rng(43)
+    slots = 4 * DUP_BUCKETS * DUP_CAPACITY
+    keyspace = slots * 3 // 4
+    half = DUP_OPS // 2
+    ops = np.concatenate([np.full(half, OP_INSERT),
+                          np.full(DUP_OPS - half, OP_FIND)]
+                         ).astype(np.int64)
+    keys = rng.integers(1, keyspace + 1, DUP_OPS).astype(np.uint64)
+    values = rng.integers(1, 1 << 40, DUP_OPS).astype(np.uint64)
+    result = table.execute_mixed(ops, keys, values, engine="cohort")
+
+    key_lines = result.kernel.memory_transactions
+    value_touches = int(result.kernel.completed_ops
+                        + result.found.sum())
+    value_lines_per_touch = max(1, value_bytes_per_slot * 16 // LINE)
+    soa_lines = key_lines + value_touches * value_lines_per_touch
+    aos_lines = key_lines * (1 + value_lines_per_touch)
+    soa_s = soa_lines * LINE / BANDWIDTH
+    aos_s = aos_lines * LINE / BANDWIDTH
+    return {
+        "soa_mops": DUP_OPS / soa_s / 1e6,
+        "aos_mops": DUP_OPS / aos_s / 1e6,
+        "hazard_rounds": prof.hazard_rounds,
+        "hazard_lanes": prof.hazard_lanes,
+    }
+
+
 def _run_all():
-    return {payload: _measure(payload) for payload in (8, 32, 128)}
+    results = {payload: _measure(payload) for payload in (8, 32, 128)}
+    results["dup_heavy"] = {payload: _measure_duplicate_heavy(payload)
+                            for payload in (8, 32, 128)}
+    return results
 
 
 def test_ablation_soa_layout(benchmark):
-    by_payload = once(benchmark, _run_all)
+    all_results = once(benchmark, _run_all)
+    dup_heavy = all_results["dup_heavy"]
+    by_payload = {payload: results
+                  for payload, results in all_results.items()
+                  if payload != "dup_heavy"}
 
     rows = []
     for payload, results in by_payload.items():
         for workload, (soa, aos) in results.items():
             rows.append([f"{payload} B/value", workload, soa, aos,
                          soa / aos])
+    for payload, leg in dup_heavy.items():
+        rows.append([f"{payload} B/value", "dup-heavy upsert",
+                     leg["soa_mops"], leg["aos_mops"],
+                     leg["soa_mops"] / leg["aos_mops"]])
     print()
     print(format_table(
         ["value size", "workload", "SoA Mops", "AoS Mops", "SoA gain"],
@@ -107,6 +175,14 @@ def test_ablation_soa_layout(benchmark):
     fat = by_payload[128]["find (misses)"]
     checks.append((f"fat values: SoA saves {fat[0] / fat[1]:.0f}x on "
                    "misses", fat[0] / fat[1] > 1.5))
+    hazard_rounds = dup_heavy[8]["hazard_rounds"]
+    checks.append(
+        (f"dup-heavy leg drives the vectorized hazard resolver "
+         f"({hazard_rounds} rounds, {dup_heavy[8]['hazard_lanes']} lanes)",
+         hazard_rounds > 0))
+    for payload, leg in dup_heavy.items():
+        checks.append((f"{payload}B dup-heavy upsert: SoA never slower",
+                       leg["soa_mops"] >= leg["aos_mops"]))
 
     print()
     for label, ok in checks:

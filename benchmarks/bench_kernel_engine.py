@@ -1,17 +1,21 @@
 """Kernel execution engines — warp reference vs vectorized cohort.
 
-Drives one 100k-operation mixed batch (insert/find/delete in long
-homogeneous runs, the bulk-synchronous shape of the paper's dynamic
-workloads) through the lane-faithful kernels under both execution
-engines (see ``docs/performance.md``):
+Drives mixed batches (insert/find/delete in long homogeneous runs, the
+bulk-synchronous shape of the paper's dynamic workloads) through the
+lane-faithful kernels under both execution engines (see
+``docs/performance.md``), across three legs:
 
-* ``warp`` — the per-warp Python interpreter (the readable reference),
-* ``cohort`` — the structure-of-arrays engine of
-  :mod:`repro.gpusim.cohort`.
+* ``mixed`` — the classic 100k-op run-structured batch;
+* ``dup_heavy`` — a high-fill, duplicate-majority insert stream that
+  forces the cohort engine through its vectorized key-coincidence
+  (hazard) resolver; the hazard rate is reported alongside speedup;
+* ``faulty`` — the mixed batch under a chaos fault plan, exercising
+  the SoA fault windows (historically this leg delegated to the warp
+  interpreter, i.e. 1x by construction).
 
-Expected shapes: the two engines return identical results and identical
-aggregate cost counters (the bit-for-bit conformance contract), and the
-cohort engine is at least 10x faster in wall-clock on this batch.
+Expected shapes: the engines return identical results and identical
+aggregate cost counters on every leg (the bit-for-bit conformance
+contract), and the cohort engine clears the gated speedup floors.
 
 With ``REPRO_BENCH_JSON`` set, results are also dumped as
 ``BENCH_kernel_engine.json`` for regression tracking.
@@ -26,6 +30,8 @@ from repro.bench.artifacts import maybe_dump
 from repro.core.batch_ops import OP_DELETE, OP_FIND, OP_INSERT
 from repro.core.config import DyCuckooConfig
 from repro.core.table import DyCuckooTable
+from repro.faults import default_chaos_plan
+from repro.telemetry import Profiler
 
 from benchmarks.common import once
 
@@ -43,6 +49,20 @@ RUN_LENGTH = (2_000, 8_000)
 NUM_TABLES = 4
 BUCKETS = 256
 BUCKET_CAPACITY = 32
+
+#: Duplicate-heavy leg: a small keyspace against a small table drives
+#: fill to ~75%, so evictions retarget duplicate carriers into foreign
+#: buckets — the condition that makes key-coincidence hazards real.
+DUP_OPS = 30_000
+DUP_BUCKETS = 16
+DUP_CAPACITY = 8
+
+#: Gated speedup floors (``perf_gate`` skips wall-clock keys; these
+#: asserts are the enforcement).  The mixed floor was 10x before the
+#: vectorized hazard/fault work landed.
+MIXED_FLOOR = 12.0
+DUP_FLOOR = 8.0
+FAULT_FLOOR = 8.0
 
 ENGINES = ("warp", "cohort")
 
@@ -66,25 +86,41 @@ def _workload(rng: np.random.Generator):
     return ops, keys, values
 
 
-def _fresh_table() -> DyCuckooTable:
+def _dup_workload(rng: np.random.Generator):
+    """Insert-only stream where every warp is duplicate-majority."""
+    slots = NUM_TABLES * DUP_BUCKETS * DUP_CAPACITY
+    keyspace = slots * 3 // 4
+    ops = np.full(DUP_OPS, OP_INSERT, dtype=np.int64)
+    keys = rng.integers(1, keyspace + 1, DUP_OPS).astype(np.uint64)
+    values = rng.integers(1, 1 << 40, DUP_OPS).astype(np.uint64)
+    return ops, keys, values
+
+
+def _fresh_table(buckets=BUCKETS, capacity=BUCKET_CAPACITY) -> DyCuckooTable:
     return DyCuckooTable(DyCuckooConfig(
-        num_tables=NUM_TABLES, initial_buckets=BUCKETS,
-        bucket_capacity=BUCKET_CAPACITY, auto_resize=False, seed=1080))
+        num_tables=NUM_TABLES, initial_buckets=buckets,
+        bucket_capacity=capacity, auto_resize=False, seed=1080))
 
 
-def _run_all() -> dict:
-    rng = np.random.default_rng(1080)
-    ops, keys, values = _workload(rng)
-
+def _run_leg(ops, keys, values, *, buckets=BUCKETS,
+             capacity=BUCKET_CAPACITY, fault_seed=None,
+             num_ops=None) -> dict:
+    """Drive one leg through both engines; assert conformance."""
+    num_ops = num_ops if num_ops is not None else len(ops)
     outcomes = {}
+    plans = {}
     for engine in ENGINES:
-        table = _fresh_table()
+        table = _fresh_table(buckets, capacity)
+        if fault_seed is not None:
+            plans[engine] = table.set_fault_plan(
+                default_chaos_plan(seed=fault_seed))
         start = time.perf_counter()
         result = table.execute_mixed(ops, keys, values, engine=engine)
         elapsed = time.perf_counter() - start
         outcomes[engine] = (table, result, elapsed)
 
-    # Conformance: identical outputs, storage, and cost counters.
+    # Conformance: identical outputs, storage, cost counters, and
+    # (when armed) fault decisions.
     tw, rw, _ = outcomes["warp"]
     tc, rc, _ = outcomes["cohort"]
     assert np.array_equal(rw.values, rc.values), "FIND values diverged"
@@ -96,17 +132,52 @@ def _run_all() -> dict:
     for sw, sc in zip(tw.subtables, tc.subtables):
         assert np.array_equal(sw.keys, sc.keys), "storage diverged"
         assert np.array_equal(sw.values, sc.values), "values diverged"
+    if fault_seed is not None:
+        assert plans["warp"].fired == plans["cohort"].fired, \
+            "fault decisions diverged"
+        assert plans["warp"].invocations() == plans["cohort"].invocations()
 
-    results = {"ops": NUM_OPS, "runs": rw.runs, "conformant": True}
+    # Hazard telemetry: a separate profiled cohort pass (the profiler
+    # adds per-round bookkeeping, so it stays out of the timed run).
+    prof_table = _fresh_table(buckets, capacity)
+    if fault_seed is not None:
+        prof_table.set_fault_plan(default_chaos_plan(seed=fault_seed))
+    prof = prof_table.set_profiler(Profiler())
+    prof_table.execute_mixed(ops, keys, values, engine="cohort")
+
+    leg = {"ops": num_ops, "runs": rw.runs, "conformant": True,
+           "hazard_rounds": prof.hazard_rounds,
+           "hazard_lanes": prof.hazard_lanes,
+           "hazard_lane_rate": prof.hazard_lanes / num_ops}
+    if fault_seed is not None:
+        leg["faults_injected"] = len(plans["cohort"].fired)
     for engine in ENGINES:
         _table, result, elapsed = outcomes[engine]
-        results[engine] = {
+        leg[engine] = {
             "seconds": elapsed,
-            "ops_per_sec": NUM_OPS / elapsed,
+            "ops_per_sec": num_ops / elapsed,
             **{f: getattr(result.kernel, f) for f in COUNTER_FIELDS},
         }
-    results["speedup"] = (results["warp"]["seconds"]
-                          / results["cohort"]["seconds"])
+    leg["speedup"] = leg["warp"]["seconds"] / leg["cohort"]["seconds"]
+    return leg
+
+
+def _run_all() -> dict:
+    rng = np.random.default_rng(1080)
+    mixed = _run_leg(*_workload(rng))
+    dup = _run_leg(*_dup_workload(rng), buckets=DUP_BUCKETS,
+                   capacity=DUP_CAPACITY)
+    faulty = _run_leg(*_workload(np.random.default_rng(2080)),
+                      fault_seed=7)
+    # Top-level keys keep the historic layout for the perf gate; the
+    # new legs nest under their own names.
+    results = {"ops": mixed["ops"], "runs": mixed["runs"],
+               "conformant": True, "speedup": mixed["speedup"],
+               "warp": mixed["warp"], "cohort": mixed["cohort"],
+               "hazard_rounds": mixed["hazard_rounds"],
+               "hazard_lanes": mixed["hazard_lanes"],
+               "hazard_lane_rate": mixed["hazard_lane_rate"],
+               "dup_heavy": dup, "faulty": faulty}
     return results
 
 
@@ -114,29 +185,46 @@ def test_kernel_engine(benchmark):
     results = once(benchmark, _run_all)
     maybe_dump("BENCH_kernel_engine", results)
 
+    legs = {"mixed": results, "dup_heavy": results["dup_heavy"],
+            "faulty": results["faulty"]}
     print()
     print(format_table(
-        ["engine", "seconds", "ops/sec", "rounds", "transactions",
-         "evictions", "lock conflicts"],
-        [[engine, results[engine]["seconds"],
-          results[engine]["ops_per_sec"], results[engine]["rounds"],
-          results[engine]["memory_transactions"],
-          results[engine]["evictions"],
-          results[engine]["lock_conflicts"]] for engine in ENGINES],
-        title=f"Kernel engines on a {NUM_OPS:,}-op mixed batch "
-              f"({results['runs']} runs)"))
+        ["leg", "engine", "seconds", "ops/sec", "rounds", "transactions",
+         "evictions", "hazard rate"],
+        [[leg, engine, data[engine]["seconds"],
+          data[engine]["ops_per_sec"], data[engine]["rounds"],
+          data[engine]["memory_transactions"], data[engine]["evictions"],
+          data["hazard_lane_rate"] if engine == "cohort" else 0.0]
+         for leg, data in legs.items() for engine in ENGINES],
+        title=f"Kernel engines: mixed {results['ops']:,} ops, "
+              f"dup-heavy {results['dup_heavy']['ops']:,} ops, "
+              f"faulty {results['faulty']['ops']:,} ops"))
 
-    speedup = results["speedup"]
     identical_counters = all(
-        results["warp"][f] == results["cohort"][f] for f in COUNTER_FIELDS)
+        legs[leg][eng][f] == legs[leg]["cohort"][f]
+        for leg in legs for eng in ENGINES for f in COUNTER_FIELDS)
     checks = [
-        ("engines return identical results and storage",
-         results["conformant"]),
-        ("aggregate cost counters identical across engines",
+        ("every leg returns identical results and storage",
+         all(data["conformant"] for data in legs.values())),
+        ("aggregate cost counters identical across engines on every leg",
          identical_counters),
-        (f"cohort is >= 10x faster on 100k mixed ops ({speedup:.1f}x)",
-         speedup >= 10.0),
-        ("the batch exercises evictions (insert pressure is real)",
+        (f"mixed: cohort >= {MIXED_FLOOR:.0f}x faster "
+         f"({results['speedup']:.1f}x)",
+         results["speedup"] >= MIXED_FLOOR),
+        (f"dup-heavy: cohort >= {DUP_FLOOR:.0f}x faster "
+         f"({legs['dup_heavy']['speedup']:.1f}x)",
+         legs["dup_heavy"]["speedup"] >= DUP_FLOOR),
+        (f"faulty: cohort >= {FAULT_FLOOR:.0f}x faster "
+         f"({legs['faulty']['speedup']:.1f}x)",
+         legs["faulty"]["speedup"] >= FAULT_FLOOR),
+        ("dup-heavy leg exercises the hazard resolver "
+         f"({legs['dup_heavy']['hazard_rounds']} rounds, "
+         f"{legs['dup_heavy']['hazard_lanes']} lanes)",
+         legs["dup_heavy"]["hazard_rounds"] > 0),
+        ("faulty leg injects faults "
+         f"({legs['faulty']['faults_injected']})",
+         legs["faulty"]["faults_injected"] > 0),
+        ("the mixed batch exercises evictions (insert pressure is real)",
          results["warp"]["evictions"] > 0),
     ]
     print()

@@ -12,9 +12,19 @@ contention while the memory-bound fraction stays tied to the shared
 DRAM bus, so speedup grows with S but stays well short of linear.  All
 shard counts remain differentially equal to a single reference table.
 
+A final ``executor`` leg runs one cohort mixed batch through the
+*process-pool* shard executor (``parallel_workers``) and through the
+serial path, asserting the executor's determinism contract —
+bit-identical results, runs, merged kernel counters, and final
+storage.  Wall-clock for both paths is reported (keys named
+``*_seconds`` / ``*speedup*`` so the strict perf gate skips them: the
+win depends on host core count, which is 1 on some CI shapes).
+
 With ``REPRO_BENCH_JSON`` set, results are also dumped as
 ``BENCH_shard.json`` for regression tracking.
 """
+
+import time
 
 import numpy as np
 
@@ -84,6 +94,60 @@ def _run_one(num_shards: int, keys: np.ndarray, values: np.ndarray,
     return report.to_dict()
 
 
+#: Executor leg geometry: low fill keeps the cohort kernels fast, so
+#: the leg stays cheap in the CI bench-smoke job.
+EXEC_OPS = 40_000
+EXEC_SHARDS = 4
+EXEC_WORKERS = 4
+
+
+def _run_executor_leg() -> dict:
+    """Serial vs process-pool execute_mixed: the determinism contract."""
+    config = DyCuckooConfig(num_tables=NUM_TABLES, bucket_capacity=32,
+                            initial_buckets=32, min_buckets=8)
+    rng = np.random.default_rng(77)
+    ops = np.empty(EXEC_OPS, dtype=np.int64)
+    pos = 0
+    while pos < EXEC_OPS:  # long homogeneous runs, the kernels' regime
+        kind = rng.choice(np.array([0, 1, 2], dtype=np.int64),
+                          p=[0.5, 0.3, 0.2])
+        length = min(int(rng.integers(2_000, 6_000)), EXEC_OPS - pos)
+        ops[pos:pos + length] = kind
+        pos += length
+    keys = rng.integers(1, 2000, size=EXEC_OPS).astype(np.uint64)
+    values = rng.integers(1, 1 << 40, size=EXEC_OPS, dtype=np.uint64)
+
+    serial = ShardedDyCuckoo(num_shards=EXEC_SHARDS, config=config)
+    start = time.perf_counter()
+    rs = serial.execute_mixed(ops, keys, values, engine="cohort")
+    serial_s = time.perf_counter() - start
+
+    with ShardedDyCuckoo(num_shards=EXEC_SHARDS, config=config,
+                         parallel_workers=EXEC_WORKERS) as parallel:
+        start = time.perf_counter()
+        rp = parallel.execute_mixed(ops, keys, values, engine="cohort")
+        parallel_s = time.perf_counter() - start
+        identical = (np.array_equal(rs.values, rp.values)
+                     and np.array_equal(rs.found, rp.found)
+                     and np.array_equal(rs.removed, rp.removed)
+                     and rs.runs == rp.runs
+                     and rs.kernel == rp.kernel
+                     and serial.to_dict() == parallel.to_dict()
+                     and all(a._victim_counter == b._victim_counter
+                             for a, b in zip(serial.shards,
+                                             parallel.shards)))
+    return {
+        "ops": EXEC_OPS,
+        "workers": EXEC_WORKERS,
+        "num_shards": EXEC_SHARDS,
+        "runs": rs.runs,
+        "identical": identical,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "wall_speedup": serial_s / parallel_s,
+    }
+
+
 def _run_all() -> dict:
     rng = np.random.default_rng(1080)
     keys, values = _workload(rng)
@@ -92,8 +156,10 @@ def _run_all() -> dict:
     _drive(reference_table, keys, values)
     reference = reference_table.to_dict()
 
-    return {num_shards: _run_one(num_shards, keys, values, reference)
-            for num_shards in SHARD_COUNTS}
+    results = {num_shards: _run_one(num_shards, keys, values, reference)
+               for num_shards in SHARD_COUNTS}
+    results["executor"] = _run_executor_leg()
+    return results
 
 
 def test_shard_scaling(benchmark):
@@ -104,11 +170,21 @@ def test_shard_scaling(benchmark):
     print(format_table(
         ["S", "serial Mops", "parallel Mops", "speedup", "lock fraction"],
         [[s, r["serial_mops"], r["parallel_mops"], r["speedup"],
-          r["resize_lock_fraction"]] for s, r in results.items()],
+          r["resize_lock_fraction"]]
+         for s, r in results.items() if s != "executor"],
         title="Shard scaling: serial device vs one SM group per shard"))
+
+    executor = results["executor"]
+    print(f"\nprocess-pool executor ({executor['workers']} workers, "
+          f"S={executor['num_shards']}, {executor['ops']:,} cohort ops): "
+          f"serial {executor['serial_seconds']:.3f}s, "
+          f"parallel {executor['parallel_seconds']:.3f}s "
+          f"({executor['wall_speedup']:.2f}x wall)")
 
     speedups = {s: results[s]["speedup"] for s in SHARD_COUNTS}
     checks = [
+        ("process-pool executor is bit-identical to serial",
+         executor["identical"]),
         ("S=1 is the serial schedule (speedup == 1.0)",
          abs(speedups[1] - 1.0) < 1e-9),
         (f"sharding helps at S=4 ({speedups[4]:.2f}x > 1.2x)",

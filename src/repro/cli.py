@@ -208,8 +208,14 @@ def _cmd_dynamic(args) -> int:
     return 0
 
 
-def _profile_deep_pass(engine: str, seed: int, n: int) -> dict:
-    """One deep-profiler pass: a mixed kernel batch on a pre-sized table."""
+def _profile_deep_pass(engine: str, seed: int, n: int) -> tuple[dict, dict]:
+    """One deep-profiler pass: a mixed kernel batch on a pre-sized table.
+
+    Returns ``(snapshot, hazards)`` — the snapshot feeds the
+    cross-engine conformance check, while the hazard counters (rounds
+    that hit the vectorized key-coincidence resolver, and the lanes in
+    them) are engine-side cost telemetry reported separately.
+    """
     from repro import DyCuckooConfig, DyCuckooTable
     from repro.telemetry import Profiler
 
@@ -225,7 +231,9 @@ def _profile_deep_pass(engine: str, seed: int, n: int) -> dict:
         auto_resize=False, seed=seed))
     profiler = table.set_profiler(Profiler())
     table.execute_mixed(ops, keys, values, engine=engine)
-    return profiler.snapshot()
+    hazards = {"rounds": profiler.hazard_rounds,
+               "lanes": profiler.hazard_lanes}
+    return profiler.snapshot(), hazards
 
 
 def _cmd_profile(args) -> int:
@@ -260,8 +268,10 @@ def _cmd_profile(args) -> int:
     # histograms.  With both engines the snapshots are cross-checked.
     engines = (["warp", "cohort"] if args.engine == "both"
                else [args.engine])
-    snapshots = {engine: _profile_deep_pass(engine, args.seed, deep_ops)
-                 for engine in engines}
+    passes = {engine: _profile_deep_pass(engine, args.seed, deep_ops)
+              for engine in engines}
+    snapshots = {engine: snap for engine, (snap, _hz) in passes.items()}
+    hazard_counts = {engine: hz for engine, (_snap, hz) in passes.items()}
 
     # Phase 2 — dynamic pass with resizes: per-subtable fill timeline,
     # stash samples, and batch-latency percentiles on the simulated
@@ -297,6 +307,7 @@ def _cmd_profile(args) -> int:
         "ops": deep_ops,
         "profiles": [dataclasses.asdict(p) for p in profiles],
         "engines": snapshots,
+        "hazards": hazard_counts,
         "dynamic": dynamic,
         "latency": latency,
         "recorder": recorder_summary,
@@ -318,10 +329,13 @@ def _cmd_profile(args) -> int:
             snap = snapshots[engine]
             rounds = sum(len(k["rounds"]) for k in snap["kernels"])
             conflicts = sum(c["conflicts"] for c in snap["lock_heatmap"])
+            hz = hazard_counts[engine]
             print(f"deep pass [{engine}]: {len(snap['kernels'])} kernels, "
                   f"{rounds} occupancy samples, "
                   f"{len(snap['lock_heatmap'])} heatmap cells "
                   f"({conflicts} conflicts), "
+                  f"{hz['rounds']} hazard rounds "
+                  f"({hz['lanes']} lanes), "
                   f"probe lengths {snap['probe_lengths']}, "
                   f"chain depths {snap['chain_depths']}")
         if "conformant" in report:
@@ -481,6 +495,49 @@ def _run_sharded(num_shards: int, keys: np.ndarray, values: np.ndarray,
     }
 
 
+def _run_parallel_shard_check(args) -> dict:
+    """Differential leg for the process-pool executor.
+
+    Runs the same mixed workload through a serial and a
+    ``parallel_workers`` sharded front-end and checks that results and
+    final storage are bit-identical (the executor's determinism
+    contract), reporting wall-clock for both.
+    """
+    import time
+
+    from repro.core.config import DyCuckooConfig
+    from repro.shard import ShardedDyCuckoo
+
+    rng = np.random.default_rng(args.seed + 1)
+    ops, keys, values = _make_mixed_workload(rng, max(args.keys, 4))
+    shards = max(args.shards, 2)
+    config = DyCuckooConfig(initial_buckets=8)
+
+    serial = ShardedDyCuckoo(num_shards=shards, config=config)
+    t0 = time.perf_counter()
+    rs = serial.execute_mixed(ops, keys, values, engine="cohort")
+    serial_s = time.perf_counter() - t0
+
+    with ShardedDyCuckoo(num_shards=shards, config=config,
+                         parallel_workers=args.parallel) as parallel:
+        t0 = time.perf_counter()
+        rp = parallel.execute_mixed(ops, keys, values, engine="cohort")
+        parallel_s = time.perf_counter() - t0
+        identical = (np.array_equal(rs.values, rp.values)
+                     and np.array_equal(rs.found, rp.found)
+                     and np.array_equal(rs.removed, rp.removed)
+                     and rs.runs == rp.runs
+                     and serial.to_dict() == parallel.to_dict())
+    return {
+        "workers": args.parallel,
+        "num_shards": shards,
+        "ops": len(ops),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "identical": identical,
+    }
+
+
 def _cmd_shard(args) -> int:
     from repro import DyCuckooConfig, DyCuckooTable
     from repro.bench import format_table
@@ -502,15 +559,22 @@ def _cmd_shard(args) -> int:
     results = [_run_sharded(s, keys, values, args.batch, reference)
                for s in shard_counts]
     diverged = any(r["diverged_from_reference"] for r in results)
+    parallel_check = (_run_parallel_shard_check(args)
+                      if args.parallel >= 2 else None)
+    if parallel_check is not None and not parallel_check["identical"]:
+        diverged = True
 
     if args.json:
-        _emit_json({
+        payload = {
             "command": "shard",
             "keys": args.keys,
             "batch": args.batch,
             "seed": args.seed,
             "results": results,
-        })
+        }
+        if parallel_check is not None:
+            payload["parallel"] = parallel_check
+        _emit_json(payload)
         return 1 if diverged else 0
 
     print(format_table(
@@ -527,6 +591,14 @@ def _cmd_shard(args) -> int:
         if r["diverged_from_reference"]:
             print(f"S={r['num_shards']}: DIVERGED from the single-table "
                   f"reference", file=sys.stderr)
+    if parallel_check is not None:
+        pc = parallel_check
+        verdict = "identical" if pc["identical"] else "DIVERGED"
+        print(f"parallel executor ({pc['workers']} workers, "
+              f"S={pc['num_shards']}): {verdict} to serial — "
+              f"serial {pc['serial_seconds']:.3f}s, "
+              f"parallel {pc['parallel_seconds']:.3f}s",
+              file=sys.stderr if not pc["identical"] else sys.stdout)
     if not diverged:
         print("differential check ok: every shard count matches the "
               "single-table reference")
@@ -1036,6 +1108,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--batch", type=int, default=1000)
     shard.add_argument("--seed", type=int, default=0,
                        help="RNG seed for exact reproducibility")
+    shard.add_argument("--parallel", type=int, default=0, metavar="W",
+                       help="also run a mixed batch through the "
+                            "process-pool shard executor with W workers "
+                            "and differentially check it against serial")
     shard.add_argument("--json", action="store_true",
                        help="machine-readable JSON on stdout")
 

@@ -61,6 +61,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import InvalidConfigError
 from repro.telemetry.recorder import NULL_RECORDER
 
@@ -104,6 +106,20 @@ def _splitmix(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+def _splitmix_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_splitmix` over a ``uint64`` array.
+
+    Bit-identical to the scalar form (uint64 arithmetic wraps exactly
+    like the ``& _MASK64`` masking); the equivalence is pinned by a
+    test so the vectorized fault-window check below can never drift
+    from :meth:`FaultPlan._uniform`.
+    """
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
 
 
 @dataclass(frozen=True)
@@ -256,6 +272,53 @@ class FaultPlan:
             self.recorder.trip("fault", site=fault.site, index=fault.index,
                                param=fault.param)
         return fault
+
+    # ------------------------------------------------------------------
+    # Vectorized consult windows (SoA engine fast path)
+    # ------------------------------------------------------------------
+
+    def advance(self, site: str, n: int) -> None:
+        """Bulk-advance ``site``'s counter past ``n`` non-firing consults.
+
+        Only legal after :meth:`window_may_fire` returned ``False`` for
+        the same ``(site, n)`` window: the skipped invocations must all
+        be no-fire decisions, so skipping the per-invocation walk leaves
+        :attr:`fired`, storm arming, and the counters exactly where ``n``
+        individual :meth:`fire` calls would have.
+        """
+        if n > 0:
+            self._counters[site] = self._counters.get(site, 0) + n
+
+    def window_may_fire(self, site: str, n: int) -> bool:
+        """Could any of the next ``n`` consults of ``site`` fire?
+
+        ``False`` is an exact guarantee (every decision in the window is
+        a no-fire), which lets a vectorized caller take the whole window
+        in one :meth:`advance`.  ``True`` means the caller must fall
+        back to per-invocation :meth:`fire` calls to reproduce the
+        sequential decisions (including storm arming) exactly.
+        """
+        if n <= 0:
+            return False
+        if self._armed.get(site, 0) > 0:
+            return True
+        start = self._counters.get(site, 0)
+        if self._script is not None:
+            entries = self._script.get(site)
+            if not entries:
+                return False
+            return any(start <= index < start + n for index in entries)
+        rate = self.rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        index = np.arange(start, start + n, dtype=np.uint64)
+        salt = np.uint64((self.seed ^ self._site_salt[site]) & _MASK64)
+        mixed = _splitmix_array(salt ^ _splitmix_array(index))
+        # uint64 -> float64 rounds to nearest and the 2**64 divide is an
+        # exact power-of-two scale: bit-identical to _uniform's
+        # ``int / float`` path.
+        draws = mixed.astype(np.float64) / float(1 << 64)
+        return bool(np.any(draws < rate))
 
     # ------------------------------------------------------------------
     # Reporting

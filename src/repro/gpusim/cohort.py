@@ -41,16 +41,25 @@ approximate:
    keys coincide.  Two precise hazard conditions (duplicate carried
    keys in the cohort; an eviction whose victim key equals another
    warp's carried key aimed at the evicting bucket) are detected per
-   round; a hazardous round falls back to a scalar replay of the
-   reference semantics in permutation order.  Fault-free unique-key
-   workloads essentially never trip the hazards.
+   round; a hazardous round re-resolves the alternate-bucket probes
+   with a vectorized fixpoint over the round's key writes
+   (:func:`_resolve_hazard`) and lands the value writes
+   last-writer-wins in permutation order (:func:`_apply_hazard_round`)
+   — the reference replay semantics at array speed.  Fault-free
+   unique-key workloads essentially never trip the hazards.
 
-3. **Fault-plan delegation.**  :class:`repro.faults.FaultPlan`
-   decisions are a pure hash of the per-site *invocation index*, which
-   is inherently sequential; insert runs on a fault-enabled table are
-   delegated to the per-warp engine wholesale (see
-   :func:`repro.kernels.insert._run_insert`), so injected-fault
-   behaviour stays byte-identical by construction.
+3. **Fault plans in the SoA path.**  :class:`repro.faults.FaultPlan`
+   decisions are a pure hash of the per-site *invocation index*.  In a
+   fault-free round the warps that consult the plan are exactly the
+   round's lock winners, in permutation order, so phase one asks the
+   plan whether any decision inside that consult window could fire
+   (:meth:`~repro.faults.FaultPlan.window_may_fire`); if none can, it
+   advances the per-site counters wholesale and stays vectorized.
+   Only rounds where an injected fault actually lands replay the
+   reference arbitration walk (:func:`_phase_one_fault_walk`), keeping
+   injected behaviour byte-identical to the per-warp engine's
+   :class:`~repro.gpusim.kernel.LockArbiter` without delegating whole
+   kernels.
 
 FIND and DELETE have no scheduler and no locks in the reference engine
 (one warp processes ops sequentially), so their cohort forms are plain
@@ -72,7 +81,6 @@ WARP_WIDTH = 32
 
 _SITE_PH1 = "repro/gpusim/cohort.py:_phase_one"
 _SITE_PH2 = "repro/gpusim/cohort.py:_phase_two"
-_SITE_SCALAR = "repro/gpusim/cohort.py:_complete_one_scalar"
 _SITE_DELETE = "repro/gpusim/cohort.py:cohort_delete"
 _SITE_UNWIND = "repro/gpusim/cohort.py:cohort_insert"
 
@@ -142,6 +150,11 @@ def cohort_find(table, codes: np.ndarray, first=None, second=None,
     result.memory_transactions = n + len(missing)
     result.completed_ops = n
     result.rounds = n  # one warp processes queries sequentially
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    if san.enabled:
+        # Mirror the per-warp MemoryTracker's sanitizer feed (one
+        # notification per counted transaction) so stats conform.
+        san.on_transactions(result.memory_transactions)
     prof = getattr(table, "profiler", NULL_PROFILER)
     if prof.enabled:
         # Ops resolved on the first bucket probed length 1; the rest
@@ -223,6 +236,9 @@ def cohort_delete(table, codes: np.ndarray, first=None, second=None,
                                   + n_removed)
     result.completed_ops = n_removed
     result.rounds = n
+    san = getattr(table, "sanitizer", NULL_SANITIZER)
+    if san.enabled:
+        san.on_transactions(result.memory_transactions)
     prof = getattr(table, "profiler", NULL_PROFILER)
     if prof.enabled:
         prof.observe_probes(n, int(hit_first.sum()))
@@ -272,18 +288,25 @@ class _CohortState:
 def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
                   targets: np.ndarray, voter: bool,
                   max_rounds: int = 1_000_000,
-                  max_rounds_per_op: int = 4096):
+                  max_rounds_per_op: int = 4096,
+                  faults=None):
     """Vectorized Algorithm-1 insert over pre-routed ``(code, value)``s.
 
     ``targets`` must come from the same router call the per-warp engine
     would make (see :func:`repro.kernels.insert._run_insert`, which
-    computes them before dispatching on the engine).  Returns a
+    computes them before dispatching on the engine).  ``faults`` is the
+    table's :class:`~repro.faults.FaultPlan` (or None); injected lock
+    faults reproduce the per-warp arbiter byte for byte.  Returns a
     :class:`~repro.kernels.insert.KernelRunResult` whose every field
-    matches the per-warp engine on the same inputs.
+    matches the per-warp engine on the same inputs; the engine-specific
+    hazard diagnostics ride along as non-field attributes
+    ``hazard_rounds`` / ``hazard_lanes``.
     """
     from repro.kernels.insert import KernelRunResult
 
     result = KernelRunResult()
+    result.hazard_rounds = 0
+    result.hazard_lanes = 0
     codes = np.asarray(codes, dtype=np.uint64)
     if len(codes) == 0:
         return result
@@ -294,12 +317,31 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
     rounds = 0
     san = getattr(table, "sanitizer", NULL_SANITIZER)
     prof = getattr(table, "profiler", NULL_PROFILER)
+    fp = faults if (faults is not None and faults.enabled) else None
+    #: Buckets camped on by an injected holder stall -> rounds left;
+    #: the cohort-local mirror of ``LockArbiter._stalled``.
+    stalled_locks: dict[int, int] = {}
     if prof.enabled:
         state.depth = np.zeros((W, WARP_WIDTH), dtype=np.int64)
     if san.enabled:
         san.begin_kernel("insert", locking=True)
+    # Round-invariant scratch, hoisted out of the loop: the permutation
+    # -> position scatter buffer and its identity source.
+    pos = np.empty(W, dtype=np.int64)
+    base = np.arange(W, dtype=np.int64)
+    # Occupancy tracked as plain ints so the per-round profiler sample
+    # costs no array reductions: live lanes fall as ops complete, a
+    # warp leaves residency when its ballot empties, and the locked
+    # count entering a round is exactly last round's winner count
+    # (every held lock is released in its phase two).
+    live_lanes = len(codes)
+    resident = W
+    locked_count = 0
+    hazard_rounds = 0
+    hazard_lanes = 0
+    round_samples: list[tuple] = []
     try:
-        while bool(state.locked.any()) or bool(state.active.any()):
+        while live_lanes or locked_count:
             if rounds >= max_rounds:
                 raise RuntimeError(
                     f"kernel did not converge within {max_rounds} rounds"
@@ -310,16 +352,11 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
                 # Same round-boundary snapshot the reference engine's
                 # before_round hook takes: a warp is resident while it
                 # holds a lock or has live lanes.
-                resident = state.locked | (state.active != 0)
-                active_lanes = sum(int(m).bit_count()
-                                   for m in state.active.tolist())
-                prof.record_round(int(resident.sum()), active_lanes,
-                                  int(state.locked.sum()),
-                                  evictions=result.evictions,
-                                  completed=result.completed_ops)
+                round_samples.append((resident, live_lanes, locked_count,
+                                      result.evictions,
+                                      result.completed_ops))
             perm = rng.permutation(W)
-            pos = np.empty(W, dtype=np.int64)
-            pos[perm] = np.arange(W)
+            pos[perm] = base
             ph2 = np.flatnonzero(state.locked)
             ph1 = np.flatnonzero(~state.locked & (state.active != 0))
             # Lock holders at round start: they complete and release at
@@ -328,11 +365,30 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
             holder_ids = state.lk_lockid[ph2]
             holder_pos = pos[ph2]
             if len(ph2):
-                _phase_two(table, state, result, ph2, pos, san, prof)
+                hazard, n_done, n_dead = _phase_two(
+                    table, state, result, ph2, pos, san, prof)
+                live_lanes -= n_done
+                resident -= n_dead
+                if hazard:
+                    hazard_rounds += 1
+                    hazard_lanes += len(ph2)
+                    if prof.enabled:
+                        prof.note_hazard(len(ph2))
+            locked_count = 0
             if len(ph1):
-                _phase_one(table, state, result, ph1, pos, holder_ids,
-                           holder_pos, voter, max_rounds_per_op, san,
-                           prof)
+                locked_count = _phase_one(
+                    table, state, result, ph1, pos, holder_ids,
+                    holder_pos, voter, max_rounds_per_op, san, prof,
+                    fp, stalled_locks)
+            if fp is not None and stalled_locks:
+                # Mirror of LockArbiter.tick(): injected holder stalls
+                # age at the end of every device round.
+                for lid in list(stalled_locks):
+                    remaining = stalled_locks[lid] - 1
+                    if remaining <= 0:
+                        del stalled_locks[lid]
+                    else:
+                        stalled_locks[lid] = remaining
             rounds += 1
     except BaseException:
         # Release-on-exception: _phase_one raises CapacityError *after*
@@ -347,9 +403,17 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
         state.locked[:] = False
         raise
     finally:
+        if prof.enabled and round_samples:
+            prof.record_rounds_many(round_samples)
         if san.enabled:
+            if result.memory_transactions:
+                # Mirror the per-warp MemoryTracker's sanitizer feed
+                # (one notification per counted transaction).
+                san.on_transactions(result.memory_transactions)
             san.end_kernel()
     result.rounds = rounds
+    result.hazard_rounds = hazard_rounds
+    result.hazard_lanes = hazard_lanes
     return result
 
 
@@ -357,8 +421,12 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
                pos: np.ndarray, holder_ids: np.ndarray,
                holder_pos: np.ndarray, voter: bool,
                max_stall: int, san=NULL_SANITIZER,
-               prof=NULL_PROFILER) -> None:
-    """Elect leaders, hash buckets, arbitrate locks — all warps at once."""
+               prof=NULL_PROFILER, fp=None,
+               stalled_locks: dict | None = None) -> int:
+    """Elect leaders, hash buckets, arbitrate locks — all warps at once.
+
+    Returns the number of locks granted (the warps entering phase two).
+    """
     m = state.active[ph1]
     result.votes += len(ph1)
     if voter:
@@ -398,6 +466,12 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
     else:
         blocker = np.full(len(lid_s), -1, dtype=np.int64)
     eligible = pos_s > blocker
+    if stalled_locks:
+        # Buckets held down by an injected stall deny without ever
+        # consulting the plan (the arbiter's stalled check comes first).
+        eligible &= ~np.isin(lid_s, np.fromiter(
+            stalled_locks.keys(), dtype=np.int64,
+            count=len(stalled_locks)))
     group_start = np.empty(len(lid_s), dtype=bool)
     group_start[0] = True
     group_start[1:] = lid_s[1:] != lid_s[:-1]
@@ -412,6 +486,25 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
     win[order] = winner_s
 
     n_win = int(win.sum())
+    if fp is not None:
+        # In a fault-free round the plan is consulted exactly once per
+        # winner at each lock site, in permutation order: every other
+        # candidate is denied by the stalled/held/taken checks *before*
+        # the consult.  So the round's consult window at each site is
+        # [counter, counter + n_win); if no decision inside either
+        # window can fire, advance both counters wholesale and keep the
+        # vectorized winners.  Otherwise replay the reference
+        # arbitration walk so indices and side effects stay exact.
+        if (fp.window_may_fire("lock.acquire", n_win)
+                or fp.window_may_fire("lock.stall", n_win)):
+            blocker_row = np.empty(len(ph1), dtype=np.int64)
+            blocker_row[order] = blocker
+            win = _phase_one_fault_walk(fp, stalled_locks, lock_id,
+                                        my_pos, blocker_row, san)
+            n_win = int(win.sum())
+        else:
+            fp.advance("lock.acquire", n_win)
+            fp.advance("lock.stall", n_win)
     result.lock_acquisitions += n_win
     result.lock_conflicts += len(ph1) - n_win
     # Phase one of a won lock: one coalesced bucket read issued.
@@ -447,17 +540,61 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
                 "insert kernel stalled: no lock progress "
                 f"after {max_stall} rounds"
             )
+    return n_win
+
+
+def _phase_one_fault_walk(fp, stalled_locks: dict, lock_id: np.ndarray,
+                          my_pos: np.ndarray, blocker_row: np.ndarray,
+                          san=NULL_SANITIZER) -> np.ndarray:
+    """Reference-order lock arbitration for a round where a fault fires.
+
+    Steps the phase-one candidates in permutation order, replaying the
+    exact consult sequence of ``LockArbiter.try_acquire``: a stalled or
+    held (or already-taken) lock denies *without* consulting the plan;
+    everyone else fires ``lock.acquire`` and, if that passes, fires
+    ``lock.stall`` before winning.  An injected stall camps on the
+    bucket for ``max(1, param)`` rounds, denying same-round and
+    later-round candidates alike.  Returns the win mask over the
+    candidates.
+    """
+    win = np.zeros(len(lock_id), dtype=bool)
+    won: set[int] = set()
+    lids = lock_id.tolist()
+    blockers = blocker_row.tolist()
+    posl = my_pos.tolist()
+    for j in np.argsort(my_pos).tolist():
+        lid = lids[j]
+        if lid in stalled_locks or blockers[j] > posl[j] or lid in won:
+            continue
+        fault = fp.fire("lock.acquire")
+        if fault is not None:
+            if san.enabled:
+                san.note_injected("lock.acquire")
+            continue
+        fault = fp.fire("lock.stall")
+        if fault is not None:
+            stalled_locks[lid] = max(1, fault.param)
+            if san.enabled:
+                san.note_injected("lock.stall")
+            continue
+        win[j] = True
+        won.add(lid)
+    return win
 
 
 def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
                pos: np.ndarray, san=NULL_SANITIZER,
-               prof=NULL_PROFILER) -> None:
+               prof=NULL_PROFILER) -> tuple[bool, int, int]:
     """Complete every held lock: upsert, place, or evict, then release.
 
     Classifies all locked warps from a start-of-round snapshot and
-    applies the whole round vectorized unless a key-coincidence hazard
-    makes the order of operations observable, in which case the round
-    replays scalar in permutation order (the reference semantics).
+    applies the whole round vectorized.  When a key-coincidence hazard
+    makes the order of operations observable, the alternate-bucket
+    probes are re-resolved by :func:`_resolve_hazard` and the value
+    writes land last-writer-wins in permutation order — still without
+    leaving the vectorized path.  Returns ``(hazard, n_done, n_dead)``:
+    whether the round was hazardous, how many lanes completed, and how
+    many warps finished their last lane.
     """
     cap = table.subtables[0].bucket_capacity
     tgt = state.lk_target[ph2]
@@ -502,7 +639,7 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
     # sees the first copy.  Hazard H2: an eviction removes (or has its
     # victim's value overwritten by) a key some other warp is probing
     # for in the evicting bucket this round.  Both require carried-key
-    # coincidences; either forces the scalar replay.
+    # coincidences; either forces the ordered hazard resolution.
     hazard = len(np.unique(key)) != mcount
     vict_rank = np.empty(0, dtype=np.int64)
     if len(evict):
@@ -522,12 +659,14 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
             same = e_lock_s[where_c] == probe_lock
             hazard = bool(np.any(same & (e_vkey_s[where_c] == key[miss])))
 
+    victim_val = None
     if hazard:
-        for w in ph2[np.argsort(pos[ph2], kind="stable")]:
-            _complete_one_scalar(table, state, int(w), result, san, prof)
-        return
+        (a_hit, a_slot, place, evict, vslot, victim_key,
+         victim_val) = _resolve_hazard(
+            table, state, ph2, pos, tgt, bkt, key, val, own, miss,
+            alt_t, alt_b, a_hit, a_slot, has_free, free_slot, cap)
 
-    # ---- vectorized apply (no observable ordering inside the round) --
+    # ---- vectorized apply (ordering resolved above if observable) ----
     n_miss = len(miss)
     n_up = mcount - n_miss
     n_ahit = int(a_hit.sum())
@@ -538,36 +677,45 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
     result.evictions += len(evict)
 
     exist = np.flatnonzero(has_exist)
-    for t in range(table.num_tables):
-        st = table.subtables[t]
-        g = exist[tgt[exist] == t]
-        if len(g):
-            st.values[bkt[g], exist_slot[g]] = val[g]
-        gp = place[tgt[place] == t]
-        if len(gp):
-            pslot = free_slot[np.searchsorted(miss, gp)]
-            st.keys[bkt[gp], pslot] = key[gp]
-            st.values[bkt[gp], pslot] = val[gp]
-            st.size += len(gp)
-    if n_ahit:
-        hit_rows = np.flatnonzero(a_hit)
+    if hazard:
+        _apply_hazard_round(table, state, ph2, pos, tgt, bkt, key, val,
+                            exist, exist_slot, miss, alt_t, alt_b,
+                            a_hit, a_slot, place, free_slot, evict,
+                            vslot, cap)
+        if len(evict):
+            table._victim_counter += len(evict)
+    else:
         for t in range(table.num_tables):
-            g = hit_rows[alt_t[hit_rows] == t]
+            st = table.subtables[t]
+            g = exist[tgt[exist] == t]
             if len(g):
-                table.subtables[t].values[alt_b[g], a_slot[g]] = val[
-                    miss[g]]
+                st.values[bkt[g], exist_slot[g]] = val[g]
+            gp = place[tgt[place] == t]
+            if len(gp):
+                pslot = free_slot[np.searchsorted(miss, gp)]
+                st.keys[bkt[gp], pslot] = key[gp]
+                st.values[bkt[gp], pslot] = val[gp]
+                st.size += len(gp)
+        if n_ahit:
+            hit_rows = np.flatnonzero(a_hit)
+            for t in range(table.num_tables):
+                g = hit_rows[alt_t[hit_rows] == t]
+                if len(g):
+                    table.subtables[t].values[alt_b[g], a_slot[g]] = val[
+                        miss[g]]
+        if len(evict):
+            victim_val = np.empty(len(evict), dtype=np.uint64)
+            for t in range(table.num_tables):
+                g = np.flatnonzero(tgt[evict] == t)
+                if len(g):
+                    st = table.subtables[t]
+                    rows = evict[g]
+                    victim_val[g] = st.values[bkt[rows], vslot[g]]
+                    st.keys[bkt[rows], vslot[g]] = key[rows]
+                    st.values[bkt[rows], vslot[g]] = val[rows]
+            table._victim_counter += len(evict)
 
     if len(evict):
-        victim_val = np.empty(len(evict), dtype=np.uint64)
-        for t in range(table.num_tables):
-            g = np.flatnonzero(tgt[evict] == t)
-            if len(g):
-                st = table.subtables[t]
-                rows = evict[g]
-                victim_val[g] = st.values[bkt[rows], vslot[g]]
-                st.keys[bkt[rows], vslot[g]] = key[rows]
-                st.values[bkt[rows], vslot[g]] = val[rows]
-        table._victim_counter += len(evict)
         # The evicted pair continues on the leader's lane, retargeted
         # at the victim's alternate subtable; the lane stays active.
         e_warp = ph2[evict]
@@ -581,10 +729,13 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
             state.depth[e_warp, e_lane] += 1
 
     done = np.concatenate([exist, miss[a_hit], place])
-    if len(done):
+    n_done = len(done)
+    n_dead = 0
+    if n_done:
         d_warp = ph2[done]
         d_lane = ldr[done]
         state.active[d_warp] &= ~(_ONE << d_lane.astype(np.uint64))
+        n_dead = int((state.active[d_warp] == 0).sum())
         state.next_start[d_warp] = (d_lane + 1) % WARP_WIDTH
         if state.depth is not None:
             prof.observe_chains(state.depth[d_warp, d_lane])
@@ -613,89 +764,183 @@ def _phase_two(table, state: _CohortState, result, ph2: np.ndarray,
                                       site=_SITE_PH2)
             san.on_lock_release(w, lid, site=_SITE_PH2)
     state.locked[ph2] = False
+    return hazard, n_done, n_dead
 
 
-def _complete_one_scalar(table, state: _CohortState, w: int,
-                         result, san=NULL_SANITIZER,
-                         prof=NULL_PROFILER) -> None:
-    """Reference-exact phase two for one warp against live storage.
+def _resolve_hazard(table, state: _CohortState, ph2: np.ndarray,
+                    pos: np.ndarray, tgt: np.ndarray, bkt: np.ndarray,
+                    key: np.ndarray, val: np.ndarray, own: np.ndarray,
+                    miss: np.ndarray, alt_t: np.ndarray,
+                    alt_b: np.ndarray, a_hit0: np.ndarray,
+                    a_slot0: np.ndarray, has_free: np.ndarray,
+                    free_slot: np.ndarray, cap: int):
+    """Re-resolve alternate-bucket probes under a key-coincidence hazard.
 
-    Mirrors :meth:`repro.kernels.insert._InsertWarp._complete_locked`
-    line for line; used for hazardous rounds, where same-round write
-    order between warps is observable.
+    In a hazardous round a warp's alternate probe can observe a key
+    written earlier in the same round by the probed bucket's lock
+    holder.  Own-bucket ballots stay snapshot-stable regardless (only
+    the holder writes keys into a locked bucket), so the only mutable
+    outcome is each miss row's alternate probe — and it depends solely
+    on the single key write of the probed bucket's holder, a warp
+    acting strictly earlier in the permutation.  That dependency graph
+    is a forest pointing at strictly earlier positions, so iterating
+    the probe recomputation from the start-of-round snapshot converges
+    in at most ``mcount`` steps to exactly the outcomes the reference
+    engine observes when it steps warps in permutation order.
+
+    Returns the final ``(a_hit, a_slot, place, evict, vslot,
+    victim_key, victim_val)``; storage is *not* touched.
     """
-    ldr = int(state.lk_leader[w])
-    tgt = int(state.lk_target[w])
-    bkt = int(state.lk_bucket[w])
-    lid = int(state.lk_lockid[w])
-    key = np.uint64(state.keys[w, ldr])
-    val = np.uint64(state.values[w, ldr])
-    st = table.subtables[tgt]
-    row = st.keys[bkt]
-    hits = np.flatnonzero(row == key)
-    slot = int(hits[0]) if len(hits) else -1
-    if slot < 0:
-        alt = int(table.pair_hash.alternate_table(
-            np.asarray([key], dtype=np.uint64),
-            np.asarray([tgt], dtype=np.int64))[0])
-        ast = table.subtables[alt]
-        ab = int(table.bucket_for(
-            alt, np.asarray([key], dtype=np.uint64))[0])
-        result.memory_transactions += 1
-        if san.enabled:
-            san.record_access(w, "probe", "bucket", (alt << 40) | ab,
-                              site=_SITE_SCALAR)
-        ahits = np.flatnonzero(ast.keys[ab] == key)
-        if len(ahits):
-            ast.values[ab, int(ahits[0])] = val
-            result.memory_transactions += 1
-            result.completed_ops += 1
-            if san.enabled:
-                san.record_access(w, "atomic", "value", (alt << 40) | ab,
-                                  site=_SITE_SCALAR)
-                san.on_lock_release(w, lid, site=_SITE_SCALAR)
-            if state.depth is not None:
-                prof.observe_chain(state.depth[w, ldr])
-            state.active[w] &= ~(_ONE << np.uint64(ldr))
-            state.next_start[w] = (ldr + 1) % WARP_WIDTH
-            state.locked[w] = False
-            return
-        empties = np.flatnonzero(row == EMPTY)
-        slot = int(empties[0]) if len(empties) else -1
-    if 0 <= slot < st.bucket_capacity:
-        was_empty = row[slot] == EMPTY
-        st.keys[bkt, slot] = key
-        st.values[bkt, slot] = val
-        if was_empty:
-            st.size += 1
-        result.memory_transactions += 1
-        result.completed_ops += 1
-        if san.enabled:
-            san.record_access(w, "write", "bucket", lid,
-                              site=_SITE_SCALAR)
-            san.on_lock_release(w, lid, site=_SITE_SCALAR)
-        if state.depth is not None:
-            prof.observe_chain(state.depth[w, ldr])
-        state.active[w] &= ~(_ONE << np.uint64(ldr))
-        state.next_start[w] = (ldr + 1) % WARP_WIDTH
-        state.locked[w] = False
+    mcount = len(ph2)
+    nm = len(miss)
+    pos2 = pos[ph2]
+    lockids = state.lk_lockid[ph2]
+    probe_lock = (alt_t << np.int64(40)) | alt_b
+    # The ph2-local row holding each probed bucket's lock, if any; its
+    # write is visible only to probers acting after it.
+    ho = np.argsort(lockids)
+    lsort = lockids[ho]
+    where = np.clip(np.searchsorted(lsort, probe_lock), 0,
+                    max(mcount - 1, 0))
+    holder = np.where(lsort[where] == probe_lock, ho[where], -1)
+    hvalid = holder >= 0
+    hvalid[hvalid] = pos2[holder[hvalid]] < pos2[miss[hvalid]]
+
+    vc0 = table._victim_counter
+    nh = a_hit0.copy()
+    ns = a_slot0.copy()
+    ev_m = np.flatnonzero(~nh & ~has_free)
+    vslot = np.empty(0, dtype=np.int64)
+    for _ in range(mcount + 2):
+        # Key-write slot of every ph2 row under the current outcomes:
+        # EXIST and ALT_HIT write no key (an upsert rewrites the same
+        # key — no content change); PLACE fills its snapshot-free slot;
+        # EVICT overwrites its victim slot, counter ranked among the
+        # current evictors in permutation order.
+        wslot = np.full(mcount, -1, dtype=np.int64)
+        pl_m = np.flatnonzero(~nh & has_free)
+        wslot[miss[pl_m]] = free_slot[pl_m]
+        ev_m = np.flatnonzero(~nh & ~has_free)
+        vslot = np.empty(len(ev_m), dtype=np.int64)
+        if len(ev_m):
+            rank = np.empty(len(ev_m), dtype=np.int64)
+            rank[np.argsort(pos2[miss[ev_m]],
+                            kind="stable")] = np.arange(len(ev_m))
+            vslot = (vc0 + rank + bkt[miss[ev_m]]) % cap
+            wslot[miss[ev_m]] = vslot
+        # Recompute every probe from the snapshot plus its holder's
+        # single key write (if the holder acts first).
+        sH = np.full(nm, -1, dtype=np.int64)
+        kH = np.zeros(nm, dtype=np.uint64)
+        sH[hvalid] = wslot[holder[hvalid]]
+        kH[hvalid] = key[holder[hvalid]]
+        no_write = sH < 0
+        kmatch = ~no_write & (kH == key[miss])
+        base = a_hit0 & (no_write | (a_slot0 != sH))
+        new_nh = base | kmatch
+        new_ns = np.where(
+            kmatch & base, np.minimum(a_slot0, sH),
+            np.where(kmatch, sH, np.where(base, a_slot0, 0)))
+        if (np.array_equal(new_nh, nh)
+                and np.array_equal(new_ns, ns)):
+            break
+        nh = new_nh
+        ns = new_ns
+    place = miss[np.flatnonzero(~nh & has_free)]
+    evict = miss[ev_m]
+    victim_key = own[evict, vslot]
+
+    # Victim values are read live at the evictor's turn: start from the
+    # snapshot and override with the latest earlier-position
+    # alternate-hit value write landing in the same slot, if any.
+    victim_val = np.empty(len(evict), dtype=np.uint64)
+    for t in range(table.num_tables):
+        g = np.flatnonzero(tgt[evict] == t)
+        if len(g):
+            st = table.subtables[t]
+            victim_val[g] = st.values[bkt[evict[g]], vslot[g]]
+    ah_m = np.flatnonzero(nh)
+    if len(ah_m) and len(evict):
+        w_total = len(pos)
+        w_addr = probe_lock[ah_m] * cap + ns[ah_m]
+        w_pos = pos2[miss[ah_m]]
+        e_addr = lockids[evict] * cap + vslot
+        e_pos = pos2[evict]
+        _uq, inv = np.unique(np.concatenate([w_addr, e_addr]),
+                             return_inverse=True)
+        winv = inv[:len(w_addr)]
+        einv = inv[len(w_addr):]
+        combined = winv * w_total + w_pos
+        order = np.argsort(combined)
+        srt = combined[order]
+        r = np.searchsorted(srt, einv * w_total + e_pos)
+        cand = order[np.maximum(r - 1, 0)]
+        ok = (r > 0) & (winv[cand] == einv)
+        victim_val[ok] = val[miss[ah_m[cand[ok]]]]
+    return nh, ns, place, evict, vslot, victim_key, victim_val
+
+
+def _apply_hazard_round(table, state: _CohortState, ph2: np.ndarray,
+                        pos: np.ndarray, tgt: np.ndarray,
+                        bkt: np.ndarray, key: np.ndarray,
+                        val: np.ndarray, exist: np.ndarray,
+                        exist_slot: np.ndarray, miss: np.ndarray,
+                        alt_t: np.ndarray, alt_b: np.ndarray,
+                        a_hit: np.ndarray, a_slot: np.ndarray,
+                        place: np.ndarray, free_slot: np.ndarray,
+                        evict: np.ndarray, vslot: np.ndarray,
+                        cap: int) -> None:
+    """Apply a hazardous round's writes with reference write ordering.
+
+    Key writes are conflict-free (one lock holder per bucket) and land
+    directly; value writes from different warps can collide on one
+    slot (an upsert racing an alternate hit on a freshly written key),
+    so every value write carries its warp's permutation position and
+    each slot keeps the last writer — exactly the state the reference
+    replay leaves behind.
+    """
+    # Keys and sizes: PLACE fills a snapshot-EMPTY slot, EVICT
+    # overwrites its victim's key.
+    for t in range(table.num_tables):
+        st = table.subtables[t]
+        gp = place[tgt[place] == t]
+        if len(gp):
+            pslot = free_slot[np.searchsorted(miss, gp)]
+            st.keys[bkt[gp], pslot] = key[gp]
+            st.size += len(gp)
+        ge = np.flatnonzero(tgt[evict] == t)
+        if len(ge):
+            st.keys[bkt[evict[ge]], vslot[ge]] = key[evict[ge]]
+    # Value writes, last-writer-wins by permutation position.
+    pos2 = pos[ph2]
+    lockids = state.lk_lockid[ph2]
+    ah_m = np.flatnonzero(a_hit)
+    pl_m = np.searchsorted(miss, place)
+    addr = np.concatenate([
+        lockids[exist] * cap + exist_slot[exist],
+        (((alt_t[ah_m] << np.int64(40)) | alt_b[ah_m]) * cap
+         + a_slot[ah_m]),
+        lockids[place] * cap + free_slot[pl_m],
+        lockids[evict] * cap + vslot,
+    ])
+    if not len(addr):
         return
-    vslot = (table._victim_counter + bkt) % st.bucket_capacity
-    table._victim_counter += 1
-    victim_key = np.uint64(st.keys[bkt, vslot])
-    victim_val = np.uint64(st.values[bkt, vslot])
-    st.keys[bkt, vslot] = key
-    st.values[bkt, vslot] = val
-    result.memory_transactions += 1
-    result.evictions += 1
-    if san.enabled:
-        san.record_access(w, "write", "bucket", lid, site=_SITE_SCALAR)
-        san.on_lock_release(w, lid, site=_SITE_SCALAR)
-    if state.depth is not None:
-        state.depth[w, ldr] += 1
-    state.keys[w, ldr] = victim_key
-    state.values[w, ldr] = victim_val
-    state.targets[w, ldr] = int(table.pair_hash.alternate_table(
-        np.asarray([victim_key], dtype=np.uint64),
-        np.asarray([tgt], dtype=np.int64))[0])
-    state.locked[w] = False
+    wval = np.concatenate([val[exist], val[miss[ah_m]], val[place],
+                           val[evict]])
+    wpos = np.concatenate([pos2[exist], pos2[miss[ah_m]], pos2[place],
+                           pos2[evict]])
+    order = np.lexsort((wpos, addr))
+    addr_s = addr[order]
+    last = np.empty(len(addr_s), dtype=bool)
+    last[-1] = True
+    last[:-1] = addr_s[1:] != addr_s[:-1]
+    sel = order[last]
+    lock = addr[sel] // cap
+    slot = addr[sel] % cap
+    t_of = lock >> 40
+    b_of = lock & ((1 << 40) - 1)
+    v_of = wval[sel]
+    for t in range(table.num_tables):
+        g = np.flatnonzero(t_of == t)
+        if len(g):
+            table.subtables[t].values[b_of[g], slot[g]] = v_of[g]

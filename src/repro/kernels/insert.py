@@ -353,17 +353,21 @@ def _run_insert(table, keys, values, voter: bool, engine: str = "warp",
     if prof.enabled:
         prof.begin_kernel("insert", len(codes))
     try:
-        with kernel_span(table, "insert", len(codes), engine):
-            if engine == "cohort" and not faulty:
+        with kernel_span(table, "insert", len(codes), engine) as span:
+            if engine == "cohort":
                 from repro.gpusim.cohort import cohort_insert
 
+                # Fault plans run natively in the SoA path: rounds
+                # whose consult window cannot fire stay vectorized,
+                # and the rest replay the reference arbitration walk
+                # (see cohort._phase_one_fault_walk).
                 result = cohort_insert(table, codes, values, targets,
-                                       voter=voter)
+                                       voter=voter,
+                                       faults=faults if faulty else None)
+                if span is not None and result.hazard_rounds:
+                    span.args["hazard_rounds"] = result.hazard_rounds
+                    span.args["hazard_lanes"] = result.hazard_lanes
             else:
-                # Fault-plan decisions hash the per-site *invocation
-                # index*, which only the sequential per-warp engine
-                # reproduces; a fault-enabled run delegates to it so
-                # injected behaviour stays byte-identical across engines.
                 result = _run_insert_warps(table, codes, values, targets,
                                            voter, faults)
     except BaseException:

@@ -37,6 +37,9 @@ front-end rolls the per-shard registries into one labelled view (see
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 
 import numpy as np
@@ -55,6 +58,23 @@ from repro.telemetry.aggregate import merge_registries
 
 #: Seed salt deriving the shard-router hash from the table seed.
 _SHARD_HASH_SALT = 0x5A4D
+
+#: Infrastructure failures that trip the serial fallback (as opposed to
+#: application errors — e.g. ``CapacityError`` — which propagate).
+_POOL_ERRORS = (BrokenProcessPool, OSError, pickle.PicklingError)
+
+
+def _shard_worker(shard: DyCuckooTable, op_codes, keys, values,
+                  engine: str | None):
+    """Run one shard's mixed subsequence in a worker process.
+
+    The shard table travels by value (pickle), mutates in the worker,
+    and is shipped back whole; the parent replaces its copy only after
+    every shard's future has resolved, so a failed batch leaves the
+    parent's shards untouched.
+    """
+    result = _execute_mixed(shard, op_codes, keys, values, engine=engine)
+    return shard, result
 
 
 class ShardedDyCuckoo(GpuHashTable):
@@ -75,6 +95,18 @@ class ShardedDyCuckoo(GpuHashTable):
         this to give shards individual ``[alpha, beta]`` bands or
         capacity ceilings; entries of ``None`` fall back to the derived
         base configuration.
+    parallel_workers:
+        Worker-process count for :meth:`execute_mixed`.  ``None`` (the
+        default), ``0``, or ``1`` keep the serial path; ``>= 2`` runs
+        shard subsequences concurrently in a process pool.  Shards
+        share nothing by construction, so results, ``runs``, and merged
+        kernel counters are bit-identical to serial execution: workers
+        resolve behind a barrier and merge strictly in shard-index
+        order.  Batches with any instrumentation attached (telemetry,
+        sanitizer, fault plan, profiler, flight recorder) run serially
+        regardless, since those handles are shared mutable state; pool
+        infrastructure failures also fall back to serial (permanently
+        for the instance) without losing shard state.
 
     Examples
     --------
@@ -93,10 +125,15 @@ class ShardedDyCuckoo(GpuHashTable):
 
     def __init__(self, num_shards: int = 4,
                  config: DyCuckooConfig | None = None,
-                 shard_configs=None) -> None:
+                 shard_configs=None,
+                 parallel_workers: int | None = None) -> None:
         if num_shards < 1 or num_shards & (num_shards - 1):
             raise InvalidConfigError(
                 f"num_shards must be a positive power of two, got {num_shards}"
+            )
+        if parallel_workers is not None and parallel_workers < 0:
+            raise InvalidConfigError(
+                f"parallel_workers must be >= 0, got {parallel_workers}"
             )
         self.num_shards = num_shards
         self.config = config or DyCuckooConfig()
@@ -116,6 +153,11 @@ class ShardedDyCuckoo(GpuHashTable):
         rng = np.random.default_rng(self.config.seed ^ _SHARD_HASH_SALT)
         self._shard_hash = UniversalHash.random(rng)
         self.telemetry = NULL_TELEMETRY
+        #: Requested worker-process count for ``execute_mixed``.
+        #: ``None``/0/1 means serial; capped at ``num_shards``.
+        self.parallel_workers = parallel_workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._parallel_broken = False
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -220,13 +262,21 @@ class ShardedDyCuckoo(GpuHashTable):
         if n == 0:
             return MixedBatchResult(out_values, out_found, out_removed, runs)
         _codes, selections = self._scatter(keys)
-        for shard, sel in zip(self.shards, selections):
-            if len(sel) == 0:
+        results = None
+        if self._parallel_eligible(selections):
+            results = self._execute_shards_parallel(
+                selections, op_codes, keys, values, engine)
+        if results is None:
+            results = [
+                _execute_mixed(shard, op_codes[sel], keys[sel],
+                               values[sel] if values is not None else None,
+                               engine=engine)
+                if len(sel) else None
+                for shard, sel in zip(self.shards, selections)
+            ]
+        for sel, result in zip(selections, results):
+            if result is None:
                 continue
-            result = _execute_mixed(
-                shard, op_codes[sel], keys[sel],
-                values[sel] if values is not None else None,
-                engine=engine)
             out_values[sel] = result.values
             out_found[sel] = result.found
             out_removed[sel] = result.removed
@@ -236,6 +286,97 @@ class ShardedDyCuckoo(GpuHashTable):
                                 else kernel_total.merge(result.kernel))
         return MixedBatchResult(out_values, out_found, out_removed, runs,
                                 kernel_total)
+
+    # ------------------------------------------------------------------
+    # Parallel shard execution
+    # ------------------------------------------------------------------
+
+    def _parallel_eligible(self, selections) -> bool:
+        """True when this batch may run on the process pool.
+
+        Requires ``parallel_workers >= 2``, more than one shard with
+        work (otherwise the pickling round-trip buys nothing), a
+        healthy pool, and no instrumentation anywhere: telemetry,
+        sanitizer, fault plans, profilers and recorders are shared
+        mutable handles whose event streams are defined by sequential
+        shard order, so instrumented batches always take the serial
+        path.
+        """
+        if self._parallel_broken or self.num_shards < 2:
+            return False
+        if self.parallel_workers is None or self.parallel_workers < 2:
+            return False
+        if sum(1 for sel in selections if len(sel)) < 2:
+            return False
+        if self.telemetry.enabled:
+            return False
+        return not any(
+            shard.telemetry.enabled or shard.sanitizer.enabled
+            or shard.faults.enabled or shard.profiler.enabled
+            or shard.recorder.enabled
+            for shard in self.shards
+        )
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=min(self.parallel_workers, self.num_shards))
+        return self._executor
+
+    def _execute_shards_parallel(self, selections, op_codes, keys, values,
+                                 engine):
+        """Fan shard subsequences out to the pool; barrier, then merge.
+
+        Returns per-shard results aligned with ``selections`` (``None``
+        for idle shards), or ``None`` to request the serial fallback
+        after an infrastructure failure.  Shard replacement happens
+        only after *every* future resolves, so both an application
+        error (which propagates) and a pool failure leave the parent's
+        shards exactly as they were.
+        """
+        try:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    _shard_worker, shard, op_codes[sel], keys[sel],
+                    values[sel] if values is not None else None, engine)
+                if len(sel) else None
+                for shard, sel in zip(self.shards, selections)
+            ]
+            collected = [future.result() if future is not None else None
+                         for future in futures]
+        except _POOL_ERRORS:
+            self._shutdown_pool(broken=True)
+            return None
+        results = []
+        for idx, entry in enumerate(collected):
+            if entry is None:
+                results.append(None)
+                continue
+            shard, result = entry
+            self.shards[idx] = shard
+            results.append(result)
+        return results
+
+    def _shutdown_pool(self, broken: bool = False) -> None:
+        if broken:
+            self._parallel_broken = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Release the worker pool (no-op when running serially)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ShardedDyCuckoo":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection and roll-ups

@@ -81,6 +81,13 @@ class Profiler:
         self.fill_timeline: list[dict] = []
         self.stash_samples: list[int] = []
         self.stash_high_water = 0
+        #: Rounds the cohort engine resolved under a key-coincidence
+        #: hazard, and the locked-warp lanes involved.  Deliberately
+        #: *outside* :meth:`snapshot`: the per-warp engine has no hazard
+        #: concept, so these counters are engine-specific diagnostics,
+        #: not part of the engine-neutral conformance surface.
+        self.hazard_rounds = 0
+        self.hazard_lanes = 0
 
     # ------------------------------------------------------------------
     # Kernel lifecycle
@@ -122,6 +129,32 @@ class Profiler:
             "evictions": int(evictions),
             "completed": int(completed),
         })
+
+    def record_rounds_many(self, samples) -> None:
+        """Bulk :meth:`record_round`: one append per kernel, not per round.
+
+        ``samples`` is an iterable of ``(active_warps, active_lanes,
+        locked_warps, evictions, completed)`` tuples in round order; the
+        resulting record list is byte-identical to per-round calls, so
+        engines may batch their occupancy samples and flush once.
+        """
+        if self._active is None:
+            self.begin_kernel("?", 0)
+        rounds = self._active["rounds"]
+        for active_warps, active_lanes, locked_warps, evictions, \
+                completed in samples:
+            rounds.append({
+                "active_warps": int(active_warps),
+                "active_lanes": int(active_lanes),
+                "locked_warps": int(locked_warps),
+                "evictions": int(evictions),
+                "completed": int(completed),
+            })
+
+    def note_hazard(self, lanes: int) -> None:
+        """One hazardous cohort round involving ``lanes`` locked warps."""
+        self.hazard_rounds += 1
+        self.hazard_lanes += int(lanes)
 
     # ------------------------------------------------------------------
     # Lock-contention heatmap

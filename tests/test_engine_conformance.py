@@ -124,15 +124,144 @@ class TestKernelEntryPoints:
         with pytest.raises(InvalidConfigError):
             execute_mixed(table, [OP_FIND], [1], engine="simd")
 
-    def test_fault_plans_delegate_to_warp_path(self):
-        """Fault-bearing inserts run per-warp under both engine labels."""
+    def test_fault_plans_native_soa_conformance(self):
+        """Fault-bearing inserts run natively in the SoA path.
+
+        The cohort engine no longer delegates to the warp interpreter
+        when a fault plan is armed — it consults the same (seed, site,
+        index) decisions through the vectorized window check — so the
+        result, the plan's invocation counters, the exact fired-fault
+        sequence, storage, and sanitizer stats must all be
+        bit-identical to the reference.
+        """
         tw, tc = twin_tables()
-        tw.set_fault_plan(default_chaos_plan(seed=5))
-        tc.set_fault_plan(default_chaos_plan(seed=5))
+        pw = tw.set_fault_plan(default_chaos_plan(seed=5))
+        pc = tc.set_fault_plan(default_chaos_plan(seed=5))
         keys = unique_keys(300, seed=25)
         rw = run_voter_insert_kernel(tw, keys, keys)
         rc = run_voter_insert_kernel(tc, keys, keys, engine="cohort")
         assert rw == rc
+        assert pw.fired, "the chaos plan must actually inject faults"
+        assert pw.fired == pc.fired
+        assert pw.invocations() == pc.invocations()
+        assert tw.sanitizer.stats == tc.sanitizer.stats
+        assert_tables_identical(tw, tc)
+
+    def test_scripted_fault_plans_conform(self):
+        """Scripted (exact-index) plans replay identically on both
+        engines, including multi-round stalls."""
+        from repro.faults import FaultPlan
+
+        fired = ([["lock.acquire", i, 1] for i in (0, 3, 7, 11, 40)]
+                 + [["lock.stall", i, 3] for i in (2, 9, 25)])
+        tw, tc = twin_tables(buckets=16)
+        pw = tw.set_fault_plan(FaultPlan.from_script(
+            {"seed": 1, "fired": fired}))
+        pc = tc.set_fault_plan(FaultPlan.from_script(
+            {"seed": 1, "fired": fired}))
+        keys = unique_keys(200, seed=26)
+        rw = run_voter_insert_kernel(tw, keys, keys)
+        rc = run_voter_insert_kernel(tc, keys, keys, engine="cohort")
+        assert rw == rc
+        assert [(f.site, f.index, f.param) for f in pw.fired] \
+            == [(f.site, f.index, f.param) for f in pc.fired]
+        assert pw.invocations() == pc.invocations()
+        assert tw.sanitizer.stats == tc.sanitizer.stats
+        assert_tables_identical(tw, tc)
+
+
+class TestHazardResolution:
+    """The vectorized key-coincidence resolver (cohort phase 2).
+
+    Duplicate keys in one batch share a router target and therefore a
+    lock, so genuine hazards need either eviction retargeting or
+    adversarial targets.  These tests drive the engines directly with
+    crafted per-key targets (always one of the key's legal pair
+    members) to force snapshot/live divergence, then require bit
+    equality everywhere.
+    """
+
+    def _run_adversarial(self, seed, n=256, buckets=8, capacity=8):
+        from repro.core.table import encode_keys
+        from repro.gpusim.cohort import cohort_insert
+        from repro.kernels.insert import _run_insert_warps
+
+        rng = np.random.default_rng(seed)
+        tw, tc = twin_tables(buckets=buckets, capacity=capacity)
+        base = rng.integers(1, n // 2, size=n).astype(np.uint64)
+        values = np.arange(1, n + 1, dtype=np.uint64)
+        codes = encode_keys(base)
+        first, second = tw.pair_hash.tables_for(codes)
+        coin = rng.integers(0, 2, size=n).astype(bool)
+        targets = np.where(coin, first, second)
+        rw = _run_insert_warps(tw, codes, values, targets, True, None)
+        rc = cohort_insert(tc, codes, values, targets, voter=True)
+        return tw, tc, rw, rc
+
+    def test_adversarial_targets_identical(self):
+        hazardous = 0
+        for seed in range(8):
+            tw, tc, rw, rc = self._run_adversarial(seed)
+            assert dataclasses.asdict(rw) == dataclasses.asdict(rc)
+            assert tw.sanitizer.stats == tc.sanitizer.stats
+            assert_tables_identical(tw, tc)
+            hazardous += rc.hazard_rounds
+        assert hazardous > 0, \
+            "the scenario bank must exercise the hazard resolver"
+
+    def test_hazard_rounds_counted_by_profiler(self):
+        from repro.telemetry import Profiler
+
+        hazardous = 0
+        for seed in range(8):
+            from repro.core.table import encode_keys
+            from repro.gpusim.cohort import cohort_insert
+
+            rng = np.random.default_rng(seed)
+            table, _ = twin_tables(buckets=8, capacity=8)
+            prof = table.set_profiler(Profiler())
+            n = 256
+            base = rng.integers(1, n // 2, size=n).astype(np.uint64)
+            codes = encode_keys(base)
+            first, second = table.pair_hash.tables_for(codes)
+            coin = rng.integers(0, 2, size=n).astype(bool)
+            targets = np.where(coin, first, second)
+            prof.begin_kernel("insert", n)
+            result = cohort_insert(
+                table, codes, np.arange(1, n + 1, dtype=np.uint64),
+                targets, voter=True)
+            prof.end_kernel()
+            assert prof.hazard_rounds >= result.hazard_rounds
+            assert prof.hazard_lanes >= result.hazard_lanes
+            hazardous += result.hazard_rounds
+        assert hazardous > 0
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(base=st.lists(st.integers(1, 40), min_size=16, max_size=96),
+           seed=st.integers(0, 31))
+    def test_duplicate_majority_batches_conform(self, base, seed):
+        """Batches with >= 50% duplicate keys per warp, end to end.
+
+        Each drawn key is repeated twice adjacently, so every 32-lane
+        warp holds at most 16 distinct keys — a guaranteed >= 50%
+        duplicate rate — and the whole public pipeline (router,
+        kernels, sanitizer stream) must stay bit-identical.
+        """
+        rng = np.random.default_rng(seed)
+        keys = np.repeat(np.array(base, dtype=np.uint64), 2)
+        keys = rng.permutation(keys)
+        values = rng.integers(1, 1 << 32, size=len(keys)).astype(np.uint64)
+        tw, tc = twin_tables(buckets=8, capacity=8)
+        rw = run_voter_insert_kernel(tw, keys, values)
+        rc = run_voter_insert_kernel(tc, keys, values, engine="cohort")
+        assert dataclasses.asdict(rw) == dataclasses.asdict(rc)
+        vw, fw, qw = run_find_kernel(tw, keys)
+        vc, fc, qc = run_find_kernel(tc, keys, engine="cohort")
+        assert np.array_equal(vw, vc) and np.array_equal(fw, fc)
+        assert qw == qc
+        assert fw.all(), "every inserted key must be found"
+        assert tw.sanitizer.stats == tc.sanitizer.stats
         assert_tables_identical(tw, tc)
 
 
@@ -219,6 +348,58 @@ class TestMixedBatchDispatch:
         assert rw.kernel is not None and rw.kernel == rc.kernel
         for shard_w, shard_c in zip(sw.shards, sc.shards):
             assert_tables_identical(shard_w, shard_c)
+
+    def test_parallel_shard_executor_matches_serial(self):
+        """The process-pool executor's determinism contract: results,
+        runs, merged kernel counters, per-shard storage and stats are
+        bit-identical to serial execution, across successive batches."""
+        config = DyCuckooConfig(initial_buckets=32, bucket_capacity=8,
+                                auto_resize=False)
+        serial = ShardedDyCuckoo(num_shards=4, config=config)
+        with ShardedDyCuckoo(num_shards=4, config=config,
+                             parallel_workers=2) as parallel:
+            for seed in (29, 30):
+                ops, keys, values = self._workload(n=1500, seed=seed)
+                rs = serial.execute_mixed(ops, keys, values,
+                                          engine="cohort")
+                rp = parallel.execute_mixed(ops, keys, values,
+                                            engine="cohort")
+                for field in ("values", "found", "removed"):
+                    assert np.array_equal(getattr(rs, field),
+                                          getattr(rp, field))
+                assert rs.runs == rp.runs
+                assert rs.kernel == rp.kernel
+            assert serial.to_dict() == parallel.to_dict()
+            assert serial.stats.__dict__ == parallel.stats.__dict__
+            for shard_s, shard_p in zip(serial.shards, parallel.shards):
+                assert shard_s._victim_counter == shard_p._victim_counter
+                for a, b in zip(shard_s.subtables, shard_p.subtables):
+                    assert np.array_equal(a.keys, b.keys)
+                    assert np.array_equal(a.values, b.values)
+            parallel.validate()
+
+    def test_parallel_shard_executor_serial_fallbacks(self):
+        """Instrumented batches must take the serial path (shared
+        handles) and still produce identical outcomes."""
+        from repro.sanitizer import Sanitizer as San
+
+        config = DyCuckooConfig(initial_buckets=32, bucket_capacity=8,
+                                auto_resize=False)
+        table = ShardedDyCuckoo(num_shards=2, config=config,
+                                parallel_workers=2)
+        table.set_sanitizer(San())
+        ops, keys, values = self._workload(n=800, seed=31)
+        _codes, selections = table._scatter(keys)
+        assert not table._parallel_eligible(selections)
+        reference = ShardedDyCuckoo(num_shards=2, config=config)
+        rr = reference.execute_mixed(ops, keys, values, engine="cohort")
+        rt = table.execute_mixed(ops, keys, values, engine="cohort")
+        for field in ("values", "found", "removed"):
+            assert np.array_equal(getattr(rr, field), getattr(rt, field))
+        assert table.shards[0].sanitizer.ok
+        table.set_sanitizer(None)
+        assert table._parallel_eligible(selections)
+        table.close()
 
 
 # ---------------------------------------------------------------------------

@@ -120,6 +120,71 @@ class TestFaultPlanMechanics:
         assert set(plan.rates) == set(DEFAULT_CHAOS_RATES)
         assert all(0.0 <= r <= 1.0 for r in plan.rates.values())
 
+    def test_splitmix_array_matches_scalar(self):
+        """The vectorized hash is bit-identical to the scalar draw the
+        per-invocation path uses — the invariant the fault-window fast
+        path rests on."""
+        from repro.faults import _splitmix, _splitmix_array
+
+        xs = np.concatenate([
+            np.arange(0, 512, dtype=np.uint64),
+            np.array([2**64 - 1, 2**63, 0x9E3779B97F4A7C15],
+                     dtype=np.uint64),
+        ])
+        vec = _splitmix_array(xs)
+        with np.errstate(over="ignore"):
+            scalar = np.array([_splitmix(int(x)) for x in xs],
+                              dtype=np.uint64)
+        assert np.array_equal(vec, scalar)
+
+    def test_window_may_fire_is_exact(self):
+        """``False`` from the window check guarantees every decision in
+        the window is a no-fire: walking the window with fire() must
+        produce no faults and leave identical counters to advance()."""
+        site = "lock.acquire"
+        for seed in range(20):
+            probe = FaultPlan(seed=seed, rates={site: 0.1})
+            walked = FaultPlan(seed=seed, rates={site: 0.1})
+            jumped = FaultPlan(seed=seed, rates={site: 0.1})
+            for _ in range(40):
+                window = 7
+                may = probe.window_may_fire(site, window)
+                fired_in_window = False
+                for _ in range(window):
+                    if walked.fire(site) is not None:
+                        fired_in_window = True
+                if not may:
+                    assert not fired_in_window
+                    jumped.advance(site, window)
+                else:
+                    for _ in range(window):
+                        jumped.fire(site)
+                probe.advance(site, window)
+                assert jumped.invocations() == walked.invocations()
+            assert jumped.fired == walked.fired
+
+    def test_window_may_fire_respects_armed_storms(self):
+        site = "atomics.cas"
+        plan = FaultPlan(seed=0, rates={site: 0.0}, storms={site: 3})
+        assert plan.window_may_fire(site, 8) is False
+        plan._armed[site] = 2  # a storm mid-flight forces the slow path
+        assert plan.window_may_fire(site, 8) is True
+
+    def test_window_edge_cases(self):
+        plan = FaultPlan(seed=4, rates={"lock.stall": 0.5})
+        assert plan.window_may_fire("lock.stall", 0) is False
+        before = dict(plan.invocations())
+        plan.advance("lock.stall", 0)
+        assert plan.invocations() == before
+        # A scripted plan windows on exact indices.
+        scripted = FaultPlan.from_script(
+            {"seed": 0, "fired": [["lock.stall", 5, 2]]})
+        assert scripted.window_may_fire("lock.stall", 5) is False
+        scripted.advance("lock.stall", 5)
+        assert scripted.window_may_fire("lock.stall", 1) is True
+        fault = scripted.fire("lock.stall")
+        assert fault is not None and fault.index == 5 and fault.param == 2
+
 
 class TestResizeAborts:
     @pytest.mark.parametrize("stage", ["trigger", "plan", "rehash"])
