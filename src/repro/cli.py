@@ -869,15 +869,25 @@ def _cmd_faults(args) -> int:
 
 def _cmd_sanitize(args) -> int:
     from repro.sanitizer.audit import run_clean_audit, run_fixture_suite
+    from repro.sanitizer.contracts import check_paths
     from repro.sanitizer.lint import lint_paths
 
-    run_all = not (args.lint or args.fixtures)
+    # Pass selectors, compute-sanitizer --tool style: any selector
+    # restricts the run to the named passes; none selected runs the
+    # whole six-pass suite.
+    dynamic_sel = {name for name in ("memcheck", "initcheck", "synccheck")
+                   if getattr(args, name)}
+    static_sel = {name for name in ("lint", "contracts")
+                  if getattr(args, name)}
+    run_all = not (dynamic_sel or static_sel or args.fixtures)
     smoke = args.smoke
     report: dict = {"command": "sanitize"}
     problems: list[str] = []
 
-    if run_all or args.fixtures:
-        fixtures = run_fixture_suite()
+    if run_all or args.fixtures or dynamic_sel:
+        suite_passes = (None if run_all or args.fixtures
+                        else dynamic_sel | static_sel)
+        fixtures = run_fixture_suite(passes=suite_passes)
         report["fixtures"] = fixtures
         if not fixtures["ok"]:
             for name, res in fixtures["fixtures"].items():
@@ -886,11 +896,12 @@ def _cmd_sanitize(args) -> int:
                         f"fixture '{name}' expected {res['expected']} "
                         f"but detected {res['detected']}")
 
-    if run_all:
+    if run_all or dynamic_sel:
         engines = (("warp", "cohort") if args.engine == "both"
                    else (args.engine,))
         ops = 256 if smoke else args.ops
-        audit = run_clean_audit(ops=ops, seed=args.seed, engines=engines)
+        audit = run_clean_audit(ops=ops, seed=args.seed, engines=engines,
+                                passes=None if run_all else dynamic_sel)
         report["audit"] = audit
         if not audit["ok"]:
             for phase, res in audit["phases"].items():
@@ -901,18 +912,26 @@ def _cmd_sanitize(args) -> int:
                     problems.append(
                         f"{phase}: {res['subtable_locks_held']} subtable "
                         "lock(s) still held after the audit")
-        if audit["injected_events"] == 0:
+        if run_all and audit["injected_events"] == 0:
             problems.append("fault phase injected nothing — the "
                             "intentional-fault classification went "
                             "unexercised")
 
-    if run_all or args.lint:
+    if run_all or "lint" in static_sel:
         findings = lint_paths()
         report["lint"] = {
             "findings": [str(f) for f in findings],
             "ok": not findings,
         }
         problems.extend(str(f) for f in findings)
+
+    if run_all or "contracts" in static_sel:
+        cfindings = check_paths()
+        report["contracts"] = {
+            "findings": [str(f) for f in cfindings],
+            "ok": not cfindings,
+        }
+        problems.extend(str(f) for f in cfindings)
 
     report["problems"] = problems
     report["ok"] = not problems
@@ -940,13 +959,17 @@ def _cmd_sanitize(args) -> int:
         if "lint" in report:
             n_lint = len(report["lint"]["findings"])
             print(f"determinism lint: {n_lint} finding(s) in src/repro")
+        if "contracts" in report:
+            n_con = len(report["contracts"]["findings"])
+            print(f"protocol contracts: {n_con} finding(s) in "
+                  "kernel/engine/resize code")
         if problems:
             print("SANITIZE FAILED:", file=sys.stderr)
             for problem in problems:
                 print(f"  {problem}", file=sys.stderr)
         else:
-            print("sanitize ok: zero violations, all seeded fixtures "
-                  "detected, lint clean")
+            print("sanitize ok: zero violations, all selected seeded "
+                  "fixtures detected, static passes clean")
     return 1 if problems else 0
 
 
@@ -1001,6 +1024,12 @@ def _cmd_scenarios(args) -> int:
         scale = args.scale if args.scale is not None else 1.0
         differential = args.differential
         out_dir = args.out_dir or "scorecards"
+
+    if args.sanitize:
+        # Nightly soak: every selected scenario runs with the full
+        # six-pass sanitizer attached (specs are frozen; derive).
+        specs = [dataclasses.replace(spec, sanitizer=True)
+                 for spec in specs]
 
     problems: list[str] = []
     cards = []
@@ -1177,12 +1206,16 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--differential", action="store_true",
                            help="mirror every op into a dict oracle "
                                 "(slow at full scale)")
+    scenarios.add_argument("--sanitize", action="store_true",
+                           help="attach the full sanitizer to every "
+                                "selected scenario (nightly soak)")
     scenarios.add_argument("--json", action="store_true",
                            help="machine-readable scorecards on stdout")
 
     sanitize = sub.add_parser(
-        "sanitize", help="SIMT sanitizer: racecheck + lockcheck audit, "
-                         "seeded fixtures, determinism lint")
+        "sanitize", help="SIMT sanitizer: six-pass suite (racecheck, "
+                         "lockcheck, memcheck, initcheck, synccheck, "
+                         "lint+contracts)")
     sanitize.add_argument("--ops", type=int, default=512,
                           help="operations per audited kernel workload")
     sanitize.add_argument("--seed", type=int, default=0,
@@ -1191,10 +1224,19 @@ def build_parser() -> argparse.ArgumentParser:
                           default="both",
                           help="kernel engine(s) to audit")
     sanitize.add_argument("--lint", action="store_true",
-                          help="run only the determinism lint over "
-                               "src/repro")
+                          help="run the determinism lint over src/repro")
+    sanitize.add_argument("--contracts", action="store_true",
+                          help="run the static protocol-contract "
+                               "analyzer over kernel/engine/resize code")
+    sanitize.add_argument("--memcheck", action="store_true",
+                          help="restrict dynamic passes to memcheck")
+    sanitize.add_argument("--initcheck", action="store_true",
+                          help="restrict dynamic passes to initcheck")
+    sanitize.add_argument("--synccheck", action="store_true",
+                          help="restrict dynamic passes to synccheck")
     sanitize.add_argument("--fixtures", action="store_true",
-                          help="run only the seeded-violation fixtures")
+                          help="run only the seeded-violation fixtures "
+                               "(all six passes)")
     sanitize.add_argument("--smoke", action="store_true",
                           help="fast fixed configuration (CI check)")
     sanitize.add_argument("--json", action="store_true",

@@ -65,6 +65,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _SITE_UPSIZE = "repro/core/resize.py:ResizeController.upsize"
 _SITE_DOWNSIZE = "repro/core/resize.py:ResizeController.downsize"
 _SITE_MIGRATE = "repro/core/resize.py:ResizeController._migrate_slice"
+_SITE_FINISH = "repro/core/resize.py:ResizeController._finish_epoch"
 
 
 class ResizeController:
@@ -373,9 +374,11 @@ class ResizeController:
         if max_pairs is not None:
             budget = max_pairs
         else:
+            open_migs = [mig for t in epochs
+                         if (mig := table.subtables[t].migration)
+                         is not None]
             budget = table.config.migration_budget or max(
-                32, max(table.subtables[t].migration.num_pairs
-                        for t in epochs) // 8)
+                32, max(mig.num_pairs for mig in open_migs) // 8)
         # Rotate the starting epoch so a small budget still makes
         # progress on every epoch over consecutive batches.
         cursor = self._drain_cursor % len(epochs)
@@ -386,9 +389,11 @@ class ResizeController:
                 break
             st = table.subtables[target]
             mig = st.migration
+            if mig is None:  # pragma: no cover - epochs listed while open
+                continue
             pairs = np.flatnonzero(~mig.migrated)[:budget - moved]
             if len(pairs) == 0:  # pragma: no cover - closed when drained
-                st.finish_migration()
+                self._finish_epoch(target, st)
                 continue
             if table.faults.enabled:
                 try:
@@ -414,6 +419,21 @@ class ResizeController:
         return sum(self._finalize_one(target)
                    for target in self._open_epochs())
 
+    def _finish_epoch(self, target: int, st) -> None:
+        """Close ``target``'s completed epoch.
+
+        A downsize finalize truncates the physical arrays back to the
+        new view, retiring the epoch's source rows — memcheck is told
+        first, so a stale dual-view access afterwards is attributed as
+        ``use-after-retire`` instead of a bare ``oob-access``.
+        """
+        mig = st.migration
+        san = self._table.sanitizer
+        if san.enabled and mig is not None and mig.kind == "downsize":
+            san.on_epoch_retire(self._table, target, mig.old_n,
+                                mig.new_n, site=_SITE_FINISH)
+        st.finish_migration()
+
     def _finalize_one(self, target: int) -> int:
         """Drain one subtable's epoch to completion; returns pairs moved."""
         st = self._table.subtables[target]
@@ -422,7 +442,7 @@ class ResizeController:
             mig = st.migration
             pairs = np.flatnonzero(~mig.migrated)
             if len(pairs) == 0:
-                st.finish_migration()
+                self._finish_epoch(target, st)
                 break
             moved += self._migrate_slice(target, pairs, reason="finalize")
         return moved
@@ -446,6 +466,7 @@ class ResizeController:
         table = self._table
         st = table.subtables[target]
         mig = st.migration
+        assert mig is not None, "migrate slice on a subtable with no epoch"
         pairs = np.asarray(pairs, dtype=np.int64)
         up = mig.kind == "upsize"
         src_buckets = pairs if up else pairs + mig.new_n
@@ -526,7 +547,7 @@ class ResizeController:
                                   reason=reason, pairs=len(pairs),
                                   remaining=mig.pending)
         if mig.complete:
-            st.finish_migration()
+            self._finish_epoch(target, st)
             if table.telemetry.enabled:
                 table.telemetry.tracer.instant("resize.epoch_complete",
                                                "resize", subtable=target,

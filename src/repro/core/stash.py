@@ -21,6 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidConfigError
+from repro.sanitizer import NULL_SANITIZER
+
+_SITE_PUSH = "repro/core/stash.py:Stash.push"
 
 
 class Stash:
@@ -29,6 +32,12 @@ class Stash:
     All arrays are internal *codes* (user key + 1), matching subtable
     storage; the owning table translates at its API boundary.
     """
+
+    #: Sanitizer observing occupancy (memcheck's stash-overflow check);
+    #: a class attribute so attaching one needs no constructor change.
+    #: :meth:`repro.core.table.DyCuckooTable.set_sanitizer` sets it on
+    #: the instance.
+    sanitizer = NULL_SANITIZER
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -93,6 +102,9 @@ class Stash:
                 self._entries[code] = int(value)
                 absorbed[i] = True
         self.high_water = max(self.high_water, len(self._entries))
+        if self.sanitizer.enabled and absorbed.any():
+            self.sanitizer.on_stash_write(len(self._entries),
+                                          self.capacity, site=_SITE_PUSH)
         return absorbed
 
     def lookup(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -141,6 +153,7 @@ class Stash:
         clone = Stash(self.capacity)
         clone._entries = dict(self._entries)
         clone.high_water = self.high_water
+        clone.sanitizer = self.sanitizer
         return clone
 
     def clear(self) -> None:

@@ -154,6 +154,9 @@ class DyCuckooTable:
         self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
         if self.recorder.enabled and self.sanitizer.enabled:
             self.sanitizer.recorder = self.recorder
+        # The stash reports occupancy into memcheck's stash-overflow
+        # check; detaching restores the null default.
+        self.stash.sanitizer = self.sanitizer
         return self.sanitizer
 
     def set_profiler(self, profiler: Profiler | None) -> Profiler:

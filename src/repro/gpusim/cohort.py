@@ -83,6 +83,7 @@ _SITE_PH1 = "repro/gpusim/cohort.py:_phase_one"
 _SITE_PH2 = "repro/gpusim/cohort.py:_phase_two"
 _SITE_DELETE = "repro/gpusim/cohort.py:cohort_delete"
 _SITE_UNWIND = "repro/gpusim/cohort.py:cohort_insert"
+_SITE_EXIT = "repro/gpusim/cohort.py:cohort_insert"
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 _ONE = np.uint64(1)
@@ -324,7 +325,7 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
     if prof.enabled:
         state.depth = np.zeros((W, WARP_WIDTH), dtype=np.int64)
     if san.enabled:
-        san.begin_kernel("insert", locking=True)
+        san.begin_kernel("insert", locking=True, table=table)
     # Round-invariant scratch, hoisted out of the loop: the permutation
     # -> position scatter buffer and its identity source.
     pos = np.empty(W, dtype=np.int64)
@@ -390,6 +391,12 @@ def cohort_insert(table, codes: np.ndarray, values: np.ndarray,
                     else:
                         stalled_locks[lid] = remaining
             rounds += 1
+        if san.enabled:
+            # Normal completion: the loop condition drains every lane,
+            # so a live lane here is a divergent exit (synccheck).
+            san.on_kernel_exit(
+                sum(bin(int(lanes)).count("1") for lanes in state.active),
+                site=_SITE_EXIT)
     except BaseException:
         # Release-on-exception: _phase_one raises CapacityError *after*
         # the same round's winners entered phase two, and the
@@ -429,6 +436,13 @@ def _phase_one(table, state: _CohortState, result, ph1: np.ndarray,
     """
     m = state.active[ph1]
     result.votes += len(ph1)
+    if san.enabled:
+        # One election ballot per unlocked warp with live lanes — the
+        # same count (and vote masks) the reference engine's
+        # _InsertWarp._elect feeds synccheck.
+        for i in range(len(ph1)):
+            vote = int(m[i])
+            san.on_vote(int(ph1[i]), vote, vote, site=_SITE_PH1)
     if voter:
         s = state.next_start[ph1].astype(np.uint64)
         # Rotate the ballot so bit j is lane (start + j) % 32, then the
@@ -900,17 +914,20 @@ def _apply_hazard_round(table, state: _CohortState, ph2: np.ndarray,
     replay leaves behind.
     """
     # Keys and sizes: PLACE fills a snapshot-EMPTY slot, EVICT
-    # overwrites its victim's key.
+    # overwrites its victim's key.  The hazard round's access stream is
+    # emitted by _phase_two for the whole round (one record per held
+    # lock), so these resolved writes are already on the sanitizer's
+    # log — re-recording here would double-count them.
     for t in range(table.num_tables):
         st = table.subtables[t]
         gp = place[tgt[place] == t]
         if len(gp):
             pslot = free_slot[np.searchsorted(miss, gp)]
-            st.keys[bkt[gp], pslot] = key[gp]
+            st.keys[bkt[gp], pslot] = key[gp]  # sanitize: allow(unguarded-structural-write)
             st.size += len(gp)
         ge = np.flatnonzero(tgt[evict] == t)
         if len(ge):
-            st.keys[bkt[evict[ge]], vslot[ge]] = key[evict[ge]]
+            st.keys[bkt[evict[ge]], vslot[ge]] = key[evict[ge]]  # sanitize: allow(unguarded-structural-write)
     # Value writes, last-writer-wins by permutation position.
     pos2 = pos[ph2]
     lockids = state.lk_lockid[ph2]

@@ -19,9 +19,13 @@ from dataclasses import dataclass
 from repro.errors import CapacityError, InvalidConfigError
 from repro.faults import NO_FAULTS
 from repro.gpusim.device import DeviceSpec, GTX_1080
+from repro.sanitizer import NULL_SANITIZER
 
 #: Sustained host<->device PCIe 3.0 x16 bandwidth (bytes/second).
 PCIE_BANDWIDTH = 12e9
+
+_SITE_ALLOC = "repro/gpusim/memory_manager.py:set_allocation"
+_SITE_FREE = "repro/gpusim/memory_manager.py:free"
 
 
 @dataclass
@@ -45,10 +49,16 @@ class DeviceMemoryManager:
     reserve_fraction:
         Fraction of device memory unavailable to clients (context,
         framework overheads).
+    sanitizer:
+        Optional :class:`~repro.sanitizer.Sanitizer`; memcheck then
+        accounts allocation lifetimes (``double-free`` on freeing a
+        client with no live record, ``alloc-leak`` at alloc-scope
+        exit).  The null default keeps both hooks one attribute check.
     """
 
     def __init__(self, device: DeviceSpec = GTX_1080,
-                 reserve_fraction: float = 0.05, faults=None) -> None:
+                 reserve_fraction: float = 0.05, faults=None,
+                 sanitizer=None) -> None:
         if not 0.0 <= reserve_fraction < 1.0:
             raise InvalidConfigError(
                 f"reserve_fraction must be in [0, 1), got {reserve_fraction}")
@@ -63,6 +73,8 @@ class DeviceMemoryManager:
         #: Growth requests denied by an injected ``memory.alloc`` fault.
         self.injected_failures = 0
         self.faults = faults if faults is not None else NO_FAULTS
+        self.sanitizer = (sanitizer if sanitizer is not None
+                          else NULL_SANITIZER)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -130,10 +142,19 @@ class DeviceMemoryManager:
             self._spill_others(client, overflow)
         self.peak_resident_bytes = max(self.peak_resident_bytes,
                                        self.resident_bytes)
+        if self.sanitizer.enabled:
+            self.sanitizer.on_alloc(client, num_bytes, site=_SITE_ALLOC)
 
     def free(self, client: str) -> None:
-        """Release a client's allocation entirely."""
-        self._allocations.pop(client, None)
+        """Release a client's allocation entirely.
+
+        Freeing a client with no live record is a silent no-op for the
+        residency model but, with a sanitizer attached, is reported as
+        a ``double-free`` — the cudaFree-twice bug class.
+        """
+        known = self._allocations.pop(client, None) is not None
+        if self.sanitizer.enabled:
+            self.sanitizer.on_free(client, known=known, site=_SITE_FREE)
 
     def _spill_others(self, protected: str, overflow: int) -> None:
         victims = sorted(

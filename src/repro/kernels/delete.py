@@ -54,7 +54,7 @@ def run_delete_kernel(table, keys, engine: str = "warp", *,
         # lane can match a unique key, so no write conflict is possible
         # (Section V-B).  locking=False records that contract; the
         # clears are still logged as writes for the access log.
-        san.begin_kernel("delete", locking=False)
+        san.begin_kernel("delete", locking=False, table=table)
     if prof.enabled:
         prof.begin_kernel("delete", n)
     try:

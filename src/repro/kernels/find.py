@@ -68,7 +68,7 @@ def run_find_kernel(table, keys, engine: str = "warp", *,
         # FIND is read-only and lock-free by design (Section V-B):
         # locking=False exempts it from the unlocked-write contract and
         # its probes are recorded as "probe" kind (exempt from pairing).
-        san.begin_kernel("find", locking=False)
+        san.begin_kernel("find", locking=False, table=table)
     if prof.enabled:
         prof.begin_kernel("find", n)
     try:

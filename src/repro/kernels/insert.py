@@ -42,6 +42,8 @@ _SITE_PHASE1 = "repro/kernels/insert.py:_InsertWarp.step"
 _SITE_PHASE2 = "repro/kernels/insert.py:_InsertWarp._complete_locked"
 _SITE_ALT = "repro/kernels/insert.py:_InsertWarp._update_in_alternate"
 _SITE_UNWIND = "repro/kernels/insert.py:_InsertWarp.unwind_locks"
+_SITE_ELECT = "repro/kernels/insert.py:_InsertWarp._elect"
+_SITE_EXIT = "repro/kernels/insert.py:_run_insert_warps"
 
 
 @dataclass
@@ -119,6 +121,12 @@ class _InsertWarp:
         """Leader election; the voter variant rotates past failed lanes."""
         self.result.votes += 1
         mask = self.ctx.ballot(self.ctx.active)
+        if self.san.enabled:
+            # The election ballot *is* the active-mask vote; synccheck
+            # flags any vote bit outside the active mask (an exited
+            # lane participating in __ballot_sync).
+            self.san.on_vote(self.ctx.warp_id, mask, mask,
+                             site=_SITE_ELECT)
         if mask == 0:
             return -1
         if not self.voter:
@@ -178,9 +186,10 @@ class _InsertWarp:
         :func:`_run_insert_warps` for every warp when the scheduler
         aborts; a warp between phases simply has nothing to release.
         """
-        if self._locked is None:
+        locked = self._locked
+        if locked is None:
             return
-        _leader, _target, _bucket, lock_id = self._locked
+        _leader, _target, _bucket, lock_id = locked
         self._locked = None
         self.arbiter.release(lock_id, warp=self.ctx.warp_id, unwind=True)
 
@@ -203,7 +212,10 @@ class _InsertWarp:
 
     def _complete_locked(self) -> None:
         """Phase two: inspect the bucket, write or evict, unlock."""
-        leader, target, bucket, lock_id = self._locked
+        locked = self._locked
+        if locked is None:  # pragma: no cover - callers check first
+            return
+        leader, target, bucket, lock_id = locked
         self._locked = None
         key = int(self.keys[leader])
         value = int(self.values[leader])
@@ -400,7 +412,7 @@ def _run_insert_warps(table, codes, values, targets, voter: bool,
             max_rounds_per_op=max_rounds_per_op))
     scheduler = RoundScheduler(warps, sanitizer=san)
     if san.enabled:
-        san.begin_kernel("insert", locking=True)
+        san.begin_kernel("insert", locking=True, table=table)
     before_round = None
     if prof.enabled:
         def before_round(_round_index):
@@ -428,6 +440,12 @@ def _run_insert_warps(table, codes, values, targets, voter: bool,
                 after_round=lambda _i: arbiter.tick())
         else:
             result.rounds = scheduler.run(before_round=before_round)
+        if san.enabled:
+            # Normal completion: the round loop drains every lane, so
+            # a live lane here is a divergent exit (synccheck).
+            san.on_kernel_exit(
+                sum(int(warp.ctx.active.sum()) for warp in warps),
+                site=_SITE_EXIT)
     except BaseException:
         # Release-on-exception: a CapacityError (stall exhaustion) or a
         # non-convergence abort leaves other warps mid-critical-section;

@@ -84,9 +84,13 @@ class _MegaKVInsertWarp:
 
         free = np.flatnonzero(bucket_keys == EMPTY)
         if len(free):
-            # One atomicExch claims the slot; no lock.
+            # One atomicExch claims the slot; no lock — MegaKV's
+            # whole design point.  The baseline kernel carries no
+            # sanitizer plumbing (MegaKVTable has no access stream),
+            # so the structural-write contract is intentionally
+            # waived here.
             slot = int(free[0])
-            st.keys[bucket, slot] = np.uint64(code)
+            st.keys[bucket, slot] = np.uint64(code)  # sanitize: allow(unguarded-structural-write)
             st.values[bucket, slot] = np.uint64(value)
             st.size += 1
             self.tracker.bucket_access()
@@ -101,7 +105,7 @@ class _MegaKVInsertWarp:
         slot = (bucket + self._rounds) % st.bucket_capacity
         victim_code = int(st.keys[bucket, slot])
         victim_value = int(st.values[bucket, slot])
-        st.keys[bucket, slot] = np.uint64(code)
+        st.keys[bucket, slot] = np.uint64(code)  # sanitize: allow(unguarded-structural-write)
         st.values[bucket, slot] = np.uint64(value)
         self.tracker.bucket_access()
         self.result.memory_transactions += 1

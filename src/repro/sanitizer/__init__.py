@@ -10,8 +10,8 @@ The paper's correctness story rests on two machine-checkable disciplines:
 Nothing in the simulator enforced either — a kernel that forgot a
 ``release()`` or wrote a bucket without holding its lock would only
 surface as a flaky differential-fuzz failure.  This package is the
-``compute-sanitizer`` of the simulator: three passes, each reporting
-:class:`Violation` records with file/round/warp attribution.
+``compute-sanitizer`` of the simulator: six passes, the dynamic ones
+reporting :class:`Violation` records with file/round/warp attribution.
 
 racecheck (dynamic)
     The kernels log every storage access — ``(warp, kind, space,
@@ -33,9 +33,46 @@ lockcheck (dynamic)
     Exception unwinds that *do* release their locks are accounted as
     ``unwind_releases`` instead of violations.
 
-determinism lint (static)
+memcheck (dynamic)
+    Every bucket/value access is decoded (``subtable = addr >> 40``,
+    ``bucket = addr & MASK40``) and checked against the owning
+    subtable's *live* physical extent, read lazily so incremental
+    resize epochs (which grow/shrink the extent mid-stream) and
+    snapshot rollbacks are handled for free (``oob-access``).  When a
+    downsize epoch finalizes, :meth:`Sanitizer.on_epoch_retire` records
+    the truncated source-view rows; a later access to them is the
+    epoch-migration bug class DHash makes possible
+    (``use-after-retire``).  The pass also audits stash occupancy
+    against capacity (``stash-overflow``) and device-allocation
+    lifetimes via :class:`~repro.gpusim.memory_manager.\
+DeviceMemoryManager` (``double-free``, and ``alloc-leak`` at
+    :meth:`Sanitizer.end_alloc_scope`).
+
+initcheck (dynamic)
+    Reads of bucket rows never written since allocation.  All real
+    allocations are ``np.zeros`` — the EMPTY sentinel — so the
+    per-subtable initialized bitmap is all-set by construction and the
+    pass is structurally clean on real workloads; rows explicitly
+    marked via :meth:`Sanitizer.mark_uninitialized` (fixtures, or any
+    future non-zeroing allocator) report ``uninit-read`` until a write
+    initializes them.  Marks survive resize copy-over: only rows
+    truncated by an epoch retirement are cleared.
+
+synccheck (dynamic)
+    Warp-divergence discipline at the three places the simulator can
+    express it: leader-election ballots whose vote mask includes an
+    inactive lane (``divergent-sync``, hooked at the two engines'
+    election sites), a kernel completing normally with live lanes
+    (``divergent-exit``), and mismatched ``begin_kernel`` /
+    ``end_kernel`` bracket pairing (``unmatched-kernel-bracket``).
+
+determinism lint + protocol contracts (static)
     :mod:`repro.sanitizer.lint` — an AST pass over ``src/repro``
-    forbidding nondeterminism sources in kernel/gpusim/core code.
+    forbidding nondeterminism sources in kernel/gpusim/core/shard/
+    scenario code — and :mod:`repro.sanitizer.contracts` — an AST pass
+    over ``kernels/``, ``gpusim/`` and ``core/resize.py`` proving every
+    lock acquire is released on all paths, every kernel bracket pairs,
+    and every structural bucket write is access-logged.
 
 Access kinds and intentional exemptions
 ---------------------------------------
@@ -59,6 +96,10 @@ must not drown the report, so accesses carry a kind:
     :class:`~repro.gpusim.atomics.AtomicMemory`, single-word value
     updates).  Ordered by definition; exempt from pairing.
 
+All four kinds participate in the memcheck extent decode and the
+initcheck bitmap (any kind of read can observe garbage; any write
+initializes).
+
 Kernels without a locking contract (FIND and DELETE declare
 ``locking=False``; DELETE's slot clear is lock-free by design — at most
 one lane can match a unique key) are exempt from ``unlocked-write``.
@@ -72,12 +113,16 @@ than reported as violations.
 Zero-overhead gating follows :data:`repro.telemetry.NULL_TELEMETRY` and
 :data:`repro.faults.NO_FAULTS`: every hook site checks a single
 ``enabled`` attribute, and the default :data:`NULL_SANITIZER` makes the
-instrumented build bit-identical to an uninstrumented one.
+instrumented build bit-identical to an uninstrumented one — including
+across migration-epoch (mid-resize) paths on both engines, which is
+pinned by a regression test.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 from repro.telemetry.recorder import NULL_RECORDER
 
@@ -92,19 +137,34 @@ __all__ = [
 #: Every access kind the dynamic passes understand (see module docs).
 ACCESS_KINDS = ("read", "write", "probe", "atomic")
 
-#: Violation taxonomy, by pass.
+#: Violation taxonomy, by pass.  The static passes (determinism lint,
+#: protocol contracts) report :class:`~repro.sanitizer.lint.LintFinding`
+#: / :class:`~repro.sanitizer.contracts.ContractFinding` instead of
+#: :class:`Violation` and are tabulated in their own modules.
 VIOLATION_KINDS = {
     "racecheck": ("race", "unlocked-write"),
     "lockcheck": ("double-acquire", "double-release", "leaked-lock",
                   "lock-not-exclusive", "second-subtable-lock"),
+    "memcheck": ("oob-access", "use-after-retire", "stash-overflow",
+                 "alloc-leak", "double-free"),
+    "initcheck": ("uninit-read",),
+    "synccheck": ("divergent-sync", "divergent-exit",
+                  "unmatched-kernel-bracket"),
 }
+
+#: Bucket/value addresses pack ``(subtable << 40) | bucket`` — the same
+#: encoding :meth:`repro.kernels.insert._InsertWarp._lock_id` uses, so
+#: "holds the word's lock" is an address-set membership test and the
+#: memcheck decode is a shift and a mask.
+_ADDR_BITS = 40
+_ADDR_MASK = (1 << _ADDR_BITS) - 1
 
 
 @dataclass(frozen=True)
 class Violation:
     """One sanitizer finding, attributed to file/round/warp."""
 
-    #: Which pass produced it: ``"racecheck"`` or ``"lockcheck"``.
+    #: Which pass produced it (a key of :data:`VIOLATION_KINDS`).
     pass_name: str
     #: Taxonomy entry (see :data:`VIOLATION_KINDS`).
     kind: str
@@ -156,13 +216,16 @@ class _Access:
 
 
 class Sanitizer:
-    """Dynamic racecheck + lockcheck state for one audited execution.
+    """Dynamic racecheck/lockcheck/memcheck/initcheck/synccheck state.
 
     Attach to a table with
     :meth:`repro.core.table.DyCuckooTable.set_sanitizer`; every kernel
     launch and resize on that table is then audited.  One instance can
-    observe many kernels — state that must not leak across launches is
-    reset by :meth:`begin_kernel`/:meth:`end_kernel`.
+    observe many kernels (and many tables — the fault audit shares one
+    across stages): per-launch state is reset by
+    :meth:`begin_kernel`/:meth:`end_kernel`, while per-table state
+    (retired epoch extents, initcheck bitmaps) is keyed weakly by the
+    table object passed to :meth:`begin_kernel`.
     """
 
     #: Gate checked by every hook; the null subclass overrides to False.
@@ -173,15 +236,20 @@ class Sanitizer:
     #: :meth:`repro.core.table.DyCuckooTable.set_recorder` sets it on
     #: the *instance* of an enabled sanitizer, never on
     #: :data:`NULL_SANITIZER`.
-    recorder = NULL_RECORDER
+    recorder: Any = NULL_RECORDER
 
     def __init__(self, *, racecheck: bool = True, lockcheck: bool = True,
+                 memcheck: bool = True, initcheck: bool = True,
+                 synccheck: bool = True,
                  max_violations: int = 1000) -> None:
         self.racecheck = racecheck
         self.lockcheck = lockcheck
+        self.memcheck = memcheck
+        self.initcheck = initcheck
+        self.synccheck = synccheck
         self.max_violations = max_violations
         self.violations: list[Violation] = []
-        self.stats = {
+        self.stats: dict[str, int] = {
             "kernels": 0,
             "rounds": 0,
             "accesses": 0,
@@ -194,6 +262,14 @@ class Sanitizer:
             "injected_events": 0,
             "atomic_ops": 0,
             "memory_transactions": 0,
+            "extent_checks": 0,
+            "init_checks": 0,
+            "votes_checked": 0,
+            "kernel_exits": 0,
+            "stash_writes": 0,
+            "allocs": 0,
+            "frees": 0,
+            "retired_epochs": 0,
         }
         #: Current device round (-1 between kernels).
         self._round = -1
@@ -203,10 +279,44 @@ class Sanitizer:
         self._held: dict[int, set[int]] = {}
         #: Active kernel context, ``(name, locking_contract)`` or None.
         self._kernel: tuple[str, bool] | None = None
+        #: The table whose storage the active kernel addresses (memcheck
+        #: geometry source); None for table-less launches (fixtures).
+        self._table: Any = None
         #: Subtable resize locks currently held: index -> operation.
         self._subtable_locks: dict[int, str] = {}
         #: Dedup keys of already-reported violations.
         self._reported: set[tuple] = set()
+        #: Per-table retired source-view extents: table -> {subtable:
+        #: physical rows *before* the downsize epoch finalized}.
+        self._retired: weakref.WeakKeyDictionary[Any, dict[int, int]] = (
+            weakref.WeakKeyDictionary())
+        #: Per-table initcheck bitmaps, sparse form: table ->
+        #: {subtable: set of *uninitialized* bucket rows}.  Real
+        #: allocations zero-fill (EMPTY sentinel), so this is empty
+        #: unless :meth:`mark_uninitialized` seeded it.
+        self._uninit: weakref.WeakKeyDictionary[
+            Any, dict[int, set[int]]] = weakref.WeakKeyDictionary()
+        #: Device allocations currently live: client -> bytes.
+        self._live_allocs: dict[str, int] = {}
+        #: Clients allocated inside the open alloc scope (None = no
+        #: scope open); leak accounting at :meth:`end_alloc_scope`.
+        self._alloc_scope: set[str] | None = None
+
+    def __getstate__(self) -> dict[str, Any]:
+        """The process-pool shard executor ships tables (and their
+        attached sanitizer) by pickle.  The per-table attribution maps
+        are WeakKeyDictionaries keyed by object identity — neither the
+        weak callbacks nor the identities survive a process hop, so
+        they cross empty and are rebuilt by ``__setstate__``."""
+        state = self.__dict__.copy()
+        state["_retired"] = None
+        state["_uninit"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._retired = weakref.WeakKeyDictionary()
+        self._uninit = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     # Reporting
@@ -249,16 +359,31 @@ class Sanitizer:
     # Kernel and round lifecycle
     # ------------------------------------------------------------------
 
-    def begin_kernel(self, name: str, locking: bool = True) -> None:
+    def begin_kernel(self, name: str, locking: bool = True,
+                     table: Any = None) -> None:
         """Open a kernel scope.
 
         ``locking`` declares the kernel's contract: True means every
         structural bucket write must happen under that bucket's lock
         (the insert kernels); False exempts the kernel from the
         ``unlocked-write`` check (FIND/DELETE are lock-free by design).
+
+        ``table`` is the table whose storage the kernel addresses; when
+        given, memcheck validates every decoded bucket/value access
+        against that table's live subtable extents (and initcheck
+        against its bitmap).  Fixtures that fabricate raw addresses
+        omit it and skip extent checking.
         """
+        if self.synccheck and self._kernel is not None:
+            self._violate(
+                "synccheck", "unmatched-kernel-bracket",
+                f"begin_kernel('{name}') while kernel "
+                f"'{self._kernel[0]}' is still open — a previous "
+                "end_kernel() is missing",
+                site=f"kernel:{name}")
         self.stats["kernels"] += 1
         self._kernel = (name, locking)
+        self._table = table
         self._round = -1
         self._log.clear()
         self._held.clear()
@@ -267,6 +392,12 @@ class Sanitizer:
         """Close the kernel scope; flag locks that outlived the kernel."""
         self._flush_round()
         if self._kernel is None:
+            if self.synccheck:
+                self._violate(
+                    "synccheck", "unmatched-kernel-bracket",
+                    "end_kernel() with no kernel open — a begin_kernel()"
+                    " is missing or the bracket closed twice",
+                    site="kernel:<none>")
             return
         name, _locking = self._kernel
         if self.lockcheck:
@@ -280,6 +411,7 @@ class Sanitizer:
                         address=resource)
         self._held.clear()
         self._kernel = None
+        self._table = None
         self._round = -1
 
     def begin_round(self, index: int) -> None:
@@ -289,7 +421,7 @@ class Sanitizer:
         self.stats["rounds"] += 1
 
     # ------------------------------------------------------------------
-    # racecheck
+    # racecheck + memcheck + initcheck access stream
     # ------------------------------------------------------------------
 
     def record_access(self, warp: int, kind: str, space: str,
@@ -298,7 +430,8 @@ class Sanitizer:
 
         ``address`` is the word identity used for same-word pairing;
         bucket-space accesses use the bucket's lock id, so "holds the
-        word's lock" is exactly ``address in lockset``.
+        word's lock" is exactly ``address in lockset`` and the memcheck
+        decode recovers ``(subtable, bucket)`` from the same word.
         """
         self.stats["accesses"] += 1
         held = self._held.get(warp)
@@ -315,6 +448,67 @@ class Sanitizer:
                     f"holding its lock (kernel '{self._kernel[0]}' "
                     "declares a locking contract)",
                     site=site, warp=warp, space=space, address=address)
+        if ((self.memcheck or self.initcheck)
+                and self._table is not None
+                and space in ("bucket", "value")):
+            self._check_word(warp, kind, space, address, site)
+
+    def _check_word(self, warp: int, kind: str, space: str,
+                    address: int, site: str) -> None:
+        """memcheck extent decode + initcheck bitmap for one word."""
+        self.stats["extent_checks"] += 1
+        table = self._table
+        subtable = address >> _ADDR_BITS
+        bucket = address & _ADDR_MASK
+        subtables = table.subtables
+        if not 0 <= subtable < len(subtables):
+            if self.memcheck:
+                self._violate(
+                    "memcheck", "oob-access",
+                    f"warp {warp} {kind} addressed subtable {subtable} "
+                    f"but the table has {len(subtables)} subtables",
+                    site=site, warp=warp, space=space, address=address,
+                    dedup=(space, address))
+            return
+        rows = int(subtables[subtable].keys.shape[0])
+        if bucket >= rows:
+            if not self.memcheck:
+                return
+            retired = self._retired.get(table)
+            limit = retired.get(subtable, 0) if retired else 0
+            if bucket < limit:
+                self._violate(
+                    "memcheck", "use-after-retire",
+                    f"warp {warp} {kind} bucket {bucket} of subtable "
+                    f"{subtable} — retired with its downsize epoch's "
+                    f"source view (live extent {rows}, pre-retire "
+                    f"extent {limit})",
+                    site=site, warp=warp, space=space, address=address,
+                    dedup=(space, address))
+            else:
+                self._violate(
+                    "memcheck", "oob-access",
+                    f"warp {warp} {kind} bucket {bucket} of subtable "
+                    f"{subtable}, beyond its live extent of {rows} "
+                    "buckets",
+                    site=site, warp=warp, space=space, address=address,
+                    dedup=(space, address))
+            return
+        if self.initcheck and self._uninit:
+            marks = self._uninit.get(table)
+            rowset = marks.get(subtable) if marks else None
+            if rowset:
+                self.stats["init_checks"] += 1
+                if kind == "write":
+                    rowset.discard(bucket)
+                elif bucket in rowset:
+                    self._violate(
+                        "initcheck", "uninit-read",
+                        f"warp {warp} {kind} bucket {bucket} of "
+                        f"subtable {subtable} never written since "
+                        "allocation (EMPTY-sentinel discipline)",
+                        site=site, warp=warp, space=space,
+                        address=address, dedup=(space, address))
 
     def _flush_round(self) -> None:
         """Lockset-pair the closing round's access log."""
@@ -452,6 +646,154 @@ class Sanitizer:
                 site=site, space="subtable", address=subtable)
 
     # ------------------------------------------------------------------
+    # memcheck: epoch retirement, stash and device allocations
+    # ------------------------------------------------------------------
+
+    def on_epoch_retire(self, table: Any, subtable: int, old_rows: int,
+                        new_rows: int, site: str = "") -> None:
+        """A downsize epoch finalized: rows ``[new_rows, old_rows)`` of
+        ``subtable`` — the epoch's source view — were just truncated.
+
+        Later accesses to them are ``use-after-retire`` rather than a
+        bare ``oob-access``, which is the attribution that matters when
+        a stale dual-view probe survives :meth:`finish_migration`.
+        """
+        self.stats["retired_epochs"] += 1
+        if not (self.memcheck or self.initcheck):
+            return
+        extents = self._retired.get(table)
+        if extents is None:
+            extents = {}
+            self._retired[table] = extents
+        extents[subtable] = max(extents.get(subtable, 0), int(old_rows))
+        marks = self._uninit.get(table)
+        if marks and subtable in marks:
+            # Truncated rows no longer exist; keep only surviving marks
+            # (the bitmap "survives resize copy-over" for live rows).
+            marks[subtable] = {b for b in marks[subtable]
+                               if b < int(new_rows)}
+
+    def mark_uninitialized(self, table: Any, subtable: int,
+                           buckets: Iterable[int]) -> None:
+        """Seed initcheck's bitmap: ``buckets`` of ``subtable`` hold
+        garbage (allocated without the EMPTY-sentinel zero fill).
+
+        Real allocations zero-fill, so production code never calls
+        this; fixtures (and any future raw-``np.empty`` allocator)
+        do.  A structural write clears a row's mark.
+        """
+        marks = self._uninit.get(table)
+        if marks is None:
+            marks = {}
+            self._uninit[table] = marks
+        marks.setdefault(subtable, set()).update(
+            int(b) for b in buckets)
+
+    def on_stash_write(self, occupancy: int, capacity: int,
+                       site: str = "") -> None:
+        """The stash absorbed a pair; ``occupancy`` is its new size."""
+        self.stats["stash_writes"] += 1
+        if self.memcheck and occupancy > capacity:
+            self._violate(
+                "memcheck", "stash-overflow",
+                f"stash holds {occupancy} pairs, over its capacity of "
+                f"{capacity} — an over-capacity write corrupts the "
+                "spill contract",
+                site=site, space="stash", address=occupancy,
+                dedup=("stash", capacity))
+
+    def on_alloc(self, client: str, num_bytes: int,
+                 site: str = "") -> None:
+        """A device allocation was created or resized for ``client``."""
+        self.stats["allocs"] += 1
+        self._live_allocs[client] = int(num_bytes)
+        if self._alloc_scope is not None:
+            self._alloc_scope.add(client)
+
+    def on_free(self, client: str, known: bool = True,
+                site: str = "") -> None:
+        """``client``'s device allocation was freed.
+
+        ``known`` is whether the memory manager actually held a record
+        for it; freeing an unknown (never-allocated or already-freed)
+        client is the classic double-free.
+        """
+        self.stats["frees"] += 1
+        was_live = self._live_allocs.pop(client, None) is not None
+        if self._alloc_scope is not None:
+            self._alloc_scope.discard(client)
+        if self.memcheck and not known and not was_live:
+            self._violate(
+                "memcheck", "double-free",
+                f"freed device allocation '{client}' that is not live "
+                "(double free or never allocated)",
+                site=site, space="device")
+
+    def begin_alloc_scope(self) -> None:
+        """Start leak accounting: allocations made from here must be
+        freed by :meth:`end_alloc_scope` (kernel-exit discipline)."""
+        self._alloc_scope = set()
+
+    def end_alloc_scope(self, site: str = "") -> None:
+        """Close the alloc scope; surviving allocations are leaks."""
+        scope = self._alloc_scope
+        self._alloc_scope = None
+        if not scope or not self.memcheck:
+            return
+        for client in sorted(scope):
+            if client in self._live_allocs:
+                self._violate(
+                    "memcheck", "alloc-leak",
+                    f"device allocation '{client}' "
+                    f"({self._live_allocs[client]} B) outlived its "
+                    "scope without a free()",
+                    site=site, space="device")
+
+    # ------------------------------------------------------------------
+    # synccheck
+    # ------------------------------------------------------------------
+
+    def on_vote(self, warp: int, vote_mask: int, active_mask: int,
+                site: str = "") -> None:
+        """A leader-election ballot completed on ``warp``.
+
+        Hooked only at election sites (``_InsertWarp._elect`` and the
+        cohort's ``_phase_one`` rotate) — slot-match ballots legally
+        involve lanes whose predicate is False, so they are exempt.
+        A vote bit from a lane outside the active mask means an exited
+        lane participated in ``__ballot_sync``: undefined behaviour on
+        real hardware.
+        """
+        self.stats["votes_checked"] += 1
+        if self.synccheck and vote_mask & ~active_mask:
+            rogue = vote_mask & ~active_mask
+            self._violate(
+                "synccheck", "divergent-sync",
+                f"warp {warp} ballot includes inactive lane(s) "
+                f"{rogue:#x} outside the active mask "
+                f"{active_mask:#x}",
+                site=site, warp=warp, space="warp", address=rogue,
+                dedup=(warp, site))
+
+    def on_kernel_exit(self, live_lanes: int, site: str = "") -> None:
+        """The kernel's scheduler completed normally.
+
+        ``live_lanes`` counts lanes still active at that point — zero
+        by construction on both engines (the round loop runs until no
+        warp has work); a nonzero count means the kernel exited with
+        divergent lanes still resident.
+        """
+        self.stats["kernel_exits"] += 1
+        if self.synccheck and live_lanes > 0:
+            name = self._kernel[0] if self._kernel else "<none>"
+            self._violate(
+                "synccheck", "divergent-exit",
+                f"kernel '{name}' exited normally with {live_lanes} "
+                "live lane(s) still resident",
+                site=site or f"kernel:{name}", space="warp",
+                address=live_lanes)
+
+    # ------------------------------------------------------------------
     # Classification hooks (never violations)
     # ------------------------------------------------------------------
 
@@ -480,11 +822,24 @@ class _NullSanitizer(Sanitizer):
     enabled = False
 
     def __init__(self) -> None:
-        super().__init__(racecheck=False, lockcheck=False)
+        super().__init__(racecheck=False, lockcheck=False,
+                         memcheck=False, initcheck=False,
+                         synccheck=False)
+
+    def __reduce__(self) -> tuple:
+        # Unpickle back to the module singleton so identity gates
+        # (``table.sanitizer is NULL_SANITIZER``) survive the pool's
+        # pickle round-trip.
+        return (_resolve_null_sanitizer, ())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NULL_SANITIZER"
 
 
 #: The default, disabled sanitizer (see module docs for the pattern).
+def _resolve_null_sanitizer() -> "_NullSanitizer":
+    """Pickle target for :data:`NULL_SANITIZER` (see ``__reduce__``)."""
+    return NULL_SANITIZER
+
+
 NULL_SANITIZER = _NullSanitizer()

@@ -9,10 +9,11 @@ write is lock-ordered, every lock pairs, every resize locks exactly one
 subtable, and every injected fault is classified as intentional.
 
 :func:`run_fixture_suite` runs the seeded intentional-violation
-fixtures (:mod:`repro.sanitizer.fixtures`) and checks each produces
-exactly its expected violation kinds — the detector's own test: a
-sanitizer that cannot see a planted bug proves nothing by staying
-silent on real code.
+fixtures (:mod:`repro.sanitizer.fixtures`) across all six passes —
+the dynamic builders plus the static determinism-lint and
+protocol-contract snippets — and checks each produces exactly its
+expected violation set: a sanitizer that cannot see a planted bug
+proves nothing by staying silent on real code.
 """
 
 from __future__ import annotations
@@ -20,7 +21,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sanitizer import Sanitizer
-from repro.sanitizer.fixtures import FIXTURES
+from repro.sanitizer.fixtures import (BAD_CONTRACT_SOURCES,
+                                      BAD_KERNEL_SOURCE, FIXTURE_PASSES,
+                                      FIXTURES)
+
+#: Determinism-lint rules :data:`BAD_KERNEL_SOURCE` is built to trip.
+_LINT_EXPECTED = frozenset(
+    {"unseeded-rng", "wall-clock", "set-iteration", "bare-except"})
+
+_PASS_FLAGS = ("racecheck", "lockcheck", "memcheck", "initcheck",
+               "synccheck")
+
+
+def _new_sanitizer(passes: set | None = None) -> Sanitizer:
+    """A sanitizer restricted to ``passes`` (None = every pass)."""
+    if passes is None:
+        return Sanitizer()
+    return Sanitizer(**{flag: flag in passes for flag in _PASS_FLAGS})
 
 
 def _keys(n: int, seed: int) -> np.ndarray:
@@ -34,7 +51,8 @@ def _keys(n: int, seed: int) -> np.ndarray:
     return drawn[:n]
 
 
-def _audit_kernels(engine: str, ops: int, seed: int) -> Sanitizer:
+def _audit_kernels(engine: str, ops: int, seed: int,
+                   passes: set | None = None) -> Sanitizer:
     """Insert/find/delete kernel workload on one engine, audited."""
     from repro.core.config import DyCuckooConfig
     from repro.core.table import DyCuckooTable
@@ -45,7 +63,7 @@ def _audit_kernels(engine: str, ops: int, seed: int) -> Sanitizer:
     table = DyCuckooTable(DyCuckooConfig(
         initial_buckets=64, bucket_capacity=8, auto_resize=False,
         seed=seed))
-    san = table.set_sanitizer(Sanitizer())
+    san = table.set_sanitizer(_new_sanitizer(passes))
     keys = _keys(ops, seed + 1)
     values = keys * np.uint64(3)
     run_voter_insert_kernel(table, keys, values, engine=engine)
@@ -61,7 +79,84 @@ def _audit_kernels(engine: str, ops: int, seed: int) -> Sanitizer:
     return san
 
 
-def _audit_resize(ops: int, seed: int) -> Sanitizer:
+def _audit_migration_epoch(engine: str, ops: int, seed: int,
+                           passes: set | None = None) -> Sanitizer:
+    """Kernels against open migration epochs: the dual-view path.
+
+    Opens an upsize epoch, runs every kernel while it is only partially
+    drained, finalizes, then does the same through a downsize epoch —
+    whose finalize *retires* the source view (``retired_epochs`` ticks)
+    — and probes again afterwards.  A healthy tree stays inside the
+    live extents throughout: zero violations.
+    """
+    from repro.core.config import DyCuckooConfig
+    from repro.core.table import DyCuckooTable
+    from repro.kernels import (run_delete_kernel, run_find_kernel,
+                               run_voter_insert_kernel)
+
+    table = DyCuckooTable(DyCuckooConfig(
+        initial_buckets=16, bucket_capacity=8, min_buckets=8,
+        auto_resize=False, seed=seed))
+    san = table.set_sanitizer(_new_sanitizer(passes))
+    keys = _keys(max(ops // 4, 64), seed + 6)
+    values = keys * np.uint64(5)
+    half = len(keys) // 2
+    run_voter_insert_kernel(table, keys[:half], values[:half],
+                            engine=engine)
+    resizer = table._resizer
+    resizer.open_upsize_epoch()
+    # Mid-epoch: inserts, finds and deletes all address the dual view.
+    run_voter_insert_kernel(table, keys[half:], values[half:],
+                            engine=engine)
+    run_find_kernel(table, keys, engine=engine)
+    resizer.drain_migration(max_pairs=8)  # partial slice; stays open
+    run_delete_kernel(table, keys[::3], engine=engine)
+    resizer.finalize_migration()
+    # Downsize epoch: finalize truncates the physical rows (the retire
+    # point); post-retire probes must stay within the live extent.
+    resizer.open_downsize_epoch()
+    run_find_kernel(table, keys, engine=engine)
+    resizer.finalize_migration()
+    run_find_kernel(table, keys, engine=engine)
+    return san
+
+
+def _audit_memory(seed: int, passes: set | None = None) -> Sanitizer:
+    """Allocation-lifetime audit through the device memory manager."""
+    from repro.gpusim.memory_manager import DeviceMemoryManager
+
+    san = _new_sanitizer(passes)
+    manager = DeviceMemoryManager(sanitizer=san)
+    san.begin_alloc_scope()
+    manager.set_allocation("hash_table", (512 << 20) + seed)
+    manager.set_allocation("scratch", 1 << 20)
+    manager.set_allocation("scratch", 1 << 21)  # grow in place
+    manager.free("scratch")
+    manager.free("hash_table")
+    san.end_alloc_scope()
+    return san
+
+
+def _audit_stash(seed: int, passes: set | None = None) -> Sanitizer:
+    """Stash occupancy audit: capacity-bounded pushes stay silent."""
+    from repro.core.stash import Stash
+
+    san = _new_sanitizer(passes)
+    stash = Stash(capacity=8)
+    stash.sanitizer = san
+    codes = np.arange(1, 9, dtype=np.uint64) + np.uint64(seed)
+    stash.push(codes, codes)
+    stash.push(codes[:4], codes[:4] + np.uint64(1))  # in-place updates
+    # A push past capacity is *rejected* (not absorbed) — the bound
+    # holds, so memcheck stays silent.
+    stash.push(codes + np.uint64(100), codes)
+    stash.erase(codes[:4])
+    stash.push(codes[:2] + np.uint64(200), codes[:2])
+    return san
+
+
+def _audit_resize(ops: int, seed: int,
+                  passes: set | None = None) -> Sanitizer:
     """Resize storm through the core table path, audited."""
     from repro.core.config import DyCuckooConfig
     from repro.core.table import DyCuckooTable
@@ -69,7 +164,7 @@ def _audit_resize(ops: int, seed: int) -> Sanitizer:
     table = DyCuckooTable(DyCuckooConfig(
         initial_buckets=16, bucket_capacity=8, min_buckets=8,
         seed=seed))
-    san = table.set_sanitizer(Sanitizer())
+    san = table.set_sanitizer(_new_sanitizer(passes))
     keys = _keys(ops, seed + 3)
     # Grow through repeated upsizes, then shrink through downsizes
     # (residual spills included) — every resize brackets its one
@@ -80,7 +175,8 @@ def _audit_resize(ops: int, seed: int) -> Sanitizer:
     return san
 
 
-def _audit_faults(ops: int, seed: int) -> Sanitizer:
+def _audit_faults(ops: int, seed: int,
+                  passes: set | None = None) -> Sanitizer:
     """Fault-injection phase: injected events classify, never violate."""
     from repro.core.config import DyCuckooConfig
     from repro.core.table import DyCuckooTable
@@ -91,7 +187,7 @@ def _audit_faults(ops: int, seed: int) -> Sanitizer:
     table = DyCuckooTable(DyCuckooConfig(
         initial_buckets=64, bucket_capacity=8, auto_resize=False,
         seed=seed))
-    san = table.set_sanitizer(Sanitizer())
+    san = table.set_sanitizer(_new_sanitizer(passes))
     table.set_fault_plan(FaultPlan(seed=seed, rates={
         "lock.acquire": 0.05, "lock.stall": 0.02, "atomics.cas": 0.05,
     }))
@@ -118,20 +214,28 @@ def _audit_faults(ops: int, seed: int) -> Sanitizer:
 
 
 def run_clean_audit(ops: int = 512, seed: int = 0,
-                    engines: tuple = ("warp", "cohort")) -> dict:
+                    engines: tuple = ("warp", "cohort"),
+                    passes: set | None = None) -> dict:
     """Audit a correct workload end to end; returns a combined report.
 
     ``report["ok"]`` is True iff no pass flagged anything across any
-    phase.  Phases: per-engine kernel workloads, a resize storm, and a
+    phase.  Phases: per-engine kernel workloads, per-engine
+    mid-migration-epoch workloads (kernels against a partially drained
+    dual view, through the downsize retire point), a resize storm, a
+    device-allocation lifetime audit, a stash occupancy audit, and a
     fault-injection phase whose injected events must classify as
     intentional (``stats["injected_events"] > 0``, zero violations).
     """
     phases: dict[str, dict] = {}
     for engine in engines:
         phases[f"kernels[{engine}]"] = _audit_kernels(
-            engine, ops, seed).report()
-    phases["resize"] = _audit_resize(ops, seed).report()
-    faults = _audit_faults(ops, seed)
+            engine, ops, seed, passes).report()
+        phases[f"migration-epoch[{engine}]"] = _audit_migration_epoch(
+            engine, ops, seed, passes).report()
+    phases["resize"] = _audit_resize(ops, seed, passes).report()
+    phases["memory"] = _audit_memory(seed, passes).report()
+    phases["stash"] = _audit_stash(seed, passes).report()
+    faults = _audit_faults(ops, seed, passes)
     phases["faults"] = faults.report()
     ok = all(p["ok"] and p["subtable_locks_held"] == 0
              for p in phases.values())
@@ -142,16 +246,29 @@ def run_clean_audit(ops: int = 512, seed: int = 0,
     }
 
 
-def run_fixture_suite() -> dict:
+def run_fixture_suite(passes: set | None = None) -> dict:
     """Run every seeded-violation fixture; returns per-fixture results.
 
-    ``report["ok"]`` is True iff every fixture produced exactly its
-    expected violation-kind set and every dynamic violation carries
-    round/warp attribution.
+    Covers all six passes: the dynamic builders (racecheck, lockcheck,
+    memcheck, initcheck, synccheck) plus the static determinism-lint
+    and protocol-contract snippets.  ``passes`` (names among
+    ``racecheck``/``lockcheck``/``memcheck``/``initcheck``/
+    ``synccheck``/``lint``/``contracts``) subsets the suite; None runs
+    everything.  ``report["ok"]`` is True iff every selected fixture
+    produced exactly its expected violation set and every dynamic
+    violation carries round/warp attribution.
     """
+    from repro.sanitizer.contracts import check_source
+    from repro.sanitizer.lint import lint_source
+
+    def selected(fixture_passes: frozenset | set) -> bool:
+        return passes is None or bool(passes & set(fixture_passes))
+
     results: dict[str, dict] = {}
     ok = True
     for name, (build, expected_kinds) in FIXTURES.items():
+        if not selected(FIXTURE_PASSES[name]):
+            continue
         san = build()
         got_kinds = {v.kind for v in san.violations}
         attributed = all(
@@ -166,4 +283,28 @@ def run_fixture_suite() -> dict:
             "detected": sorted(got_kinds),
             "violations": [v.to_dict() for v in san.violations],
         }
+    if selected({"lint"}):
+        findings = lint_source(BAD_KERNEL_SOURCE,
+                               path="<fixture:lint>", strict=True)
+        got_rules = {f.rule for f in findings}
+        passed = got_rules == set(_LINT_EXPECTED)
+        ok = ok and passed
+        results["determinism-lint"] = {
+            "ok": passed,
+            "expected": sorted(_LINT_EXPECTED),
+            "detected": sorted(got_rules),
+            "violations": [str(f) for f in findings],
+        }
+    if selected({"contracts"}):
+        for rule, source in BAD_CONTRACT_SOURCES.items():
+            findings = check_source(source, path=f"<fixture:{rule}>")
+            got_rules = {f.rule for f in findings}
+            passed = got_rules == {rule}
+            ok = ok and passed
+            results[f"contract:{rule}"] = {
+                "ok": passed,
+                "expected": [rule],
+                "detected": sorted(got_rules),
+                "violations": [str(f) for f in findings],
+            }
     return {"ok": ok, "fixtures": results}

@@ -1,0 +1,452 @@
+"""Static protocol-contract analyzer (the sanitizer's sixth pass).
+
+The dynamic passes only see contracts that *execute*; a forgotten
+``try/finally`` on a path the fuzzer never takes stays latent until a
+chaos run trips it.  This module proves three bracket disciplines over
+the AST of the protocol-bearing source — ``kernels/``, ``gpusim/`` and
+``core/resize.py`` — the same way :mod:`repro.sanitizer.lint` proves
+determinism hygiene:
+
+``unreleased-lock-path``
+    Every lock acquisition must be released on all paths.  A class (or
+    module-level function) calling ``try_acquire`` must show
+    exception-safe release evidence: a ``release`` call inside a
+    ``finally`` block or ``except`` handler, or a dedicated unwind
+    method (name containing ``unwind``) that releases — the pattern
+    :meth:`repro.kernels.insert._InsertWarp.unwind_locks` establishes.
+    Classes that *implement* both ``try_acquire`` and ``release`` are
+    arbiters, not clients, and are exempt.  Likewise every function
+    bracketing a subtable resize lock (``on_subtable_lock``) must
+    unlock in a ``finally`` of the same function.
+
+``unpaired-kernel-bracket``
+    Every ``begin_kernel`` must pair with an ``end_kernel`` on the same
+    receiver within the same function, and at least one ``end_kernel``
+    must be exception-safe: in a ``finally``, or the profiler idiom of
+    one call in an ``except`` handler plus one on the straight-line
+    path after the ``try``.
+
+``unguarded-structural-write``
+    A structural bucket write (``<subtable>.keys[...] = ...``) may only
+    happen in a function that also feeds the access stream
+    (``record_access``), so the dynamic passes can see it.  Scoped to
+    ``kernels/`` and ``gpusim/`` — resize's copy-over writes are
+    bracketed by subtable locks, not kernel contracts.
+
+Intentional exceptions carry the same ``# sanitize: allow(<rule>)``
+marker the determinism lint uses, on the flagged line, with a rationale
+in the surrounding comment.  Findings are
+:class:`ContractFinding` records (static — no warp/round attribution),
+mirrored by seeded bad-source fixtures in
+:data:`repro.sanitizer.fixtures.BAD_CONTRACT_SOURCES` so every rule is
+exercised in CI against both real and intentionally-broken code.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.sanitizer.lint import _ALLOW_MARKER
+
+__all__ = [
+    "RULES",
+    "ContractFinding",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "contract_scope_paths",
+    "in_contract_scope",
+    "in_write_scope",
+]
+
+#: Every rule this analyzer can report.
+RULES = ("unreleased-lock-path", "unpaired-kernel-bracket",
+         "unguarded-structural-write")
+
+#: Directories (under ``src/repro``) whose files carry lock/bracket
+#: contracts, plus the one core file that brackets subtable locks.
+_SCOPE_DIRS = ("kernels", "gpusim")
+_SCOPE_FILES = ("core/resize.py",)
+
+
+@dataclass(frozen=True)
+class ContractFinding:
+    """One static contract violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _repro_tail(path: str) -> tuple[str, ...]:
+    parts = path.replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        return tuple(parts[parts.index("repro") + 1:])
+    return tuple(parts)
+
+
+def in_contract_scope(path: str) -> bool:
+    """True when ``path`` carries lock/bracket contracts."""
+    tail = _repro_tail(path)
+    if not tail:
+        return False
+    if tail[0] in _SCOPE_DIRS:
+        return True
+    return "/".join(tail) in _SCOPE_FILES
+
+
+def in_write_scope(path: str) -> bool:
+    """True when ``unguarded-structural-write`` applies to ``path``.
+
+    Resize's copy-over writes happen under subtable locks outside any
+    kernel, so only kernel/engine code is held to the access-stream
+    contract.
+    """
+    tail = _repro_tail(path)
+    return bool(tail) and tail[0] in _SCOPE_DIRS
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def _call_method(node: ast.Call) -> str:
+    """The called method/function name (``x.y.z()`` -> ``"z"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _receiver(node: ast.Call) -> str:
+    """Dotted receiver of a method call (``a.b.c()`` -> ``"a.b"``)."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    parts: list[str] = []
+    cur: ast.expr = func.value
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    else:
+        parts.append("<expr>")
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class _Call:
+    """One interesting call with its exception-handling context."""
+
+    method: str
+    receiver: str
+    line: int
+    #: Strongest enclosing region: "finally" > "except" > "try" >
+    #: "plain" (function body outside any try statement).
+    context: str
+
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+_CTX_RANK = {"plain": 0, "try": 1, "except": 2, "finally": 3}
+
+
+def _stronger(outer: str, inner: str) -> str:
+    """Combine nested contexts; the safer classification wins."""
+    return outer if _CTX_RANK[outer] >= _CTX_RANK[inner] else inner
+
+
+def _collect_calls(func: ast.AST) -> list[_Call]:
+    """Every call in ``func``'s own body (nested defs excluded),
+    annotated with its try/except/finally context."""
+    calls: list[_Call] = []
+
+    def visit(node: ast.AST, context: str) -> None:
+        if isinstance(node, ast.Call):
+            calls.append(_Call(_call_method(node), _receiver(node),
+                               node.lineno, context))
+        if isinstance(node, ast.Try):
+            for stmt in node.body + node.orelse:
+                visit(stmt, _stronger(context, "try"))
+            for handler in node.handlers:
+                visit(handler, _stronger(context, "except"))
+            for stmt in node.finalbody:
+                visit(stmt, _stronger(context, "finally"))
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+                continue
+            visit(child, context)
+
+    for child in ast.iter_child_nodes(func):
+        if isinstance(child, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+            continue
+        visit(child, "plain")
+    return calls
+
+
+# ---------------------------------------------------------------------------
+# Per-function checks
+# ---------------------------------------------------------------------------
+
+def _check_kernel_brackets(func_name: str, calls: list[_Call],
+                           path: str) -> list[ContractFinding]:
+    begins: dict[str, _Call] = {}
+    ends: dict[str, list[_Call]] = {}
+    for call in calls:
+        if call.method == "begin_kernel":
+            begins.setdefault(call.receiver, call)
+        elif call.method == "end_kernel":
+            ends.setdefault(call.receiver, []).append(call)
+    findings = []
+    for receiver, begin in begins.items():
+        closing = ends.get(receiver, [])
+        safe = any(c.context == "finally" for c in closing) or (
+            any(c.context == "except" for c in closing)
+            and any(c.context == "plain" for c in closing))
+        if not safe:
+            what = ("no end_kernel() on the same receiver"
+                    if not closing else
+                    "end_kernel() is not exception-safe (needs a "
+                    "finally, or an except-handler call paired with a "
+                    "straight-line call after the try)")
+            findings.append(ContractFinding(
+                path, begin.line, "unpaired-kernel-bracket",
+                f"{func_name} opens kernel bracket on "
+                f"'{receiver}' but {what}"))
+    return findings
+
+
+def _check_subtable_locks(func_name: str, calls: list[_Call],
+                          path: str) -> list[ContractFinding]:
+    locks = [c for c in calls if c.method == "on_subtable_lock"]
+    if not locks:
+        return []
+    unlocks = [c for c in calls if c.method == "on_subtable_unlock"]
+    if any(c.context == "finally" for c in unlocks):
+        return []
+    return [ContractFinding(
+        path, locks[0].line, "unreleased-lock-path",
+        f"{func_name} takes a subtable resize lock without an "
+        "on_subtable_unlock in a finally — an abort mid-resize wedges "
+        "the one-subtable guarantee")]
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Pruned walk: ``func``'s own nodes, nested scopes excluded."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+            continue  # nested defs are visited as their own functions
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_structural_writes(func_name: str, func: ast.AST,
+                             calls: list[_Call],
+                             path: str) -> list[ContractFinding]:
+    writes: list[int] = []
+    for node in _own_nodes(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "keys"
+                    # self.keys are a warp's private lane registers,
+                    # not bucket storage; only subtable-qualified
+                    # writes (st.keys[...], table.keys[...]) are
+                    # structural.
+                    and not (isinstance(target.value.value, ast.Name)
+                             and target.value.value.id == "self")):
+                writes.append(target.lineno)
+    if not writes:
+        return []
+    if any(c.method == "record_access" for c in calls):
+        return []
+    return [ContractFinding(
+        path, line, "unguarded-structural-write",
+        f"{func_name} writes bucket keys without feeding the "
+        "sanitizer access stream (no record_access in this function)")
+        for line in writes]
+
+
+# ---------------------------------------------------------------------------
+# Module analysis
+# ---------------------------------------------------------------------------
+
+def _functions_of(tree: ast.Module) -> list[tuple[str, ast.AST, str]]:
+    """Every function in the module as ``(qualname, node, class_name)``
+    (class_name is "" for module-level functions)."""
+    out: list[tuple[str, ast.AST, str]] = []
+
+    def visit(node: ast.AST, prefix: str, cls: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES):
+                name = f"{prefix}{child.name}"
+                out.append((name, child, cls))
+                visit(child, name + ".", cls)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.",
+                      f"{prefix}{child.name}")
+            else:
+                visit(child, prefix, cls)
+
+    visit(tree, "", "")
+    return out
+
+
+def _check_warp_locks(tree: ast.Module, path: str,
+                      functions: list[tuple[str, ast.AST, str]],
+                      calls_of: dict[str, list[_Call]],
+                      ) -> list[ContractFinding]:
+    """``try_acquire`` clients must release on every path."""
+    # Group functions by owning class ("" = module level).
+    by_class: dict[str, list[str]] = {}
+    for name, _node, cls in functions:
+        by_class.setdefault(cls, []).append(name)
+    # Classes that *define* try_acquire and release are arbiters.
+    arbiters = set()
+    for cls, names in by_class.items():
+        defined = {n.rsplit(".", 1)[-1] for n in names}
+        if cls and {"try_acquire", "release"} <= defined:
+            arbiters.add(cls)
+    findings = []
+    for cls, names in by_class.items():
+        if cls in arbiters:
+            continue
+        acquires: list[_Call] = []
+        safe_release = False
+        for name in names:
+            calls = calls_of[name]
+            short = name.rsplit(".", 1)[-1]
+            for call in calls:
+                if call.method == "try_acquire":
+                    acquires.append(call)
+                elif call.method == "release":
+                    if call.context in ("finally", "except"):
+                        safe_release = True
+                    elif "unwind" in short:
+                        # The dedicated unwind method *is* the
+                        # exception path; a plain release there is the
+                        # contract's fix, not a gap.
+                        safe_release = True
+        if cls == "":
+            # Module-level functions are independent scopes: check
+            # each one on its own instead of pooling evidence.
+            for name in names:
+                calls = calls_of[name]
+                acq = [c for c in calls if c.method == "try_acquire"]
+                if not acq:
+                    continue
+                ok = any(c.method == "release"
+                         and c.context in ("finally", "except")
+                         for c in calls)
+                if not ok:
+                    findings.append(ContractFinding(
+                        path, acq[0].line, "unreleased-lock-path",
+                        f"{name} acquires a lock with no "
+                        "exception-safe release (finally/except) in "
+                        "the same function"))
+            continue
+        if acquires and not safe_release:
+            findings.append(ContractFinding(
+                path, acquires[0].line, "unreleased-lock-path",
+                f"class {cls} acquires locks but shows no "
+                "exception-safe release path (no release in a "
+                "finally/except and no unwind method)"))
+    return findings
+
+
+def check_source(source: str, path: str = "<string>",
+                 structural_writes: bool | None = None,
+                 ) -> list[ContractFinding]:
+    """Analyze one module's source; returns surviving findings.
+
+    ``structural_writes`` gates the ``unguarded-structural-write`` rule
+    and defaults from the path (kernels/gpusim only); fixtures pass
+    True explicitly.
+    """
+    if structural_writes is None:
+        # Synthetic paths ("<string>", "<fixture:...>") get the full
+        # rule set; real files default from their tree position.
+        structural_writes = path.startswith("<") or in_write_scope(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [ContractFinding(path, exc.lineno or 0, "parse-error",
+                                f"could not parse: {exc.msg}")]
+    functions = _functions_of(tree)
+    calls_of = {name: _collect_calls(node)
+                for name, node, _cls in functions}
+    findings: list[ContractFinding] = []
+    for name, node, _cls in functions:
+        calls = calls_of[name]
+        findings.extend(_check_kernel_brackets(name, calls, path))
+        findings.extend(_check_subtable_locks(name, calls, path))
+        if structural_writes:
+            findings.extend(
+                _check_structural_writes(name, node, calls, path))
+    findings.extend(_check_warp_locks(tree, path, functions, calls_of))
+    findings = _apply_suppressions(findings, source)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _apply_suppressions(findings: list[ContractFinding],
+                        source: str) -> list[ContractFinding]:
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if _ALLOW_MARKER + finding.rule + ")" in line:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def check_file(path: str) -> list[ContractFinding]:
+    with open(path, encoding="utf-8") as handle:
+        return check_source(handle.read(), path)
+
+
+def contract_scope_paths(root: str | None = None) -> list[str]:
+    """The real-source files the analyzer covers, sorted."""
+    if root is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        root = os.path.dirname(here)  # src/repro
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            if in_contract_scope(full):
+                paths.append(full)
+    return sorted(paths)
+
+
+def check_paths(paths: Iterable[str] | None = None,
+                ) -> list[ContractFinding]:
+    """Analyze ``paths`` (default: the full contract scope)."""
+    if paths is None:
+        paths = contract_scope_paths()
+    findings: list[ContractFinding] = []
+    for path in paths:
+        findings.extend(check_file(path))
+    return findings

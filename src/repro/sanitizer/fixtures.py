@@ -11,17 +11,38 @@ file/round/warp attribution — the sanitizer's own regression suite, in
 the spirit of compute-sanitizer's demo suite of intentionally broken
 kernels.
 
-:data:`BAD_KERNEL_SOURCE` is the static counterpart: a snippet tripping
-every determinism-lint rule, linted in-memory via
-:func:`repro.sanitizer.lint.lint_source`.
+:data:`BAD_KERNEL_SOURCE` and :data:`BAD_CONTRACT_SOURCES` are the
+static counterparts: snippets tripping every determinism-lint rule and
+every protocol-contract rule respectively, analyzed in-memory via
+:func:`repro.sanitizer.lint.lint_source` and
+:func:`repro.sanitizer.contracts.check_source`.
 """
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
+import numpy as np
+
 from repro.gpusim.kernel import LockArbiter, RoundScheduler
-from repro.sanitizer import Sanitizer
+from repro.sanitizer import VIOLATION_KINDS, Sanitizer
 
 _SITE = "repro/sanitizer/fixtures.py"
+
+
+class _FixtureSubtable:
+    """Just enough subtable for memcheck's extent decode: a keys array."""
+
+    def __init__(self, rows: int, capacity: int = 4) -> None:
+        self.keys = np.zeros((rows, capacity), dtype=np.uint64)
+
+
+class _FixtureTable:
+    """A table stand-in exposing ``subtables`` with live geometry."""
+
+    def __init__(self, rows_per_subtable: Iterable[int]) -> None:
+        self.subtables = [_FixtureSubtable(rows)
+                          for rows in rows_per_subtable]
 
 
 class _ScriptWarp:
@@ -29,10 +50,11 @@ class _ScriptWarp:
 
     Each round's entry is a list of ``(op, *args)`` steps:
     ``("acquire", lock)``, ``("release", lock)``,
-    ``("access", kind, space, address)``, or ``("noop",)``.
+    ``("access", kind, space, address)``, ``("vote", votes, active)``,
+    ``("exit", live_lanes)``, or ``("noop",)``.
     """
 
-    def __init__(self, warp_id: int, script, arbiter: LockArbiter,
+    def __init__(self, warp_id: int, script: list, arbiter: LockArbiter,
                  san: Sanitizer) -> None:
         self.warp_id = warp_id
         self.script = script
@@ -54,14 +76,20 @@ class _ScriptWarp:
                 kind, space, address = args
                 self.san.record_access(self.warp_id, kind, space,
                                        address, site=_SITE)
+            elif op == "vote":
+                votes, active = args
+                self.san.on_vote(self.warp_id, votes, active,
+                                 site=_SITE)
+            elif op == "exit":
+                self.san.on_kernel_exit(args[0], site=_SITE)
 
 
-def _run_script_kernel(san: Sanitizer, scripts, name: str,
-                       locking: bool = True) -> None:
+def _run_script_kernel(san: Sanitizer, scripts: Iterable, name: str,
+                       locking: bool = True, table: Any = None) -> None:
     arbiter = LockArbiter(sanitizer=san)
     warps = [_ScriptWarp(i, list(script), arbiter, san)
              for i, script in enumerate(scripts)]
-    san.begin_kernel(name, locking=locking)
+    san.begin_kernel(name, locking=locking, table=table)
     try:
         RoundScheduler(warps, sanitizer=san).run()
     finally:
@@ -144,6 +172,153 @@ def fixture_second_subtable_lock() -> Sanitizer:
     return san
 
 
+def fixture_oob_access() -> Sanitizer:
+    """A kernel probes past a subtable's live extent, and a subtable
+    index the table does not have.
+
+    Expected: two ``oob-access`` violations (one per bad decode) — the
+    classic unchecked ``hash % old_capacity`` bug after a resize.
+    """
+    san = Sanitizer()
+    table = _FixtureTable([8, 8])
+    _run_script_kernel(san, [
+        [[("access", "probe", "bucket", (0 << 40) | 9)],
+         [("access", "probe", "bucket", (5 << 40) | 0)]],
+    ], "fixture-oob-access", locking=False, table=table)
+    return san
+
+
+def fixture_use_after_retire() -> Sanitizer:
+    """A probe reads a row truncated by a finalized downsize epoch.
+
+    Subtable 1 shrank 16 -> 8 rows; the epoch's source view retired
+    with ``finish_migration``.  A later probe of bucket 12 is exactly
+    the stale dual-view read the epoch machinery makes possible.
+    Expected: one ``use-after-retire`` (not a bare ``oob-access``).
+    """
+    san = Sanitizer()
+    table = _FixtureTable([8, 8])
+    san.on_epoch_retire(table, 1, old_rows=16, new_rows=8, site=_SITE)
+    _run_script_kernel(san, [
+        [[("access", "probe", "bucket", (1 << 40) | 12)]],
+    ], "fixture-use-after-retire", locking=False, table=table)
+    return san
+
+
+def fixture_uninit_read() -> Sanitizer:
+    """A probe reads a bucket never written since allocation.
+
+    Buckets 3 and 5 are marked as allocated-without-zero-fill; a write
+    initializes 5 (its later probe is then clean) but 3 is probed raw.
+    Expected: exactly one ``uninit-read`` for bucket 3.
+    """
+    san = Sanitizer()
+    table = _FixtureTable([8])
+    san.mark_uninitialized(table, 0, [3, 5])
+    _run_script_kernel(san, [
+        [[("access", "write", "bucket", (0 << 40) | 5)],
+         [("access", "probe", "bucket", (0 << 40) | 5)],
+         [("access", "probe", "bucket", (0 << 40) | 3)]],
+    ], "fixture-uninit-read", locking=False, table=table)
+    return san
+
+
+def fixture_divergent_sync() -> Sanitizer:
+    """A leader-election ballot includes a lane outside the active mask.
+
+    Lane 2 voted (``0b0111``) but the warp's active mask is ``0b0011``
+    — an exited lane participating in ``__ballot_sync``, undefined
+    behaviour on real hardware.  Expected: one ``divergent-sync``.
+    """
+    san = Sanitizer()
+    _run_script_kernel(san, [
+        [[("vote", 0b0111, 0b0011)]],
+    ], "fixture-divergent-sync", locking=False)
+    return san
+
+
+def fixture_divergent_exit() -> Sanitizer:
+    """The kernel's scheduler completes with lanes still resident.
+
+    Expected: one ``divergent-exit`` reporting the 3 live lanes.
+    """
+    san = Sanitizer()
+    _run_script_kernel(san, [
+        [[("exit", 3)]],
+    ], "fixture-divergent-exit", locking=False)
+    return san
+
+
+def fixture_unmatched_kernel_bracket() -> Sanitizer:
+    """Kernel brackets mismatch in both directions.
+
+    A ``begin_kernel`` lands while another kernel is still open (a
+    missing ``end_kernel``), and later an ``end_kernel`` arrives with
+    no kernel open (a double close).  Expected: two
+    ``unmatched-kernel-bracket`` violations.
+    """
+    san = Sanitizer()
+    san.begin_kernel("outer", locking=False)
+    san.begin_kernel("inner", locking=False)  # outer never closed
+    san.end_kernel()
+    san.end_kernel()  # closes nothing: bracket already shut
+    return san
+
+
+def fixture_stash_overflow() -> Sanitizer:
+    """A stash implementation that lost its capacity check.
+
+    The fixture plants three entries in a capacity-2 stash (the bug),
+    then pushes an update through the real :class:`Stash.push` path —
+    memcheck sees occupancy 3 over capacity 2.  Expected: one
+    ``stash-overflow``.
+    """
+    from repro.core.stash import Stash
+
+    san = Sanitizer()
+    stash = Stash(capacity=2)
+    stash.sanitizer = san
+    stash._entries = {1: 10, 2: 20, 3: 30}  # the planted bug
+    stash.push(np.array([2], dtype=np.uint64),
+               np.array([21], dtype=np.uint64))
+    return san
+
+
+def fixture_alloc_leak() -> Sanitizer:
+    """A device allocation outlives its alloc scope without a free.
+
+    Models a kernel that ``cudaMalloc``s scratch space and returns
+    without freeing it.  Expected: one ``alloc-leak`` naming the
+    surviving client (the properly freed one stays silent).
+    """
+    from repro.gpusim.memory_manager import DeviceMemoryManager
+
+    san = Sanitizer()
+    manager = DeviceMemoryManager(sanitizer=san)
+    san.begin_alloc_scope()
+    manager.set_allocation("leaked_scratch", 1 << 20)
+    manager.set_allocation("freed_scratch", 1 << 16)
+    manager.free("freed_scratch")
+    san.end_alloc_scope(site=_SITE)
+    return san
+
+
+def fixture_double_free() -> Sanitizer:
+    """The same device allocation is freed twice.
+
+    Expected: one ``double-free`` on the second ``free`` (the first is
+    legitimate and silent).
+    """
+    from repro.gpusim.memory_manager import DeviceMemoryManager
+
+    san = Sanitizer()
+    manager = DeviceMemoryManager(sanitizer=san)
+    manager.set_allocation("spill_buffer", 1 << 20)
+    manager.free("spill_buffer")
+    manager.free("spill_buffer")  # the bug
+    return san
+
+
 #: name -> (builder, expected violation kinds as a set).
 FIXTURES = {
     "unlocked-write": (fixture_unlocked_write,
@@ -153,6 +328,28 @@ FIXTURES = {
     "leaked-lock": (fixture_leaked_lock, {"leaked-lock"}),
     "second-subtable-lock": (fixture_second_subtable_lock,
                              {"second-subtable-lock"}),
+    "oob-access": (fixture_oob_access, {"oob-access"}),
+    "use-after-retire": (fixture_use_after_retire,
+                         {"use-after-retire"}),
+    "uninit-read": (fixture_uninit_read, {"uninit-read"}),
+    "divergent-sync": (fixture_divergent_sync, {"divergent-sync"}),
+    "divergent-exit": (fixture_divergent_exit, {"divergent-exit"}),
+    "unmatched-kernel-bracket": (fixture_unmatched_kernel_bracket,
+                                 {"unmatched-kernel-bracket"}),
+    "stash-overflow": (fixture_stash_overflow, {"stash-overflow"}),
+    "alloc-leak": (fixture_alloc_leak, {"alloc-leak"}),
+    "double-free": (fixture_double_free, {"double-free"}),
+}
+
+_KIND_TO_PASS = {kind: pass_name
+                 for pass_name, kinds in VIOLATION_KINDS.items()
+                 for kind in kinds}
+
+#: name -> the dynamic passes its expected violations belong to; used
+#: by the CLI's per-pass selectors to subset the suite.
+FIXTURE_PASSES = {
+    name: frozenset(_KIND_TO_PASS[kind] for kind in expected)
+    for name, (_, expected) in FIXTURES.items()
 }
 
 
@@ -177,3 +374,33 @@ def schedule(warps):
     except:                                # bare-except (line 16)
         return random.sample(order, len(order)), started
 '''
+
+
+#: Static-fixture snippets for the protocol-contract analyzer: one
+#: intentionally broken source per contract rule, each tripping exactly
+#: that rule via :func:`repro.sanitizer.contracts.check_source`.
+BAD_CONTRACT_SOURCES = {
+    "unreleased-lock-path": '''\
+class LeakyWarp:
+    """try_acquire succeeds but the release is not exception-safe."""
+
+    def step(self):
+        if not self.arbiter.try_acquire(self.lock_id, warp=self.warp_id):
+            return
+        self.write_slot()  # may raise: the lock leaks
+        self.arbiter.release(self.lock_id, warp=self.warp_id)
+''',
+    "unpaired-kernel-bracket": '''\
+def run_leaky_kernel(table, san):
+    """end_kernel is not exception-safe: no finally bracket."""
+    san.begin_kernel("leaky", locking=True)
+    do_rounds(table)  # may raise: the bracket leaks
+    san.end_kernel()
+''',
+    "unguarded-structural-write": '''\
+def clear_slot(st, bucket, slot):
+    """Structural key-slot write with no record_access in scope."""
+    st.keys[bucket, slot] = 0
+    st.values[bucket, slot] = 0
+''',
+}

@@ -23,9 +23,11 @@ pass forbids the nondeterminism sources that would silently break that:
     are insertion-ordered, hence deterministic, and are not flagged.)
     Enforced only in strict scope; wrap in ``sorted(...)`` to fix.
 
-*Strict scope* is the kernel/device/core code whose outputs feed
-conformance checks: any module under ``repro/gpusim/``,
-``repro/kernels/`` or ``repro/core/``.
+*Strict scope* is the code whose outputs feed conformance checks: any
+module under ``repro/gpusim/``, ``repro/kernels/``, ``repro/core/``,
+``repro/shard/`` (the sharded executor must replay deterministically
+for its serial-conformance check) or ``repro/scenarios/`` (scorecards
+are compared run-to-run by the soak suite).
 
 Suppression: append ``# sanitize: allow(<rule>)`` to the offending
 line.  Use it only with a justification comment — the suppression is
@@ -45,7 +47,7 @@ __all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths",
 RULES = ("unseeded-rng", "wall-clock", "set-iteration", "bare-except")
 
 #: Package directories (under ``repro``) held to the strict rule set.
-STRICT_DIRS = ("gpusim", "kernels", "core")
+STRICT_DIRS = ("gpusim", "kernels", "core", "shard", "scenarios")
 
 #: Legacy numpy global-RNG entry points (all draw from hidden state).
 _LEGACY_RANDOM_FNS = frozenset({
@@ -159,7 +161,7 @@ class _Linter(ast.NodeVisitor):
                     self.datetime_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
 
-    def _visit_scope(self, node) -> None:
+    def _visit_scope(self, node: ast.AST) -> None:
         self._set_scopes.append(set())
         self.generic_visit(node)
         self._set_scopes.pop()
@@ -267,7 +269,7 @@ class _Linter(ast.NodeVisitor):
         self._check_iteration(node.iter)
         self.generic_visit(node)
 
-    def visit_comprehension_iters(self, node) -> None:
+    def visit_comprehension_iters(self, node: ast.AST) -> None:
         for gen in node.generators:
             self._check_iteration(gen.iter)
         self.generic_visit(node)
@@ -312,7 +314,7 @@ def lint_file(path: str, strict: bool | None = None) -> list[LintFinding]:
         return lint_source(handle.read(), path, strict)
 
 
-def lint_paths(paths=None) -> list[LintFinding]:
+def lint_paths(paths: list[str] | None = None) -> list[LintFinding]:
     """Lint every ``*.py`` under each path (default: ``src/repro``)."""
     if paths is None:
         here = os.path.dirname(os.path.abspath(__file__))

@@ -1,16 +1,21 @@
-"""SIMT sanitizer: racecheck, lockcheck, determinism lint, audits.
+"""SIMT sanitizer: the six-pass suite — dynamic passes plus audits.
 
 Three layers of coverage:
 
 * unit tests of the :class:`~repro.sanitizer.Sanitizer` state machine —
-  lockset pairing, the locking contract, dedup, the null-object gate;
+  lockset pairing, the locking contract, extent/init/sync checks,
+  dedup, the null-object gate;
 * the seeded intentional-violation fixtures
   (:mod:`repro.sanitizer.fixtures`): each must produce *exactly* its
   expected violation kinds with round/warp/site attribution;
-* end-to-end audits: a clean workload on both engines yields zero
-  violations (``run_clean_audit``), and the determinism lint is clean
-  over ``src/repro`` while flagging every rule in
+* end-to-end audits: a clean workload on both engines (including
+  mid-migration-epoch paths) yields zero violations
+  (``run_clean_audit``), and the determinism lint is clean over
+  ``src/repro`` while flagging every rule in
   :data:`~repro.sanitizer.fixtures.BAD_KERNEL_SOURCE`.
+
+The static protocol-contract analyzer has its own suite in
+``tests/test_contracts.py``.
 """
 
 import pytest
@@ -19,7 +24,9 @@ from repro.cli import main
 from repro.sanitizer import (ACCESS_KINDS, NULL_SANITIZER,
                              VIOLATION_KINDS, Sanitizer)
 from repro.sanitizer.audit import run_clean_audit, run_fixture_suite
-from repro.sanitizer.fixtures import BAD_KERNEL_SOURCE, FIXTURES
+from repro.sanitizer.fixtures import (BAD_CONTRACT_SOURCES,
+                                      BAD_KERNEL_SOURCE, FIXTURE_PASSES,
+                                      FIXTURES, _FixtureTable)
 from repro.sanitizer.lint import (is_strict_path, lint_paths,
                                   lint_source)
 
@@ -179,6 +186,159 @@ class TestLockcheckUnit:
         assert san2.report()["subtable_locks_held"] == 0
 
 
+def memkernel(san, rows_per_subtable=(8, 8), locking=False):
+    """Kernel scope with a fixture table attached for extent checks."""
+    table = _FixtureTable(rows_per_subtable)
+    san.begin_kernel("k", locking=locking, table=table)
+    san.begin_round(0)
+    return san, table
+
+
+class TestMemcheckUnit:
+    def test_in_extent_access_is_clean(self):
+        san, _ = memkernel(Sanitizer())
+        san.record_access(0, "probe", "bucket", (1 << 40) | 7)
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["extent_checks"] == 1
+
+    def test_bucket_beyond_live_rows_is_oob(self):
+        san, _ = memkernel(Sanitizer())
+        san.record_access(0, "probe", "bucket", (0 << 40) | 8, site="p")
+        [v] = san.violations
+        assert v.kind == "oob-access" and v.pass_name == "memcheck"
+        assert v.site == "p" and v.warp == 0
+
+    def test_subtable_beyond_table_is_oob(self):
+        san, _ = memkernel(Sanitizer())
+        san.record_access(0, "probe", "bucket", (5 << 40) | 0)
+        [v] = san.violations
+        assert v.kind == "oob-access"
+
+    def test_retired_epoch_view_is_use_after_retire(self):
+        san, table = memkernel(Sanitizer())
+        san.on_epoch_retire(table, 1, old_rows=16, new_rows=8)
+        san.record_access(0, "probe", "bucket", (1 << 40) | 12)
+        [v] = san.violations
+        assert v.kind == "use-after-retire"
+        assert san.stats["retired_epochs"] == 1
+
+    def test_beyond_the_retired_extent_is_plain_oob(self):
+        san, table = memkernel(Sanitizer())
+        san.on_epoch_retire(table, 1, old_rows=16, new_rows=8)
+        san.record_access(0, "probe", "bucket", (1 << 40) | 40)
+        [v] = san.violations
+        assert v.kind == "oob-access"
+
+    def test_extent_tracks_live_geometry(self):
+        """Growing the attached table legalizes the new rows."""
+        san, table = memkernel(Sanitizer())
+        import numpy as np
+        table.subtables[0].keys = np.zeros((16, 4), dtype=np.uint64)
+        san.record_access(0, "probe", "bucket", (0 << 40) | 12)
+        san.end_kernel()
+        assert san.ok
+
+    def test_stash_overflow_and_alloc_lifetime(self):
+        san = Sanitizer()
+        san.on_stash_write(2, 8)
+        assert san.ok
+        san.on_stash_write(9, 8, site="stash.push")
+        [v] = san.violations
+        assert v.kind == "stash-overflow"
+        san2 = Sanitizer()
+        san2.begin_alloc_scope()
+        san2.on_alloc("scratch", 256)
+        san2.end_alloc_scope(site="scope")
+        [v2] = san2.violations
+        assert v2.kind == "alloc-leak"
+        san3 = Sanitizer()
+        san3.on_alloc("buf", 64)
+        san3.on_free("buf", known=True)
+        san3.on_free("buf", known=False)
+        [v3] = san3.violations
+        assert v3.kind == "double-free"
+
+    def test_memcheck_off_suppresses_extent_violations(self):
+        # The word decode still runs for initcheck's sake, but the
+        # out-of-bounds report is gated on the memcheck flag.
+        san, _ = memkernel(Sanitizer(memcheck=False))
+        san.record_access(0, "probe", "bucket", (5 << 40) | 0)
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["extent_checks"] == 1
+        # With both word-level passes off, the decode is skipped too.
+        san2, _ = memkernel(Sanitizer(memcheck=False, initcheck=False))
+        san2.record_access(0, "probe", "bucket", (5 << 40) | 0)
+        san2.end_kernel()
+        assert san2.ok
+        assert san2.stats["extent_checks"] == 0
+
+
+class TestInitcheckUnit:
+    def test_read_of_marked_slot_is_uninit_read(self):
+        san, table = memkernel(Sanitizer())
+        san.mark_uninitialized(table, 0, [3, 5])
+        san.record_access(0, "probe", "bucket", (0 << 40) | 3, site="rd")
+        [v] = san.violations
+        assert v.kind == "uninit-read" and v.pass_name == "initcheck"
+        assert san.stats["init_checks"] > 0
+
+    def test_write_clears_the_mark(self):
+        san, table = memkernel(Sanitizer(), locking=True)
+        san.mark_uninitialized(table, 0, [5])
+        san.on_lock_acquire(0, (0 << 40) | 5)
+        san.record_access(0, "write", "bucket", (0 << 40) | 5)
+        san.record_access(0, "read", "bucket", (0 << 40) | 5)
+        san.on_lock_release(0, (0 << 40) | 5)
+        san.end_kernel()
+        assert san.ok, [str(v) for v in san.violations]
+
+    def test_epoch_retire_prunes_dead_marks(self):
+        san, table = memkernel(Sanitizer(memcheck=False))
+        san.mark_uninitialized(table, 1, [2, 12])
+        san.on_epoch_retire(table, 1, old_rows=16, new_rows=8)
+        san.record_access(0, "probe", "bucket", (1 << 40) | 2)
+        [v] = san.violations
+        assert v.kind == "uninit-read" and v.address == (1 << 40) | 2
+
+
+class TestSynccheckUnit:
+    def test_inactive_lane_vote_is_divergent_sync(self):
+        san = kernel(Sanitizer())
+        san.on_vote(2, 0b0111, 0b0011, site="ballot")
+        [v] = san.violations
+        assert v.kind == "divergent-sync" and v.warp == 2
+        assert san.stats["votes_checked"] == 1
+
+    def test_subset_vote_is_clean(self):
+        san = kernel(Sanitizer())
+        san.on_vote(2, 0b0001, 0b0011)
+        san.on_vote(2, 0b0011, 0b0011)
+        san.end_kernel()
+        assert san.ok
+        assert san.stats["votes_checked"] == 2
+
+    def test_live_lanes_at_exit_is_divergent_exit(self):
+        san = kernel(Sanitizer())
+        san.on_kernel_exit(3, site="tail")
+        [v] = san.violations
+        assert v.kind == "divergent-exit"
+        san.end_kernel()
+        assert san.stats["kernel_exits"] == 1
+
+    def test_unmatched_kernel_brackets(self):
+        san = Sanitizer()
+        san.begin_kernel("outer")
+        san.begin_kernel("inner")
+        assert [v.kind for v in san.violations] == [
+            "unmatched-kernel-bracket"]
+        san.end_kernel()
+        san.end_kernel()
+        [v] = [v for v in san.violations[1:]]
+        assert v.kind == "unmatched-kernel-bracket"
+
+
 class TestSanitizerPlumbing:
     def test_null_sanitizer_is_disabled_and_shared(self):
         assert NULL_SANITIZER.enabled is False
@@ -249,7 +409,11 @@ class TestSanitizerPlumbing:
 
     def test_access_kind_taxonomy_is_closed(self):
         assert set(ACCESS_KINDS) == {"read", "write", "probe", "atomic"}
-        assert set(VIOLATION_KINDS) == {"racecheck", "lockcheck"}
+        assert set(VIOLATION_KINDS) == {
+            "racecheck", "lockcheck", "memcheck", "initcheck",
+            "synccheck"}
+        kinds = [k for ks in VIOLATION_KINDS.values() for k in ks]
+        assert len(kinds) == len(set(kinds)), "kind owned by two passes"
 
 
 class TestSeededFixtures:
@@ -281,10 +445,30 @@ class TestSeededFixtures:
     def test_fixture_suite_aggregate(self):
         report = run_fixture_suite()
         assert report["ok"], report
-        assert set(report["fixtures"]) == set(FIXTURES)
+        expected_entries = (set(FIXTURES) | {"determinism-lint"}
+                            | {f"contract:{rule}"
+                               for rule in BAD_CONTRACT_SOURCES})
+        assert set(report["fixtures"]) == expected_entries
         for result in report["fixtures"].values():
             assert result["ok"]
             assert result["detected"] == result["expected"]
+
+    def test_fixture_suite_pass_restriction(self):
+        """--memcheck-style selectors run only the owning fixtures."""
+        report = run_fixture_suite(passes={"memcheck"})
+        assert report["ok"], report
+        expected = {name for name, owners in FIXTURE_PASSES.items()
+                    if "memcheck" in owners}
+        assert set(report["fixtures"]) == expected
+        assert "divergent-sync" not in report["fixtures"]
+
+    def test_every_fixture_maps_to_its_owning_passes(self):
+        assert set(FIXTURE_PASSES) == set(FIXTURES)
+        for name, (_, expected_kinds) in FIXTURES.items():
+            owners = FIXTURE_PASSES[name]
+            assert owners, name
+            for kind in expected_kinds:
+                assert any(kind in VIOLATION_KINDS[p] for p in owners)
 
 
 class TestDeterminismLint:
@@ -315,6 +499,8 @@ class TestDeterminismLint:
         assert is_strict_path("src/repro/gpusim/kernel.py")
         assert is_strict_path("src/repro/kernels/insert.py")
         assert is_strict_path("/abs/src/repro/core/table.py")
+        assert is_strict_path("src/repro/shard/executor.py")
+        assert is_strict_path("src/repro/scenarios/runner.py")
         assert not is_strict_path("src/repro/cli.py")
         assert not is_strict_path("src/repro/telemetry/export.py")
         assert not is_strict_path("tests/test_sanitizer.py")
